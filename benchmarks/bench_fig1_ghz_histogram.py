@@ -1,0 +1,41 @@
+"""Fig. 1: measurement histogram of the 2-qubit GHZ circuit.
+
+Paper claim: only the 00 and 11 outcomes appear, ~uniformly.  The bench
+times a 1000-repetition BGLS run and prints the histogram.
+"""
+
+import pytest
+
+from repro import circuits as cirq
+from repro.apps import ghz_circuit
+
+from conftest import make_sv_simulator, print_series
+
+
+@pytest.fixture
+def qubits():
+    return cirq.LineQubit.range(2)
+
+
+@pytest.fixture
+def circuit():
+    return ghz_circuit(2)
+
+
+def test_fig1_ghz_histogram(benchmark, qubits, circuit):
+    sim = make_sv_simulator(qubits, seed=1)
+    result = benchmark(lambda: sim.run(circuit, repetitions=1000))
+    hist = result.histogram("z")
+
+    rows = [
+        (format(outcome, "02b"), count, count / 1000)
+        for outcome, count in sorted(hist.items())
+    ]
+    print_series(
+        "Fig. 1 - GHZ measurement histogram (1000 repetitions)",
+        ["outcome", "count", "frequency"],
+        rows,
+    )
+    # Shape assertions: only extremes, roughly balanced.
+    assert set(hist) <= {0, 3}
+    assert 350 < hist[0] < 650

@@ -1,0 +1,49 @@
+"""Fig. 2: automatic sample parallelization saturates runtime.
+
+Paper claim: with the dict-of-bitstrings parallelization, runtime grows
+sub-linearly in the repetition count and saturates once the ~2^n unique
+bitstrings are all populated.  The series prints runtime and the
+runtime-per-repetition ratio across 1 .. 10^4 repetitions; the per-rep
+cost must fall by orders of magnitude.
+"""
+
+import pytest
+
+from repro import circuits as cirq
+
+from conftest import make_sv_simulator, print_series, wall_time
+
+
+@pytest.fixture
+def workload():
+    qubits = cirq.LineQubit.range(8)
+    circuit = cirq.generate_random_circuit(
+        qubits, 20, op_density=0.8, random_state=2
+    )
+    circuit.append(cirq.measure(*qubits, key="m"))
+    return qubits, circuit
+
+
+def test_fig2_runtime_saturates(benchmark, workload):
+    qubits, circuit = workload
+    reps_series = [1, 10, 100, 1000, 10000]
+    rows = []
+    times = {}
+    for reps in reps_series:
+        sim = make_sv_simulator(qubits, seed=3)
+        seconds = wall_time(lambda: sim.run(circuit, repetitions=reps))
+        times[reps] = seconds
+        rows.append((reps, seconds, seconds / reps))
+    print_series(
+        "Fig. 2 - runtime vs repetitions (8-qubit random circuit)",
+        ["repetitions", "seconds", "sec_per_rep"],
+        rows,
+    )
+
+    # Saturation shape: 10^4 reps costs far less than 10^4 x the 1-rep time.
+    assert times[10000] < times[1] * 1000
+    # Per-repetition cost decreases monotonically in the large-reps regime.
+    assert times[10000] / 10000 < times[100] / 100
+
+    sim = make_sv_simulator(qubits, seed=3)
+    benchmark(lambda: sim.run(circuit, repetitions=1000))

@@ -1,0 +1,75 @@
+"""Fig. 3: sampling runtime scaling for pure Clifford circuits.
+
+Paper claims (Sec. 4.1.3): with the CH-form stabilizer state, computing a
+bitstring probability costs O(n^2) *independent of depth*, so sampling
+runtime grows ~linearly with depth (a) and polynomially with width (b).
+"""
+
+import numpy as np
+import pytest
+
+from repro import circuits as cirq
+
+from conftest import make_stabilizer_simulator, print_series, wall_time
+
+REPS = 20
+
+
+def _run(qubits, circuit, seed=0):
+    sim = make_stabilizer_simulator(qubits, seed=seed)
+    sim.sample_bitstrings(circuit, repetitions=REPS)
+
+
+def test_fig3a_runtime_vs_depth(benchmark):
+    """Runtime grows ~linearly in depth at fixed width."""
+    qubits = cirq.LineQubit.range(8)
+    depths = [10, 20, 40, 80, 160]
+    rows = []
+    times = {}
+    for depth in depths:
+        circuit = cirq.random_clifford_circuit(qubits, depth, random_state=depth)
+        seconds = wall_time(lambda: _run(qubits, circuit))
+        times[depth] = seconds
+        rows.append((depth, seconds, seconds / depth))
+    print_series(
+        "Fig. 3a - Clifford sampling runtime vs depth (8 qubits, 20 reps)",
+        ["depth", "seconds", "sec_per_moment"],
+        rows,
+    )
+    # Linear shape: doubling depth must not much more than double runtime
+    # (no exponential blow-up; allow generous constant factors).
+    assert times[160] < times[10] * 64
+    # Per-amplitude cost is depth-independent: per-moment cost ~flat.
+    ratio = (times[160] / 160) / (times[20] / 20)
+    assert ratio < 4.0
+
+    circuit = cirq.random_clifford_circuit(qubits, 40, random_state=1)
+    benchmark(lambda: _run(qubits, circuit))
+
+
+def test_fig3b_runtime_vs_width(benchmark):
+    """Runtime grows polynomially (not exponentially) in width."""
+    depths = 30
+    widths = [4, 8, 16, 32]
+    rows = []
+    times = {}
+    for width in widths:
+        qubits = cirq.LineQubit.range(width)
+        circuit = cirq.random_clifford_circuit(qubits, depths, random_state=width)
+        seconds = wall_time(lambda: _run(qubits, circuit))
+        times[width] = seconds
+        rows.append((width, seconds))
+    print_series(
+        "Fig. 3b - Clifford sampling runtime vs width (depth 30, 20 reps)",
+        ["width", "seconds"],
+        rows,
+    )
+    # Polynomial shape: width 32 vs 4 is an 8x increase; if scaling were
+    # exponential (2^n), the ratio would exceed 2^28.  Require << that and
+    # consistent with a low-degree polynomial (allow up to ~n^3 + overheads).
+    growth = times[32] / times[4]
+    assert growth < 8**3.5
+
+    qubits = cirq.LineQubit.range(16)
+    circuit = cirq.random_clifford_circuit(qubits, depths, random_state=0)
+    benchmark(lambda: _run(qubits, circuit))

@@ -1,0 +1,93 @@
+"""Fig. 4: overlap attained with sum-over-Cliffords sampling.
+
+(a) overlap vs number of samples for a pure-Clifford circuit (T -> S) and
+    the corresponding near-Clifford Clifford+T circuit: the non-Clifford
+    run lags at every sample count.
+(b) overlap vs rotation angle theta when every T is replaced by R(theta):
+    the overlap fluctuates with theta, peaking at the Clifford angles.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import circuits as cirq
+from repro.analysis import empirical_distribution, fractional_overlap
+
+from conftest import make_stabilizer_simulator, print_series
+
+
+def _ideal(circuit, qubits):
+    return (
+        np.abs(
+            circuit.without_measurements().final_state_vector(qubit_order=qubits)
+        )
+        ** 2
+    )
+
+
+def _overlap(circuit, qubits, reps, seed):
+    sim = make_stabilizer_simulator(qubits, seed=seed, near_clifford=True)
+    bits = sim.sample_bitstrings(circuit, repetitions=reps)
+    return fractional_overlap(
+        empirical_distribution(bits, len(qubits)), _ideal(circuit, qubits)
+    )
+
+
+@pytest.fixture(scope="module")
+def workload():
+    qubits = cirq.LineQubit.range(5)
+    clifford_t = cirq.random_clifford_t_circuit(
+        qubits, 20, t_density=0.2, random_state=11
+    )
+    pure = cirq.substitute_gate(clifford_t, cirq.T, cirq.S)
+    return qubits, clifford_t, pure
+
+
+def test_fig4a_overlap_vs_samples(benchmark, workload):
+    qubits, clifford_t, pure = workload
+    n_t = cirq.count_gate(clifford_t, cirq.T)
+    sample_counts = [100, 400, 1600]
+    rows = []
+    lag_seen = []
+    for reps in sample_counts:
+        o_pure = _overlap(pure, qubits, reps, seed=reps)
+        o_near = _overlap(clifford_t, qubits, reps, seed=reps + 1)
+        rows.append((reps, o_pure, o_near))
+        lag_seen.append(o_near <= o_pure + 0.02)
+    print_series(
+        f"Fig. 4a - overlap vs samples (pure Clifford vs {n_t} T gates)",
+        ["samples", "overlap_pure", "overlap_near_clifford"],
+        rows,
+    )
+    # The near-Clifford overlap lags the pure-Clifford one.
+    assert sum(lag_seen) >= 2
+
+    benchmark(lambda: _overlap(clifford_t, qubits, 400, seed=0))
+
+
+def test_fig4b_overlap_vs_angle(benchmark, workload):
+    qubits, clifford_t, _ = workload
+    thetas = [i * math.pi / 8 for i in range(9)]  # 0 .. pi
+    rows = []
+    overlaps = {}
+    for theta in thetas:
+        circuit = cirq.substitute_gate(
+            clifford_t, cirq.T, cirq.Rz(theta)
+        )
+        o = _overlap(circuit, qubits, 800, seed=int(theta * 100))
+        overlaps[theta] = o
+        rows.append((round(theta / math.pi, 3), o))
+    print_series(
+        "Fig. 4b - overlap vs rotation angle (theta in units of pi, 800 samples)",
+        ["theta_over_pi", "overlap"],
+        rows,
+    )
+    # Clifford angles (0, pi/2, pi) are maxima: branch choice is exact there.
+    clifford_mean = np.mean([overlaps[0.0], overlaps[math.pi / 2], overlaps[math.pi]])
+    odd_mean = np.mean([overlaps[math.pi / 8], overlaps[3 * math.pi / 8]])
+    assert clifford_mean > odd_mean
+
+    circuit = cirq.substitute_gate(clifford_t, cirq.T, cirq.Rz(math.pi / 8))
+    benchmark(lambda: _overlap(circuit, qubits, 200, seed=0))

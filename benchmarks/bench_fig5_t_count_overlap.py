@@ -1,0 +1,58 @@
+"""Fig. 5: sum-over-Cliffords overlap decreases with additional T gates.
+
+Paper workload: a random pure-Clifford circuit of 100 moments in which
+progressively more 1-qubit gates are replaced by T.  The attained overlap
+at a fixed sample budget decreases as the circuit becomes more
+non-Clifford (the 2^#T branch explosion).
+"""
+
+import numpy as np
+import pytest
+
+from repro import circuits as cirq
+from repro.analysis import empirical_distribution, fractional_overlap
+
+from conftest import make_stabilizer_simulator, print_series
+
+REPS = 1000
+
+
+def _overlap(circuit, qubits, seed):
+    ideal = (
+        np.abs(
+            circuit.without_measurements().final_state_vector(qubit_order=qubits)
+        )
+        ** 2
+    )
+    sim = make_stabilizer_simulator(qubits, seed=seed, near_clifford=True)
+    bits = sim.sample_bitstrings(circuit, repetitions=REPS)
+    return fractional_overlap(
+        empirical_distribution(bits, len(qubits)), ideal
+    )
+
+
+def test_fig5_overlap_vs_t_count(benchmark):
+    qubits = cirq.LineQubit.range(5)
+    base = cirq.random_clifford_circuit(qubits, 100, random_state=5)
+    t_counts = [0, 2, 4, 8, 16, 32]
+    rows = []
+    overlaps = []
+    for n_t in t_counts:
+        circuit = cirq.substitute_clifford_with_t(base, n_t, random_state=1)
+        # Average two seeds to damp stochastic-branch noise.
+        o = np.mean([_overlap(circuit, qubits, seed=n_t + s) for s in (0, 1)])
+        overlaps.append(o)
+        rows.append((n_t, float(o)))
+    print_series(
+        f"Fig. 5 - overlap vs number of T substitutions "
+        f"(100-moment Clifford base, {REPS} samples)",
+        ["t_count", "overlap"],
+        rows,
+    )
+    # Monotone-ish decrease: the heavily-T'd circuit is clearly worse.
+    assert overlaps[-1] < overlaps[0] - 0.1
+    # And the trend holds between the extremes on average.
+    assert np.mean(overlaps[:2]) > np.mean(overlaps[-2:])
+
+    circuit = cirq.substitute_clifford_with_t(base, 8, random_state=1)
+    benchmark(lambda: _overlap(circuit, qubits, seed=99))

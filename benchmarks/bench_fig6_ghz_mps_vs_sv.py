@@ -1,0 +1,53 @@
+"""Fig. 6: randomly-connected GHZ circuits — MPS scales as badly as dense.
+
+Paper claim: GHZ states are maximally entangled, so blindly simulating a
+GHZ circuit with randomly sequenced CNOTs gives exponential runtime for
+*both* the MPS and the state-vector representations.
+"""
+
+import numpy as np
+import pytest
+
+from repro import circuits as cirq
+from repro.apps import random_ghz_circuit
+
+from conftest import make_mps_simulator, make_sv_simulator, print_series, wall_time
+
+REPS = 10
+
+
+def test_fig6_random_ghz_scaling(benchmark):
+    widths = [4, 8, 12, 16]
+    rows = []
+    mps_times = {}
+    sv_times = {}
+    for width in widths:
+        qubits = cirq.LineQubit.range(width)
+        circuit = random_ghz_circuit(qubits, random_state=width)
+        mps_times[width] = wall_time(
+            lambda: make_mps_simulator(qubits, seed=0).sample_bitstrings(
+                circuit, repetitions=REPS
+            )
+        )
+        sv_times[width] = wall_time(
+            lambda: make_sv_simulator(qubits, seed=0).sample_bitstrings(
+                circuit, repetitions=REPS
+            )
+        )
+        rows.append((width, mps_times[width], sv_times[width]))
+    print_series(
+        "Fig. 6 - random-GHZ sampling runtime (10 reps)",
+        ["width", "mps_seconds", "sv_seconds"],
+        rows,
+    )
+    # Exponential-ish growth for BOTH representations: runtime keeps
+    # increasing and the 16-qubit case costs several times the 8-qubit one.
+    assert mps_times[16] > 2.0 * mps_times[8]
+    assert sv_times[16] > 1.5 * sv_times[8]
+    # And MPS gains nothing here (comparable to or worse than dense).
+    assert mps_times[16] > 0.5 * sv_times[16]
+
+    qubits = cirq.LineQubit.range(12)
+    circuit = random_ghz_circuit(qubits, random_state=3)
+    sim = make_mps_simulator(qubits, seed=0)
+    benchmark(lambda: sim.sample_bitstrings(circuit, repetitions=REPS))

@@ -1,0 +1,90 @@
+"""Fig. 7: for low-entanglement random circuits, MPS sampling beats dense.
+
+(a) Fixed-depth random circuits of increasing width: shallow depth keeps
+    entanglement far below the exponential ceiling, so MPS runtime grows
+    slowly while the dense state vector grows exponentially — a crossover.
+(b) Random 1-qubit layers plus a *fixed* number of CNOTs: entanglement is
+    constant, and MPS sampling runtime scales ~linearly with width.
+"""
+
+import numpy as np
+import pytest
+
+from repro import circuits as cirq
+from repro.apps import random_fixed_cnot_circuit, random_shallow_circuit
+
+from conftest import make_mps_simulator, make_sv_simulator, print_series, wall_time
+
+REPS = 10
+
+
+def test_fig7a_shallow_random_circuits(benchmark):
+    widths = [6, 10, 14, 18, 22]
+    rows = []
+    mps_times = {}
+    sv_times = {}
+    for width in widths:
+        qubits = cirq.LineQubit.range(width)
+        circuit = random_shallow_circuit(
+            qubits, depth=5, cnot_probability=0.15, random_state=width
+        )
+        mps_times[width] = wall_time(
+            lambda: make_mps_simulator(qubits, seed=0).sample_bitstrings(
+                circuit, repetitions=REPS
+            )
+        )
+        sv_times[width] = wall_time(
+            lambda: make_sv_simulator(qubits, seed=0).sample_bitstrings(
+                circuit, repetitions=REPS
+            )
+        )
+        rows.append((width, mps_times[width], sv_times[width]))
+    print_series(
+        "Fig. 7a - shallow random circuits: MPS vs state vector (10 reps)",
+        ["width", "mps_seconds", "sv_seconds"],
+        rows,
+    )
+    # Crossover shape: dense blows up exponentially, MPS does not.
+    sv_growth = sv_times[22] / sv_times[10]
+    mps_growth = mps_times[22] / mps_times[10]
+    assert sv_growth > 4 * mps_growth
+    # At the widest point MPS must win outright.
+    assert mps_times[22] < sv_times[22]
+
+    qubits = cirq.LineQubit.range(14)
+    circuit = random_shallow_circuit(qubits, 5, 0.15, random_state=1)
+    sim = make_mps_simulator(qubits, seed=0)
+    benchmark(lambda: sim.sample_bitstrings(circuit, repetitions=REPS))
+
+
+def test_fig7b_fixed_cnot_count_linear_scaling(benchmark):
+    widths = [8, 16, 24, 32]
+    n_cnots = 6
+    rows = []
+    times = {}
+    for width in widths:
+        qubits = cirq.LineQubit.range(width)
+        circuit = random_fixed_cnot_circuit(
+            qubits, n_single_qubit_layers=3, n_cnots=n_cnots, random_state=width
+        )
+        times[width] = wall_time(
+            lambda: make_mps_simulator(qubits, seed=0).sample_bitstrings(
+                circuit, repetitions=REPS
+            )
+        )
+        rows.append((width, times[width], times[width] / width))
+    print_series(
+        f"Fig. 7b - MPS sampling, fixed {n_cnots} CNOTs (10 reps)",
+        ["width", "mps_seconds", "sec_per_qubit"],
+        rows,
+    )
+    # Near-linear: quadrupling the width must stay in the polynomial regime
+    # (comfortably under cubic), far from the 2^24x of exponential scaling.
+    # The bound is loose because n-qubit sampling also walks ~n gates per
+    # repetition, adding a machine-noise-sensitive extra factor of width.
+    assert times[32] / times[8] < 48
+
+    qubits = cirq.LineQubit.range(16)
+    circuit = random_fixed_cnot_circuit(qubits, 3, n_cnots, random_state=0)
+    sim = make_mps_simulator(qubits, seed=0)
+    benchmark(lambda: sim.sample_bitstrings(circuit, repetitions=REPS))

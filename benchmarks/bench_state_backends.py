@@ -1,0 +1,58 @@
+"""Cross-backend bench: the same Clifford workload on every representation.
+
+Not a paper figure, but the paper's Sec. 3 pitch — BGLS is state-agnostic —
+deserves a direct measurement: identical circuit, four state backends.
+"""
+
+import pytest
+
+import repro as bgls
+from repro import born
+from repro import circuits as cirq
+
+from conftest import (
+    make_mps_simulator,
+    make_stabilizer_simulator,
+    make_sv_simulator,
+    print_series,
+    wall_time,
+)
+
+REPS = 50
+
+
+@pytest.fixture(scope="module")
+def workload():
+    qubits = cirq.LineQubit.range(6)
+    circuit = cirq.random_clifford_circuit(qubits, 20, random_state=6)
+    return qubits, circuit
+
+
+def test_backend_comparison(benchmark, workload):
+    qubits, circuit = workload
+    dm_sim = bgls.Simulator(
+        bgls.DensityMatrixSimulationState(qubits),
+        bgls.act_on,
+        born.compute_probability_density_matrix,
+        seed=0,
+    )
+    variants = [
+        ("state_vector", make_sv_simulator(qubits, seed=0)),
+        ("stabilizer_ch", make_stabilizer_simulator(qubits, seed=0)),
+        ("mps", make_mps_simulator(qubits, seed=0)),
+        ("density_matrix", dm_sim),
+    ]
+    rows = []
+    for name, sim in variants:
+        seconds = wall_time(
+            lambda: sim.sample_bitstrings(circuit, repetitions=REPS)
+        )
+        rows.append((name, seconds))
+    print_series(
+        f"State backends on one 6-qubit Clifford circuit ({REPS} reps)",
+        ["backend", "seconds"],
+        rows,
+    )
+
+    sim = make_sv_simulator(qubits, seed=0)
+    benchmark(lambda: sim.sample_bitstrings(circuit, repetitions=REPS))

@@ -1,0 +1,80 @@
+"""Shared helpers for the benchmark/figure-regeneration harness.
+
+Every ``bench_*`` module regenerates one table or figure from the paper:
+pytest-benchmark times the headline sampling call, and each module prints
+the full data series (the "figure") to stdout.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Sequence, Tuple
+
+import numpy as np
+import pytest
+
+import repro as bgls
+from repro import born
+from repro import circuits as cirq
+
+
+def make_sv_simulator(qubits, seed=0, **kw):
+    """BGLS simulator over a dense state vector."""
+    return bgls.Simulator(
+        bgls.StateVectorSimulationState(qubits),
+        bgls.act_on,
+        born.compute_probability_state_vector,
+        seed=seed,
+        **kw,
+    )
+
+
+def make_stabilizer_simulator(qubits, seed=0, near_clifford=False):
+    """BGLS simulator over the CH-form stabilizer state."""
+    return bgls.Simulator(
+        bgls.StabilizerChFormSimulationState(qubits),
+        bgls.act_on_near_clifford if near_clifford else bgls.act_on,
+        born.compute_probability_stabilizer_state,
+        seed=seed,
+    )
+
+
+def make_mps_simulator(qubits, seed=0, options=None):
+    """BGLS simulator over the MPS tensor-network state."""
+    return bgls.Simulator(
+        bgls.MPSState(qubits, options=options),
+        bgls.act_on,
+        born.compute_probability_mps,
+        seed=seed,
+    )
+
+
+def wall_time(fn: Callable[[], object], repeats: int = 1) -> float:
+    """Median wall-clock seconds of ``fn`` over ``repeats`` runs."""
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return float(np.median(times))
+
+
+def print_series(
+    title: str, columns: Sequence[str], rows: List[Tuple]
+) -> None:
+    """Print a figure's data series as an aligned table (CSV-ish)."""
+    print(f"\n### {title}")
+    widths = [max(len(str(c)), 12) for c in columns]
+    print(" ".join(str(c).rjust(w) for c, w in zip(columns, widths)))
+    for row in rows:
+        cells = [
+            f"{v:.6f}" if isinstance(v, float) else str(v) for v in row
+        ]
+        print(" ".join(c.rjust(w) for c, w in zip(cells, widths)))
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(20231112)

@@ -1,0 +1,90 @@
+"""Near-Clifford sampling with the sum-over-Cliffords technique (Sec. 4.2).
+
+Builds a random Clifford+T circuit, samples it three ways:
+
+1. exactly, from the dense final distribution (ground truth),
+2. with BGLS over the CH-form stabilizer state after replacing T -> S
+   (pure Clifford, exact up to shot noise),
+3. with BGLS + ``act_on_near_clifford`` on the original circuit, where each
+   T gate stochastically becomes I or S (one of the 2^#T branches per shot),
+
+and prints the fractional overlap each attains with its ideal distribution.
+The sum-over-Cliffords run visibly lags — the paper's Fig. 4a.
+
+Run:  python examples/near_clifford_sampling.py
+"""
+
+import numpy as np
+
+import repro as bgls
+from repro import born
+from repro import circuits as cirq
+from repro.analysis import empirical_distribution, fractional_overlap
+
+
+def overlap_with_ideal(circuit, qubits, sampler, repetitions) -> float:
+    ideal = (
+        np.abs(
+            circuit.without_measurements().final_state_vector(qubit_order=qubits)
+        )
+        ** 2
+    )
+    bits = sampler.sample_bitstrings(circuit, repetitions=repetitions)
+    return fractional_overlap(empirical_distribution(bits, len(qubits)), ideal)
+
+
+def main() -> None:
+    qubits = cirq.LineQubit.range(5)
+    reps = 2000
+
+    clifford_t = cirq.random_clifford_t_circuit(
+        qubits, 20, t_density=0.2, random_state=11
+    )
+    n_t = cirq.count_gate(clifford_t, cirq.T)
+    pure_clifford = cirq.substitute_gate(clifford_t, cirq.T, cirq.S)
+    print(f"Random Clifford+T circuit: depth {clifford_t.depth()}, "
+          f"{n_t} T gates\n")
+
+    exact = bgls.ExactDistributionSampler(
+        bgls.StateVectorSimulationState(qubits), bgls.act_on, seed=0
+    )
+    ideal = np.abs(
+        clifford_t.without_measurements().final_state_vector(qubit_order=qubits)
+    ) ** 2
+    exact_bits = exact.sample_bitstrings(clifford_t, repetitions=reps)
+    print(
+        "exact sampler overlap (shot noise only):        ",
+        round(fractional_overlap(
+            empirical_distribution(exact_bits, 5), ideal), 3),
+    )
+
+    stabilizer_sim = bgls.Simulator(
+        bgls.StabilizerChFormSimulationState(qubits),
+        bgls.act_on,  # plain Clifford application
+        born.compute_probability_stabilizer_state,
+        seed=1,
+    )
+    print(
+        "pure-Clifford (T->S) stabilizer BGLS overlap:   ",
+        round(overlap_with_ideal(pure_clifford, qubits, stabilizer_sim, reps), 3),
+    )
+
+    near_clifford_sim = bgls.Simulator(
+        bgls.StabilizerChFormSimulationState(qubits),
+        bgls.act_on_near_clifford,  # stochastic I/S substitution for T
+        born.compute_probability_stabilizer_state,
+        seed=2,
+    )
+    print(
+        f"sum-over-Cliffords BGLS overlap ({n_t} T gates):   ",
+        round(overlap_with_ideal(clifford_t, qubits, near_clifford_sim, reps), 3),
+    )
+    print(
+        "\nThe non-Clifford run explores one of "
+        f"2^{n_t} stabilizer branches per shot, so its attained overlap lags"
+        "\n(the paper's Fig. 4a behaviour)."
+    )
+
+
+if __name__ == "__main__":
+    main()

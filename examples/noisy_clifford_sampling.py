@@ -1,0 +1,66 @@
+"""Noisy Clifford sampling at 40 qubits via stochastic Pauli channels.
+
+A dense state vector at 40 qubits would need 16 TiB; the CH-form
+stabilizer state handles it in O(n^2) memory.  Depolarizing noise is
+applied as stochastically sampled Pauli gates — each trajectory stays a
+stabilizer state — so the BGLS sampler produces noisy samples from a
+regime far beyond dense simulation.
+
+The observable: GHZ parity. Noiseless GHZ samples are all-0 or all-1
+(parity of matched neighbors = n-1 agreements); depolarizing noise breaks
+neighbor agreements at a predictable rate.
+
+Run:  python examples/noisy_clifford_sampling.py
+"""
+
+import numpy as np
+
+import repro as bgls
+from repro import born
+from repro import circuits as cirq
+from repro.circuits import channels
+from repro.sampler import act_on_with_pauli_noise
+
+
+def ghz_with_noise(qubits, p):
+    circuit = cirq.Circuit(cirq.H.on(qubits[0]))
+    for a, b in zip(qubits, qubits[1:]):
+        circuit.append(cirq.CNOT.on(a, b))
+        circuit.append(channels.depolarize(p).on(b))
+    circuit.append(cirq.measure(*qubits, key="z"))
+    return circuit
+
+
+def neighbor_agreement(samples):
+    """Mean fraction of adjacent qubit pairs agreeing per sample."""
+    samples = np.asarray(samples)
+    agree = samples[:, :-1] == samples[:, 1:]
+    return float(agree.mean())
+
+
+def main() -> None:
+    n = 40
+    qubits = cirq.LineQubit.range(n)
+    repetitions = 200
+
+    print(f"{n}-qubit GHZ with depolarizing noise, {repetitions} reps "
+          "(CH-form stabilizer state)\n")
+    print(f"{'noise p':>10} {'neighbor agreement':>20}")
+    for p in (0.0, 0.02, 0.05, 0.1, 0.2):
+        circuit = ghz_with_noise(qubits, p)
+        simulator = bgls.Simulator(
+            initial_state=bgls.StabilizerChFormSimulationState(qubits),
+            apply_op=act_on_with_pauli_noise,
+            compute_probability=born.compute_probability_stabilizer_state,
+            seed=42,
+        )
+        samples = simulator.sample_bitstrings(circuit, repetitions=repetitions)
+        print(f"{p:>10.2f} {neighbor_agreement(samples):>20.4f}")
+
+    print("\nAt p = 0 every neighbor pair agrees (pure GHZ).  Each unit of")
+    print("depolarizing strength breaks agreements at a predictable rate;")
+    print("no dense simulator could check this at 40 qubits.")
+
+
+if __name__ == "__main__":
+    main()

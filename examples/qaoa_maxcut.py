@@ -1,0 +1,66 @@
+"""QAOA for MaxCut with BGLS over a bounded-bond MPS (Sec. 4.4, Figs. 8-9).
+
+Reproduces the paper's pipeline end to end:
+
+1. draw a random Erdős–Rényi graph G(10, 0.3);
+2. build the 1-layer QAOA circuit parameterized by (gamma, beta);
+3. sweep a parameter grid, sampling each configuration with the BGLS
+   simulator over an MPS state with restricted bond dimension chi;
+4. rerun the best parameters with more samples and report the best cut,
+   compared against the brute-force optimum.
+
+Run:  python examples/qaoa_maxcut.py
+"""
+
+import numpy as np
+
+import repro as bgls
+from repro import born
+from repro import circuits as cirq
+from repro.apps import brute_force_maxcut, random_graph, solve_maxcut
+
+
+def main() -> None:
+    graph = random_graph(10, edge_probability=0.3, random_state=4)
+    print(
+        f"Graph: {graph.number_of_nodes()} nodes, "
+        f"{graph.number_of_edges()} edges: {sorted(graph.edges())}"
+    )
+
+    qubits = cirq.LineQubit.range(10)
+    simulator = bgls.Simulator(
+        bgls.MPSState(qubits, options=bgls.MPSOptions(max_bond=16)),
+        bgls.act_on,
+        born.compute_probability_mps,
+        seed=0,
+    )
+
+    def sampler(circuit, repetitions):
+        return simulator.sample_bitstrings(circuit, repetitions=repetitions)
+
+    result = solve_maxcut(
+        graph,
+        sampler,
+        grid_size=8,
+        sweep_repetitions=100,
+        final_repetitions=400,
+    )
+
+    print("\nSweep of average cut over the (gamma, beta) grid:")
+    header = "gamma\\beta " + " ".join(
+        f"{b:6.2f}" for b in result.sweep_betas
+    )
+    print(header)
+    for gamma, row in zip(result.sweep_gammas, result.sweep_average_cuts):
+        print(f"{gamma:10.2f} " + " ".join(f"{v:6.2f}" for v in row))
+
+    optimum, _ = brute_force_maxcut(graph)
+    left, right = result.partition()
+    print(f"\nbest parameters: gamma={result.best_gamma:.3f}, "
+          f"beta={result.best_beta:.3f}")
+    print(f"best sampled cut: {result.best_cut}   (brute-force optimum: {optimum})")
+    print(f"partition: {left} | {right}")
+
+
+if __name__ == "__main__":
+    main()

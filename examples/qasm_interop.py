@@ -1,0 +1,57 @@
+"""Using BGLS with non-native circuits via OpenQASM (paper Sec. 3.2.4).
+
+Parses an OpenQASM 2.0 program (as produced by Qiskit or any other
+framework), samples it with the BGLS simulator, and exports a native
+circuit back to QASM.
+
+Run:  python examples/qasm_interop.py
+"""
+
+import repro as bgls
+from repro import born
+from repro import circuits as cirq
+from repro.circuits import circuit_from_qasm, circuit_to_qasm
+
+QASM_PROGRAM = """
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg out[3];
+h q[0];
+cx q[0], q[1];
+cx q[1], q[2];
+rz(pi/8) q[2];
+h q[2];
+measure q[0] -> out[0];
+measure q[1] -> out[1];
+measure q[2] -> out[2];
+"""
+
+
+def main() -> None:
+    circuit = circuit_from_qasm(QASM_PROGRAM)
+    print("Imported circuit:")
+    print(circuit)
+
+    qubits = circuit.all_qubits()
+    simulator = bgls.Simulator(
+        bgls.StateVectorSimulationState(qubits),
+        bgls.act_on,
+        born.compute_probability_state_vector,
+        seed=7,
+    )
+    results = simulator.run(circuit, repetitions=500)
+    print()
+    bgls.plot_state_histogram(results, key="out")
+
+    print("\nExporting a native circuit back to QASM:")
+    ghz = cirq.Circuit(
+        cirq.H(qubits[0]),
+        cirq.CNOT(qubits[0], qubits[1]),
+        cirq.measure(qubits[0], qubits[1], key="z"),
+    )
+    print(circuit_to_qasm(ghz))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Quickstart: the paper's core usage example (Sec. 3.1 / Fig. 1).
+
+Builds a 2-qubit GHZ circuit, samples it with the BGLS gate-by-gate
+simulator over a state-vector representation, and prints the measurement
+histogram — only the 00 and 11 outcomes appear, each with ~50% frequency.
+
+Run:  python examples/quickstart.py
+"""
+
+import repro as bgls
+from repro import born
+from repro import circuits as cirq
+
+
+def main() -> None:
+    nqubits = 2
+    qubits = cirq.LineQubit.range(nqubits)
+    circuit = cirq.Circuit(
+        cirq.H.on(qubits[0]),
+        cirq.CNOT.on(qubits[0], qubits[1]),
+        cirq.measure(*qubits, key="z"),
+    )
+    print("Circuit:")
+    print(circuit)
+    print()
+
+    simulator = bgls.Simulator(
+        initial_state=bgls.StateVectorSimulationState(
+            qubits=qubits, initial_state=0
+        ),
+        apply_op=bgls.act_on,
+        compute_probability=born.compute_probability_state_vector,
+        seed=2023,
+    )
+    results = simulator.run(circuit, repetitions=1000)
+    bgls.plot_state_histogram(results)
+
+    print()
+    print("The gate-by-gate sampler walked the circuit once per batch,")
+    print("resampling candidate bitstrings over each gate's support —")
+    print("no marginal distributions were ever computed.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Error correction under noise: the 3-qubit repetition code.
+
+Sweeps the physical bit-flip rate p and compares the sampled logical
+error rate against the closed form 3p² − 2p³, using the stabilizer
+backend with stochastic Pauli noise — the configuration that would scale
+to real code distances.  Mid-circuit syndrome measurements and terminal
+data measurements flow through the BGLS trajectory path together.
+
+Run:  python examples/repetition_code.py
+"""
+
+import repro as bgls
+from repro import apps, born
+from repro import circuits as cirq
+from repro.sampler import act_on_with_pauli_noise
+
+
+def main() -> None:
+    qubits = cirq.LineQubit.range(5)  # 3 data + 2 syndrome ancillas
+    repetitions = 2000
+
+    print("3-qubit repetition code, syndrome-decoded "
+          f"({repetitions} reps per point, stabilizer backend)\n")
+    print(f"{'p':>8} {'logical (sampled)':>18} {'logical (theory)':>17} "
+          f"{'protected?':>11}")
+    for p in (0.01, 0.05, 0.1, 0.2, 0.3, 0.5):
+        circuit = apps.repetition_code_circuit(p)
+        simulator = bgls.Simulator(
+            initial_state=bgls.StabilizerChFormSimulationState(qubits),
+            apply_op=act_on_with_pauli_noise,
+            compute_probability=born.compute_probability_stabilizer_state,
+            seed=13,
+        )
+        result = simulator.run(circuit, repetitions=repetitions)
+        sampled = apps.logical_error_rate(result)
+        theory = apps.theoretical_logical_error_rate(p)
+        protected = "yes" if sampled < p else "no"
+        print(f"{p:>8.2f} {sampled:>18.4f} {theory:>17.4f} {protected:>11}")
+
+    print("\nBelow p = 1/2 the code suppresses errors quadratically; at")
+    print("p = 1/2 it provides no protection — both visible in the sweep.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Routing long-range circuits to a line before MPS sampling.
+
+The MPS state handles a long-range CNOT by bonding two distant sites
+directly; routing first converts it into a nearest-neighbor SWAP chain.
+Both produce identical samples, but the bond structure — and with it the
+contraction cost of every bitstring-probability query — differs.  This
+example prints the per-site bond-dimension profile both ways.
+
+Run:  python examples/routed_mps_sampling.py
+"""
+
+import numpy as np
+
+import repro as bgls
+from repro import born
+from repro import circuits as cirq
+from repro.mps import MPSState, bond_dimension_profile
+from repro.protocols import act_on
+from repro.transpile import Topology, is_routed, route_circuit
+
+
+def build_circuit(qubits, rng):
+    """Shallow circuit with a few deliberately long-range CNOTs."""
+    circuit = cirq.Circuit(cirq.H.on(q) for q in qubits)
+    n = len(qubits)
+    for _ in range(4):
+        a, b = rng.choice(n, size=2, replace=False)
+        circuit.append(cirq.CNOT.on(qubits[a], qubits[b]))
+        circuit.append(cirq.T.on(qubits[int(rng.integers(n))]))
+    return circuit
+
+
+def evolve_mps(circuit, qubits):
+    state = MPSState(qubits)
+    for op in circuit.without_measurements().all_operations():
+        act_on(op, state)
+    return state
+
+
+def main() -> None:
+    n = 8
+    qubits = cirq.LineQubit.range(n)
+    rng = np.random.default_rng(3)
+    circuit = build_circuit(qubits, rng)
+
+    topology = Topology.line(n)
+    routed = route_circuit(
+        circuit, topology, initial_mapping={q: q for q in qubits}
+    )
+    assert is_routed(routed.circuit, topology)
+
+    direct = evolve_mps(circuit, qubits)
+    chained = evolve_mps(routed.circuit, qubits)
+
+    print(f"{n}-qubit circuit with long-range CNOTs "
+          f"({circuit.num_operations()} ops)")
+    print(f"routed for a line topology: {routed.num_swaps} SWAPs inserted, "
+          f"{routed.circuit.num_operations()} ops total\n")
+    print(f"{'site':>6} {'direct bonds':>14} {'routed bonds':>14}")
+    for k in range(n):
+        d = bond_dimension_profile(direct)[k]
+        c = bond_dimension_profile(chained)[k]
+        print(f"{k:>6} {d:>14} {c:>14}")
+
+    print("\nSampling both with BGLS (100 reps each)...")
+    for label, circ in (("direct", circuit), ("routed", routed.circuit)):
+        sampled = cirq.Circuit()
+        for moment in circ.moments:
+            sampled.append_new_moment(moment.operations)
+        sampled.append(cirq.measure(*qubits, key="z"))
+        sim = bgls.Simulator(
+            initial_state=MPSState(qubits),
+            apply_op=bgls.act_on,
+            compute_probability=born.compute_probability_mps,
+            seed=9,
+        )
+        bits = sim.sample_bitstrings(sampled, repetitions=100)
+        print(f"  {label}: mean bit value {np.mean(bits):.3f}")
+
+    print("\nDirect application bonds distant sites pairwise; routing trades")
+    print("that for SWAP chains whose bonds stay chain-local — the choice")
+    print("that decides tensor-contraction cost at scale.")
+
+
+if __name__ == "__main__":
+    main()

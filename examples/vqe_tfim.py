@@ -1,0 +1,54 @@
+"""VQE for the transverse-field Ising chain with BGLS sampling.
+
+Optimizes a 2-layer hardware-efficient ansatz for the 4-site TFIM
+(J = 1, h = 0.9), then re-estimates the optimal energy from BGLS samples
+in two measurement bases — the full variational measurement workflow on
+top of the gate-by-gate sampler.
+
+Run:  python examples/vqe_tfim.py
+"""
+
+import repro as bgls
+from repro import apps, born
+from repro import circuits as cirq
+
+
+def main() -> None:
+    problem = apps.TFIMProblem(num_sites=4, coupling=1.0, field=0.9)
+    qubits = cirq.LineQubit.range(problem.num_sites)
+
+    def sampler(circuit, repetitions):
+        simulator = bgls.Simulator(
+            initial_state=bgls.StateVectorSimulationState(qubits),
+            apply_op=bgls.act_on,
+            compute_probability=born.compute_probability_state_vector,
+            seed=21,
+        )
+        return simulator.sample_bitstrings(circuit, repetitions=repetitions)
+
+    print(f"TFIM chain: {problem.num_sites} sites, "
+          f"J = {problem.coupling}, h = {problem.field}")
+    print(f"exact ground energy: {apps.exact_ground_energy(problem):.6f}\n")
+
+    result = apps.optimize_tfim(
+        problem,
+        layers=2,
+        grid_size=7,
+        refinements=2,
+        sampler=sampler,
+        repetitions=3000,
+    )
+
+    print(f"grid-search evaluations: {result.evaluations}")
+    params = ", ".join(f"{p:+.4f}" for p in result.best_params)
+    print(f"best parameters: [{params}]")
+    print(f"sampled energy at optimum: {result.best_energy:.6f}")
+    print(f"exact ground energy:       {result.exact_energy:.6f}")
+    print(f"relative error:            {result.relative_error:.4%}")
+    print("\nEnergy was estimated from two BGLS measurement settings:")
+    print("Z-basis samples for the ZZ couplings, X-basis samples for the")
+    print("transverse field.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+"""repro: reproduction of "BGLS: A Python Package for the Gate-by-Gate
+Sampling Algorithm to Simulate Quantum Circuits" (SC-W 2023).
+
+Top-level API mirrors the reference package::
+
+    import repro as bgls
+    from repro import circuits as cirq   # the from-scratch circuit substrate
+
+    qubits = cirq.LineQubit.range(2)
+    circuit = cirq.Circuit(
+        cirq.H.on(qubits[0]),
+        cirq.CNOT.on(qubits[0], qubits[1]),
+        cirq.measure(*qubits, key="z"),
+    )
+    sim = bgls.Simulator(
+        initial_state=bgls.StateVectorSimulationState(qubits),
+        apply_op=bgls.act_on,
+        compute_probability=bgls.born.compute_probability_state_vector,
+    )
+    results = sim.run(circuit, repetitions=10)
+"""
+
+from . import (
+    analysis,
+    apps,
+    born,
+    circuits,
+    mps,
+    noise,
+    protocols,
+    sampler,
+    states,
+    tensornet,
+    transpile,
+)
+from .circuits import (
+    Circuit,
+    LineQubit,
+    generate_random_circuit,
+    measure,
+    optimize_for_bgls,
+)
+from .mps import MPSOptions, MPSState
+from .protocols import act_on, has_stabilizer_effect
+from .sampler import (
+    ExactDistributionSampler,
+    QubitByQubitSimulator,
+    Result,
+    Simulator,
+    act_on_near_clifford,
+    plot_state_histogram,
+)
+from .states import (
+    CliffordTableau,
+    CliffordTableauSimulationState,
+    DensityMatrixSimulationState,
+    StabilizerChForm,
+    StabilizerChFormSimulationState,
+    StateVectorSimulationState,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "apps",
+    "born",
+    "circuits",
+    "mps",
+    "noise",
+    "protocols",
+    "sampler",
+    "states",
+    "tensornet",
+    "transpile",
+    "Circuit",
+    "LineQubit",
+    "measure",
+    "optimize_for_bgls",
+    "generate_random_circuit",
+    "MPSOptions",
+    "MPSState",
+    "act_on",
+    "has_stabilizer_effect",
+    "Simulator",
+    "Result",
+    "plot_state_histogram",
+    "QubitByQubitSimulator",
+    "ExactDistributionSampler",
+    "act_on_near_clifford",
+    "StateVectorSimulationState",
+    "DensityMatrixSimulationState",
+    "StabilizerChForm",
+    "StabilizerChFormSimulationState",
+    "CliffordTableau",
+    "CliffordTableauSimulationState",
+    "__version__",
+]

@@ -1,0 +1,43 @@
+"""Analysis utilities: overlap metrics, histograms, statistics, PT law."""
+
+from .histogram import ascii_histogram
+from .overlap import (
+    empirical_distribution,
+    fractional_overlap,
+    linear_xeb,
+    total_variation_distance,
+)
+from .porter_thomas import (
+    collision_probability,
+    expected_linear_xeb,
+    porter_thomas_pdf,
+    porter_thomas_test,
+    pt_collision_ratio,
+    pt_expected_entropy,
+    shannon_entropy,
+)
+from .statistics import (
+    bootstrap_confidence_interval,
+    convergence_curve,
+    standard_error_of_mean,
+    wilson_interval,
+)
+
+__all__ = [
+    "empirical_distribution",
+    "fractional_overlap",
+    "total_variation_distance",
+    "linear_xeb",
+    "ascii_histogram",
+    "bootstrap_confidence_interval",
+    "convergence_curve",
+    "standard_error_of_mean",
+    "wilson_interval",
+    "porter_thomas_pdf",
+    "porter_thomas_test",
+    "collision_probability",
+    "pt_collision_ratio",
+    "expected_linear_xeb",
+    "shannon_entropy",
+    "pt_expected_entropy",
+]

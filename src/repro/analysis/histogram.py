@@ -1,0 +1,37 @@
+"""ASCII histograms for distributions (no plotting backend available)."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+def ascii_histogram(
+    probs: Sequence[float],
+    labels: Optional[Sequence[str]] = None,
+    width: int = 40,
+    min_prob: float = 0.0,
+) -> str:
+    """Render a probability vector as an ASCII bar chart.
+
+    Args:
+        probs: Probabilities (any nonnegative weights).
+        labels: Per-entry labels; defaults to binary bitstrings.
+        width: Max bar width in characters.
+        min_prob: Entries below this value are omitted.
+    """
+    probs = np.asarray(probs, dtype=float)
+    if labels is None:
+        n = max(1, int(np.ceil(np.log2(max(probs.shape[0], 2)))))
+        labels = [format(i, f"0{n}b") for i in range(probs.shape[0])]
+    peak = probs.max() if probs.size else 1.0
+    if peak <= 0:
+        peak = 1.0
+    lines = []
+    for label, p in zip(labels, probs):
+        if p < min_prob:
+            continue
+        bar = "#" * max(0, round(width * p / peak))
+        lines.append(f"  {label} | {bar} {p:.4f}")
+    return "\n".join(lines)

@@ -1,0 +1,63 @@
+"""Distribution-comparison metrics.
+
+The paper's Figs. 4-5 plot the "fractional overlap with the ideal
+distribution": we use the standard histogram intersection
+``sum_b min(p_emp(b), p_ideal(b))``, which is 1 for a perfect match and
+decreases both with sampling noise and with the systematic error of the
+stochastic sum-over-Cliffords branches.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def empirical_distribution(bitstrings: np.ndarray, num_qubits: int) -> np.ndarray:
+    """Empirical probabilities over all ``2**n`` outcomes.
+
+    Args:
+        bitstrings: Array of shape ``(reps, n)`` with 0/1 entries.
+        num_qubits: n (fixes the output length ``2**n``).
+    """
+    bitstrings = np.asarray(bitstrings)
+    if bitstrings.ndim != 2 or bitstrings.shape[1] != num_qubits:
+        raise ValueError(
+            f"Expected shape (reps, {num_qubits}), got {bitstrings.shape}"
+        )
+    weights = 2 ** np.arange(num_qubits - 1, -1, -1, dtype=np.int64)
+    outcomes = bitstrings.astype(np.int64) @ weights
+    counts = np.bincount(outcomes, minlength=2**num_qubits)
+    return counts / counts.sum()
+
+
+def fractional_overlap(p_emp: np.ndarray, p_ideal: np.ndarray) -> float:
+    """Histogram intersection ``sum_b min(p_emp, p_ideal)`` in [0, 1]."""
+    p_emp = np.asarray(p_emp, dtype=float)
+    p_ideal = np.asarray(p_ideal, dtype=float)
+    if p_emp.shape != p_ideal.shape:
+        raise ValueError(f"Shape mismatch: {p_emp.shape} vs {p_ideal.shape}")
+    return float(np.minimum(p_emp, p_ideal).sum())
+
+
+def total_variation_distance(p: np.ndarray, q: np.ndarray) -> float:
+    """``0.5 * sum_b |p - q|`` in [0, 1]."""
+    p = np.asarray(p, dtype=float)
+    q = np.asarray(q, dtype=float)
+    if p.shape != q.shape:
+        raise ValueError(f"Shape mismatch: {p.shape} vs {q.shape}")
+    return float(0.5 * np.abs(p - q).sum())
+
+
+def linear_xeb(samples: np.ndarray, p_ideal: np.ndarray) -> float:
+    """Linear cross-entropy benchmark fidelity ``2^n <p_ideal(b)> - 1``.
+
+    The random-circuit-sampling figure of merit referenced in the paper's
+    introduction (quantum supremacy classification).
+    """
+    samples = np.asarray(samples)
+    n = samples.shape[1]
+    weights = 2 ** np.arange(n - 1, -1, -1, dtype=np.int64)
+    outcomes = samples.astype(np.int64) @ weights
+    return float(2**n * p_ideal[outcomes].mean() - 1.0)

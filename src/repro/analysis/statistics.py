@@ -1,0 +1,108 @@
+"""Statistical machinery for sampling experiments.
+
+The paper's Figs. 4-5 report single overlap numbers per configuration;
+this module adds the error-bar layer a careful reproduction needs:
+bootstrap confidence intervals over resampled bitstrings and convergence
+curves of any metric versus sample count.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, Tuple, Union
+
+import numpy as np
+
+MetricFn = Callable[[np.ndarray], float]
+"""A statistic of a ``(reps, n)`` bitstring sample array."""
+
+
+def bootstrap_confidence_interval(
+    samples: np.ndarray,
+    metric: MetricFn,
+    *,
+    n_resamples: int = 200,
+    confidence: float = 0.95,
+    rng: Union[int, np.random.Generator, None] = None,
+) -> Tuple[float, float, float]:
+    """Percentile bootstrap of a sample-array statistic.
+
+    Args:
+        samples: ``(reps, n)`` bitstring array.
+        metric: Statistic mapping a sample array to a float (e.g. overlap
+            with an ideal distribution, XEB fidelity, mean energy).
+        n_resamples: Bootstrap resample count.
+        confidence: Central interval mass.
+
+    Returns:
+        ``(point_estimate, lower, upper)``.
+    """
+    samples = np.asarray(samples)
+    if samples.ndim != 2 or samples.shape[0] < 1:
+        raise ValueError(f"Expected a (reps, n) array, got shape {samples.shape}")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    rng = (
+        rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    )
+    reps = samples.shape[0]
+    point = float(metric(samples))
+    stats = np.empty(n_resamples)
+    for k in range(n_resamples):
+        rows = rng.integers(0, reps, size=reps)
+        stats[k] = metric(samples[rows])
+    alpha = (1.0 - confidence) / 2.0
+    lower, upper = np.quantile(stats, [alpha, 1.0 - alpha])
+    return point, float(lower), float(upper)
+
+
+def convergence_curve(
+    samples: np.ndarray,
+    metric: MetricFn,
+    sample_counts: Sequence[int],
+) -> np.ndarray:
+    """The metric evaluated on growing prefixes of the sample array.
+
+    This is how the paper's Fig. 4a "overlap with increasing runtime"
+    series is produced: one long run, sliced at increasing counts.
+    """
+    samples = np.asarray(samples)
+    out = np.empty(len(sample_counts))
+    for i, count in enumerate(sample_counts):
+        if not 1 <= count <= samples.shape[0]:
+            raise ValueError(
+                f"sample count {count} outside [1, {samples.shape[0]}]"
+            )
+        out[i] = metric(samples[:count])
+    return out
+
+
+def standard_error_of_mean(values: Sequence[float]) -> float:
+    """Plain SEM of a sequence of scalar measurements."""
+    values = np.asarray(values, dtype=float)
+    if values.size < 2:
+        raise ValueError("Need at least two values for a standard error")
+    return float(values.std(ddof=1) / np.sqrt(values.size))
+
+
+def wilson_interval(
+    successes: int, trials: int, confidence: float = 0.95
+) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Used for pass/fail statistics like the quantum-volume heavy-output
+    threshold, where the normal approximation misbehaves near 0 and 1.
+    """
+    if trials < 1:
+        raise ValueError("trials must be >= 1")
+    if not 0 <= successes <= trials:
+        raise ValueError(f"successes {successes} outside [0, {trials}]")
+    from scipy.stats import norm
+
+    z = float(norm.ppf(0.5 + confidence / 2.0))
+    p = successes / trials
+    denom = 1.0 + z**2 / trials
+    center = (p + z**2 / (2 * trials)) / denom
+    margin = (
+        z * np.sqrt(p * (1 - p) / trials + z**2 / (4 * trials**2)) / denom
+    )
+    return max(0.0, center - margin), min(1.0, center + margin)

@@ -1,0 +1,121 @@
+"""Applications: GHZ builders, scaling workloads, QAOA MaxCut, QFT/QPE,
+Grover, Bernstein-Vazirani, VQE (TFIM), quantum volume, teleportation."""
+
+from .bernstein_vazirani import (
+    bernstein_vazirani_circuit,
+    parse_secret,
+    recover_secret,
+)
+from .error_correction import (
+    decode_with_syndrome,
+    logical_error_rate,
+    majority_decode,
+    repetition_code_circuit,
+    syndrome_distribution,
+    theoretical_logical_error_rate,
+)
+from .ghz import ghz_circuit, random_ghz_circuit
+from .grover import (
+    diffusion_gate,
+    grover_circuit,
+    optimal_iterations,
+    oracle_gate,
+    success_probability,
+)
+from .qaoa import (
+    QAOAResult,
+    average_cut,
+    brute_force_maxcut,
+    cut_value,
+    qaoa_maxcut_circuit,
+    random_graph,
+    solve_maxcut,
+    sweep_parameters,
+)
+from .qft import (
+    estimate_phase,
+    phase_estimation_circuit,
+    phase_from_bits,
+    qft_circuit,
+    qft_matrix,
+)
+from .quantum_volume import (
+    IDEAL_ASYMPTOTIC_HOP,
+    QuantumVolumeResult,
+    heavy_output_probability,
+    heavy_set,
+    ideal_probabilities,
+    quantum_volume_circuit,
+    run_quantum_volume,
+)
+from .supremacy import random_supremacy_circuit, xeb_fidelity
+from .teleportation import (
+    bell_measurement_distribution,
+    teleportation_circuit,
+    teleportation_fidelity,
+)
+from .vqe import (
+    TFIMProblem,
+    VQEResult,
+    energy_from_samples,
+    exact_energy_of_parameters,
+    exact_ground_energy,
+    optimize_tfim,
+    tfim_ansatz_circuit,
+    tfim_hamiltonian_matrix,
+)
+from .workloads import random_fixed_cnot_circuit, random_shallow_circuit
+
+__all__ = [
+    "ghz_circuit",
+    "random_ghz_circuit",
+    "random_supremacy_circuit",
+    "xeb_fidelity",
+    "random_fixed_cnot_circuit",
+    "random_shallow_circuit",
+    "QAOAResult",
+    "average_cut",
+    "brute_force_maxcut",
+    "cut_value",
+    "qaoa_maxcut_circuit",
+    "random_graph",
+    "solve_maxcut",
+    "sweep_parameters",
+    "qft_circuit",
+    "qft_matrix",
+    "phase_estimation_circuit",
+    "phase_from_bits",
+    "estimate_phase",
+    "grover_circuit",
+    "oracle_gate",
+    "diffusion_gate",
+    "optimal_iterations",
+    "success_probability",
+    "bernstein_vazirani_circuit",
+    "parse_secret",
+    "recover_secret",
+    "TFIMProblem",
+    "VQEResult",
+    "tfim_ansatz_circuit",
+    "tfim_hamiltonian_matrix",
+    "exact_ground_energy",
+    "exact_energy_of_parameters",
+    "energy_from_samples",
+    "optimize_tfim",
+    "quantum_volume_circuit",
+    "QuantumVolumeResult",
+    "heavy_set",
+    "heavy_output_probability",
+    "ideal_probabilities",
+    "run_quantum_volume",
+    "IDEAL_ASYMPTOTIC_HOP",
+    "teleportation_circuit",
+    "teleportation_fidelity",
+    "bell_measurement_distribution",
+    "repetition_code_circuit",
+    "majority_decode",
+    "decode_with_syndrome",
+    "logical_error_rate",
+    "theoretical_logical_error_rate",
+    "syndrome_distribution",
+]

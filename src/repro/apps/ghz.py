@@ -1,0 +1,62 @@
+"""GHZ circuit builders (paper Fig. 1 and Fig. 6 workloads)."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..circuits import CNOT, Circuit, H, LineQubit, Qid, measure
+
+
+def ghz_circuit(
+    qubits: Union[int, Sequence[Qid]],
+    measure_key: Optional[str] = "z",
+) -> Circuit:
+    """Linear-chain GHZ circuit: H then a CNOT ladder.
+
+    The 2-qubit instance is the paper's Fig. 1 example; sampling returns
+    only the all-zeros and all-ones bitstrings.
+    """
+    if isinstance(qubits, int):
+        qubits = LineQubit.range(qubits)
+    qubits = list(qubits)
+    circuit = Circuit(H.on(qubits[0]))
+    for a, b in zip(qubits, qubits[1:]):
+        circuit.append(CNOT.on(a, b))
+    if measure_key is not None:
+        circuit.append(measure(*qubits, key=measure_key))
+    return circuit
+
+
+def random_ghz_circuit(
+    qubits: Union[int, Sequence[Qid]],
+    random_state: Union[int, np.random.Generator, None] = None,
+    measure_key: Optional[str] = None,
+) -> Circuit:
+    """GHZ circuit with randomly sequenced CNOTs (paper Fig. 6a).
+
+    Qubits are entangled in a random order, each by a CNOT from a randomly
+    chosen already-entangled qubit.  The final state is exactly GHZ, but
+    the random connectivity makes the naive MPS tensor network dense —
+    the workload where MPS scales as badly as a dense state vector.
+    """
+    if isinstance(qubits, int):
+        qubits = LineQubit.range(qubits)
+    qubits = list(qubits)
+    rng = (
+        random_state
+        if isinstance(random_state, np.random.Generator)
+        else np.random.default_rng(random_state)
+    )
+    order = list(rng.permutation(len(qubits)))
+    root = order[0]
+    circuit = Circuit(H.on(qubits[root]))
+    entangled: List[int] = [root]
+    for nxt in order[1:]:
+        control = entangled[int(rng.integers(len(entangled)))]
+        circuit.append(CNOT.on(qubits[control], qubits[nxt]))
+        entangled.append(nxt)
+    if measure_key is not None:
+        circuit.append(measure(*qubits, key=measure_key))
+    return circuit

@@ -1,0 +1,145 @@
+"""Quantum Fourier transform and phase estimation.
+
+The QFT is the canonical *worst case* for gate-by-gate sampling over dense
+states (every qubit entangles with every other through the controlled
+phases), making it a useful stress workload alongside the paper's
+Clifford/MPS-friendly examples.  Phase estimation then demonstrates the
+full interference pattern end to end: the sampler must reproduce sharply
+peaked output distributions, not just uniform ones.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..circuits import (
+    Circuit,
+    ControlledGate,
+    H,
+    LineQubit,
+    MatrixGate,
+    Qid,
+    SWAP,
+    ZPowGate,
+    measure,
+)
+
+
+def qft_circuit(
+    qubits: Sequence[Qid],
+    *,
+    inverse: bool = False,
+    final_swaps: bool = True,
+    measure_key: Optional[str] = None,
+) -> Circuit:
+    """The quantum Fourier transform over ``qubits`` (big-endian).
+
+    Args:
+        qubits: Register; ``qubits[0]`` is the most significant bit.
+        inverse: Build the inverse QFT instead.
+        final_swaps: Include the bit-reversal SWAP network so the output
+            ordering matches the textbook definition.
+        measure_key: Append a terminal measurement under this key.
+    """
+    qubits = list(qubits)
+    n = len(qubits)
+    if n == 0:
+        raise ValueError("QFT needs at least one qubit")
+
+    ops = []
+    for i in range(n):
+        ops.append(H.on(qubits[i]))
+        for j in range(i + 1, n):
+            # Controlled phase of angle pi / 2^{j-i}: CZ**(1/2^{j-i}).
+            exponent = 1.0 / (2 ** (j - i))
+            ops.append(
+                ControlledGate(ZPowGate(exponent=exponent)).on(
+                    qubits[j], qubits[i]
+                )
+            )
+    if final_swaps:
+        for i in range(n // 2):
+            ops.append(SWAP.on(qubits[i], qubits[n - 1 - i]))
+
+    if inverse:
+        ops = [_inverse_op(op) for op in reversed(ops)]
+
+    circuit = Circuit(ops)
+    if measure_key is not None:
+        circuit.append(measure(*qubits, key=measure_key))
+    return circuit
+
+
+def _inverse_op(op):
+    """Invert H/SWAP (self-inverse) and controlled-Z powers."""
+    gate = op.gate
+    if isinstance(gate, ControlledGate):
+        sub = gate.sub_gate
+        return ControlledGate(sub**-1, gate.num_controls).on(*op.qubits)
+    return op  # H and SWAP are involutions
+
+
+def qft_matrix(n: int) -> np.ndarray:
+    """The exact ``2^n x 2^n`` QFT matrix ``F[j,k] = w^{jk} / sqrt(N)``."""
+    dim = 2**n
+    j, k = np.meshgrid(np.arange(dim), np.arange(dim), indexing="ij")
+    return np.exp(2j * math.pi * j * k / dim) / math.sqrt(dim)
+
+
+def phase_estimation_circuit(
+    unitary: np.ndarray,
+    n_phase_qubits: int,
+    *,
+    target_preparation: Optional[Sequence] = None,
+    measure_key: str = "phase",
+) -> Tuple[Circuit, List[Qid], List[Qid]]:
+    """Textbook quantum phase estimation for a single-qubit ``unitary``.
+
+    Register layout: ``n_phase_qubits`` counting qubits (most significant
+    first) followed by one target qubit.  The caller prepares the target in
+    an eigenstate via ``target_preparation`` ops (defaults to none = |0>).
+
+    Returns ``(circuit, phase_qubits, target_qubits)``.  Measuring the
+    counting register yields the best ``n``-bit approximation of the
+    eigenphase ``phi`` where ``U|u> = e^{2 pi i phi}|u>``.
+    """
+    unitary = np.asarray(unitary, dtype=np.complex128)
+    if unitary.shape != (2, 2):
+        raise ValueError("phase_estimation_circuit supports 1-qubit unitaries")
+    n = int(n_phase_qubits)
+    if n < 1:
+        raise ValueError("Need at least one phase qubit")
+
+    phase_qubits = LineQubit.range(n)
+    target = LineQubit(n)
+    circuit = Circuit()
+    if target_preparation:
+        circuit.append(target_preparation)
+    circuit.append(H.on(q) for q in phase_qubits)
+    # Controlled-U^{2^k}; counting qubit j controls U^{2^{n-1-j}}.
+    for j, q in enumerate(phase_qubits):
+        power = 2 ** (n - 1 - j)
+        u_pow = np.linalg.matrix_power(unitary, power)
+        circuit.append(ControlledGate(MatrixGate(u_pow)).on(q, target))
+    circuit.append(
+        qft_circuit(phase_qubits, inverse=True, final_swaps=True).moments
+    )
+    circuit.append(measure(*phase_qubits, key=measure_key))
+    return circuit, list(phase_qubits), [target]
+
+
+def phase_from_bits(bits: Sequence[int]) -> float:
+    """The phase estimate ``0.b0 b1 b2... in [0, 1)`` from measured bits."""
+    return sum(int(b) / 2 ** (i + 1) for i, b in enumerate(bits))
+
+
+def estimate_phase(
+    samples: np.ndarray,
+) -> float:
+    """Most frequent phase estimate from a ``(reps, n)`` sample array."""
+    samples = np.asarray(samples)
+    rows, counts = np.unique(samples, axis=0, return_counts=True)
+    return phase_from_bits(rows[int(np.argmax(counts))])

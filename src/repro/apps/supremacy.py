@@ -1,0 +1,113 @@
+"""Random-circuit-sampling workloads (the paper's introductory motivation).
+
+The intro frames bitstring sampling from random circuits as the "quantum
+supremacy" benchmark [Bouland et al. 2019].  This module builds
+Sycamore-style pseudo-random circuits on a 2-D grid — alternating layers
+of random single-qubit gates (sqrt-X, sqrt-Y, sqrt-W-like) and a cycled
+pattern of two-qubit entanglers on grid edges — plus the linear
+cross-entropy (XEB) scoring used to certify samples.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..circuits import (
+    CZ,
+    Circuit,
+    GridQubit,
+    ISWAP,
+    PhasedXPowGate,
+    Qid,
+    XPowGate,
+    YPowGate,
+    measure,
+)
+
+# The canonical single-qubit set: sqrt-X, sqrt-Y, sqrt-W.  The sqrt-W gate
+# (PhasedX at phase 1/4) is the non-Clifford member that drives the output
+# distribution to Porter-Thomas.
+_SQRT_GATES = [
+    XPowGate(exponent=0.5),
+    YPowGate(exponent=0.5),
+    PhasedXPowGate(phase_exponent=0.25, exponent=0.5),
+]
+
+
+def _grid_edge_pattern(
+    rows: int, cols: int
+) -> List[List[Tuple[GridQubit, GridQubit]]]:
+    """Four staggered edge colorings of the grid (A/B/C/D cycles)."""
+    horiz_even, horiz_odd, vert_even, vert_odd = [], [], [], []
+    for r in range(rows):
+        for c in range(cols - 1):
+            edge = (GridQubit(r, c), GridQubit(r, c + 1))
+            (horiz_even if c % 2 == 0 else horiz_odd).append(edge)
+    for r in range(rows - 1):
+        for c in range(cols):
+            edge = (GridQubit(r, c), GridQubit(r + 1, c))
+            (vert_even if r % 2 == 0 else vert_odd).append(edge)
+    return [horiz_even, vert_even, horiz_odd, vert_odd]
+
+
+def random_supremacy_circuit(
+    rows: int,
+    cols: int,
+    cycles: int,
+    entangler=ISWAP,
+    random_state: Union[int, np.random.Generator, None] = None,
+    measure_key: Optional[str] = "m",
+) -> Circuit:
+    """Sycamore-style random circuit on a ``rows x cols`` grid.
+
+    Each cycle: a layer of random sqrt-gates (never repeating the previous
+    gate on a qubit) followed by one of four staggered entangler patterns.
+
+    Args:
+        rows, cols: Grid dimensions.
+        cycles: Number of (1q layer, 2q layer) cycles.
+        entangler: Two-qubit gate applied on pattern edges.
+        random_state: Seed or generator.
+        measure_key: Terminal measurement key (None to omit).
+    """
+    rng = (
+        random_state
+        if isinstance(random_state, np.random.Generator)
+        else np.random.default_rng(random_state)
+    )
+    qubits = GridQubit.rect(rows, cols)
+    patterns = _grid_edge_pattern(rows, cols)
+    last_gate = {q: -1 for q in qubits}
+
+    circuit = Circuit()
+    for cycle in range(cycles):
+        layer = []
+        for q in qubits:
+            choices = [
+                i for i in range(len(_SQRT_GATES)) if i != last_gate[q]
+            ]
+            pick = int(rng.choice(choices))
+            last_gate[q] = pick
+            layer.append(_SQRT_GATES[pick].on(q))
+        circuit.append_new_moment(layer)
+        edges = patterns[cycle % len(patterns)]
+        if edges:
+            circuit.append_new_moment(entangler.on(a, b) for a, b in edges)
+    if measure_key is not None:
+        circuit.append(measure(*qubits, key=measure_key))
+    return circuit
+
+
+def xeb_fidelity(
+    samples: np.ndarray, ideal_probabilities: np.ndarray
+) -> float:
+    """Linear XEB fidelity of samples against the ideal distribution.
+
+    1.0 for a perfect sampler of a Porter-Thomas distribution, ~0 for a
+    uniform sampler.
+    """
+    from ..analysis import linear_xeb
+
+    return linear_xeb(samples, ideal_probabilities)

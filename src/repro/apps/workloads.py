@@ -1,0 +1,93 @@
+"""Workload generators for the paper's scaling studies (Figs. 6-7)."""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+from ..circuits import (
+    CNOT,
+    Circuit,
+    H,
+    LineQubit,
+    Qid,
+    S,
+    T,
+    X,
+    Y,
+    Z,
+)
+
+_ONE_QUBIT_GATES = [X, Y, Z, H, S, T]
+
+
+def _rng(random_state):
+    if isinstance(random_state, np.random.Generator):
+        return random_state
+    return np.random.default_rng(random_state)
+
+
+def random_fixed_cnot_circuit(
+    qubits: Union[int, Sequence[Qid]],
+    n_single_qubit_layers: int,
+    n_cnots: int,
+    random_state: Union[int, np.random.Generator, None] = None,
+) -> Circuit:
+    """Random 1-qubit layers plus a *fixed* number of CNOTs (Fig. 7b).
+
+    Keeping the CNOT count constant as width grows fixes the degree of
+    entanglement, which is what makes MPS sampling scale ~linearly with
+    width in the paper.
+    """
+    if isinstance(qubits, int):
+        qubits = LineQubit.range(qubits)
+    qubits = list(qubits)
+    rng = _rng(random_state)
+    circuit = Circuit()
+    for _ in range(n_single_qubit_layers):
+        ops = []
+        for q in qubits:
+            if rng.random() < 0.8:
+                gate = _ONE_QUBIT_GATES[int(rng.integers(len(_ONE_QUBIT_GATES)))]
+                ops.append(gate.on(q))
+        circuit.append_new_moment(ops)
+    for _ in range(n_cnots):
+        a, b = rng.choice(len(qubits), size=2, replace=False)
+        circuit.append(CNOT.on(qubits[int(a)], qubits[int(b)]))
+    return circuit
+
+
+def random_shallow_circuit(
+    qubits: Union[int, Sequence[Qid]],
+    depth: int,
+    cnot_probability: float = 0.2,
+    random_state: Union[int, np.random.Generator, None] = None,
+) -> Circuit:
+    """Fixed-depth random circuit with sparse CNOTs between neighbors (Fig. 7a).
+
+    Shallow depth keeps entanglement far below its exponential ceiling, the
+    regime where the paper reports MPS sampling drastically beating the
+    dense state vector.
+    """
+    if isinstance(qubits, int):
+        qubits = LineQubit.range(qubits)
+    qubits = list(qubits)
+    rng = _rng(random_state)
+    circuit = Circuit()
+    for layer in range(depth):
+        ops = []
+        used = set()
+        # Sparse nearest-neighbor CNOTs.
+        for i in range(len(qubits) - 1):
+            if i in used or (i + 1) in used:
+                continue
+            if rng.random() < cnot_probability:
+                ops.append(CNOT.on(qubits[i], qubits[i + 1]))
+                used.update((i, i + 1))
+        for i, q in enumerate(qubits):
+            if i not in used and rng.random() < 0.8:
+                gate = _ONE_QUBIT_GATES[int(rng.integers(len(_ONE_QUBIT_GATES)))]
+                ops.append(gate.on(q))
+        circuit.append_new_moment(ops)
+    return circuit

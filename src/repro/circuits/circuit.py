@@ -1,0 +1,266 @@
+"""The Circuit container: an ordered sequence of moments.
+
+Supports the Cirq-style construction idioms the paper's snippets use:
+``Circuit(H.on(q0), CNOT.on(q0, q1), measure(q0, q1, key="z"))`` with
+earliest-slot packing, iteration over all operations in time order,
+parameter resolution, composition, and small-circuit unitaries.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+import numpy as np
+
+from .gates import Gate, MeasurementGate
+from .moment import Moment
+from .operations import GateOperation
+from .parameters import ParamResolver
+from .qubits import Qid, sorted_qubits
+
+OpTree = Union[GateOperation, Moment, Iterable]
+
+
+def _flatten(tree: OpTree) -> Iterator[Union[GateOperation, Moment]]:
+    """Yield operations/moments from an arbitrarily nested iterable."""
+    if isinstance(tree, (GateOperation, Moment)):
+        yield tree
+        return
+    if isinstance(tree, Gate):
+        raise TypeError(
+            f"Got a bare gate {tree!r}; bind it to qubits with gate.on(...)"
+        )
+    try:
+        iterator = iter(tree)
+    except TypeError:
+        raise TypeError(f"Not an operation, moment, or iterable: {tree!r}")
+    for item in iterator:
+        yield from _flatten(item)
+
+
+class Circuit:
+    """An ordered sequence of :class:`Moment` objects."""
+
+    def __init__(self, *contents: OpTree):
+        self._moments: List[Moment] = []
+        if contents:
+            self.append(contents)
+
+    # -- construction ------------------------------------------------------
+    def append(self, tree: OpTree) -> "Circuit":
+        """Append operations using the earliest-slot strategy.
+
+        Each operation is placed in the earliest moment (searching backward)
+        whose later moments don't touch its qubits; measurements and
+        operations on fresh qubits pack tightly, matching Cirq's default
+        ``EARLIEST`` strategy closely enough for all BGLS workloads.
+        """
+        for item in _flatten(tree):
+            if isinstance(item, Moment):
+                self._moments.append(item)
+                continue
+            self._append_earliest(item)
+        return self
+
+    def _append_earliest(self, op: GateOperation) -> None:
+        index = len(self._moments)
+        while index > 0 and not self._moments[index - 1].operates_on(op.qubits):
+            index -= 1
+        if index == len(self._moments):
+            self._moments.append(Moment([op]))
+        else:
+            self._moments[index] = self._moments[index].with_operation(op)
+
+    def append_new_moment(self, ops: Iterable[GateOperation]) -> "Circuit":
+        """Append operations as one brand-new moment (NEW_THEN_INLINE-ish)."""
+        self._moments.append(Moment(ops))
+        return self
+
+    # -- inspection ---------------------------------------------------------
+    @property
+    def moments(self) -> Tuple[Moment, ...]:
+        return tuple(self._moments)
+
+    def all_operations(self) -> Iterator[GateOperation]:
+        """All operations in time order (moment by moment)."""
+        for moment in self._moments:
+            yield from moment.operations
+
+    def all_qubits(self) -> List[Qid]:
+        """All qubits touched by the circuit, in canonical sorted order."""
+        qubits: Set[Qid] = set()
+        for moment in self._moments:
+            qubits |= moment.qubits
+        return sorted_qubits(qubits)
+
+    def all_measurement_keys(self) -> List[str]:
+        """Measurement keys in order of first appearance."""
+        keys: List[str] = []
+        for op in self.all_operations():
+            if op.is_measurement and op.measurement_key not in keys:
+                keys.append(op.measurement_key)
+        return keys
+
+    def has_measurements(self) -> bool:
+        return any(op.is_measurement for op in self.all_operations())
+
+    def are_all_measurements_terminal(self) -> bool:
+        """Whether no measured qubit is acted on after its measurement."""
+        measured: Set[Qid] = set()
+        for moment in self._moments:
+            for op in moment.operations:
+                if any(q in measured for q in op.qubits):
+                    return False
+                if op.is_measurement:
+                    measured.update(op.qubits)
+        return True
+
+    def num_operations(self) -> int:
+        return sum(len(m) for m in self._moments)
+
+    def depth(self) -> int:
+        """Number of moments."""
+        return len(self._moments)
+
+    def _is_parameterized_(self) -> bool:
+        return any(op._is_parameterized_() for op in self.all_operations())
+
+    def is_unitary_circuit(self) -> bool:
+        """Whether every non-measurement operation has a unitary."""
+        for op in self.all_operations():
+            if op.is_measurement:
+                continue
+            if op._unitary_() is None:
+                return False
+        return True
+
+    # -- transformation ------------------------------------------------------
+    def resolve_parameters(self, resolver: Union[ParamResolver, dict, None]) -> "Circuit":
+        """A copy of the circuit with symbols replaced by numbers."""
+        if resolver is None:
+            return self.copy()
+        if isinstance(resolver, dict):
+            resolver = ParamResolver(resolver)
+        out = Circuit()
+        for moment in self._moments:
+            out.append_new_moment(
+                op._resolve_parameters_(resolver) for op in moment.operations
+            )
+        return out
+
+    def with_noise(self, channel_factory) -> "Circuit":
+        """Insert a noise channel on every qubit after each moment.
+
+        ``channel_factory`` is either a 1-qubit channel gate (applied
+        uniformly) or a callable ``() -> gate``.  Measurement-only moments
+        are left clean, mirroring ``cirq.Circuit.with_noise`` semantics
+        closely enough for noisy-sampling studies.
+        """
+        out = Circuit()
+        qubits = self.all_qubits()
+        for moment in self._moments:
+            out.append_new_moment(moment.operations)
+            if all(op.is_measurement for op in moment.operations):
+                continue
+            if isinstance(channel_factory, Gate):
+                gate = channel_factory
+            else:
+                gate = channel_factory()
+            out.append_new_moment(gate.on(q) for q in qubits)
+        return out
+
+    def without_measurements(self) -> "Circuit":
+        """A copy with all measurement operations removed."""
+        out = Circuit()
+        for moment in self._moments:
+            ops = [op for op in moment.operations if not op.is_measurement]
+            if ops:
+                out.append_new_moment(ops)
+        return out
+
+    def copy(self) -> "Circuit":
+        out = Circuit()
+        out._moments = list(self._moments)
+        return out
+
+    def __add__(self, other: "Circuit") -> "Circuit":
+        out = self.copy()
+        if isinstance(other, Circuit):
+            out._moments.extend(other._moments)
+            return out
+        out.append(other)
+        return out
+
+    # -- numerics -------------------------------------------------------------
+    def unitary(self, qubit_order: Optional[Sequence[Qid]] = None) -> np.ndarray:
+        """Dense unitary of the (measurement-free) circuit.
+
+        Exponential in qubit count; intended for verification on small
+        circuits.  ``qubit_order`` defaults to sorted qubits.
+        """
+        qubits = list(qubit_order) if qubit_order is not None else self.all_qubits()
+        n = len(qubits)
+        index = {q: i for i, q in enumerate(qubits)}
+        total = np.eye(2**n, dtype=np.complex128).reshape((2,) * (2 * n))
+        for op in self.all_operations():
+            if op.is_measurement:
+                raise ValueError("Circuit with measurements has no unitary")
+            u = op._unitary_()
+            if u is None:
+                raise ValueError(f"Operation {op!r} has no unitary")
+            k = len(op.qubits)
+            u = u.reshape((2,) * (2 * k))
+            axes = [index[q] for q in op.qubits]
+            total = np.tensordot(u, total, axes=(range(k, 2 * k), axes))
+            total = np.moveaxis(total, range(k), axes)
+        return total.reshape(2**n, 2**n)
+
+    def final_state_vector(
+        self, qubit_order: Optional[Sequence[Qid]] = None
+    ) -> np.ndarray:
+        """Dense final state from |0...0> (measurements ignored)."""
+        qubits = list(qubit_order) if qubit_order is not None else self.all_qubits()
+        n = len(qubits)
+        index = {q: i for i, q in enumerate(qubits)}
+        state = np.zeros((2,) * n, dtype=np.complex128)
+        state[(0,) * n] = 1.0
+        for op in self.all_operations():
+            if op.is_measurement:
+                continue
+            u = op._unitary_()
+            if u is None:
+                raise ValueError(f"Operation {op!r} has no unitary")
+            k = len(op.qubits)
+            u = u.reshape((2,) * (2 * k))
+            axes = [index[q] for q in op.qubits]
+            state = np.tensordot(u, state, axes=(range(k, 2 * k), axes))
+            state = np.moveaxis(state, range(k), axes)
+        return state.reshape(-1)
+
+    # -- dunder -----------------------------------------------------------------
+    def __iter__(self) -> Iterator[Moment]:
+        return iter(self._moments)
+
+    def __len__(self) -> int:
+        return len(self._moments)
+
+    def __getitem__(self, key):
+        if isinstance(key, slice):
+            out = Circuit()
+            out._moments = self._moments[key]
+            return out
+        return self._moments[key]
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Circuit):
+            return NotImplemented
+        return self._moments == other._moments
+
+    def __repr__(self) -> str:
+        return f"Circuit({self._moments!r})"
+
+    def __str__(self) -> str:
+        from .diagram import circuit_diagram
+
+        return circuit_diagram(self)

@@ -1,0 +1,59 @@
+"""Plain-text circuit diagrams (wire-per-qubit, column-per-moment)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from .qubits import qubit_index_map
+
+
+def circuit_diagram(circuit) -> str:
+    """Render a circuit as an ASCII diagram.
+
+    Example output for a GHZ circuit::
+
+        q(0): --H--@--M('z')--
+                   |  |
+        q(1): -----X--M-------
+    """
+    qubits = circuit.all_qubits()
+    if not qubits:
+        return "(empty circuit)"
+    index = qubit_index_map(qubits)
+    n = len(qubits)
+
+    labels = [f"{q}: " for q in qubits]
+    width = max(len(s) for s in labels)
+    rows: List[List[str]] = [[label.ljust(width)] for label in labels]
+    connector_rows: List[List[str]] = [[" " * width] for _ in range(max(n - 1, 0))]
+
+    for moment in circuit.moments:
+        column = ["--"] * n
+        connect = [" "] * max(n - 1, 0)
+        for op in moment.operations:
+            symbols = op.gate._diagram_symbols_()
+            positions = [index[q] for q in op.qubits]
+            for sym, pos in zip(symbols, positions):
+                column[pos] = sym
+            lo, hi = min(positions), max(positions)
+            for between in range(lo, hi):
+                connect[between] = "|"
+        col_width = max(len(s) for s in column) + 2
+        for i in range(n):
+            cell = column[i]
+            if cell.startswith("-"):
+                rows[i].append(cell.ljust(col_width, "-"))
+            else:
+                rows[i].append(("-" + cell).ljust(col_width, "-"))
+        for i in range(max(n - 1, 0)):
+            mark = connect[i]
+            connector_rows[i].append((" " + mark).ljust(col_width, " "))
+
+    lines: List[str] = []
+    for i in range(n):
+        lines.append("".join(rows[i]).rstrip("-") + "-" if len(rows[i]) > 1 else "".join(rows[i]))
+        if i < n - 1:
+            connector = "".join(connector_rows[i]).rstrip()
+            if connector:
+                lines.append(connector)
+    return "\n".join(lines)

@@ -1,0 +1,771 @@
+"""Gate algebra: base classes, power gates, and named gate constants.
+
+This is the from-scratch replacement for the slice of ``cirq.ops`` that the
+BGLS reference implementation relies on.  The key design points:
+
+* Gates are immutable values; ``gate.on(*qubits)`` (or ``gate(*qubits)``)
+  produces a :class:`~repro.circuits.operations.GateOperation`.
+* Power gates (``XPowGate`` etc.) carry an ``exponent`` and ``global_shift``
+  with unitary ``exp(i*pi*global_shift*exponent) * base**exponent`` exactly
+  like Cirq, so ``Rz(theta) == ZPowGate(exponent=theta/pi, global_shift=-0.5)``.
+* Exponents may be symbolic (:class:`~repro.circuits.parameters.Symbol`);
+  resolution happens through ``_resolve_parameters_``.
+* Gates that are Clifford for their current exponent expose
+  ``_stabilizer_sequence_()`` returning ``(phase, [(primitive, *axes)])``
+  where primitive is one of ``H S SDG Z X Y CX CZ`` — this is the hook the
+  CH-form stabilizer state uses to apply gates in O(n) / O(n^2) time.
+"""
+
+from __future__ import annotations
+
+import abc
+import cmath
+import math
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .parameters import ParamResolver, ParamValue, Symbol, is_parameterized
+
+_SQRT2 = math.sqrt(2.0)
+
+StabilizerSequence = Tuple[complex, List[Tuple[str, Tuple[int, ...]]]]
+
+
+def _is_half_integer(value: float, atol: float = 1e-9) -> bool:
+    return abs(2.0 * value - round(2.0 * value)) <= atol
+
+
+class Gate(abc.ABC):
+    """Base class for quantum gates."""
+
+    @abc.abstractmethod
+    def num_qubits(self) -> int:
+        """Number of qubits this gate acts on."""
+
+    def on(self, *qubits) -> "GateOperation":
+        """Return this gate applied to the given qubits."""
+        from .operations import GateOperation
+
+        return GateOperation(self, qubits)
+
+    def __call__(self, *qubits) -> "GateOperation":
+        return self.on(*qubits)
+
+    # -- optional protocol members --------------------------------------
+    def _unitary_(self) -> Optional[np.ndarray]:
+        """Unitary matrix, or None if not unitary / parameterized."""
+        return None
+
+    def _kraus_(self) -> Optional[List[np.ndarray]]:
+        """Kraus operators; defaults to the unitary if one exists."""
+        u = self._unitary_()
+        return None if u is None else [u]
+
+    def _is_parameterized_(self) -> bool:
+        return False
+
+    def _resolve_parameters_(self, resolver: ParamResolver) -> "Gate":
+        return self
+
+    def _stabilizer_sequence_(self) -> Optional[StabilizerSequence]:
+        """Decomposition into CH-form primitives, or None if non-Clifford."""
+        return None
+
+    def _diagram_symbols_(self) -> Tuple[str, ...]:
+        name = type(self).__name__.replace("Gate", "")
+        return tuple([name] * self.num_qubits())
+
+    def __pow__(self, power):
+        return NotImplemented
+
+
+class IdentityGate(Gate):
+    """The identity on ``num_qubits`` qubits."""
+
+    def __init__(self, num_qubits: int = 1) -> None:
+        self._num_qubits = int(num_qubits)
+
+    def num_qubits(self) -> int:
+        return self._num_qubits
+
+    def _unitary_(self) -> np.ndarray:
+        return np.eye(2**self._num_qubits, dtype=np.complex128)
+
+    def _stabilizer_sequence_(self) -> StabilizerSequence:
+        return (1.0 + 0j, [])
+
+    def _diagram_symbols_(self) -> Tuple[str, ...]:
+        return tuple(["I"] * self._num_qubits)
+
+    def __pow__(self, power) -> "IdentityGate":
+        return self
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, IdentityGate) and other._num_qubits == self._num_qubits
+        )
+
+    def __hash__(self) -> int:
+        return hash(("IdentityGate", self._num_qubits))
+
+    def __repr__(self) -> str:
+        return f"IdentityGate({self._num_qubits})"
+
+
+class EigenGate(Gate):
+    """A gate of the form ``exp(i*pi*global_shift*exponent) * base**exponent``
+    where ``base`` is a fixed unitary with eigenvalues ±1 (an involution) or,
+    more generally, with a known eigen-decomposition provided by subclasses.
+    """
+
+    def __init__(self, exponent: ParamValue = 1.0, global_shift: float = 0.0):
+        self.exponent = exponent
+        self.global_shift = float(global_shift)
+
+    # Subclasses provide the base involution matrix (eigenvalues ±1),
+    # or override _unitary_ entirely.
+    @abc.abstractmethod
+    def _base_matrix(self) -> np.ndarray:
+        """The exponent-1 matrix (with global_shift = 0)."""
+
+    def _with_exponent(self, exponent: ParamValue) -> "EigenGate":
+        return type(self)(exponent=exponent, global_shift=self.global_shift)
+
+    def _is_parameterized_(self) -> bool:
+        return is_parameterized(self.exponent)
+
+    def _resolve_parameters_(self, resolver: ParamResolver) -> "EigenGate":
+        if not self._is_parameterized_():
+            return self
+        return self._with_exponent(resolver.value_of(self.exponent))
+
+    def _unitary_(self) -> Optional[np.ndarray]:
+        if self._is_parameterized_():
+            return None
+        t = float(self.exponent)
+        base = self._base_matrix()
+        # base is an involution: base**t = e^{i pi t/2}(cos(pi t/2) I - i sin(pi t/2) base)
+        half = math.pi * t / 2.0
+        mat = cmath.exp(1j * half) * (
+            math.cos(half) * np.eye(base.shape[0]) - 1j * math.sin(half) * base
+        )
+        mat = cmath.exp(1j * math.pi * self.global_shift * t) * mat
+        # Snap floating-point dust so exact gates (X, CNOT, ...) are exact.
+        mat.real[np.abs(mat.real) < 1e-15] = 0.0
+        mat.imag[np.abs(mat.imag) < 1e-15] = 0.0
+        return mat
+
+    def __pow__(self, power: float) -> "EigenGate":
+        if is_parameterized(self.exponent):
+            if isinstance(power, (int, float)):
+                return self._with_exponent(self.exponent * power)
+            return NotImplemented
+        return self._with_exponent(self.exponent * power)
+
+    def __eq__(self, other) -> bool:
+        if type(other) is not type(self):
+            return NotImplemented
+        return (
+            other.exponent == self.exponent
+            and other.global_shift == self.global_shift
+        )
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.exponent, self.global_shift))
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(exponent={self.exponent!r}, "
+            f"global_shift={self.global_shift!r})"
+        )
+
+    # -- stabilizer support ---------------------------------------------
+    def _global_phase(self) -> complex:
+        """The e^{i pi s t} prefactor for the current (numeric) exponent."""
+        return cmath.exp(1j * math.pi * self.global_shift * float(self.exponent))
+
+
+def _z_pow_primitives(exponent: float, axis: int = 0) -> Optional[StabilizerSequence]:
+    """CH primitives for Z**exponent on a single axis (half-integer only).
+
+    Z**0.5 is exactly S, Z**1 is Z, Z**1.5 is S-dagger, Z**2 is identity.
+    """
+    if not _is_half_integer(exponent):
+        return None
+    k = int(round(2.0 * exponent)) % 4  # number of S gates
+    seq = {0: [], 1: [("S", (axis,))], 2: [("Z", (axis,))], 3: [("SDG", (axis,))]}[k]
+    return (1.0 + 0j, list(seq))
+
+
+class ZPowGate(EigenGate):
+    """``Z**exponent``: ``diag(1, exp(i*pi*exponent))`` times the shift phase.
+
+    ``Rz(theta)`` is ``ZPowGate(exponent=theta/pi, global_shift=-0.5)``; the
+    sum-over-Cliffords technique (paper Sec. 4.2) targets exactly this class.
+    """
+
+    def num_qubits(self) -> int:
+        return 1
+
+    def _base_matrix(self) -> np.ndarray:
+        return np.array([[1, 0], [0, -1]], dtype=np.complex128)
+
+    def _stabilizer_sequence_(self) -> Optional[StabilizerSequence]:
+        if self._is_parameterized_():
+            return None
+        prims = _z_pow_primitives(float(self.exponent))
+        if prims is None:
+            return None
+        return (self._global_phase() * prims[0], prims[1])
+
+    def _diagram_symbols_(self) -> Tuple[str, ...]:
+        if self._is_parameterized_():
+            return (f"Z^{self.exponent.name}",)
+        t = float(self.exponent)
+        if t == 1.0:
+            return ("Z",)
+        if t == 0.5:
+            return ("S",)
+        if t == 0.25:
+            return ("T",)
+        if t == -0.5 or t == 1.5:
+            return ("S^-1",)
+        if t == -0.25:
+            return ("T^-1",)
+        return (f"Z^{round(t, 4)}",)
+
+
+class XPowGate(EigenGate):
+    """``X**exponent``; ``Rx(theta)`` is exponent ``theta/pi`` with shift -0.5."""
+
+    def num_qubits(self) -> int:
+        return 1
+
+    def _base_matrix(self) -> np.ndarray:
+        return np.array([[0, 1], [1, 0]], dtype=np.complex128)
+
+    def _stabilizer_sequence_(self) -> Optional[StabilizerSequence]:
+        if self._is_parameterized_():
+            return None
+        # X**t = H Z**t H exactly.
+        prims = _z_pow_primitives(float(self.exponent))
+        if prims is None:
+            return None
+        seq = [("H", (0,))] + prims[1] + [("H", (0,))]
+        return (self._global_phase() * prims[0], seq)
+
+    def _diagram_symbols_(self) -> Tuple[str, ...]:
+        if self._is_parameterized_():
+            return (f"X^{self.exponent.name}",)
+        t = float(self.exponent)
+        return ("X",) if t == 1.0 else (f"X^{round(t, 4)}",)
+
+
+class YPowGate(EigenGate):
+    """``Y**exponent``; ``Ry(theta)`` is exponent ``theta/pi`` with shift -0.5."""
+
+    def num_qubits(self) -> int:
+        return 1
+
+    def _base_matrix(self) -> np.ndarray:
+        return np.array([[0, -1j], [1j, 0]], dtype=np.complex128)
+
+    def _stabilizer_sequence_(self) -> Optional[StabilizerSequence]:
+        if self._is_parameterized_():
+            return None
+        # Y = S X S^dag, hence Y**t = S X**t S^dag exactly.
+        prims = _z_pow_primitives(float(self.exponent))
+        if prims is None:
+            return None
+        seq = (
+            [("SDG", (0,)), ("H", (0,))]
+            + prims[1]
+            + [("H", (0,)), ("S", (0,))]
+        )
+        return (self._global_phase() * prims[0], seq)
+
+    def _diagram_symbols_(self) -> Tuple[str, ...]:
+        if self._is_parameterized_():
+            return (f"Y^{self.exponent.name}",)
+        t = float(self.exponent)
+        return ("Y",) if t == 1.0 else (f"Y^{round(t, 4)}",)
+
+
+class PhasedXPowGate(Gate):
+    """``Z^p X^t Z^-p``: an X-power rotated about Z by ``phase_exponent``.
+
+    ``phase_exponent=0.25, exponent=0.5`` is the sqrt-W gate of the
+    Sycamore random-circuit gate set — the simplest non-Clifford member,
+    which is what makes those circuits converge to Porter-Thomas.
+    """
+
+    def __init__(
+        self,
+        *,
+        phase_exponent: ParamValue,
+        exponent: ParamValue = 1.0,
+        global_shift: float = 0.0,
+    ):
+        self.phase_exponent = phase_exponent
+        self.exponent = exponent
+        self.global_shift = float(global_shift)
+
+    def num_qubits(self) -> int:
+        return 1
+
+    def _is_parameterized_(self) -> bool:
+        return is_parameterized(self.exponent) or is_parameterized(
+            self.phase_exponent
+        )
+
+    def _resolve_parameters_(self, resolver: ParamResolver) -> "PhasedXPowGate":
+        if not self._is_parameterized_():
+            return self
+        return PhasedXPowGate(
+            phase_exponent=resolver.value_of(self.phase_exponent),
+            exponent=resolver.value_of(self.exponent),
+            global_shift=self.global_shift,
+        )
+
+    def _unitary_(self) -> Optional[np.ndarray]:
+        if self._is_parameterized_():
+            return None
+        p = float(self.phase_exponent)
+        z = np.diag(
+            [1.0, cmath.exp(1j * math.pi * p)]
+        )
+        x_pow = XPowGate(
+            exponent=self.exponent, global_shift=self.global_shift
+        )._unitary_()
+        return z @ x_pow @ z.conj().T
+
+    def _stabilizer_sequence_(self) -> Optional[StabilizerSequence]:
+        if self._is_parameterized_():
+            return None
+        # Clifford iff both exponents are half-integers: Z^p X^t Z^-p.
+        p, t = float(self.phase_exponent), float(self.exponent)
+        if not (_is_half_integer(p) and _is_half_integer(t)):
+            return None
+        z_left = _z_pow_primitives(p)
+        x_mid = XPowGate(exponent=t, global_shift=self.global_shift)
+        mid = x_mid._stabilizer_sequence_()
+        z_right = _z_pow_primitives(-p)
+        if z_left is None or mid is None or z_right is None:
+            return None
+        phase = z_left[0] * mid[0] * z_right[0]
+        return (phase, z_right[1] + mid[1] + z_left[1])
+
+    def _diagram_symbols_(self) -> Tuple[str, ...]:
+        return (f"PhX(p={self.phase_exponent})^{self.exponent}",)
+
+    def __pow__(self, power) -> "PhasedXPowGate":
+        if is_parameterized(self.exponent) and not isinstance(
+            power, (int, float)
+        ):
+            return NotImplemented
+        return PhasedXPowGate(
+            phase_exponent=self.phase_exponent,
+            exponent=self.exponent * power,
+            global_shift=self.global_shift,
+        )
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, PhasedXPowGate):
+            return NotImplemented
+        return (
+            other.phase_exponent == self.phase_exponent
+            and other.exponent == self.exponent
+            and other.global_shift == self.global_shift
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            ("PhasedXPowGate", self.phase_exponent, self.exponent, self.global_shift)
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"PhasedXPowGate(phase_exponent={self.phase_exponent!r}, "
+            f"exponent={self.exponent!r}, global_shift={self.global_shift!r})"
+        )
+
+
+class HPowGate(EigenGate):
+    """``H**exponent`` (H is an involution so the eigen formula applies)."""
+
+    def num_qubits(self) -> int:
+        return 1
+
+    def _base_matrix(self) -> np.ndarray:
+        return np.array([[1, 1], [1, -1]], dtype=np.complex128) / _SQRT2
+
+    def _stabilizer_sequence_(self) -> Optional[StabilizerSequence]:
+        if self._is_parameterized_():
+            return None
+        t = float(self.exponent)
+        if not _is_half_integer(t):
+            return None
+        k = int(round(t)) % 2
+        if abs(t - round(t)) > 1e-9:
+            return None  # H**0.5 is not Clifford
+        seq = [("H", (0,))] if k == 1 else []
+        return (self._global_phase(), seq)
+
+    def _diagram_symbols_(self) -> Tuple[str, ...]:
+        if self._is_parameterized_():
+            return (f"H^{self.exponent.name}",)
+        t = float(self.exponent)
+        return ("H",) if t == 1.0 else (f"H^{round(t, 4)}",)
+
+
+class CZPowGate(EigenGate):
+    """``CZ**exponent``: ``diag(1,1,1,exp(i*pi*exponent))`` times shift."""
+
+    def num_qubits(self) -> int:
+        return 2
+
+    def _base_matrix(self) -> np.ndarray:
+        return np.diag([1, 1, 1, -1]).astype(np.complex128)
+
+    def _stabilizer_sequence_(self) -> Optional[StabilizerSequence]:
+        if self._is_parameterized_():
+            return None
+        t = float(self.exponent)
+        if not _is_half_integer(t) or abs(t - round(t)) > 1e-9:
+            return None  # CZ**0.5 is not Clifford
+        seq = [("CZ", (0, 1))] if int(round(t)) % 2 == 1 else []
+        return (self._global_phase(), seq)
+
+    def _diagram_symbols_(self) -> Tuple[str, ...]:
+        t = self.exponent
+        label = "@" if (not is_parameterized(t) and float(t) == 1.0) else f"@^{t}"
+        return ("@", label)
+
+
+class CXPowGate(EigenGate):
+    """``CNOT**exponent`` (block ``I (+) X**exponent``)."""
+
+    def num_qubits(self) -> int:
+        return 2
+
+    def _base_matrix(self) -> np.ndarray:
+        m = np.eye(4, dtype=np.complex128)
+        m[2:, 2:] = np.array([[0, 1], [1, 0]])
+        return m
+
+    def _stabilizer_sequence_(self) -> Optional[StabilizerSequence]:
+        if self._is_parameterized_():
+            return None
+        t = float(self.exponent)
+        if not _is_half_integer(t) or abs(t - round(t)) > 1e-9:
+            return None
+        seq = [("CX", (0, 1))] if int(round(t)) % 2 == 1 else []
+        return (self._global_phase(), seq)
+
+    def _diagram_symbols_(self) -> Tuple[str, ...]:
+        return ("@", "X")
+
+
+class SwapPowGate(EigenGate):
+    """``SWAP**exponent`` (SWAP is an involution)."""
+
+    def num_qubits(self) -> int:
+        return 2
+
+    def _base_matrix(self) -> np.ndarray:
+        m = np.eye(4, dtype=np.complex128)
+        m[[1, 2]] = m[[2, 1]]
+        return m
+
+    def _stabilizer_sequence_(self) -> Optional[StabilizerSequence]:
+        if self._is_parameterized_():
+            return None
+        t = float(self.exponent)
+        if not _is_half_integer(t) or abs(t - round(t)) > 1e-9:
+            return None
+        if int(round(t)) % 2 == 0:
+            return (self._global_phase(), [])
+        return (
+            self._global_phase(),
+            [("CX", (0, 1)), ("CX", (1, 0)), ("CX", (0, 1))],
+        )
+
+    def _diagram_symbols_(self) -> Tuple[str, ...]:
+        return ("x", "x")
+
+
+class ISwapPowGate(EigenGate):
+    """``ISWAP**exponent``.
+
+    Matrix ``[[1,0,0,0],[0,c,is,0],[0,is,c,0],[0,0,0,1]]`` with
+    ``c = cos(pi t / 2)``, ``is = i sin(pi t / 2)``.
+    """
+
+    def num_qubits(self) -> int:
+        return 2
+
+    def _base_matrix(self) -> np.ndarray:  # pragma: no cover - not used
+        raise NotImplementedError
+
+    def _unitary_(self) -> Optional[np.ndarray]:
+        if self._is_parameterized_():
+            return None
+        t = float(self.exponent)
+        c = math.cos(math.pi * t / 2.0)
+        s = 1j * math.sin(math.pi * t / 2.0)
+        m = np.eye(4, dtype=np.complex128)
+        m[1, 1] = m[2, 2] = c
+        m[1, 2] = m[2, 1] = s
+        return cmath.exp(1j * math.pi * self.global_shift * t) * m
+
+    def _stabilizer_sequence_(self) -> Optional[StabilizerSequence]:
+        if self._is_parameterized_():
+            return None
+        t = float(self.exponent)
+        if abs(t - round(t)) > 1e-9:
+            return None
+        k = int(round(t)) % 4
+        phase = cmath.exp(1j * math.pi * self.global_shift * t)
+        swap = [("CX", (0, 1)), ("CX", (1, 0)), ("CX", (0, 1))]
+        # ISWAP = SWAP . CZ . (S (x) S); applied to kets: S,S then CZ then SWAP.
+        one = [("S", (0,)), ("S", (1,)), ("CZ", (0, 1))] + swap
+        if k == 0:
+            return (phase, [])
+        if k == 1:
+            return (phase, list(one))
+        if k == 2:  # ISWAP^2 = diag(1,-1,-1,1) = Z (x) Z
+            return (phase, [("Z", (0,)), ("Z", (1,))])
+        # k == 3: ISWAP^3 = ISWAP^{-1} = (Z(x)Z) . ISWAP
+        return (phase, list(one) + [("Z", (0,)), ("Z", (1,))])
+
+    def _diagram_symbols_(self) -> Tuple[str, ...]:
+        return ("iSwap", "iSwap")
+
+
+class CCXPowGate(EigenGate):
+    """Toffoli to a power (block ``I6 (+) X**exponent``).  Non-Clifford."""
+
+    def num_qubits(self) -> int:
+        return 3
+
+    def _base_matrix(self) -> np.ndarray:
+        m = np.eye(8, dtype=np.complex128)
+        m[6:, 6:] = np.array([[0, 1], [1, 0]])
+        return m
+
+    def _diagram_symbols_(self) -> Tuple[str, ...]:
+        return ("@", "@", "X")
+
+
+class CCZPowGate(EigenGate):
+    """CCZ to a power (``diag(1,...,1,exp(i*pi*t))``).  Non-Clifford."""
+
+    def num_qubits(self) -> int:
+        return 3
+
+    def _base_matrix(self) -> np.ndarray:
+        return np.diag([1, 1, 1, 1, 1, 1, 1, -1]).astype(np.complex128)
+
+    def _diagram_symbols_(self) -> Tuple[str, ...]:
+        return ("@", "@", "@")
+
+
+class CSwapGate(Gate):
+    """The Fredkin (controlled-SWAP) gate."""
+
+    def num_qubits(self) -> int:
+        return 3
+
+    def _unitary_(self) -> np.ndarray:
+        m = np.eye(8, dtype=np.complex128)
+        m[[5, 6]] = m[[6, 5]]
+        return m
+
+    def _diagram_symbols_(self) -> Tuple[str, ...]:
+        return ("@", "x", "x")
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, CSwapGate)
+
+    def __hash__(self) -> int:
+        return hash("CSwapGate")
+
+    def __repr__(self) -> str:
+        return "CSwapGate()"
+
+
+class MatrixGate(Gate):
+    """An arbitrary unitary given by an explicit matrix."""
+
+    def __init__(self, matrix: np.ndarray, num_qubits: Optional[int] = None):
+        matrix = np.asarray(matrix, dtype=np.complex128)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ValueError(f"Matrix must be square, got shape {matrix.shape}")
+        dim = matrix.shape[0]
+        n = int(round(math.log2(dim)))
+        if 2**n != dim:
+            raise ValueError(f"Matrix dimension {dim} is not a power of 2")
+        if num_qubits is not None and num_qubits != n:
+            raise ValueError(f"num_qubits={num_qubits} but matrix is {dim}x{dim}")
+        self._matrix = matrix
+        self._num_qubits = n
+
+    def num_qubits(self) -> int:
+        return self._num_qubits
+
+    def _unitary_(self) -> np.ndarray:
+        return self._matrix
+
+    def __pow__(self, power) -> "MatrixGate":
+        if power == -1:
+            return MatrixGate(self._matrix.conj().T)
+        return NotImplemented
+
+    def _diagram_symbols_(self) -> Tuple[str, ...]:
+        if self._num_qubits == 1:
+            return ("U",)
+        return tuple(f"U[{i}]" for i in range(self._num_qubits))
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, MatrixGate):
+            return NotImplemented
+        return self._matrix.shape == other._matrix.shape and bool(
+            np.allclose(self._matrix, other._matrix)
+        )
+
+    def __hash__(self) -> int:
+        return hash(("MatrixGate", self._matrix.shape[0]))
+
+    def __repr__(self) -> str:
+        return f"MatrixGate(num_qubits={self._num_qubits})"
+
+
+class ControlledGate(Gate):
+    """A gate controlled on one extra qubit (prepended)."""
+
+    def __init__(self, sub_gate: Gate, num_controls: int = 1):
+        self.sub_gate = sub_gate
+        self.num_controls = int(num_controls)
+
+    def num_qubits(self) -> int:
+        return self.sub_gate.num_qubits() + self.num_controls
+
+    def _unitary_(self) -> Optional[np.ndarray]:
+        sub = self.sub_gate._unitary_()
+        if sub is None:
+            return None
+        dim = 2 ** self.num_qubits()
+        m = np.eye(dim, dtype=np.complex128)
+        m[dim - sub.shape[0] :, dim - sub.shape[1] :] = sub
+        return m
+
+    def _is_parameterized_(self) -> bool:
+        return self.sub_gate._is_parameterized_()
+
+    def _resolve_parameters_(self, resolver: ParamResolver) -> "ControlledGate":
+        return ControlledGate(
+            self.sub_gate._resolve_parameters_(resolver), self.num_controls
+        )
+
+    def _diagram_symbols_(self) -> Tuple[str, ...]:
+        return tuple(["@"] * self.num_controls) + self.sub_gate._diagram_symbols_()
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, ControlledGate):
+            return NotImplemented
+        return (
+            other.sub_gate == self.sub_gate
+            and other.num_controls == self.num_controls
+        )
+
+    def __hash__(self) -> int:
+        return hash(("ControlledGate", self.sub_gate, self.num_controls))
+
+    def __repr__(self) -> str:
+        return f"ControlledGate({self.sub_gate!r}, num_controls={self.num_controls})"
+
+
+class MeasurementGate(Gate):
+    """Computational-basis measurement of ``num_qubits`` qubits under ``key``."""
+
+    def __init__(self, num_qubits: int, key: str = ""):
+        self._num_qubits = int(num_qubits)
+        self.key = str(key)
+
+    def num_qubits(self) -> int:
+        return self._num_qubits
+
+    def _diagram_symbols_(self) -> Tuple[str, ...]:
+        label = f"M({self.key!r})" if self.key else "M"
+        return tuple([label] + ["M"] * (self._num_qubits - 1))
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, MeasurementGate):
+            return NotImplemented
+        return other._num_qubits == self._num_qubits and other.key == self.key
+
+    def __hash__(self) -> int:
+        return hash(("MeasurementGate", self._num_qubits, self.key))
+
+    def __repr__(self) -> str:
+        return f"MeasurementGate({self._num_qubits}, key={self.key!r})"
+
+
+# --------------------------------------------------------------------------
+# Named constants and rotation constructors
+# --------------------------------------------------------------------------
+
+I = IdentityGate(1)
+X = XPowGate()
+Y = YPowGate()
+Z = ZPowGate()
+H = HPowGate()
+S = ZPowGate(exponent=0.5)
+S_DAG = ZPowGate(exponent=-0.5)
+T = ZPowGate(exponent=0.25)
+T_DAG = ZPowGate(exponent=-0.25)
+CX = CNOT = CXPowGate()
+CZ = CZPowGate()
+SWAP = SwapPowGate()
+ISWAP = ISwapPowGate()
+CCX = TOFFOLI = CCXPowGate()
+CCZ = CCZPowGate()
+CSWAP = FREDKIN = CSwapGate()
+
+
+def Rx(rads: ParamValue) -> XPowGate:
+    """``exp(-i X rads / 2)``."""
+    exponent = rads / math.pi if isinstance(rads, Symbol) else rads / math.pi
+    return XPowGate(exponent=exponent, global_shift=-0.5)
+
+
+def Ry(rads: ParamValue) -> YPowGate:
+    """``exp(-i Y rads / 2)``."""
+    return YPowGate(exponent=rads / math.pi, global_shift=-0.5)
+
+
+def Rz(rads: ParamValue) -> ZPowGate:
+    """``exp(-i Z rads / 2)`` — the gate targeted by sum-over-Cliffords."""
+    return ZPowGate(exponent=rads / math.pi, global_shift=-0.5)
+
+
+def rx(rads: ParamValue) -> XPowGate:
+    return Rx(rads)
+
+
+def ry(rads: ParamValue) -> YPowGate:
+    return Ry(rads)
+
+
+def rz(rads: ParamValue) -> ZPowGate:
+    return Rz(rads)
+
+
+def measure(*qubits, key: str = "") -> "GateOperation":
+    """Measure the given qubits in the computational basis under ``key``."""
+    if not qubits:
+        raise ValueError("measure() requires at least one qubit")
+    if not key:
+        key = ",".join(str(q) for q in qubits)
+    return MeasurementGate(len(qubits), key=key).on(*qubits)

@@ -1,0 +1,76 @@
+"""Moments: sets of operations acting on disjoint qubits at the same step."""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Iterator, Optional, Tuple
+
+from .operations import GateOperation
+from .qubits import Qid
+
+
+class Moment:
+    """A time slice of a circuit.
+
+    All operations in a moment act on disjoint qubits (they could execute
+    simultaneously on hardware).  Circuit depth is the number of moments.
+    """
+
+    __slots__ = ("_operations", "_qubits")
+
+    def __init__(self, operations: Iterable[GateOperation] = ()):
+        ops = tuple(operations)
+        seen: set = set()
+        for op in ops:
+            for q in op.qubits:
+                if q in seen:
+                    raise ValueError(
+                        f"Overlapping operations on qubit {q} in one moment"
+                    )
+                seen.add(q)
+        self._operations = ops
+        self._qubits: FrozenSet[Qid] = frozenset(seen)
+
+    @property
+    def operations(self) -> Tuple[GateOperation, ...]:
+        return self._operations
+
+    @property
+    def qubits(self) -> FrozenSet[Qid]:
+        return self._qubits
+
+    def operates_on(self, qubits: Iterable[Qid]) -> bool:
+        """Whether any operation in this moment touches any of ``qubits``."""
+        return any(q in self._qubits for q in qubits)
+
+    def operation_at(self, qubit: Qid) -> Optional[GateOperation]:
+        """The operation acting on ``qubit``, or None."""
+        for op in self._operations:
+            if qubit in op.qubits:
+                return op
+        return None
+
+    def with_operation(self, op: GateOperation) -> "Moment":
+        """A new moment with ``op`` added (must not overlap)."""
+        return Moment(self._operations + (op,))
+
+    def __iter__(self) -> Iterator[GateOperation]:
+        return iter(self._operations)
+
+    def __len__(self) -> int:
+        return len(self._operations)
+
+    def __bool__(self) -> bool:
+        return bool(self._operations)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Moment):
+            return NotImplemented
+        return sorted(map(repr, self._operations)) == sorted(
+            map(repr, other._operations)
+        )
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted(map(repr, self._operations))))
+
+    def __repr__(self) -> str:
+        return f"Moment({list(self._operations)!r})"

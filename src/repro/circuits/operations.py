@@ -1,0 +1,81 @@
+"""Operations: a gate bound to concrete qubits."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .gates import Gate, MeasurementGate
+from .parameters import ParamResolver
+from .qubits import Qid
+
+
+class GateOperation:
+    """A :class:`Gate` applied to a specific tuple of qubits.
+
+    This is the unit the BGLS sampler walks over: its ``qubits`` are the
+    *support* used to enumerate candidate bitstrings.
+    """
+
+    __slots__ = ("gate", "qubits")
+
+    def __init__(self, gate: Gate, qubits: Sequence[Qid]):
+        qubits = tuple(qubits)
+        if len(qubits) != gate.num_qubits():
+            raise ValueError(
+                f"Gate {gate!r} acts on {gate.num_qubits()} qubits but got "
+                f"{len(qubits)}: {qubits}"
+            )
+        if len(set(qubits)) != len(qubits):
+            raise ValueError(f"Duplicate qubits in operation: {qubits}")
+        self.gate = gate
+        self.qubits = qubits
+
+    # -- protocol forwarding ---------------------------------------------
+    def _unitary_(self) -> Optional[np.ndarray]:
+        return self.gate._unitary_()
+
+    def _kraus_(self) -> Optional[List[np.ndarray]]:
+        return self.gate._kraus_()
+
+    def _is_parameterized_(self) -> bool:
+        return self.gate._is_parameterized_()
+
+    def _resolve_parameters_(self, resolver: ParamResolver) -> "GateOperation":
+        return GateOperation(self.gate._resolve_parameters_(resolver), self.qubits)
+
+    def _stabilizer_sequence_(self):
+        return self.gate._stabilizer_sequence_()
+
+    # -- helpers -----------------------------------------------------------
+    @property
+    def is_measurement(self) -> bool:
+        """Whether this operation is a keyed measurement."""
+        return isinstance(self.gate, MeasurementGate)
+
+    @property
+    def measurement_key(self) -> Optional[str]:
+        """The measurement key, or None for non-measurements."""
+        return self.gate.key if isinstance(self.gate, MeasurementGate) else None
+
+    def with_qubits(self, *new_qubits: Qid) -> "GateOperation":
+        """The same gate applied to different qubits."""
+        return GateOperation(self.gate, new_qubits)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, GateOperation):
+            return NotImplemented
+        return other.gate == self.gate and other.qubits == self.qubits
+
+    def __hash__(self) -> int:
+        return hash((self.gate, self.qubits))
+
+    def __repr__(self) -> str:
+        qubit_str = ", ".join(repr(q) for q in self.qubits)
+        return f"{self.gate!r}.on({qubit_str})"
+
+    def __str__(self) -> str:
+        symbols = self.gate._diagram_symbols_()
+        pairs = ", ".join(str(q) for q in self.qubits)
+        return f"{symbols[0] if len(symbols) == 1 else symbols}({pairs})"

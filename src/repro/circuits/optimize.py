@@ -1,0 +1,83 @@
+"""Circuit optimization for the gate-by-gate sampler (paper Sec. 3.2.2).
+
+``optimize_for_bgls`` merges runs of consecutive single-qubit operations on
+the same qubit into one ``MatrixGate``, so the sampler updates the bitstring
+once per run instead of once per gate.  The paper reports a 1.5-2x speedup
+on random 8-qubit circuits with up to 50 layers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .circuit import Circuit
+from .gates import MatrixGate
+from .operations import GateOperation
+from .qubits import Qid
+
+
+def _mergeable(op: GateOperation) -> bool:
+    """Single-qubit, non-measurement, unitary, non-parametric ops merge."""
+    return (
+        len(op.qubits) == 1
+        and not op.is_measurement
+        and not op._is_parameterized_()
+        and op._unitary_() is not None
+    )
+
+
+def merge_single_qubit_gates(circuit: Circuit) -> Circuit:
+    """Merge maximal runs of consecutive 1-qubit gates per qubit.
+
+    A run on qubit q is broken by any multi-qubit operation, measurement,
+    channel, or parameterized op touching q.  Each merged run becomes a
+    single ``MatrixGate`` placed at the position of the run's *last* gate,
+    preserving causal order with the surrounding multi-qubit operations.
+    """
+    pending: Dict[Qid, np.ndarray] = {}
+    out_ops: List[GateOperation] = []
+
+    def flush(qubit: Qid) -> None:
+        mat = pending.pop(qubit, None)
+        if mat is None:
+            return
+        if np.allclose(mat, np.eye(2)):
+            return  # drop accumulated identities entirely
+        out_ops.append(MatrixGate(mat).on(qubit))
+
+    for op in circuit.all_operations():
+        if _mergeable(op):
+            qubit = op.qubits[0]
+            u = op._unitary_()
+            pending[qubit] = u @ pending.get(qubit, np.eye(2, dtype=np.complex128))
+            continue
+        for qubit in op.qubits:
+            flush(qubit)
+        out_ops.append(op)
+    for qubit in list(pending):
+        flush(qubit)
+
+    merged = Circuit()
+    merged.append(out_ops)
+    return merged
+
+
+def drop_empty_moments(circuit: Circuit) -> Circuit:
+    """Remove moments containing no operations."""
+    out = Circuit()
+    for moment in circuit.moments:
+        if moment:
+            out.append_new_moment(moment.operations)
+    return out
+
+
+def optimize_for_bgls(circuit: Circuit) -> Circuit:
+    """Optimize a circuit for gate-by-gate sampling (``bgls.optimize_for_bgls``).
+
+    Currently merges single-qubit runs and drops empty moments; the merged
+    circuit produces the same final state (up to global phase per run) and
+    therefore the same sampling distribution, with fewer bitstring updates.
+    """
+    return drop_empty_moments(merge_single_qubit_gates(circuit))

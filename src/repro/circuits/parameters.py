@@ -1,0 +1,127 @@
+"""Symbolic parameters and parameter resolution.
+
+A tiny sympy-free symbolic layer sufficient for parametric circuits: a
+``Symbol`` supports the affine arithmetic (``a*s + b``) that QAOA-style
+parameterized circuits need, and ``ParamResolver`` substitutes numeric
+values at simulation time (mirroring ``cirq.ParamResolver``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Union
+
+Numeric = Union[int, float]
+
+
+class Symbol:
+    """A named free parameter, optionally scaled and shifted.
+
+    ``Symbol('t')`` represents the free variable ``t``;  arithmetic returns
+    new affine expressions ``coefficient * t + offset``.  Only affine
+    expressions in a single symbol are supported, which covers gate
+    exponents/angles of the form used in the paper's examples.
+    """
+
+    __slots__ = ("name", "coefficient", "offset")
+
+    def __init__(
+        self, name: str, coefficient: float = 1.0, offset: float = 0.0
+    ) -> None:
+        self.name = name
+        self.coefficient = float(coefficient)
+        self.offset = float(offset)
+
+    # -- arithmetic ------------------------------------------------------
+    def __mul__(self, other: Numeric) -> "Symbol":
+        if not isinstance(other, (int, float)):
+            return NotImplemented
+        return Symbol(self.name, self.coefficient * other, self.offset * other)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: Numeric) -> "Symbol":
+        if not isinstance(other, (int, float)):
+            return NotImplemented
+        return Symbol(self.name, self.coefficient / other, self.offset / other)
+
+    def __add__(self, other: Numeric) -> "Symbol":
+        if not isinstance(other, (int, float)):
+            return NotImplemented
+        return Symbol(self.name, self.coefficient, self.offset + other)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: Numeric) -> "Symbol":
+        if not isinstance(other, (int, float)):
+            return NotImplemented
+        return Symbol(self.name, self.coefficient, self.offset - other)
+
+    def __neg__(self) -> "Symbol":
+        return Symbol(self.name, -self.coefficient, -self.offset)
+
+    def value(self, assignment: float) -> float:
+        """Evaluate this affine expression at ``name = assignment``."""
+        return self.coefficient * assignment + self.offset
+
+    def __repr__(self) -> str:
+        if self.coefficient == 1.0 and self.offset == 0.0:
+            return f"Symbol({self.name!r})"
+        return f"Symbol({self.name!r}, coefficient={self.coefficient}, offset={self.offset})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Symbol):
+            return NotImplemented
+        return (self.name, self.coefficient, self.offset) == (
+            other.name,
+            other.coefficient,
+            other.offset,
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.coefficient, self.offset))
+
+
+ParamValue = Union[Numeric, Symbol]
+
+
+def is_parameterized(value: object) -> bool:
+    """Whether ``value`` (a gate exponent/angle) contains a free symbol."""
+    return isinstance(value, Symbol)
+
+
+class ParamResolver:
+    """Assigns numeric values to symbol names.
+
+    Accepts a mapping ``{name_or_symbol: value}``.  Calling the resolver on
+    a parameter value returns a float (affine expressions are evaluated);
+    unresolved symbols raise ``ValueError``.
+    """
+
+    def __init__(self, params: Mapping[Union[str, Symbol], Numeric] | None = None):
+        self._assignments: Dict[str, float] = {}
+        for key, val in (params or {}).items():
+            name = key.name if isinstance(key, Symbol) else str(key)
+            self._assignments[name] = float(val)
+
+    def value_of(self, value: ParamValue) -> float:
+        """Resolve a parameter value to a float."""
+        if isinstance(value, Symbol):
+            if value.name not in self._assignments:
+                raise ValueError(f"Unresolved symbol {value.name!r}")
+            return value.value(self._assignments[value.name])
+        return float(value)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._assignments
+
+    def __repr__(self) -> str:
+        return f"ParamResolver({self._assignments!r})"
+
+
+def resolve_value(value: ParamValue, resolver: ParamResolver | None) -> ParamValue:
+    """Resolve ``value`` if possible, else return it unchanged."""
+    if isinstance(value, Symbol):
+        if resolver is None:
+            return value
+        return resolver.value_of(value)
+    return value

@@ -1,0 +1,304 @@
+"""Pauli-string algebra: products, commutation, measurement circuits.
+
+A :class:`PauliString` is a coefficient times a tensor product of X/Y/Z
+on named qubits; a :class:`PauliSum` is a linear combination.  Together
+they give the package a Hamiltonian/observable layer: build an operator,
+emit the basis-change circuit that makes it Z-diagonal, sample with the
+BGLS simulator, and average eigenvalues — the measurement workflow of
+every variational algorithm.
+"""
+
+from __future__ import annotations
+
+import cmath
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from . import gates
+from .circuit import Circuit
+from .operations import GateOperation
+from .qubits import Qid
+
+_MATRICES: Dict[str, np.ndarray] = {
+    "I": np.eye(2, dtype=np.complex128),
+    "X": np.array([[0, 1], [1, 0]], dtype=np.complex128),
+    "Y": np.array([[0, -1j], [1j, 0]], dtype=np.complex128),
+    "Z": np.array([[1, 0], [0, -1]], dtype=np.complex128),
+}
+
+# Single-qubit products: (left, right) -> (phase, result).
+_PRODUCT: Dict[Tuple[str, str], Tuple[complex, str]] = {}
+for _a in "IXYZ":
+    _PRODUCT[("I", _a)] = (1.0 + 0j, _a)
+    _PRODUCT[(_a, "I")] = (1.0 + 0j, _a)
+    _PRODUCT[(_a, _a)] = (1.0 + 0j, "I")
+for _a, _b, _c in (("X", "Y", "Z"), ("Y", "Z", "X"), ("Z", "X", "Y")):
+    _PRODUCT[(_a, _b)] = (1j, _c)
+    _PRODUCT[(_b, _a)] = (-1j, _c)
+
+_GATES = {"X": gates.X, "Y": gates.Y, "Z": gates.Z}
+
+
+class PauliString:
+    """``coefficient * prod_q P_q`` with ``P_q in {X, Y, Z}``.
+
+    Identity factors are never stored; the empty string is the scaled
+    identity operator.  Instances are immutable and hashable (by the
+    qubit->Pauli mapping and coefficient).
+    """
+
+    __slots__ = ("coefficient", "_factors")
+
+    def __init__(
+        self,
+        qubit_pauli_map: Optional[Mapping[Qid, str]] = None,
+        coefficient: complex = 1.0,
+    ):
+        factors: Dict[Qid, str] = {}
+        for qubit, name in (qubit_pauli_map or {}).items():
+            name = str(name).upper()
+            if name not in _MATRICES:
+                raise ValueError(f"Unknown Pauli {name!r} (want I/X/Y/Z)")
+            if name != "I":
+                factors[qubit] = name
+        self.coefficient = complex(coefficient)
+        self._factors = factors
+
+    # -- inspection --------------------------------------------------------
+    @property
+    def qubits(self) -> Tuple[Qid, ...]:
+        """Qubits with non-identity factors, in sorted order."""
+        return tuple(sorted(self._factors, key=repr))
+
+    def get(self, qubit: Qid) -> str:
+        """The Pauli on ``qubit`` ('I' if absent)."""
+        return self._factors.get(qubit, "I")
+
+    @property
+    def weight(self) -> int:
+        """Number of non-identity factors."""
+        return len(self._factors)
+
+    def items(self):
+        """(qubit, pauli-name) pairs of the non-identity factors."""
+        return self._factors.items()
+
+    # -- algebra ------------------------------------------------------------
+    def __mul__(self, other: Union["PauliString", complex]) -> "PauliString":
+        if isinstance(other, (int, float, complex)):
+            return PauliString(self._factors, self.coefficient * other)
+        if not isinstance(other, PauliString):
+            return NotImplemented
+        phase = self.coefficient * other.coefficient
+        out: Dict[Qid, str] = dict(self._factors)
+        for qubit, name in other._factors.items():
+            extra, merged = _PRODUCT[(out.get(qubit, "I"), name)]
+            phase *= extra
+            if merged == "I":
+                out.pop(qubit, None)
+            else:
+                out[qubit] = merged
+        return PauliString(out, phase)
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "PauliString":
+        return PauliString(self._factors, -self.coefficient)
+
+    def __add__(self, other) -> "PauliSum":
+        return PauliSum([self]) + other
+
+    def __sub__(self, other) -> "PauliSum":
+        return PauliSum([self]) - other
+
+    def commutes_with(self, other: "PauliString") -> bool:
+        """Whether the two strings commute (anticommuting-site parity even)."""
+        anti = 0
+        for qubit, name in self._factors.items():
+            theirs = other.get(qubit)
+            if theirs != "I" and theirs != name:
+                anti += 1
+        return anti % 2 == 0
+
+    # -- dense form & expectations -----------------------------------------
+    def matrix(self, qubit_order: Sequence[Qid]) -> np.ndarray:
+        """Dense matrix over the given register (exponential; small n)."""
+        qubit_order = list(qubit_order)
+        missing = [q for q in self._factors if q not in qubit_order]
+        if missing:
+            raise ValueError(f"String acts on qubits outside the order: {missing}")
+        out = np.ones((1, 1), dtype=np.complex128)
+        for q in qubit_order:
+            out = np.kron(out, _MATRICES[self.get(q)])
+        return self.coefficient * out
+
+    def expectation_from_state_vector(
+        self, psi: np.ndarray, qubit_order: Sequence[Qid]
+    ) -> complex:
+        """``<psi|P|psi>`` (dense; verification path)."""
+        psi = np.asarray(psi, dtype=np.complex128).reshape(-1)
+        return complex(psi.conj() @ (self.matrix(qubit_order) @ psi))
+
+    # -- sampling path ------------------------------------------------------
+    def measurement_basis_change(self) -> List[GateOperation]:
+        """Ops rotating each factor's eigenbasis onto the Z basis.
+
+        After these ops, measuring the string's qubits in the computational
+        basis and multiplying ``(-1)^bit`` per qubit yields an eigenvalue
+        sample of the (coefficient-stripped) string.
+        """
+        ops: List[GateOperation] = []
+        for qubit, name in self._factors.items():
+            if name == "X":
+                ops.append(gates.H.on(qubit))
+            elif name == "Y":
+                # Y = (S H Z-basis): rotate with S^dagger then H.
+                ops.append(gates.S_DAG.on(qubit))
+                ops.append(gates.H.on(qubit))
+        return ops
+
+    def expectation_from_samples(
+        self, samples: np.ndarray, qubit_order: Sequence[Qid]
+    ) -> float:
+        """Mean eigenvalue from Z-basis samples *taken after* the basis
+        change, times the (required-real) coefficient."""
+        if abs(self.coefficient.imag) > 1e-12:
+            raise ValueError(
+                "Sampled expectations need a real coefficient, got "
+                f"{self.coefficient}"
+            )
+        samples = np.asarray(samples)
+        index = {q: i for i, q in enumerate(qubit_order)}
+        cols = [index[q] for q in self._factors]
+        if not cols:
+            return float(self.coefficient.real)
+        signs = 1.0 - 2.0 * samples[:, cols].astype(float)
+        return float(self.coefficient.real * signs.prod(axis=1).mean())
+
+    def to_operations(self) -> List[GateOperation]:
+        """The string as gate operations (coefficient must be +1)."""
+        if abs(self.coefficient - 1.0) > 1e-12:
+            raise ValueError(
+                f"Only unit-coefficient strings are circuits, got "
+                f"{self.coefficient}"
+            )
+        return [_GATES[name].on(qubit) for qubit, name in self._factors.items()]
+
+    # -- dunder --------------------------------------------------------------
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, PauliString):
+            return NotImplemented
+        return (
+            self._factors == other._factors
+            and self.coefficient == other.coefficient
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (frozenset(self._factors.items()), self.coefficient)
+        )
+
+    def __repr__(self) -> str:
+        if not self._factors:
+            return f"PauliString({{}}, coefficient={self.coefficient})"
+        body = "*".join(
+            f"{name}({qubit})" for qubit, name in sorted(
+                self._factors.items(), key=lambda kv: repr(kv[0])
+            )
+        )
+        return f"{self.coefficient}*{body}"
+
+
+class PauliSum:
+    """A linear combination of Pauli strings (like-term collected)."""
+
+    __slots__ = ("terms",)
+
+    def __init__(self, terms: Iterable[PauliString] = ()):
+        collected: Dict[frozenset, PauliString] = {}
+        for term in terms:
+            key = frozenset(term.items())
+            if key in collected:
+                prev = collected[key]
+                coeff = prev.coefficient + term.coefficient
+                collected[key] = PauliString(dict(term.items()), coeff)
+            else:
+                collected[key] = term
+        self.terms: Tuple[PauliString, ...] = tuple(
+            t for t in collected.values() if t.coefficient != 0
+        )
+
+    def __add__(self, other) -> "PauliSum":
+        if isinstance(other, PauliString):
+            other = PauliSum([other])
+        if not isinstance(other, PauliSum):
+            return NotImplemented
+        return PauliSum(self.terms + other.terms)
+
+    def __sub__(self, other) -> "PauliSum":
+        if isinstance(other, PauliString):
+            other = PauliSum([other])
+        if not isinstance(other, PauliSum):
+            return NotImplemented
+        return self + PauliSum([-t for t in other.terms])
+
+    def __mul__(self, other) -> "PauliSum":
+        if isinstance(other, (int, float, complex)):
+            return PauliSum([t * other for t in self.terms])
+        if isinstance(other, PauliString):
+            other = PauliSum([other])
+        if not isinstance(other, PauliSum):
+            return NotImplemented
+        return PauliSum(
+            [a * b for a in self.terms for b in other.terms]
+        )
+
+    __rmul__ = __mul__
+
+    @property
+    def qubits(self) -> Tuple[Qid, ...]:
+        """Union of all terms' qubits, in sorted order."""
+        seen = set()
+        for term in self.terms:
+            seen.update(term.qubits)
+        return tuple(sorted(seen, key=repr))
+
+    def matrix(self, qubit_order: Sequence[Qid]) -> np.ndarray:
+        """Dense matrix (exponential; small-n verification)."""
+        dim = 2 ** len(list(qubit_order))
+        out = np.zeros((dim, dim), dtype=np.complex128)
+        for term in self.terms:
+            out += term.matrix(qubit_order)
+        return out
+
+    def expectation_from_state_vector(
+        self, psi: np.ndarray, qubit_order: Sequence[Qid]
+    ) -> complex:
+        """``<psi|H|psi>`` summed over terms (dense; verification path)."""
+        return sum(
+            term.expectation_from_state_vector(psi, qubit_order)
+            for term in self.terms
+        )
+
+    def __len__(self) -> int:
+        return len(self.terms)
+
+    def __repr__(self) -> str:
+        return " + ".join(repr(t) for t in self.terms) or "PauliSum()"
+
+
+def pauli_string_from_text(
+    text: str, qubits: Sequence[Qid], coefficient: complex = 1.0
+) -> PauliString:
+    """Parse ``"XIZ"``-style dense notation against an ordered register."""
+    text = text.strip().upper()
+    qubits = list(qubits)
+    if len(text) != len(qubits):
+        raise ValueError(
+            f"Dense string {text!r} has {len(text)} factors for "
+            f"{len(qubits)} qubits"
+        )
+    return PauliString(
+        {q: c for q, c in zip(qubits, text)}, coefficient
+    )

@@ -1,0 +1,234 @@
+"""OpenQASM 2.0 interop (paper Sec. 3.2.4: usage with non-Cirq circuits).
+
+Supports the common qelib1 subset: h, x, y, z, s, sdg, t, tdg, rx, ry, rz,
+u1, cx, cz, swap, ccx, id, barrier (ignored), measure.  This is the same
+role ``cirq.contrib.qasm_import`` plays for the reference package.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Callable, Dict, List, Tuple
+
+from . import gates
+from .circuit import Circuit
+from .operations import GateOperation
+from .qubits import NamedQubit, Qid
+
+_HEADER_RE = re.compile(r"OPENQASM\s+2.0\s*;")
+_QREG_RE = re.compile(r"qreg\s+(\w+)\s*\[\s*(\d+)\s*\]\s*;")
+_CREG_RE = re.compile(r"creg\s+(\w+)\s*\[\s*(\d+)\s*\]\s*;")
+_GATE_RE = re.compile(
+    r"(\w+)\s*(?:\(([^)]*)\))?\s+([\w\[\]\s,]+);"
+)
+_MEASURE_RE = re.compile(
+    r"measure\s+(\w+)\s*(?:\[\s*(\d+)\s*\])?\s*->\s*(\w+)\s*(?:\[\s*(\d+)\s*\])?\s*;"
+)
+_ARG_RE = re.compile(r"(\w+)\s*(?:\[\s*(\d+)\s*\])?")
+
+
+class QasmError(ValueError):
+    """Raised on malformed or unsupported QASM input."""
+
+
+def _eval_angle(expr: str) -> float:
+    """Evaluate a QASM angle expression (numbers, pi, + - * /)."""
+    expr = expr.strip().replace("pi", repr(math.pi))
+    if not re.fullmatch(r"[0-9eE.+\-*/() ]+", expr):
+        raise QasmError(f"Unsupported angle expression: {expr!r}")
+    try:
+        return float(eval(expr, {"__builtins__": {}}, {}))  # noqa: S307
+    except Exception as exc:  # pragma: no cover - defensive
+        raise QasmError(f"Bad angle expression {expr!r}: {exc}") from exc
+
+
+_FIXED_GATES: Dict[str, gates.Gate] = {
+    "id": gates.I,
+    "h": gates.H,
+    "x": gates.X,
+    "y": gates.Y,
+    "z": gates.Z,
+    "s": gates.S,
+    "sdg": gates.S_DAG,
+    "t": gates.T,
+    "tdg": gates.T_DAG,
+    "cx": gates.CNOT,
+    "cz": gates.CZ,
+    "swap": gates.SWAP,
+    "ccx": gates.CCX,
+    "cswap": gates.CSWAP,
+}
+
+_ROTATION_GATES: Dict[str, Callable[[float], gates.Gate]] = {
+    "rx": gates.Rx,
+    "ry": gates.Ry,
+    "rz": gates.Rz,
+    "u1": lambda rads: gates.ZPowGate(exponent=rads / math.pi),
+    "p": lambda rads: gates.ZPowGate(exponent=rads / math.pi),
+}
+
+
+def circuit_from_qasm(qasm: str) -> Circuit:
+    """Parse an OpenQASM 2.0 program into a :class:`Circuit`.
+
+    Register qubits become ``NamedQubit(f"{reg}_{i}")``; measurements into a
+    classical register become keyed measurements under the register name.
+    """
+    # Strip comments and the include line.
+    lines = []
+    for raw in qasm.splitlines():
+        line = raw.split("//")[0].strip()
+        if not line or line.startswith("include"):
+            continue
+        lines.append(line)
+    text = " ".join(lines)
+    if not _HEADER_RE.search(text):
+        raise QasmError("Missing 'OPENQASM 2.0;' header")
+
+    qregs: Dict[str, List[Qid]] = {}
+    for match in _QREG_RE.finditer(text):
+        name, size = match.group(1), int(match.group(2))
+        qregs[name] = [NamedQubit(f"{name}_{i}") for i in range(size)]
+    cregs: Dict[str, int] = {
+        m.group(1): int(m.group(2)) for m in _CREG_RE.finditer(text)
+    }
+
+    def lookup(reg: str, idx_str) -> List[Qid]:
+        if reg not in qregs:
+            raise QasmError(f"Unknown quantum register {reg!r}")
+        if idx_str is None:
+            return list(qregs[reg])
+        idx = int(idx_str)
+        if idx >= len(qregs[reg]):
+            raise QasmError(f"Index {idx} out of range for register {reg!r}")
+        return [qregs[reg][idx]]
+
+    circuit = Circuit()
+    # Measurements into the same classical register are merged into one
+    # keyed measurement (appended at the end, ordered by classical index).
+    pending_measurements: Dict[str, List[Tuple[int, Qid]]] = {}
+    # Process statement by statement.
+    for statement in text.split(";"):
+        statement = statement.strip()
+        if not statement:
+            continue
+        statement += ";"
+        if (
+            _HEADER_RE.match(statement)
+            or _QREG_RE.match(statement)
+            or _CREG_RE.match(statement)
+        ):
+            continue
+        if statement.startswith("barrier"):
+            continue
+        m = _MEASURE_RE.match(statement)
+        if m:
+            qreg, qidx, creg, cidx = m.groups()
+            targets = lookup(qreg, qidx)
+            slots = pending_measurements.setdefault(creg, [])
+            if cidx is None:
+                for i, q in enumerate(targets):
+                    slots.append((i, q))
+            else:
+                slots.append((int(cidx), targets[0]))
+            continue
+        m = _GATE_RE.match(statement)
+        if not m:
+            raise QasmError(f"Cannot parse statement: {statement!r}")
+        name, params, args = m.group(1), m.group(2), m.group(3)
+        arg_qubits: List[List[Qid]] = []
+        for arg in args.split(","):
+            am = _ARG_RE.match(arg.strip())
+            if not am:
+                raise QasmError(f"Bad argument {arg!r} in {statement!r}")
+            arg_qubits.append(lookup(am.group(1), am.group(2)))
+        if name in _FIXED_GATES:
+            gate = _FIXED_GATES[name]
+        elif name in _ROTATION_GATES:
+            if params is None:
+                raise QasmError(f"Gate {name} requires a parameter")
+            gate = _ROTATION_GATES[name](_eval_angle(params))
+        else:
+            raise QasmError(f"Unsupported gate {name!r}")
+        # Broadcast whole-register operands (all same length or length 1).
+        lengths = {len(qs) for qs in arg_qubits}
+        n_apply = max(lengths)
+        if lengths - {1, n_apply}:
+            raise QasmError(f"Mismatched register sizes in {statement!r}")
+        for i in range(n_apply):
+            targets = [qs[0] if len(qs) == 1 else qs[i] for qs in arg_qubits]
+            circuit.append(gate.on(*targets))
+    for creg, slots in pending_measurements.items():
+        ordered = [q for _, q in sorted(slots, key=lambda pair: pair[0])]
+        circuit.append(gates.measure(*ordered, key=creg))
+    return circuit
+
+
+_QASM_NAMES: List[Tuple[gates.Gate, str]] = [
+    (gates.H, "h"),
+    (gates.X, "x"),
+    (gates.Y, "y"),
+    (gates.Z, "z"),
+    (gates.S, "s"),
+    (gates.S_DAG, "sdg"),
+    (gates.T, "t"),
+    (gates.T_DAG, "tdg"),
+    (gates.CNOT, "cx"),
+    (gates.CZ, "cz"),
+    (gates.SWAP, "swap"),
+    (gates.CCX, "ccx"),
+    (gates.CSWAP, "cswap"),
+    (gates.I, "id"),
+]
+
+
+def circuit_to_qasm(circuit: Circuit) -> str:
+    """Serialize a circuit to OpenQASM 2.0.
+
+    Qubits map to one register ``q`` in canonical sorted order; every keyed
+    measurement gets its own classical register (sanitized key name).
+    """
+    qubits = circuit.all_qubits()
+    index = {q: i for i, q in enumerate(qubits)}
+    lines = [
+        "OPENQASM 2.0;",
+        'include "qelib1.inc";',
+        f"qreg q[{len(qubits)}];",
+    ]
+    # Declare classical registers.
+    declared = {}
+    for op in circuit.all_operations():
+        if op.is_measurement:
+            key = op.measurement_key or "m"
+            reg = re.sub(r"\W", "_", key)
+            if reg not in declared:
+                declared[reg] = len(op.qubits)
+                lines.append(f"creg {reg}[{len(op.qubits)}];")
+
+    fixed = {gate: name for gate, name in _QASM_NAMES}
+    for op in circuit.all_operations():
+        targets = ", ".join(f"q[{index[q]}]" for q in op.qubits)
+        if op.is_measurement:
+            reg = re.sub(r"\W", "_", op.measurement_key or "m")
+            for i, q in enumerate(op.qubits):
+                lines.append(f"measure q[{index[q]}] -> {reg}[{i}];")
+            continue
+        gate = op.gate
+        if gate in fixed:
+            lines.append(f"{fixed[gate]} {targets};")
+            continue
+        if isinstance(gate, gates.ZPowGate) and not gate._is_parameterized_():
+            rads = float(gate.exponent) * math.pi
+            lines.append(f"rz({rads}) {targets};")
+            continue
+        if isinstance(gate, gates.XPowGate) and not gate._is_parameterized_():
+            rads = float(gate.exponent) * math.pi
+            lines.append(f"rx({rads}) {targets};")
+            continue
+        if isinstance(gate, gates.YPowGate) and not gate._is_parameterized_():
+            rads = float(gate.exponent) * math.pi
+            lines.append(f"ry({rads}) {targets};")
+            continue
+        raise QasmError(f"Cannot serialize {gate!r} to QASM")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,141 @@
+"""Qubit identifier types.
+
+Mirrors the Cirq qubit model used by the reference BGLS implementation:
+qubits are lightweight, hashable, totally-ordered identifiers.  The total
+order is what fixes the bit position of each qubit in sampled bitstrings.
+"""
+
+from __future__ import annotations
+
+import abc
+import functools
+from typing import Iterable, List, Sequence, Tuple
+
+
+@functools.total_ordering
+class Qid(abc.ABC):
+    """Base class for qubit identifiers.
+
+    Subclasses must provide ``_comparison_key`` returning a tuple whose
+    first element is a class-rank string so that qubits of different types
+    sort deterministically against each other.
+    """
+
+    @abc.abstractmethod
+    def _comparison_key(self) -> Tuple:
+        """Key used for ordering and equality."""
+
+    @property
+    def dimension(self) -> int:
+        """Hilbert-space dimension of this qudit (always 2 for qubits)."""
+        return 2
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Qid):
+            return NotImplemented
+        return self._comparison_key() == other._comparison_key()
+
+    def __lt__(self, other: "Qid") -> bool:
+        if not isinstance(other, Qid):
+            return NotImplemented
+        return self._comparison_key() < other._comparison_key()
+
+    def __hash__(self) -> int:
+        return hash(self._comparison_key())
+
+
+class LineQubit(Qid):
+    """A qubit on a 1-D integer lattice, addressed by index ``x``."""
+
+    __slots__ = ("x",)
+
+    def __init__(self, x: int) -> None:
+        self.x = int(x)
+
+    def _comparison_key(self) -> Tuple:
+        return ("LineQubit", self.x)
+
+    @staticmethod
+    def range(*args: int) -> List["LineQubit"]:
+        """Return ``LineQubit``s for ``range(*args)``, e.g. ``range(4)``."""
+        return [LineQubit(x) for x in range(*args)]
+
+    def __add__(self, offset: int) -> "LineQubit":
+        return LineQubit(self.x + offset)
+
+    def __sub__(self, offset: int) -> "LineQubit":
+        return LineQubit(self.x - offset)
+
+    def __repr__(self) -> str:
+        return f"LineQubit({self.x})"
+
+    def __str__(self) -> str:
+        return f"q({self.x})"
+
+
+class GridQubit(Qid):
+    """A qubit on a 2-D integer lattice, addressed by (row, col)."""
+
+    __slots__ = ("row", "col")
+
+    def __init__(self, row: int, col: int) -> None:
+        self.row = int(row)
+        self.col = int(col)
+
+    def _comparison_key(self) -> Tuple:
+        return ("GridQubit", self.row, self.col)
+
+    @staticmethod
+    def square(side: int, top: int = 0, left: int = 0) -> List["GridQubit"]:
+        """Return a ``side x side`` block of grid qubits in row-major order."""
+        return [
+            GridQubit(top + r, left + c) for r in range(side) for c in range(side)
+        ]
+
+    @staticmethod
+    def rect(rows: int, cols: int) -> List["GridQubit"]:
+        """Return a ``rows x cols`` block of grid qubits in row-major order."""
+        return [GridQubit(r, c) for r in range(rows) for c in range(cols)]
+
+    def is_adjacent(self, other: "GridQubit") -> bool:
+        """Whether ``other`` is a Manhattan-distance-1 neighbor."""
+        return abs(self.row - other.row) + abs(self.col - other.col) == 1
+
+    def __repr__(self) -> str:
+        return f"GridQubit({self.row}, {self.col})"
+
+    def __str__(self) -> str:
+        return f"q({self.row}, {self.col})"
+
+
+class NamedQubit(Qid):
+    """A qubit addressed by an arbitrary string name."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = str(name)
+
+    def _comparison_key(self) -> Tuple:
+        return ("NamedQubit", self.name)
+
+    @staticmethod
+    def range(n: int, prefix: str = "q") -> List["NamedQubit"]:
+        """Return ``n`` named qubits ``prefix0 .. prefix{n-1}``."""
+        return [NamedQubit(f"{prefix}{i}") for i in range(n)]
+
+    def __repr__(self) -> str:
+        return f"NamedQubit({self.name!r})"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def sorted_qubits(qubits: Iterable[Qid]) -> List[Qid]:
+    """Return the qubits in canonical (bitstring) order."""
+    return sorted(qubits)
+
+
+def qubit_index_map(qubits: Sequence[Qid]) -> dict:
+    """Map each qubit to its position in ``qubits``."""
+    return {q: i for i, q in enumerate(qubits)}

@@ -1,0 +1,199 @@
+"""Random-circuit generators.
+
+``generate_random_circuit`` mirrors the BGLS helper of the same name
+(paper Sec. 4.1.3): random circuits over a user-chosen gate domain with a
+given number of moments and operation density.  Also provides the special
+workload generators used across the paper's figures: Clifford circuits,
+Clifford+T circuits, and GHZ circuits with randomly ordered CNOTs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from . import gates
+from .circuit import Circuit
+from .gates import Gate
+from .moment import Moment
+from .qubits import LineQubit, Qid
+
+# Default domain: each gate mapped to its arity, mirroring cirq.testing.
+DEFAULT_GATE_DOMAIN: Dict[Gate, int] = {
+    gates.X: 1,
+    gates.Y: 1,
+    gates.Z: 1,
+    gates.H: 1,
+    gates.S: 1,
+    gates.T: 1,
+    gates.CNOT: 2,
+    gates.CZ: 2,
+    gates.SWAP: 2,
+}
+
+CLIFFORD_GATE_DOMAIN: Dict[Gate, int] = {
+    gates.H: 1,
+    gates.S: 1,
+    gates.CNOT: 2,
+}
+
+
+def _rng(random_state: Union[int, np.random.Generator, None]) -> np.random.Generator:
+    if isinstance(random_state, np.random.Generator):
+        return random_state
+    return np.random.default_rng(random_state)
+
+
+def generate_random_circuit(
+    qubits: Union[int, Sequence[Qid]],
+    n_moments: int,
+    op_density: float = 0.5,
+    gate_domain: Optional[Dict[Gate, int]] = None,
+    random_state: Union[int, np.random.Generator, None] = None,
+) -> Circuit:
+    """Generate a random circuit (the BGLS ``generate_random_circuit``).
+
+    Args:
+        qubits: Qubits to use, or an int for ``LineQubit.range``.
+        n_moments: Number of moments (circuit depth).
+        op_density: Probability each qubit gets an op in each moment.
+        gate_domain: Mapping from gate to its arity; defaults to a mixed
+            1q/2q domain.  Restrict to ``CLIFFORD_GATE_DOMAIN`` for the
+            paper's Clifford experiments.
+        random_state: Seed or generator for reproducibility.
+
+    Returns:
+        A circuit with exactly ``n_moments`` moments.
+    """
+    if isinstance(qubits, int):
+        qubits = LineQubit.range(qubits)
+    qubits = list(qubits)
+    if not qubits:
+        raise ValueError("Need at least one qubit")
+    gate_domain = dict(gate_domain if gate_domain is not None else DEFAULT_GATE_DOMAIN)
+    max_arity = max(arity for arity in gate_domain.values())
+    if max_arity > len(qubits):
+        gate_domain = {g: a for g, a in gate_domain.items() if a <= len(qubits)}
+        if not gate_domain:
+            raise ValueError("No gate in the domain fits on the given qubits")
+    gate_list = sorted(gate_domain.items(), key=lambda kv: repr(kv[0]))
+    rng = _rng(random_state)
+
+    circuit = Circuit()
+    for _ in range(n_moments):
+        chosen = [q for q in qubits if rng.random() < op_density]
+        rng.shuffle(chosen)
+        ops = []
+        while chosen:
+            candidates = [
+                (g, a) for g, a in gate_list if a <= len(chosen)
+            ]
+            if not candidates:
+                break
+            g, arity = candidates[int(rng.integers(len(candidates)))]
+            targets, chosen = chosen[:arity], chosen[arity:]
+            ops.append(g.on(*targets))
+        # Always append the moment, even if empty, so depth == n_moments.
+        circuit.append_new_moment(ops)
+    return circuit
+
+
+def random_clifford_circuit(
+    qubits: Union[int, Sequence[Qid]],
+    n_moments: int,
+    op_density: float = 0.8,
+    random_state: Union[int, np.random.Generator, None] = None,
+) -> Circuit:
+    """Random circuit over {H, S, CNOT} (paper Fig. 3 workload)."""
+    return generate_random_circuit(
+        qubits,
+        n_moments,
+        op_density=op_density,
+        gate_domain=CLIFFORD_GATE_DOMAIN,
+        random_state=random_state,
+    )
+
+
+def random_clifford_t_circuit(
+    qubits: Union[int, Sequence[Qid]],
+    n_moments: int,
+    op_density: float = 0.8,
+    t_density: float = 0.1,
+    random_state: Union[int, np.random.Generator, None] = None,
+) -> Circuit:
+    """Random Clifford circuit with T gates sprinkled in (Fig. 4a workload).
+
+    ``t_density`` is the probability that a chosen 1-qubit slot becomes a T
+    gate instead of a Clifford gate.
+    """
+    rng = _rng(random_state)
+    domain = dict(CLIFFORD_GATE_DOMAIN)
+    base = generate_random_circuit(
+        qubits, n_moments, op_density=op_density, gate_domain=domain, random_state=rng
+    )
+    out = Circuit()
+    for moment in base.moments:
+        ops = []
+        for op in moment.operations:
+            if len(op.qubits) == 1 and rng.random() < t_density:
+                ops.append(gates.T.on(*op.qubits))
+            else:
+                ops.append(op)
+        out.append_new_moment(ops)
+    return out
+
+
+def substitute_gate(
+    circuit: Circuit, old: Gate, new: Gate, random_state=None
+) -> Circuit:
+    """Replace every occurrence of gate ``old`` with gate ``new``.
+
+    Used for the paper's T -> S comparison (Fig. 4a) and the T -> R(theta)
+    sweep (Fig. 4b).
+    """
+    out = Circuit()
+    for moment in circuit.moments:
+        ops = []
+        for op in moment.operations:
+            ops.append(new.on(*op.qubits) if op.gate == old else op)
+        out.append_new_moment(ops)
+    return out
+
+
+def count_gate(circuit: Circuit, gate: Gate) -> int:
+    """Number of operations in ``circuit`` whose gate equals ``gate``."""
+    return sum(1 for op in circuit.all_operations() if op.gate == gate)
+
+
+def substitute_clifford_with_t(
+    circuit: Circuit,
+    num_substitutions: int,
+    random_state: Union[int, np.random.Generator, None] = None,
+) -> Circuit:
+    """Replace ``num_substitutions`` random 1-qubit ops with T gates.
+
+    This is the Fig. 5 workload: a pure-Clifford circuit made progressively
+    more non-Clifford.
+    """
+    rng = _rng(random_state)
+    ops_per_moment: List[List] = [list(m.operations) for m in circuit.moments]
+    single_qubit_slots = [
+        (i, j)
+        for i, ops in enumerate(ops_per_moment)
+        for j, op in enumerate(ops)
+        if len(op.qubits) == 1 and not op.is_measurement
+    ]
+    if num_substitutions > len(single_qubit_slots):
+        raise ValueError(
+            f"Requested {num_substitutions} substitutions but circuit has "
+            f"only {len(single_qubit_slots)} single-qubit operations"
+        )
+    picks = rng.choice(len(single_qubit_slots), size=num_substitutions, replace=False)
+    for pick in picks:
+        i, j = single_qubit_slots[int(pick)]
+        ops_per_moment[i][j] = gates.T.on(*ops_per_moment[i][j].qubits)
+    out = Circuit()
+    for ops in ops_per_moment:
+        out.append_new_moment(ops)
+    return out

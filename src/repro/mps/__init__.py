@@ -1,0 +1,23 @@
+"""Matrix-product-state simulation (paper Sec. 4.3) and observables."""
+
+from .observables import (
+    bond_dimension_profile,
+    entanglement_entropy,
+    inner_product,
+    pauli_expectation,
+    schmidt_values,
+    truncation_infidelity,
+)
+from .options import MPSOptions
+from .state import MPSState
+
+__all__ = [
+    "MPSOptions",
+    "MPSState",
+    "inner_product",
+    "pauli_expectation",
+    "schmidt_values",
+    "entanglement_entropy",
+    "bond_dimension_profile",
+    "truncation_infidelity",
+]

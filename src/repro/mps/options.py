@@ -1,0 +1,35 @@
+"""Truncation options for the MPS simulation state.
+
+Plays the role of ``cirq.contrib.quimb.MPSOptions`` — including the paper's
+QAOA customization (Sec. 4.4): a hard cap ``max_bond`` on the bond
+dimension chi, which bounds the degree of entanglement representable and
+keeps tensor contractions cheap for wide, shallow circuits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class MPSOptions:
+    """SVD truncation policy applied after every two-qubit gate.
+
+    Attributes:
+        max_bond: Maximum bond dimension chi kept per bond (None = exact).
+        cutoff: Relative singular-value threshold; values below
+            ``cutoff * s_max`` are discarded.
+        renormalize: Whether to rescale kept singular values so the state
+            stays normalized after truncation.
+    """
+
+    max_bond: Optional[int] = None
+    cutoff: float = 1e-12
+    renormalize: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_bond is not None and self.max_bond < 1:
+            raise ValueError(f"max_bond must be >= 1, got {self.max_bond}")
+        if self.cutoff < 0:
+            raise ValueError(f"cutoff must be >= 0, got {self.cutoff}")

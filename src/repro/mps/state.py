@@ -1,0 +1,298 @@
+"""Matrix-product-state simulation state (paper Sec. 4.3).
+
+Mirrors ``cirq.contrib.quimb.MPSState``: one tensor per qubit; two-qubit
+gates contract the two site tensors with the gate and split the result by
+SVD, creating/merging a bond between the two sites.  No global
+re-canonicalization is performed, so sites accumulate one bond per distinct
+partner — exactly the structure whose contraction cost the paper studies
+(cheap at low entanglement, exponential for the random GHZ workload).
+
+Bitstring amplitudes follow the paper's ``mps_bitstring_probability``:
+``isel`` every physical index down to the bit value and contract the small
+remaining network.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..circuits.qubits import Qid
+from ..states.base import SimulationState
+from ..tensornet import Tensor, TensorNetwork
+from .options import MPSOptions
+
+
+class MPSState(SimulationState):
+    """MPS/tensor-network simulation state.
+
+    Args:
+        qubits: Ordered qubit register.
+        options: SVD truncation policy (:class:`MPSOptions`).
+        initial_state: Computational-basis index to start from.
+        seed: RNG for stochastic branches.
+    """
+
+    def __init__(
+        self,
+        qubits: Sequence[Qid],
+        options: Optional[MPSOptions] = None,
+        initial_state: int = 0,
+        seed: Union[int, np.random.Generator, None] = None,
+    ):
+        super().__init__(qubits, seed)
+        self.options = options or MPSOptions()
+        n = self.num_qubits
+        self.tensors: List[Tensor] = []
+        for k in range(n):
+            bit = (int(initial_state) >> (n - 1 - k)) & 1
+            vec = np.zeros(2, dtype=np.complex128)
+            vec[bit] = 1.0
+            self.tensors.append(Tensor(vec, (self.i_str(k),)))
+        self._bond_counter = 0
+        self.estimated_fidelity = 1.0
+
+    # -- index bookkeeping ---------------------------------------------------
+    def i_str(self, k: int) -> str:
+        """Physical index name of site ``k`` (mirrors quimb MPSState)."""
+        return f"i{k}"
+
+    def _new_bond(self) -> str:
+        self._bond_counter += 1
+        return f"b{self._bond_counter}"
+
+    def bond_dimension(self, k: int) -> int:
+        """Product of all bond dimensions attached to site ``k``."""
+        t = self.tensors[k]
+        dims = [d for ind, d in zip(t.inds, t.shape) if ind != self.i_str(k)]
+        return int(np.prod(dims)) if dims else 1
+
+    def max_bond_dimension(self) -> int:
+        """Largest single bond dimension in the network."""
+        best = 1
+        for k, t in enumerate(self.tensors):
+            for ind, d in zip(t.inds, t.shape):
+                if ind != self.i_str(k):
+                    best = max(best, d)
+        return best
+
+    # -- gate application -----------------------------------------------------
+    def apply_unitary(self, u: np.ndarray, axes: Sequence[int]) -> None:
+        if len(axes) == 1:
+            self._apply_one_qubit(np.asarray(u, dtype=np.complex128), axes[0])
+        elif len(axes) == 2:
+            self._apply_two_qubit(np.asarray(u, dtype=np.complex128), axes[0], axes[1])
+        else:
+            raise ValueError(
+                f"MPSState supports 1- and 2-qubit gates, got {len(axes)} "
+                "qubits; decompose larger gates first."
+            )
+
+    def _apply_one_qubit(self, u: np.ndarray, axis: int) -> None:
+        phys = self.i_str(axis)
+        gate = Tensor(u.reshape(2, 2), (phys + "'", phys))
+        site = self.tensors[axis]
+        merged = self._contract_pair(gate, site)
+        self.tensors[axis] = merged.reindex({phys + "'": phys})
+
+    def _apply_two_qubit(self, u: np.ndarray, a: int, b: int) -> None:
+        pa, pb = self.i_str(a), self.i_str(b)
+        gate = Tensor(u.reshape(2, 2, 2, 2), (pa + "'", pb + "'", pa, pb))
+        ta, tb = self.tensors[a], self.tensors[b]
+        bonds_a = [i for i in ta.inds if i != pa and i not in tb.inds]
+        bonds_b = [i for i in tb.inds if i != pb and i not in ta.inds]
+        merged = self._contract_pair(self._contract_pair(ta, tb), gate)
+        merged = merged.reindex({pa + "'": pa, pb + "'": pb})
+
+        left_inds = [pa] + bonds_a
+        right_inds = [pb] + bonds_b
+        matrix = merged.fuse([left_inds, right_inds])
+        u_mat, s, v_mat = np.linalg.svd(matrix, full_matrices=False)
+
+        keep = s > self.options.cutoff * (s[0] if s.size else 1.0)
+        keep_count = max(1, int(np.count_nonzero(keep)))
+        if self.options.max_bond is not None:
+            keep_count = min(keep_count, self.options.max_bond)
+        kept_norm = float(np.linalg.norm(s[:keep_count]))
+        total_norm = float(np.linalg.norm(s))
+        if total_norm > 0:
+            self.estimated_fidelity *= (kept_norm / total_norm) ** 2
+        s = s[:keep_count]
+        if self.options.renormalize and kept_norm > 0:
+            s = s * (total_norm / kept_norm)
+        u_mat = u_mat[:, :keep_count]
+        v_mat = v_mat[:keep_count, :]
+
+        sqrt_s = np.sqrt(s)
+        bond = self._new_bond()
+        left_shape = [merged.ind_size(i) for i in left_inds] + [keep_count]
+        right_shape = [keep_count] + [merged.ind_size(i) for i in right_inds]
+        new_a = Tensor(
+            (u_mat * sqrt_s).reshape(left_shape), left_inds + [bond]
+        )
+        new_b = Tensor(
+            (sqrt_s[:, None] * v_mat).reshape(right_shape), [bond] + right_inds
+        )
+        self.tensors[a] = new_a
+        self.tensors[b] = new_b
+
+    @staticmethod
+    def _contract_pair(x: Tensor, y: Tensor) -> Tensor:
+        from ..tensornet.tensor import contract_pair
+
+        return contract_pair(x, y)
+
+    # -- channels & measurement -------------------------------------------------
+    def apply_channel(self, kraus: List[np.ndarray], axes: Sequence[int]) -> None:
+        """Quantum-trajectory Kraus selection (norms via full contraction)."""
+        branches = []
+        weights = []
+        for op in kraus:
+            trial = self.copy(seed=self._rng)
+            trial.apply_unitary(op, axes)  # not unitary; norm handled below
+            weight = trial.norm_squared()
+            branches.append(trial)
+            weights.append(weight)
+        total = sum(weights)
+        if total <= 0:
+            raise ValueError("Channel annihilated the state")
+        probs = np.asarray(weights) / total
+        choice = int(self._rng.choice(len(kraus), p=probs))
+        chosen = branches[choice]
+        self.tensors = chosen.tensors
+        self._bond_counter = chosen._bond_counter
+        self.estimated_fidelity = chosen.estimated_fidelity
+        # Renormalize by the branch weight.
+        self.tensors[0] = Tensor(
+            self.tensors[0].data / math.sqrt(weights[choice]),
+            self.tensors[0].inds,
+        )
+
+    def measure(self, axes: Sequence[int]) -> List[int]:
+        bits: List[int] = []
+        for axis in axes:
+            p0 = self._outcome_weight(axis, 0)
+            p1 = self._outcome_weight(axis, 1)
+            total = p0 + p1
+            bit = int(self._rng.random() < p1 / total)
+            proj = np.zeros((2, 2), dtype=np.complex128)
+            proj[bit, bit] = 1.0 / math.sqrt((p0, p1)[bit] / total)
+            self._apply_one_qubit(proj, axis)
+            bits.append(bit)
+        return bits
+
+    def project(self, axes: Sequence[int], bits: Sequence[int]) -> None:
+        """Collapse ``axes`` onto known outcome ``bits`` (renormalized)."""
+        for axis, bit in zip(axes, bits):
+            weight = self._outcome_weight(axis, int(bit))
+            if weight <= 0:
+                raise ValueError("Projected onto a zero-probability outcome")
+            total = self.norm_squared()
+            proj = np.zeros((2, 2), dtype=np.complex128)
+            proj[int(bit), int(bit)] = math.sqrt(total / weight)
+            self._apply_one_qubit(proj, axis)
+
+    def _outcome_weight(self, axis: int, bit: int) -> float:
+        reduced = [
+            t.isel({self.i_str(axis): bit}) if k == axis else t
+            for k, t in enumerate(self.tensors)
+        ]
+        return TensorNetwork(reduced).norm_squared()
+
+    # -- amplitudes (the paper's core MPS contribution) ----------------------------
+    @staticmethod
+    def _contract_in_site_order(tensors) -> Tensor:
+        """Fold tensors left to right.
+
+        For site-ordered MPS-like networks this is near-optimal (the running
+        frontier holds only the bonds crossing the current cut) and avoids
+        the O(T^2) pair search of the generic greedy contractor — the
+        difference between MPS beating or losing to the dense state vector
+        at moderate widths (Fig. 7).
+        """
+        from ..tensornet.tensor import contract_pair
+
+        result = tensors[0]
+        for t in tensors[1:]:
+            result = contract_pair(result, t)
+        return result
+
+    def amplitude_of(self, bits: Sequence[int]) -> complex:
+        """Amplitude ``<bits|psi>`` by slicing then contracting (Sec. 4.3.2)."""
+        m_sub = []
+        for k, tensor in enumerate(self.tensors):
+            qindx = self.i_str(k)
+            m_sub.append(tensor.isel({qindx: int(bits[k])}))
+        value = self._contract_in_site_order(m_sub)
+        return complex(value.data.reshape(-1)[0])
+
+    def probability_of(self, bits: Sequence[int]) -> float:
+        """Born probability of a full bitstring."""
+        return float(abs(self.amplitude_of(bits)) ** 2)
+
+    def candidate_amplitudes(
+        self, bits: Sequence[int], support: Sequence[int]
+    ) -> np.ndarray:
+        """Amplitudes of all ``2^k`` candidates varying over ``support``.
+
+        Slices every non-support physical index and contracts once, keeping
+        the support's physical legs free — one contraction instead of 2^k.
+        """
+        support = list(support)
+        reduced = []
+        for k, tensor in enumerate(self.tensors):
+            if k in support:
+                reduced.append(tensor)
+            else:
+                reduced.append(tensor.isel({self.i_str(k): int(bits[k])}))
+        out_inds = [self.i_str(k) for k in support]
+        result = self._contract_in_site_order(reduced)
+        if result.data.ndim == 0:
+            return result.data.reshape(1)
+        result = result.transpose_to(out_inds)
+        return result.data.reshape(-1)
+
+    def candidate_probabilities(
+        self, bits: Sequence[int], support: Sequence[int]
+    ) -> np.ndarray:
+        """Born probabilities of candidates over ``support`` (unnormalized)."""
+        return np.abs(self.candidate_amplitudes(bits, support)) ** 2
+
+    def renormalize(self) -> None:
+        """Rescale to unit norm (after non-unitary linear maps)."""
+        norm_sq = self.norm_squared()
+        if norm_sq <= 0:
+            raise ValueError("Cannot renormalize the zero state")
+        self.tensors[0] = Tensor(
+            self.tensors[0].data / math.sqrt(norm_sq), self.tensors[0].inds
+        )
+
+    # -- global queries ----------------------------------------------------------
+    def norm_squared(self) -> float:
+        """<psi|psi> of the current (possibly truncated) network."""
+        return TensorNetwork(list(self.tensors)).norm_squared()
+
+    def state_vector(self) -> np.ndarray:
+        """Dense wavefunction (exponential; for small-n verification)."""
+        out_inds = [self.i_str(k) for k in range(self.num_qubits)]
+        result = TensorNetwork(list(self.tensors)).contract(output_inds=out_inds)
+        if isinstance(result, complex):  # pragma: no cover - n >= 1 always
+            return np.asarray([result])
+        return result.data.reshape(-1)
+
+    def copy(self, seed=None) -> "MPSState":
+        out = MPSState.__new__(MPSState)
+        SimulationState.__init__(out, self.qubits, seed)
+        out.options = self.options
+        out.tensors = [Tensor(t.data.copy(), t.inds) for t in self.tensors]
+        out._bond_counter = self._bond_counter
+        out.estimated_fidelity = self.estimated_fidelity
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"MPSState(num_qubits={self.num_qubits}, "
+            f"max_bond_dim={self.max_bond_dimension()})"
+        )

@@ -1,0 +1,35 @@
+"""Noise modelling: circuit-level noise models, readout error, T1/T2.
+
+The paper (Sec. 3.2.1) supports noisy simulation through quantum
+trajectories; this package supplies the modelling layer above the raw
+channels of :mod:`repro.circuits.channels` — device-style noise models
+that rewrite clean circuits, classical readout error applied to sampled
+records, and the thermal-relaxation channel of real hardware.
+"""
+
+from .model import (
+    ComposedNoiseModel,
+    ConstantNoiseModel,
+    DepolarizingNoiseModel,
+    IdleNoiseModel,
+    NoNoise,
+    NoiseModel,
+    PerQubitNoiseModel,
+    apply_noise,
+)
+from .readout import ReadoutErrorModel
+from .thermal import ThermalRelaxationChannel, thermal_relaxation
+
+__all__ = [
+    "NoiseModel",
+    "NoNoise",
+    "ConstantNoiseModel",
+    "DepolarizingNoiseModel",
+    "PerQubitNoiseModel",
+    "IdleNoiseModel",
+    "ComposedNoiseModel",
+    "apply_noise",
+    "ReadoutErrorModel",
+    "ThermalRelaxationChannel",
+    "thermal_relaxation",
+]

@@ -1,0 +1,177 @@
+"""Noise models: rules mapping clean circuits to noisy ones.
+
+A :class:`NoiseModel` decides which channel (if any) follows each
+operation or moment.  ``apply_noise`` rewrites a circuit by interleaving
+the model's channels; the result is a non-unitary circuit that the BGLS
+simulator runs in quantum-trajectory mode (paper Sec. 3.2.1) and the
+density-matrix state evolves exactly — the test suite checks the two
+agree.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
+
+from ..circuits import channels
+from ..circuits.circuit import Circuit
+from ..circuits.gates import Gate
+from ..circuits.moment import Moment
+from ..circuits.operations import GateOperation
+from ..circuits.qubits import Qid
+
+
+class NoiseModel(abc.ABC):
+    """Maps each clean moment to the operations that follow it."""
+
+    @abc.abstractmethod
+    def noise_after_moment(
+        self, moment: Moment, system_qubits: Sequence[Qid]
+    ) -> List[GateOperation]:
+        """Noise operations to insert after ``moment`` (may be empty)."""
+
+    def is_virtual(self, op: GateOperation) -> bool:
+        """Operations exempt from noise (measurements by default)."""
+        return op.is_measurement
+
+
+class NoNoise(NoiseModel):
+    """The trivial model: circuits pass through unchanged."""
+
+    def noise_after_moment(self, moment, system_qubits):
+        return []
+
+
+class ConstantNoiseModel(NoiseModel):
+    """One fixed channel on every qubit touched by each moment.
+
+    Args:
+        channel_factory: Zero-argument callable returning the channel gate
+            (e.g. ``lambda: channels.depolarize(0.01)``) — or a fixed Gate,
+            which will be reused directly (gates are immutable).
+    """
+
+    def __init__(self, channel_factory: Union[Callable[[], Gate], Gate]):
+        if isinstance(channel_factory, Gate):
+            # Gates are immutable values, so reusing one instance is safe.
+            gate = channel_factory
+            self._factory = lambda: gate
+        else:
+            self._factory = channel_factory
+
+    def noise_after_moment(self, moment, system_qubits):
+        noisy = []
+        for op in moment.operations:
+            if self.is_virtual(op):
+                continue
+            for q in op.qubits:
+                noisy.append(self._factory().on(q))
+        return noisy
+
+
+class DepolarizingNoiseModel(NoiseModel):
+    """Gate-dependent depolarizing noise: rate ``p1`` after 1-qubit gates
+    (per qubit) and ``p2`` after 2+-qubit gates (on each participating
+    qubit) — the standard coarse model of hardware where entangling gates
+    are an order of magnitude noisier.
+    """
+
+    def __init__(self, p1: float, p2: Optional[float] = None):
+        self.p1 = float(p1)
+        self.p2 = self.p1 if p2 is None else float(p2)
+        for p in (self.p1, self.p2):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"Depolarizing rate must be in [0, 1], got {p}")
+
+    def noise_after_moment(self, moment, system_qubits):
+        noisy = []
+        for op in moment.operations:
+            if self.is_virtual(op):
+                continue
+            rate = self.p1 if len(op.qubits) == 1 else self.p2
+            if rate == 0.0:
+                continue
+            for q in op.qubits:
+                noisy.append(channels.depolarize(rate).on(q))
+        return noisy
+
+
+class PerQubitNoiseModel(NoiseModel):
+    """Qubit-addressed channels: e.g. one bad qubit on a device.
+
+    Args:
+        channel_by_qubit: Map from qubit to the channel gate applied after
+            every moment that touches the qubit.  Unlisted qubits are clean.
+    """
+
+    def __init__(self, channel_by_qubit: Dict[Qid, Gate]):
+        self._by_qubit = dict(channel_by_qubit)
+
+    def noise_after_moment(self, moment, system_qubits):
+        noisy = []
+        for op in moment.operations:
+            if self.is_virtual(op):
+                continue
+            for q in op.qubits:
+                gate = self._by_qubit.get(q)
+                if gate is not None:
+                    noisy.append(gate.on(q))
+        return noisy
+
+
+class IdleNoiseModel(NoiseModel):
+    """Noise on *idle* qubits: decoherence while waiting for other gates.
+
+    Each moment, every system qubit not acted on receives the idle channel
+    (amplitude damping models T1 decay during the moment's duration).
+    """
+
+    def __init__(self, idle_channel: Gate):
+        self.idle_channel = idle_channel
+
+    def noise_after_moment(self, moment, system_qubits):
+        busy = set(moment.qubits)
+        return [
+            self.idle_channel.on(q) for q in system_qubits if q not in busy
+        ]
+
+
+class ComposedNoiseModel(NoiseModel):
+    """Union of several models (their channels are concatenated per moment)."""
+
+    def __init__(self, models: Iterable[NoiseModel]):
+        self.models = list(models)
+
+    def noise_after_moment(self, moment, system_qubits):
+        noisy = []
+        for model in self.models:
+            noisy.extend(model.noise_after_moment(moment, system_qubits))
+        return noisy
+
+
+def apply_noise(
+    circuit: Circuit,
+    model: NoiseModel,
+    system_qubits: Optional[Sequence[Qid]] = None,
+) -> Circuit:
+    """Interleave the model's channels after each moment of ``circuit``.
+
+    Moment structure is preserved: each clean moment is followed by one
+    moment of noise operations (when the model emits any).
+
+    Args:
+        circuit: The clean circuit.
+        model: The noise model to apply.
+        system_qubits: The full device register; defaults to the circuit's
+            own qubits.  Matters for :class:`IdleNoiseModel`, where qubits
+            never touched by the circuit still decohere.
+    """
+    if system_qubits is None:
+        system_qubits = circuit.all_qubits()
+    out = Circuit()
+    for moment in circuit.moments:
+        out.append_new_moment(moment.operations)
+        noise_ops = model.noise_after_moment(moment, system_qubits)
+        if noise_ops:
+            out.append_new_moment(noise_ops)
+    return out

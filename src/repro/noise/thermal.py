@@ -1,0 +1,85 @@
+"""Thermal relaxation: the T1/T2 channel of real hardware.
+
+Combines amplitude damping (energy relaxation, time constant T1) and pure
+dephasing so the off-diagonal coherence decays with time constant T2.
+Physicality requires ``T2 <= 2 T1``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+import numpy as np
+
+from ..circuits.gates import Gate
+
+
+class ThermalRelaxationChannel(Gate):
+    """Single-qubit thermal relaxation over duration ``t``.
+
+    Kraus form: amplitude damping with ``gamma = 1 - exp(-t/T1)`` composed
+    with phase damping chosen so total coherence decay is ``exp(-t/T2)``.
+
+    Args:
+        t1: Energy relaxation time constant (same units as ``t``).
+        t2: Coherence time constant; must satisfy ``t2 <= 2 * t1``.
+        t: Gate/idle duration the channel models.
+    """
+
+    def __init__(self, t1: float, t2: float, t: float):
+        t1, t2, t = float(t1), float(t2), float(t)
+        if t1 <= 0 or t2 <= 0:
+            raise ValueError("T1 and T2 must be positive")
+        if t2 > 2.0 * t1 + 1e-12:
+            raise ValueError(f"Unphysical parameters: T2={t2} > 2*T1={2 * t1}")
+        if t < 0:
+            raise ValueError(f"Duration must be non-negative, got {t}")
+        self.t1 = t1
+        self.t2 = t2
+        self.t = t
+
+    def num_qubits(self) -> int:
+        return 1
+
+    def _unitary_(self):
+        return None
+
+    def _gamma_lambda(self) -> Tuple[float, float]:
+        """(amplitude-damping gamma, extra phase-damping lambda)."""
+        gamma = 1.0 - math.exp(-self.t / self.t1)
+        # After AD, coherence scales by sqrt(1-gamma) = e^{-t/(2 T1)};
+        # the residual dephasing must supply e^{-t/T2 + t/(2 T1)}.
+        residual = math.exp(-self.t / self.t2 + self.t / (2.0 * self.t1))
+        lam = 1.0 - residual**2
+        return gamma, max(0.0, min(1.0, lam))
+
+    def _kraus_(self) -> List[np.ndarray]:
+        gamma, lam = self._gamma_lambda()
+        keep = math.sqrt(max(0.0, (1.0 - gamma) * (1.0 - lam)))
+        k0 = np.array([[1.0, 0.0], [0.0, keep]], dtype=np.complex128)
+        k1 = np.array([[0.0, math.sqrt(gamma)], [0.0, 0.0]], dtype=np.complex128)
+        k2 = np.array(
+            [[0.0, 0.0], [0.0, math.sqrt((1.0 - gamma) * lam)]],
+            dtype=np.complex128,
+        )
+        return [k0, k1, k2]
+
+    def _diagram_symbols_(self) -> Tuple[str, ...]:
+        return (f"TR(T1={self.t1},T2={self.t2},t={self.t})",)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, ThermalRelaxationChannel):
+            return NotImplemented
+        return (self.t1, self.t2, self.t) == (other.t1, other.t2, other.t)
+
+    def __hash__(self) -> int:
+        return hash(("ThermalRelaxationChannel", self.t1, self.t2, self.t))
+
+    def __repr__(self) -> str:
+        return f"ThermalRelaxationChannel(t1={self.t1}, t2={self.t2}, t={self.t})"
+
+
+def thermal_relaxation(t1: float, t2: float, t: float) -> ThermalRelaxationChannel:
+    """Thermal relaxation channel over duration ``t`` with constants T1, T2."""
+    return ThermalRelaxationChannel(t1, t2, t)

@@ -1,0 +1,21 @@
+"""Protocols: duck-typed capability queries over gates/operations/states.
+
+Mirrors the thin slice of ``cirq.protocols`` used by BGLS: ``unitary``,
+``kraus``, ``act_on`` and ``has_stabilizer_effect``.
+"""
+
+from .unitary import unitary, has_unitary
+from .kraus import kraus, has_kraus, is_channel
+from .act_on import act_on
+from .stabilizer import has_stabilizer_effect, stabilizer_sequence
+
+__all__ = [
+    "unitary",
+    "has_unitary",
+    "kraus",
+    "has_kraus",
+    "is_channel",
+    "act_on",
+    "has_stabilizer_effect",
+    "stabilizer_sequence",
+]

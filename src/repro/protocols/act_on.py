@@ -1,0 +1,27 @@
+"""The ``act_on`` protocol: apply an operation to a simulation state.
+
+This is the ``apply_op`` function the paper's core snippet passes to
+``bgls.Simulator`` (``cirq.protocols.act_on`` in the reference).  States
+implement ``_act_on_(operation)`` and the protocol simply dispatches,
+so any user-defined state representation plugs in unchanged.
+"""
+
+from __future__ import annotations
+
+
+def act_on(operation, state) -> None:
+    """Apply ``operation`` to ``state`` in place.
+
+    Args:
+        operation: A :class:`~repro.circuits.operations.GateOperation`.
+        state: Any object exposing ``_act_on_(operation)``.
+
+    Raises:
+        TypeError: If the state does not implement ``_act_on_``.
+    """
+    handler = getattr(state, "_act_on_", None)
+    if handler is None:
+        raise TypeError(
+            f"State {type(state).__name__} does not implement _act_on_"
+        )
+    handler(operation)

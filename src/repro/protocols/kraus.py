@@ -1,0 +1,34 @@
+"""The ``kraus`` protocol (quantum channels)."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+
+def kraus(val, default=RuntimeError) -> Optional[List[np.ndarray]]:
+    """Return the Kraus operators of a gate/operation.
+
+    Unitary gates yield a single-element list.  ``default`` behaves as in
+    :func:`repro.protocols.unitary`.
+    """
+    getter = getattr(val, "_kraus_", None)
+    result = getter() if getter is not None else None
+    if result is not None:
+        return [np.asarray(k, dtype=np.complex128) for k in result]
+    if default is RuntimeError:
+        raise TypeError(f"No Kraus representation for {val!r}")
+    return default
+
+
+def has_kraus(val) -> bool:
+    """Whether ``kraus(val)`` would succeed."""
+    return kraus(val, default=None) is not None
+
+
+def is_channel(val) -> bool:
+    """Whether ``val`` is non-unitary but has a Kraus representation."""
+    from .unitary import has_unitary
+
+    return has_kraus(val) and not has_unitary(val)

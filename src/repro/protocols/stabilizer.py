@@ -1,0 +1,105 @@
+"""The ``has_stabilizer_effect`` protocol: is a gate Clifford?
+
+Fast path: the gate provides ``_stabilizer_sequence_`` (a decomposition into
+CH-form primitives).  Fallback: a numeric check that the gate's unitary
+conjugates every Pauli generator to a Pauli-string with unit coefficient —
+the defining property of the Clifford group.  The numeric check is cached
+per unitary so repeated queries (every gate of every sampled circuit) are
+cheap.
+"""
+
+from __future__ import annotations
+
+import functools
+import itertools
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .unitary import unitary
+
+_PAULIS = {
+    "I": np.eye(2, dtype=np.complex128),
+    "X": np.array([[0, 1], [1, 0]], dtype=np.complex128),
+    "Y": np.array([[0, -1j], [1j, 0]], dtype=np.complex128),
+    "Z": np.array([[1, 0], [0, -1]], dtype=np.complex128),
+}
+
+
+def _pauli_string_matrix(labels: Tuple[str, ...]) -> np.ndarray:
+    out = np.array([[1.0 + 0j]])
+    for label in labels:
+        out = np.kron(out, _PAULIS[label])
+    return out
+
+
+@functools.lru_cache(maxsize=None)
+def _pauli_basis(num_qubits: int) -> List[Tuple[Tuple[str, ...], np.ndarray]]:
+    return [
+        (labels, _pauli_string_matrix(labels))
+        for labels in itertools.product("IXYZ", repeat=num_qubits)
+    ]
+
+
+def _is_pauli_with_unit_phase(matrix: np.ndarray, atol: float = 1e-8) -> bool:
+    """Whether ``matrix`` equals ``phase * P`` for a Pauli string P, |phase|=1,
+    with phase in {1, -1, i, -i} (required for Clifford conjugation)."""
+    dim = matrix.shape[0]
+    n = int(np.log2(dim))
+    for _labels, pauli in _pauli_basis(n):
+        coeff = np.trace(pauli.conj().T @ matrix) / dim
+        if abs(coeff) < atol:
+            continue
+        # First nonzero coefficient found; matrix is Pauli iff it matches
+        # exactly and the coefficient is a fourth root of unity.
+        if abs(abs(coeff) - 1.0) > atol:
+            return False
+        if abs(coeff**4 - 1.0) > atol:
+            return False
+        return bool(np.allclose(matrix, coeff * pauli, atol=atol))
+    return False
+
+
+def _clifford_check(u: np.ndarray, atol: float = 1e-8) -> bool:
+    """Numerically verify U P U^dag stays Pauli for all generators P."""
+    dim = u.shape[0]
+    n = int(np.log2(dim))
+    u_dag = u.conj().T
+    for q in range(n):
+        for label in ("X", "Z"):
+            labels = tuple(label if i == q else "I" for i in range(n))
+            p = _pauli_string_matrix(labels)
+            if not _is_pauli_with_unit_phase(u @ p @ u_dag, atol=atol):
+                return False
+    return True
+
+
+# Cache keyed by unitary bytes: the same gate objects recur throughout a
+# circuit, and hashing the raw matrix avoids re-running the O(4^n) check.
+@functools.lru_cache(maxsize=4096)
+def _clifford_check_cached(key: bytes, shape: int) -> bool:
+    u = np.frombuffer(key, dtype=np.complex128).reshape(shape, shape)
+    return _clifford_check(u)
+
+
+def stabilizer_sequence(val) -> Optional[Tuple[complex, list]]:
+    """The gate's CH-primitive decomposition ``(phase, ops)`` or None."""
+    getter = getattr(val, "_stabilizer_sequence_", None)
+    return getter() if getter is not None else None
+
+
+def has_stabilizer_effect(val) -> bool:
+    """Whether the gate/operation maps stabilizer states to stabilizer states.
+
+    Mirrors ``cirq.has_stabilizer_effect``; used by ``act_on_near_clifford``
+    to decide whether to apply a gate directly or expand it stochastically
+    via sum-over-Cliffords.
+    """
+    if stabilizer_sequence(val) is not None:
+        return True
+    u = unitary(val, default=None)
+    if u is None:
+        return False
+    if u.shape[0] > 8:
+        return False  # too large for the numeric check; treat as non-Clifford
+    return _clifford_check_cached(np.ascontiguousarray(u).tobytes(), u.shape[0])

@@ -1,0 +1,35 @@
+"""The ``unitary`` protocol."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def unitary(val, default=RuntimeError) -> Optional[np.ndarray]:
+    """Return the unitary matrix of a gate/operation/circuit.
+
+    Args:
+        val: Anything exposing ``_unitary_`` or a ``unitary()`` method
+            (circuits).
+        default: Value returned when no unitary exists; if left as the
+            sentinel ``RuntimeError``, raises instead.
+    """
+    getter = getattr(val, "_unitary_", None)
+    result = getter() if getter is not None else None
+    if result is None and hasattr(val, "unitary") and callable(val.unitary):
+        try:
+            result = val.unitary()
+        except ValueError:
+            result = None
+    if result is not None:
+        return np.asarray(result, dtype=np.complex128)
+    if default is RuntimeError:
+        raise TypeError(f"No unitary for {val!r}")
+    return default
+
+
+def has_unitary(val) -> bool:
+    """Whether ``unitary(val)`` would succeed."""
+    return unitary(val, default=None) is not None

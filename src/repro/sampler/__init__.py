@@ -1,0 +1,35 @@
+"""The BGLS sampler: gate-by-gate sampling, baselines, sum-over-Cliffords,
+process-parallel trajectories."""
+
+from .baseline import ExactDistributionSampler, QubitByQubitSimulator
+from .near_clifford import (
+    act_on_near_clifford,
+    count_non_clifford_gates,
+    rotation_branch_weights,
+    stabilizer_extent_circuit,
+    stabilizer_extent_rz,
+)
+from .parallel import run_parallel, sample_trajectories_parallel
+from .results import Result, plot_state_histogram
+from .simulator import Simulator
+from .stabilizer_noise import (
+    act_on_near_clifford_with_pauli_noise,
+    act_on_with_pauli_noise,
+)
+
+__all__ = [
+    "Simulator",
+    "Result",
+    "plot_state_histogram",
+    "QubitByQubitSimulator",
+    "ExactDistributionSampler",
+    "act_on_near_clifford",
+    "rotation_branch_weights",
+    "stabilizer_extent_rz",
+    "stabilizer_extent_circuit",
+    "count_non_clifford_gates",
+    "run_parallel",
+    "sample_trajectories_parallel",
+    "act_on_with_pauli_noise",
+    "act_on_near_clifford_with_pauli_noise",
+]

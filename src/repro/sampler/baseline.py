@@ -1,0 +1,151 @@
+"""Baseline samplers the paper compares against.
+
+* :class:`QubitByQubitSimulator` — the *conventional* algorithm (paper
+  Sec. 2): fully evolve the circuit once, then for each repetition measure
+  qubits sequentially, computing each qubit's marginal conditioned on the
+  bits already fixed.  This is the ``f(n, 2d)``-cost comparator.
+* :class:`ExactDistributionSampler` — samples directly from the exact final
+  probability vector (dense states only); the "ideal distribution" used for
+  the overlap analyses of Figs. 4-5.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Union
+
+import numpy as np
+
+from ..circuits.circuit import Circuit
+from ..circuits.parameters import ParamResolver
+from .results import Result
+
+
+class QubitByQubitSimulator:
+    """Conventional qubit-by-qubit sampling over any simulation state.
+
+    Uses the state's own ``measure`` (marginal + collapse) machinery: one
+    full circuit evolution, then ``n`` sequential marginal computations per
+    repetition, each on a fresh copy of the final state.
+    """
+
+    def __init__(
+        self,
+        initial_state,
+        apply_op: Callable,
+        *,
+        seed: Union[int, np.random.Generator, None] = None,
+    ):
+        self.initial_state = initial_state
+        self.apply_op = apply_op
+        self._rng = (
+            seed
+            if isinstance(seed, np.random.Generator)
+            else np.random.default_rng(seed)
+        )
+
+    def run(
+        self,
+        circuit: Circuit,
+        repetitions: int = 1,
+        param_resolver: Union[ParamResolver, dict, None] = None,
+    ) -> Result:
+        records = self._records(circuit, repetitions, param_resolver)
+        if not records:
+            raise ValueError("Circuit has no measurements")
+        return Result(records)
+
+    def sample_bitstrings(
+        self,
+        circuit: Circuit,
+        repetitions: int = 1,
+        param_resolver=None,
+    ) -> np.ndarray:
+        """Final full-register bitstrings, shape ``(repetitions, n)``."""
+        resolved = circuit.resolve_parameters(param_resolver)
+        final = self._evolve(resolved)
+        n = len(final.qubits)
+        out = np.empty((repetitions, n), dtype=np.int8)
+        for rep in range(repetitions):
+            state = final.copy(seed=int(self._rng.integers(2**62)))
+            # Sequential single-qubit measurements: each call computes the
+            # marginal given previously collapsed qubits.
+            for axis in range(n):
+                out[rep, axis] = state.measure([axis])[0]
+        return out
+
+    def _evolve(self, circuit: Circuit):
+        state = self.initial_state.copy(seed=int(self._rng.integers(2**62)))
+        for op in circuit.all_operations():
+            if op.is_measurement:
+                continue
+            self.apply_op(op, state)
+        return state
+
+    def _records(self, circuit, repetitions, param_resolver) -> Dict[str, np.ndarray]:
+        resolved = circuit.resolve_parameters(param_resolver)
+        if not resolved.are_all_measurements_terminal():
+            raise ValueError(
+                "QubitByQubitSimulator only supports terminal measurements"
+            )
+        bits = self.sample_bitstrings(resolved, repetitions)
+        state = self.initial_state
+        records: Dict[str, np.ndarray] = {}
+        for op in resolved.all_operations():
+            if op.is_measurement:
+                cols = [state.qubit_index[q] for q in op.qubits]
+                records[op.measurement_key] = bits[:, cols].copy()
+        return records
+
+
+class ExactDistributionSampler:
+    """Samples bitstrings from the exact final distribution.
+
+    Only works with states exposing the full probability vector (dense
+    state vector / density matrix); used as the ground-truth reference for
+    overlap computations.
+    """
+
+    def __init__(
+        self,
+        initial_state,
+        apply_op: Callable,
+        *,
+        seed: Union[int, np.random.Generator, None] = None,
+    ):
+        self.initial_state = initial_state
+        self.apply_op = apply_op
+        self._rng = (
+            seed
+            if isinstance(seed, np.random.Generator)
+            else np.random.default_rng(seed)
+        )
+
+    def final_distribution(self, circuit: Circuit, param_resolver=None) -> np.ndarray:
+        """Exact Born probabilities of all ``2**n`` outcomes."""
+        resolved = circuit.resolve_parameters(param_resolver)
+        state = self.initial_state.copy(seed=int(self._rng.integers(2**62)))
+        for op in resolved.all_operations():
+            if op.is_measurement:
+                continue
+            self.apply_op(op, state)
+        if hasattr(state, "state_vector"):
+            probs = np.abs(np.asarray(state.state_vector())) ** 2
+        elif hasattr(state, "diagonal_probabilities"):
+            probs = state.diagonal_probabilities()
+        else:
+            raise TypeError(
+                f"{type(state).__name__} exposes no full distribution"
+            )
+        return probs / probs.sum()
+
+    def sample_bitstrings(
+        self, circuit: Circuit, repetitions: int = 1, param_resolver=None
+    ) -> np.ndarray:
+        """IID samples from the exact distribution, shape ``(reps, n)``."""
+        probs = self.final_distribution(circuit, param_resolver)
+        n = int(np.log2(probs.shape[0]))
+        outcomes = self._rng.choice(probs.shape[0], size=repetitions, p=probs)
+        out = np.empty((repetitions, n), dtype=np.int8)
+        for j in range(n):
+            out[:, j] = (outcomes >> (n - 1 - j)) & 1
+        return out

@@ -1,0 +1,138 @@
+"""Process-parallel trajectory sampling.
+
+Quantum-trajectory mode (noisy circuits, mid-circuit measurement,
+sum-over-Cliffords) runs one independent walk per repetition — an
+embarrassingly parallel loop.  This module fans those walks out over a
+process pool, the standard Python answer to CPU-bound parallelism (the
+GIL rules out threads for the NumPy-light per-gate bookkeeping).
+
+The cost model matters: each task ships the circuit and re-builds the
+simulator in the worker, so parallelism pays off when per-trajectory work
+is substantial (many gates, stabilizer branching) and loses below that.
+``chunk`` sizing amortizes the dispatch overhead; the ablation benchmark
+``bench_ablations.py`` quantifies the crossover.
+
+Factories must be importable (module-level) callables: workers receive
+them by pickling.  Closures and lambdas work only with the ``fork`` start
+method, which is the default used here when the platform provides it.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..circuits.circuit import Circuit
+from .results import Result
+from .simulator import Simulator
+
+SimulatorFactory = Callable[[int], Simulator]
+"""``(seed) -> Simulator``; called once per worker chunk."""
+
+
+def _run_chunk(
+    factory: SimulatorFactory,
+    circuit: Circuit,
+    repetitions: int,
+    seed: int,
+) -> Tuple[Dict[str, np.ndarray], np.ndarray]:
+    """Worker body: build a simulator and run one chunk of repetitions."""
+    simulator = factory(seed)
+    records, bits = simulator._execute(circuit, repetitions, None)
+    return records, bits
+
+
+def _chunk_sizes(repetitions: int, num_chunks: int) -> List[int]:
+    num_chunks = min(num_chunks, repetitions)
+    base, extra = divmod(repetitions, num_chunks)
+    return [base + (1 if i < extra else 0) for i in range(num_chunks)]
+
+
+def sample_trajectories_parallel(
+    factory: SimulatorFactory,
+    circuit: Circuit,
+    repetitions: int,
+    *,
+    num_workers: Optional[int] = None,
+    chunks_per_worker: int = 1,
+    seed: Union[int, np.random.Generator, None] = None,
+) -> Tuple[Dict[str, np.ndarray], np.ndarray]:
+    """Run ``repetitions`` independent trajectories across a process pool.
+
+    Args:
+        factory: Picklable ``(seed) -> Simulator`` builder.
+        circuit: The circuit to sample (must be parameter-free).
+        repetitions: Total repetitions, split across workers.
+        num_workers: Pool size; defaults to ``os.cpu_count()``.
+        chunks_per_worker: >1 gives smaller tasks (better load balance,
+            more dispatch overhead).
+        seed: Seeds the per-chunk seed stream, making runs reproducible
+            for a fixed worker/chunk configuration.
+
+    Returns:
+        ``(records, bits)`` with the same layout as ``Simulator._execute``:
+        keyed measurement records and the full ``(repetitions, n)`` array.
+    """
+    if repetitions < 1:
+        raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+    if num_workers is None:
+        num_workers = os.cpu_count() or 1
+    num_workers = max(1, int(num_workers))
+    rng = (
+        seed
+        if isinstance(seed, np.random.Generator)
+        else np.random.default_rng(seed)
+    )
+
+    sizes = _chunk_sizes(repetitions, num_workers * max(1, chunks_per_worker))
+    seeds = [int(rng.integers(2**62)) for _ in sizes]
+
+    if num_workers == 1 or len(sizes) == 1:
+        parts = [
+            _run_chunk(factory, circuit, size, s)
+            for size, s in zip(sizes, seeds)
+        ]
+    else:
+        context = (
+            multiprocessing.get_context("fork")
+            if "fork" in multiprocessing.get_all_start_methods()
+            else multiprocessing.get_context()
+        )
+        with ProcessPoolExecutor(
+            max_workers=num_workers, mp_context=context
+        ) as pool:
+            futures = [
+                pool.submit(_run_chunk, factory, circuit, size, s)
+                for size, s in zip(sizes, seeds)
+            ]
+            parts = [f.result() for f in futures]
+
+    all_bits = np.concatenate([bits for _, bits in parts], axis=0)
+    keys = parts[0][0].keys()
+    records = {
+        key: np.concatenate([rec[key] for rec, _ in parts], axis=0)
+        for key in keys
+    }
+    return records, all_bits
+
+
+def run_parallel(
+    factory: SimulatorFactory,
+    circuit: Circuit,
+    repetitions: int,
+    **kwargs,
+) -> Result:
+    """Parallel :meth:`Simulator.run`: keyed measurement records."""
+    records, _ = sample_trajectories_parallel(
+        factory, circuit, repetitions, **kwargs
+    )
+    if not records:
+        raise ValueError(
+            "Circuit has no measurements; use sample_trajectories_parallel "
+            "for raw bitstrings."
+        )
+    return Result(records)

@@ -1,0 +1,128 @@
+"""Measurement results (the Cirq-style ``Result`` object)."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+
+class Result:
+    """Sampled measurement records.
+
+    Attributes:
+        measurements: Mapping from measurement key to an int8 array of shape
+            ``(repetitions, num_measured_qubits)``; bit order follows the
+            qubit order given to ``measure(...)``.
+    """
+
+    def __init__(self, measurements: Dict[str, np.ndarray]):
+        self.measurements = {
+            key: np.asarray(value, dtype=np.int8)
+            for key, value in measurements.items()
+        }
+
+    @property
+    def repetitions(self) -> int:
+        for value in self.measurements.values():
+            return int(value.shape[0])
+        return 0
+
+    def histogram(self, key: str) -> Counter:
+        """Counter of big-endian integer outcomes under ``key``.
+
+        Mirrors ``cirq.Result.histogram``: bits are packed most-significant
+        first, so the GHZ circuit of the paper's Fig. 1 yields only the
+        values 0 and 3 on two qubits.
+        """
+        records = self.measurements[key]
+        weights = 2 ** np.arange(records.shape[1] - 1, -1, -1, dtype=np.int64)
+        return Counter((records.astype(np.int64) @ weights).tolist())
+
+    def probabilities(self, key: str) -> Dict[int, float]:
+        """Empirical outcome probabilities under ``key``."""
+        hist = self.histogram(key)
+        total = sum(hist.values())
+        return {outcome: count / total for outcome, count in hist.items()}
+
+    def merged_with(self, other: "Result") -> "Result":
+        """Concatenate two results' repetitions (keys must match).
+
+        The merge companion of the process-parallel sampler: chunked runs
+        combine into one record set.
+        """
+        if set(self.measurements) != set(other.measurements):
+            raise ValueError(
+                f"Key mismatch: {sorted(self.measurements)} vs "
+                f"{sorted(other.measurements)}"
+            )
+        return Result(
+            {
+                key: np.concatenate(
+                    [self.measurements[key], other.measurements[key]], axis=0
+                )
+                for key in self.measurements
+            }
+        )
+
+    def to_json(self) -> str:
+        """Serialize records to a JSON string (ints, portable)."""
+        import json
+
+        payload = {
+            key: value.tolist() for key, value in self.measurements.items()
+        }
+        return json.dumps({"measurements": payload})
+
+    @classmethod
+    def from_json(cls, text: str) -> "Result":
+        """Inverse of :meth:`to_json`."""
+        import json
+
+        data = json.loads(text)
+        if "measurements" not in data:
+            raise ValueError("JSON payload is not a serialized Result")
+        return cls(
+            {
+                key: np.asarray(rows, dtype=np.int8)
+                for key, rows in data["measurements"].items()
+            }
+        )
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Result):
+            return NotImplemented
+        if set(self.measurements) != set(other.measurements):
+            return False
+        return all(
+            np.array_equal(self.measurements[k], other.measurements[k])
+            for k in self.measurements
+        )
+
+    def __repr__(self) -> str:
+        shapes = {k: v.shape for k, v in self.measurements.items()}
+        return f"Result(measurements={shapes})"
+
+
+def plot_state_histogram(result: Result, key: Optional[str] = None) -> str:
+    """Text rendition of ``cirq.plot_state_histogram`` (no display here).
+
+    Returns (and prints) an ASCII bar chart of outcome counts, the textual
+    equivalent of the paper's Fig. 1.
+    """
+    if key is None:
+        if len(result.measurements) != 1:
+            raise ValueError("Multiple keys present; specify one")
+        key = next(iter(result.measurements))
+    hist = result.histogram(key)
+    width = result.measurements[key].shape[1]
+    peak = max(hist.values())
+    lines = [f"histogram for key {key!r} ({result.repetitions} repetitions)"]
+    for outcome in sorted(hist):
+        label = format(outcome, f"0{width}b")
+        bar = "#" * max(1, round(40 * hist[outcome] / peak))
+        lines.append(f"  {label} | {bar} {hist[outcome]}")
+    text = "\n".join(lines)
+    print(text)
+    return text

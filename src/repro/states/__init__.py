@@ -1,0 +1,20 @@
+"""Simulation states: the quantum-state representations BGLS samples from."""
+
+from .base import SimulationState, bits_to_index, index_to_bits
+from .state_vector import StateVectorSimulationState
+from .density_matrix import DensityMatrixSimulationState
+from .chform import StabilizerChForm
+from .stabilizer import StabilizerChFormSimulationState
+from .tableau import CliffordTableau, CliffordTableauSimulationState
+
+__all__ = [
+    "SimulationState",
+    "StateVectorSimulationState",
+    "DensityMatrixSimulationState",
+    "StabilizerChForm",
+    "StabilizerChFormSimulationState",
+    "CliffordTableau",
+    "CliffordTableauSimulationState",
+    "bits_to_index",
+    "index_to_bits",
+]

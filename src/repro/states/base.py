@@ -1,0 +1,112 @@
+"""Base machinery shared by all simulation states.
+
+A *simulation state* owns (1) an ordered qubit register fixing bitstring
+positions, (2) a PRNG for stochastic branches (Kraus trajectories,
+measurement collapse), and (3) an ``_act_on_`` entry point the
+:func:`repro.protocols.act_on` protocol dispatches to.
+
+The act-on flow is Cirq-like: unitary ops apply deterministically; channel
+ops select one Kraus branch stochastically (quantum trajectories, paper
+Sec. 3.2.1); measurement ops collapse the state and record nothing (the
+sampler owns measurement bookkeeping).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..circuits.operations import GateOperation
+from ..circuits.qubits import Qid
+
+
+class SimulationState(abc.ABC):
+    """Common base: qubit register, RNG, act-on dispatch."""
+
+    def __init__(
+        self,
+        qubits: Sequence[Qid],
+        seed: Union[int, np.random.Generator, None] = None,
+    ):
+        self.qubits: Tuple[Qid, ...] = tuple(qubits)
+        if len(set(self.qubits)) != len(self.qubits):
+            raise ValueError("Duplicate qubits in state register")
+        self.qubit_index: Dict[Qid, int] = {q: i for i, q in enumerate(self.qubits)}
+        self._rng = (
+            seed
+            if isinstance(seed, np.random.Generator)
+            else np.random.default_rng(seed)
+        )
+
+    @property
+    def num_qubits(self) -> int:
+        return len(self.qubits)
+
+    @property
+    def rng(self) -> np.random.Generator:
+        return self._rng
+
+    def axes_of(self, op_qubits: Sequence[Qid]) -> List[int]:
+        """Map operation qubits to state axes."""
+        try:
+            return [self.qubit_index[q] for q in op_qubits]
+        except KeyError as exc:
+            raise ValueError(f"Qubit {exc.args[0]} not in state register") from exc
+
+    # -- act_on dispatch ---------------------------------------------------
+    def _act_on_(self, op: GateOperation) -> None:
+        """Apply an operation: unitary, channel, or measurement."""
+        axes = self.axes_of(op.qubits)
+        if op.is_measurement:
+            self.measure(axes)
+            return
+        u = op._unitary_()
+        if u is not None:
+            self.apply_unitary(u, axes)
+            return
+        ks = op._kraus_()
+        if ks is not None:
+            self.apply_channel(ks, axes)
+            return
+        raise TypeError(f"Cannot apply {op!r}: no unitary or Kraus form")
+
+    # -- abstract state mutations -------------------------------------------
+    @abc.abstractmethod
+    def apply_unitary(self, u: np.ndarray, axes: Sequence[int]) -> None:
+        """Apply the ``2^k x 2^k`` unitary ``u`` to the given axes."""
+
+    @abc.abstractmethod
+    def apply_channel(self, kraus: List[np.ndarray], axes: Sequence[int]) -> None:
+        """Apply a channel (stochastically or exactly per representation)."""
+
+    @abc.abstractmethod
+    def measure(self, axes: Sequence[int]) -> List[int]:
+        """Measure axes in the computational basis, collapse, return bits."""
+
+    @abc.abstractmethod
+    def project(self, axes: Sequence[int], bits: Sequence[int]) -> None:
+        """Collapse the given axes onto known outcome ``bits`` (renormalized).
+
+        Used by the BGLS trajectory mode: the tracked bitstring already *is*
+        a sample of the mid-circuit measurement, so the state is projected
+        onto it rather than re-sampled.
+        """
+
+    @abc.abstractmethod
+    def copy(self, seed: Union[int, np.random.Generator, None] = None) -> "SimulationState":
+        """Deep copy (fresh RNG unless ``seed`` shares one)."""
+
+
+def bits_to_index(bits: Sequence[int]) -> int:
+    """Big-endian bits -> integer index (qubit 0 is the most significant)."""
+    index = 0
+    for b in bits:
+        index = (index << 1) | int(b)
+    return index
+
+
+def index_to_bits(index: int, width: int) -> Tuple[int, ...]:
+    """Integer -> big-endian bit tuple of the given width."""
+    return tuple((index >> (width - 1 - i)) & 1 for i in range(width))

@@ -1,0 +1,159 @@
+"""Dense density-matrix simulation state.
+
+Stored as a ``(2,)*2n`` tensor (row axes 0..n-1, column axes n..2n-1).
+Channels apply *exactly* (summed over Kraus branches) rather than by
+trajectories, so a single run reproduces the mixed state; the BGLS sampler
+then samples bitstrings from the diagonal via candidate probabilities.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Union
+
+import numpy as np
+
+from ..circuits.qubits import Qid
+from .base import SimulationState
+
+
+class DensityMatrixSimulationState(SimulationState):
+    """Mixed-state simulation state.
+
+    Class attribute ``_exact_channels_`` tells the BGLS sampler that
+    channels apply deterministically here (no trajectory branching needed).
+
+    Args:
+        qubits: Ordered qubit register.
+        initial_state: Basis index, a pure state vector, or a full density
+            matrix of shape ``(2**n, 2**n)``.
+        seed: RNG seed/generator (used only by measurement collapse).
+    """
+
+    _exact_channels_ = True
+
+    def __init__(
+        self,
+        qubits: Sequence[Qid],
+        initial_state: Union[int, np.ndarray] = 0,
+        seed: Union[int, np.random.Generator, None] = None,
+    ):
+        super().__init__(qubits, seed)
+        n = self.num_qubits
+        dim = 2**n
+        if isinstance(initial_state, (int, np.integer)):
+            rho = np.zeros((dim, dim), dtype=np.complex128)
+            rho[int(initial_state), int(initial_state)] = 1.0
+        else:
+            arr = np.asarray(initial_state, dtype=np.complex128)
+            if arr.ndim == 1 or (arr.ndim == 2 and 1 in arr.shape):
+                vec = arr.reshape(-1)
+                if vec.shape[0] != dim:
+                    raise ValueError(f"Expected {dim} amplitudes, got {vec.shape[0]}")
+                rho = np.outer(vec, vec.conj())
+            elif arr.shape == (dim, dim):
+                rho = arr.copy()
+                if abs(np.trace(rho) - 1.0) > 1e-6:
+                    raise ValueError("Density matrix must have unit trace")
+            else:
+                raise ValueError(f"Bad initial_state shape {arr.shape}")
+        self.tensor = rho.reshape((2,) * (2 * n))
+
+    # -- internals ---------------------------------------------------------
+    def _left_right_apply(self, op: np.ndarray, axes: Sequence[int]) -> np.ndarray:
+        """Return ``op rho op^dag`` on the given qubit axes."""
+        n = self.num_qubits
+        k = len(axes)
+        op = np.asarray(op, dtype=np.complex128).reshape((2,) * (2 * k))
+        row_axes = list(axes)
+        col_axes = [a + n for a in axes]
+        out = np.tensordot(op, self.tensor, axes=(range(k, 2 * k), row_axes))
+        out = np.moveaxis(out, range(k), row_axes)
+        out = np.tensordot(op.conj(), out, axes=(range(k, 2 * k), col_axes))
+        out = np.moveaxis(out, range(k), col_axes)
+        return out
+
+    # -- mutations ------------------------------------------------------------
+    def apply_unitary(self, u: np.ndarray, axes: Sequence[int]) -> None:
+        self.tensor = self._left_right_apply(u, axes)
+
+    def apply_channel(self, kraus: List[np.ndarray], axes: Sequence[int]) -> None:
+        """Exact channel application: rho <- sum_k K rho K^dag."""
+        total = None
+        for op in kraus:
+            term = self._left_right_apply(op, axes)
+            total = term if total is None else total + term
+        self.tensor = total
+
+    def measure(self, axes: Sequence[int]) -> List[int]:
+        axes = list(axes)
+        n = self.num_qubits
+        diag = self.diagonal_probabilities().reshape((2,) * n)
+        other = tuple(i for i in range(n) if i not in axes)
+        marginal = diag.sum(axis=other) if other else diag
+        flat = marginal.reshape(-1)
+        flat = flat / flat.sum()
+        outcome = int(self._rng.choice(flat.shape[0], p=flat))
+        bits = [(outcome >> (len(axes) - 1 - i)) & 1 for i in range(len(axes))]
+        self.project(axes, bits)
+        return bits
+
+    def project(self, axes: Sequence[int], bits: Sequence[int]) -> None:
+        """Collapse ``axes`` onto ``bits`` (rows and columns) and renormalize."""
+        n = self.num_qubits
+        index: List[Union[slice, int]] = [slice(None)] * (2 * n)
+        self.tensor = self.tensor.copy()
+        for axis, bit in zip(axes, bits):
+            for offset in (0, n):
+                index[axis + offset] = 1 - int(bit)
+                self.tensor[tuple(index)] = 0.0
+                index[axis + offset] = slice(None)
+        trace = float(
+            np.real(np.trace(self.tensor.reshape(2**n, 2**n)))
+        )
+        if trace <= 0:
+            raise ValueError("Projected onto a zero-probability outcome")
+        self.tensor /= trace
+
+    # -- queries -----------------------------------------------------------------
+    def density_matrix(self) -> np.ndarray:
+        """The dense ``(2**n, 2**n)`` density matrix (a copy)."""
+        dim = 2**self.num_qubits
+        return self.tensor.reshape(dim, dim).copy()
+
+    def diagonal_probabilities(self) -> np.ndarray:
+        """Born probabilities of all ``2**n`` bitstrings (the diagonal)."""
+        dim = 2**self.num_qubits
+        return np.real(np.diagonal(self.tensor.reshape(dim, dim))).copy()
+
+    def probability_of(self, bits: Sequence[int]) -> float:
+        """Born probability of a full bitstring."""
+        idx = tuple(int(b) for b in bits)
+        return float(np.real(self.tensor[idx + idx]))
+
+    def candidate_probabilities(
+        self, bits: Sequence[int], support: Sequence[int]
+    ) -> np.ndarray:
+        """Diagonal probabilities of all candidates over ``support``."""
+        n = self.num_qubits
+        index: List[Union[slice, int]] = [int(b) for b in bits] * 2
+        for axis in support:
+            index[axis] = slice(None)
+            index[axis + n] = slice(None)
+        block = self.tensor[tuple(index)]
+        k = len(support)
+        # Block axes: sorted support (rows) then sorted support (cols).
+        ranks = list(np.argsort(np.argsort(support)))
+        block = np.transpose(block, axes=ranks + [r + k for r in ranks])
+        diag = np.einsum(
+            block.reshape(2**k, 2**k), [0, 0], [0]
+        )
+        return np.real(diag)
+
+    def copy(self, seed=None) -> "DensityMatrixSimulationState":
+        out = DensityMatrixSimulationState.__new__(DensityMatrixSimulationState)
+        SimulationState.__init__(out, self.qubits, seed)
+        out.tensor = self.tensor.copy()
+        return out
+
+    def __repr__(self) -> str:
+        return f"DensityMatrixSimulationState(num_qubits={self.num_qubits})"

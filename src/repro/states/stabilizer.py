@@ -1,0 +1,116 @@
+"""Simulation-state wrapper around the CH-form stabilizer engine.
+
+``StabilizerChFormSimulationState`` adapts :class:`StabilizerChForm` to the
+``act_on`` protocol: operations are applied through their
+``_stabilizer_sequence_`` decomposition into CH primitives.  Non-Clifford
+operations raise ``ValueError`` — exactly like Cirq's stabilizer simulator —
+unless routed through :func:`repro.sampler.act_on_near_clifford`, which
+expands ``Rz(theta)`` gates stochastically (paper Sec. 4.2).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Union
+
+import numpy as np
+
+from ..circuits.operations import GateOperation
+from ..circuits.qubits import Qid
+from .base import SimulationState
+from .chform import StabilizerChForm
+
+
+class StabilizerChFormSimulationState(SimulationState):
+    """CH-form stabilizer simulation state bound to a qubit register."""
+
+    def __init__(
+        self,
+        qubits: Sequence[Qid],
+        initial_state: int = 0,
+        seed: Union[int, np.random.Generator, None] = None,
+    ):
+        super().__init__(qubits, seed)
+        self.ch_form = StabilizerChForm(len(self.qubits), initial_state)
+
+    # -- act_on ------------------------------------------------------------
+    def _act_on_(self, op: GateOperation) -> None:
+        axes = self.axes_of(op.qubits)
+        if op.is_measurement:
+            self.measure(axes)
+            return
+        seq = op._stabilizer_sequence_()
+        if seq is None:
+            raise ValueError(
+                f"Operation {op!r} is not a Clifford primitive; use "
+                "act_on_near_clifford for Clifford+Rz circuits."
+            )
+        self.apply_stabilizer_sequence(seq, axes)
+
+    def apply_stabilizer_sequence(self, seq, axes: Sequence[int]) -> None:
+        """Apply a ``(phase, [(primitive, local_axes)])`` decomposition."""
+        phase, prims = seq
+        ch = self.ch_form
+        for name, local in prims:
+            mapped = [axes[i] for i in local]
+            if name == "H":
+                ch.apply_h(mapped[0])
+            elif name == "S":
+                ch.apply_s(mapped[0])
+            elif name == "SDG":
+                ch.apply_sdg(mapped[0])
+            elif name == "X":
+                ch.apply_x(mapped[0])
+            elif name == "Y":
+                ch.apply_y(mapped[0])
+            elif name == "Z":
+                ch.apply_z(mapped[0])
+            elif name == "CX":
+                ch.apply_cx(mapped[0], mapped[1])
+            elif name == "CZ":
+                ch.apply_cz(mapped[0], mapped[1])
+            else:  # pragma: no cover - defensive
+                raise ValueError(f"Unknown CH primitive {name!r}")
+        ch.omega *= phase
+
+    # -- SimulationState interface -------------------------------------------
+    def apply_unitary(self, u: np.ndarray, axes: Sequence[int]) -> None:
+        raise ValueError(
+            "StabilizerChFormSimulationState cannot apply raw unitaries; "
+            "gates must provide a stabilizer decomposition."
+        )
+
+    def apply_channel(self, kraus: List[np.ndarray], axes: Sequence[int]) -> None:
+        raise ValueError(
+            "StabilizerChFormSimulationState does not support channels; "
+            "Pauli channels can be expressed as stochastic Pauli gates."
+        )
+
+    def measure(self, axes: Sequence[int]) -> List[int]:
+        return [self.ch_form.measure(axis, self._rng) for axis in axes]
+
+    def project(self, axes: Sequence[int], bits: Sequence[int]) -> None:
+        """Collapse ``axes`` onto known outcome ``bits``."""
+        for axis, bit in zip(axes, bits):
+            self.ch_form.project_measurement(axis, int(bit))
+
+    # -- queries -----------------------------------------------------------------
+    def probability_of(self, bits: Sequence[int]) -> float:
+        """Born probability of a full bitstring (O(n^2), depth-free)."""
+        return self.ch_form.probability_of(bits)
+
+    def state_vector(self) -> np.ndarray:
+        """Dense wavefunction (exponential; testing only)."""
+        return self.ch_form.state_vector()
+
+    def copy(self, seed=None) -> "StabilizerChFormSimulationState":
+        out = StabilizerChFormSimulationState.__new__(
+            StabilizerChFormSimulationState
+        )
+        SimulationState.__init__(out, self.qubits, seed)
+        out.ch_form = self.ch_form.copy()
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"StabilizerChFormSimulationState(num_qubits={self.num_qubits})"
+        )

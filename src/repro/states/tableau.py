@@ -1,0 +1,368 @@
+"""Aaronson-Gottesman stabilizer tableau (paper reference [1]).
+
+This is the second stabilizer engine in the package, complementing the
+CH form of :mod:`repro.states.chform`.  The paper's Sec. 4.1 builds on the
+CH form because it supports *amplitudes* natively in ``O(n^2)``; the plain
+tableau of Aaronson & Gottesman (PRA 70, 052328 (2004)) is the more common
+textbook representation but only answers measurement queries directly.
+Shipping both lets the benchmark suite quantify that design choice (see
+``benchmarks/bench_tableau_vs_chform.py``): computing one bitstring
+probability from a tableau costs ``O(n^3)`` (``n`` sequential forced
+measurements, each ``O(n^2)``), versus ``O(n^2)`` for the CH form.
+
+Layout (Aaronson-Gottesman Sec. III):
+
+* ``x``/``z`` are ``(2n+1, n)`` binary matrices; row ``i < n`` is the i-th
+  *destabilizer*, row ``n + i`` the i-th *stabilizer*, row ``2n`` scratch.
+* ``r`` is the ``(2n+1,)`` sign vector (1 means the row carries a ``-``).
+* Row ``h`` represents the Pauli ``(-1)^{r[h]} prod_j X_j^{x[h,j]}
+  Z_j^{z[h,j]}`` (up to the ``i^{x.z}`` bookkeeping handled by rowsum).
+
+All row updates are vectorized over columns with NumPy; no Python loop
+runs over qubits inside a gate application.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..circuits.operations import GateOperation
+from ..circuits.qubits import Qid
+from .base import SimulationState
+
+
+class CliffordTableau:
+    """The raw Aaronson-Gottesman tableau over ``n`` qubits.
+
+    Args:
+        num_qubits: Register width ``n``.
+        initial_state: Computational-basis index (big-endian) to start in.
+    """
+
+    def __init__(self, num_qubits: int, initial_state: int = 0):
+        n = int(num_qubits)
+        if n < 1:
+            raise ValueError(f"num_qubits must be >= 1, got {num_qubits}")
+        if not 0 <= initial_state < 2**n:
+            raise ValueError(
+                f"initial_state {initial_state} out of range for {n} qubits"
+            )
+        self.n = n
+        # Destabilizers X_0..X_{n-1}, stabilizers Z_0..Z_{n-1}, scratch row.
+        self.x = np.zeros((2 * n + 1, n), dtype=np.uint8)
+        self.z = np.zeros((2 * n + 1, n), dtype=np.uint8)
+        self.r = np.zeros(2 * n + 1, dtype=np.uint8)
+        idx = np.arange(n)
+        self.x[idx, idx] = 1
+        self.z[n + idx, idx] = 1
+        # |b> is stabilized by (-1)^{b_j} Z_j.
+        for j in range(n):
+            if (initial_state >> (n - 1 - j)) & 1:
+                self.r[n + j] = 1
+
+    # ------------------------------------------------------------------
+    # rowsum: multiply row h by row i, tracking the sign (AG04 Sec. III)
+    # ------------------------------------------------------------------
+    def _rowsum(self, h: int, i: int) -> None:
+        x1, z1 = self.x[i], self.z[i]
+        x2, z2 = self.x[h], self.z[h]
+        x1i = x1.astype(np.int64)
+        z1i = z1.astype(np.int64)
+        x2i = x2.astype(np.int64)
+        z2i = z2.astype(np.int64)
+        # g(x1,z1,x2,z2) per column, in {-1, 0, 1}:
+        #   (1,1): z2 - x2        (Y * P)
+        #   (1,0): z2 (2 x2 - 1)  (X * P)
+        #   (0,1): x2 (1 - 2 z2)  (Z * P)
+        #   (0,0): 0
+        g = (
+            x1i * z1i * (z2i - x2i)
+            + x1i * (1 - z1i) * z2i * (2 * x2i - 1)
+            + (1 - x1i) * z1i * x2i * (1 - 2 * z2i)
+        )
+        total = 2 * int(self.r[h]) + 2 * int(self.r[i]) + int(g.sum())
+        self.r[h] = (total % 4) // 2
+        self.x[h] ^= x1
+        self.z[h] ^= z1
+
+    # ------------------------------------------------------------------
+    # Clifford gate updates (all O(n), vectorized down the rows)
+    # ------------------------------------------------------------------
+    def apply_h(self, a: int) -> None:
+        """Hadamard on qubit ``a``: swaps the X and Z columns."""
+        xa = self.x[:, a].copy()
+        za = self.z[:, a]
+        self.r ^= xa & za
+        self.x[:, a] = za
+        self.z[:, a] = xa
+
+    def apply_s(self, a: int) -> None:
+        """Phase gate S on qubit ``a``."""
+        xa = self.x[:, a]
+        za = self.z[:, a]
+        self.r ^= xa & za
+        self.z[:, a] = za ^ xa
+
+    def apply_sdg(self, a: int) -> None:
+        """S-dagger on qubit ``a`` (= Z then S)."""
+        self.apply_z(a)
+        self.apply_s(a)
+
+    def apply_x(self, a: int) -> None:
+        """Pauli X: flips the sign of rows anticommuting with X_a."""
+        self.r ^= self.z[:, a]
+
+    def apply_z(self, a: int) -> None:
+        """Pauli Z: flips the sign of rows anticommuting with Z_a."""
+        self.r ^= self.x[:, a]
+
+    def apply_y(self, a: int) -> None:
+        """Pauli Y: flips the sign of rows holding X or Z (not Y) at ``a``."""
+        self.r ^= self.x[:, a] ^ self.z[:, a]
+
+    def apply_cx(self, a: int, b: int) -> None:
+        """CNOT with control ``a`` and target ``b``."""
+        if a == b:
+            raise ValueError("CNOT control and target must differ")
+        xa, xb = self.x[:, a], self.x[:, b]
+        za, zb = self.z[:, a], self.z[:, b]
+        self.r ^= xa & zb & (xb ^ za ^ 1)
+        self.x[:, b] = xb ^ xa
+        self.z[:, a] = za ^ zb
+
+    def apply_cz(self, a: int, b: int) -> None:
+        """CZ via the exact identity CZ = H_b CX(a,b) H_b."""
+        self.apply_h(b)
+        self.apply_cx(a, b)
+        self.apply_h(b)
+
+    def apply_swap(self, a: int, b: int) -> None:
+        """SWAP by column exchange (cheaper than three CNOTs)."""
+        self.x[:, [a, b]] = self.x[:, [b, a]]
+        self.z[:, [a, b]] = self.z[:, [b, a]]
+
+    # ------------------------------------------------------------------
+    # Measurement (AG04 Sec. III) and forced projection
+    # ------------------------------------------------------------------
+    def _random_pivot(self, a: int) -> Optional[int]:
+        """First stabilizer row with X at column ``a``, or None."""
+        n = self.n
+        hits = np.flatnonzero(self.x[n : 2 * n, a])
+        if hits.size == 0:
+            return None
+        return n + int(hits[0])
+
+    def deterministic_outcome(self, a: int) -> Optional[int]:
+        """The forced measurement outcome of qubit ``a``, or None if random.
+
+        Does not modify the tableau's first ``2n`` rows (uses the scratch
+        row only), so it can answer "is this qubit's value pinned?" queries
+        non-destructively.
+        """
+        if self._random_pivot(a) is not None:
+            return None
+        n = self.n
+        self.x[2 * n] = 0
+        self.z[2 * n] = 0
+        self.r[2 * n] = 0
+        for i in np.flatnonzero(self.x[:n, a]):
+            self._rowsum(2 * n, n + int(i))
+        return int(self.r[2 * n])
+
+    def _collapse(self, a: int, p: int, outcome: int) -> None:
+        """Post-random-measurement update: pivot row ``p``, result ``outcome``."""
+        n = self.n
+        for i in np.flatnonzero(self.x[:, a]):
+            i = int(i)
+            if i != p and i != 2 * n:
+                self._rowsum(i, p)
+        self.x[p - n] = self.x[p]
+        self.z[p - n] = self.z[p]
+        self.r[p - n] = self.r[p]
+        self.x[p] = 0
+        self.z[p] = 0
+        self.z[p, a] = 1
+        self.r[p] = outcome
+
+    def measure(self, a: int, rng: np.random.Generator) -> int:
+        """Measure qubit ``a`` in the computational basis, collapsing."""
+        p = self._random_pivot(a)
+        if p is None:
+            outcome = self.deterministic_outcome(a)
+            assert outcome is not None
+            return outcome
+        outcome = int(rng.integers(2))
+        self._collapse(a, p, outcome)
+        return outcome
+
+    def project_measurement(self, a: int, bit: int) -> float:
+        """Force qubit ``a`` to ``bit``; return the outcome's probability.
+
+        Returns 0.5 when the outcome was random, 1.0 when it was already
+        pinned to ``bit``, and 0.0 (without modifying the state) when the
+        outcome is pinned to the opposite value.
+        """
+        bit = int(bit)
+        p = self._random_pivot(a)
+        if p is None:
+            forced = self.deterministic_outcome(a)
+            return 1.0 if forced == bit else 0.0
+        self._collapse(a, p, bit)
+        return 0.5
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def probability_of(self, bits: Sequence[int]) -> float:
+        """Born probability of the full bitstring ``bits``.
+
+        Implemented as a chain of forced measurements on a scratch copy:
+        ``P(b) = prod_j P(b_j | b_0..b_{j-1})`` where each conditional is
+        0, 1/2, or 1.  Cost ``O(n^3)`` — the tableau has no native
+        amplitude query, which is exactly why the paper's Sec. 4.1 uses
+        the CH form instead.
+        """
+        if len(bits) != self.n:
+            raise ValueError(f"Expected {self.n} bits, got {len(bits)}")
+        scratch = self.copy()
+        prob = 1.0
+        for a, bit in enumerate(bits):
+            factor = scratch.project_measurement(a, int(bit))
+            if factor == 0.0:
+                return 0.0
+            prob *= factor
+        return prob
+
+    def stabilizer_strings(self) -> List[str]:
+        """Human-readable stabilizer generators (e.g. ``['+XX', '-ZZ']``)."""
+        out = []
+        for i in range(self.n, 2 * self.n):
+            sign = "-" if self.r[i] else "+"
+            chars = []
+            for j in range(self.n):
+                xij, zij = int(self.x[i, j]), int(self.z[i, j])
+                chars.append({(0, 0): "I", (1, 0): "X", (0, 1): "Z", (1, 1): "Y"}[(xij, zij)])
+            out.append(sign + "".join(chars))
+        return out
+
+    def copy(self) -> "CliffordTableau":
+        out = CliffordTableau.__new__(CliffordTableau)
+        out.n = self.n
+        out.x = self.x.copy()
+        out.z = self.z.copy()
+        out.r = self.r.copy()
+        return out
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, CliffordTableau):
+            return NotImplemented
+        return (
+            self.n == other.n
+            and bool(np.array_equal(self.x[: 2 * self.n], other.x[: 2 * other.n]))
+            and bool(np.array_equal(self.z[: 2 * self.n], other.z[: 2 * other.n]))
+            and bool(np.array_equal(self.r[: 2 * self.n], other.r[: 2 * other.n]))
+        )
+
+    def __repr__(self) -> str:
+        return f"CliffordTableau(num_qubits={self.n})"
+
+
+class CliffordTableauSimulationState(SimulationState):
+    """Aaronson-Gottesman tableau bound to a qubit register.
+
+    A drop-in alternative to
+    :class:`~repro.states.StabilizerChFormSimulationState` for pure
+    Clifford circuits.  Gates are routed through the same
+    ``_stabilizer_sequence_`` hook; global phases are discarded (the
+    tableau does not track them, and no probability depends on them).
+    """
+
+    def __init__(
+        self,
+        qubits: Sequence[Qid],
+        initial_state: int = 0,
+        seed: Union[int, np.random.Generator, None] = None,
+    ):
+        super().__init__(qubits, seed)
+        self.tableau = CliffordTableau(len(self.qubits), initial_state)
+
+    # -- act_on ------------------------------------------------------------
+    def _act_on_(self, op: GateOperation) -> None:
+        axes = self.axes_of(op.qubits)
+        if op.is_measurement:
+            self.measure(axes)
+            return
+        seq = op._stabilizer_sequence_()
+        if seq is None:
+            raise ValueError(
+                f"Operation {op!r} is not a Clifford primitive; the tableau "
+                "state supports Clifford circuits only."
+            )
+        self.apply_stabilizer_sequence(seq, axes)
+
+    def apply_stabilizer_sequence(self, seq, axes: Sequence[int]) -> None:
+        """Apply a ``(phase, [(primitive, local_axes)])`` decomposition."""
+        _, prims = seq  # global phase is not representable; intentionally dropped
+        t = self.tableau
+        dispatch = {
+            "H": t.apply_h,
+            "S": t.apply_s,
+            "SDG": t.apply_sdg,
+            "X": t.apply_x,
+            "Y": t.apply_y,
+            "Z": t.apply_z,
+            "CX": t.apply_cx,
+            "CZ": t.apply_cz,
+        }
+        for name, local in prims:
+            mapped = [axes[i] for i in local]
+            try:
+                dispatch[name](*mapped)
+            except KeyError:  # pragma: no cover - defensive
+                raise ValueError(f"Unknown tableau primitive {name!r}") from None
+
+    # -- SimulationState interface ------------------------------------------
+    def apply_unitary(self, u: np.ndarray, axes: Sequence[int]) -> None:
+        raise ValueError(
+            "CliffordTableauSimulationState cannot apply raw unitaries; "
+            "gates must provide a stabilizer decomposition."
+        )
+
+    def apply_channel(self, kraus: List[np.ndarray], axes: Sequence[int]) -> None:
+        raise ValueError(
+            "CliffordTableauSimulationState does not support channels; "
+            "Pauli channels can be expressed as stochastic Pauli gates."
+        )
+
+    def measure(self, axes: Sequence[int]) -> List[int]:
+        return [self.tableau.measure(axis, self._rng) for axis in axes]
+
+    def project(self, axes: Sequence[int], bits: Sequence[int]) -> None:
+        for axis, bit in zip(axes, bits):
+            if self.tableau.project_measurement(axis, int(bit)) == 0.0:
+                raise ValueError(
+                    f"Projection of qubit axis {axis} onto {bit} has zero "
+                    "probability"
+                )
+
+    # -- queries -------------------------------------------------------------
+    def probability_of(self, bits: Sequence[int]) -> float:
+        """Born probability of a full bitstring (O(n^3); see module note)."""
+        return self.tableau.probability_of(bits)
+
+    def stabilizer_strings(self) -> List[str]:
+        """The current stabilizer generators as signed Pauli strings."""
+        return self.tableau.stabilizer_strings()
+
+    def copy(self, seed=None) -> "CliffordTableauSimulationState":
+        out = CliffordTableauSimulationState.__new__(
+            CliffordTableauSimulationState
+        )
+        SimulationState.__init__(out, self.qubits, seed)
+        out.tableau = self.tableau.copy()
+        return out
+
+    def __repr__(self) -> str:
+        return f"CliffordTableauSimulationState(num_qubits={self.num_qubits})"

@@ -1,0 +1,6 @@
+"""Minimal tensor-network engine (quimb substitute) backing the MPS state."""
+
+from .tensor import Tensor, contract_pair
+from .network import TensorNetwork
+
+__all__ = ["Tensor", "contract_pair", "TensorNetwork"]

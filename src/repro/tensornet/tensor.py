@@ -1,0 +1,120 @@
+"""Named-index tensors (the quimb substitute).
+
+A :class:`Tensor` couples an ndarray with one label per axis.  Contractions
+are expressed by shared labels, slicing by ``isel`` (the operation the
+paper's ``mps_bitstring_probability`` snippet uses), so the MPS code reads
+almost identically to the quimb-based reference.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence, Tuple
+
+import numpy as np
+
+
+class Tensor:
+    """An ndarray with named indices.
+
+    Args:
+        data: The underlying array.
+        inds: One unique name per axis, ``len(inds) == data.ndim``.
+    """
+
+    __slots__ = ("data", "inds")
+
+    def __init__(self, data: np.ndarray, inds: Sequence[str]):
+        data = np.asarray(data)
+        inds = tuple(inds)
+        if data.ndim != len(inds):
+            raise ValueError(
+                f"{data.ndim}-d data needs {data.ndim} index names, got {inds}"
+            )
+        if len(set(inds)) != len(inds):
+            raise ValueError(f"Duplicate index names in {inds}")
+        self.data = data
+        self.inds = inds
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def ind_size(self, ind: str) -> int:
+        """Dimension of the axis labelled ``ind``."""
+        return self.data.shape[self.inds.index(ind)]
+
+    # -- transformations ----------------------------------------------------
+    def isel(self, selectors: Mapping[str, int]) -> "Tensor":
+        """Slice out the given indices at fixed positions (axes removed).
+
+        ``T.isel({'i3': 1})`` is quimb's ``isel``: the tensor restricted to
+        ``i3 = 1``.
+        """
+        index = []
+        new_inds = []
+        for name, dim in zip(self.inds, self.data.shape):
+            if name in selectors:
+                pos = int(selectors[name])
+                if not 0 <= pos < dim:
+                    raise IndexError(f"Index {pos} out of range for {name} ({dim})")
+                index.append(pos)
+            else:
+                index.append(slice(None))
+                new_inds.append(name)
+        missing = set(selectors) - set(self.inds)
+        if missing:
+            raise KeyError(f"Tensor has no indices {sorted(missing)}")
+        return Tensor(self.data[tuple(index)], new_inds)
+
+    def reindex(self, mapping: Mapping[str, str]) -> "Tensor":
+        """Rename indices (non-destructive)."""
+        return Tensor(self.data, tuple(mapping.get(i, i) for i in self.inds))
+
+    def transpose_to(self, order: Sequence[str]) -> "Tensor":
+        """Permute axes into the given index order."""
+        order = tuple(order)
+        if set(order) != set(self.inds) or len(order) != len(self.inds):
+            raise ValueError(f"Order {order} does not match indices {self.inds}")
+        perm = [self.inds.index(name) for name in order]
+        return Tensor(np.transpose(self.data, perm), order)
+
+    def conj(self, suffix: str = "") -> "Tensor":
+        """Complex conjugate; optionally suffix every index name."""
+        inds = tuple(i + suffix for i in self.inds) if suffix else self.inds
+        return Tensor(self.data.conj(), inds)
+
+    def fuse(self, groups: Sequence[Sequence[str]]) -> np.ndarray:
+        """Reshape to a matrix/array whose axes are the given index groups."""
+        flat_order = [name for group in groups for name in group]
+        t = self.transpose_to(flat_order)
+        shape = []
+        pos = 0
+        for group in groups:
+            dim = 1
+            for _ in group:
+                dim *= t.data.shape[pos]
+                pos += 1
+            shape.append(dim)
+        return t.data.reshape(shape)
+
+    def __repr__(self) -> str:
+        return f"Tensor(shape={self.data.shape}, inds={self.inds})"
+
+
+def contract_pair(a: Tensor, b: Tensor) -> Tensor:
+    """Contract two tensors over all shared indices (tensordot-based)."""
+    shared = [i for i in a.inds if i in b.inds]
+    if not shared:
+        # Outer product.
+        data = np.tensordot(a.data, b.data, axes=0)
+        return Tensor(data, a.inds + b.inds)
+    axes_a = [a.inds.index(i) for i in shared]
+    axes_b = [b.inds.index(i) for i in shared]
+    data = np.tensordot(a.data, b.data, axes=(axes_a, axes_b))
+    rem_a = [i for i in a.inds if i not in shared]
+    rem_b = [i for i in b.inds if i not in shared]
+    return Tensor(data, rem_a + rem_b)

@@ -1,0 +1,85 @@
+"""Exact Clifford+T decompositions of common multi-qubit gates.
+
+These are the textbook identities (Nielsen & Chuang Fig. 4.9 for the
+Toffoli) that let the stabilizer-backed samplers handle circuits written
+with Toffoli/Fredkin/CCZ gates: after this pass every non-Clifford
+ingredient is an explicit T gate, which the sum-over-Cliffords machinery
+(:func:`repro.sampler.act_on_near_clifford`) knows how to expand.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..circuits import gates
+from ..circuits.operations import GateOperation
+from ..circuits.qubits import Qid
+
+
+def decompose_toffoli(a: Qid, b: Qid, c: Qid) -> List[GateOperation]:
+    """CCX(a, b, c) as 7 T gates, 6 CNOTs and 2 Hadamards (exact)."""
+    return [
+        gates.H.on(c),
+        gates.CNOT.on(b, c),
+        gates.T_DAG.on(c),
+        gates.CNOT.on(a, c),
+        gates.T.on(c),
+        gates.CNOT.on(b, c),
+        gates.T_DAG.on(c),
+        gates.CNOT.on(a, c),
+        gates.T.on(b),
+        gates.T.on(c),
+        gates.H.on(c),
+        gates.CNOT.on(a, b),
+        gates.T.on(a),
+        gates.T_DAG.on(b),
+        gates.CNOT.on(a, b),
+    ]
+
+
+def decompose_ccz(a: Qid, b: Qid, c: Qid) -> List[GateOperation]:
+    """CCZ(a, b, c): the Toffoli identity with the basis-change H's removed."""
+    ops = decompose_toffoli(a, b, c)
+    return [op for op in ops if not (op.gate == gates.H and op.qubits == (c,))]
+
+
+def decompose_cswap(a: Qid, b: Qid, c: Qid) -> List[GateOperation]:
+    """Fredkin CSWAP(a; b, c) = CNOT(c,b) CCX(a,b,c) CNOT(c,b) (exact)."""
+    return (
+        [gates.CNOT.on(c, b)]
+        + decompose_toffoli(a, b, c)
+        + [gates.CNOT.on(c, b)]
+    )
+
+
+def decompose_swap(a: Qid, b: Qid) -> List[GateOperation]:
+    """SWAP as three CNOTs."""
+    return [gates.CNOT.on(a, b), gates.CNOT.on(b, a), gates.CNOT.on(a, b)]
+
+
+def decompose_iswap(a: Qid, b: Qid) -> List[GateOperation]:
+    """ISWAP = SWAP . CZ . (S (x) S), all Clifford (exact)."""
+    return [
+        gates.S.on(a),
+        gates.S.on(b),
+        gates.CZ.on(a, b),
+    ] + decompose_swap(a, b)
+
+
+def t_count(circuit) -> int:
+    """Number of T/T-dagger gates (after counting Z**(odd/4) exponents).
+
+    The figure of merit for near-Clifford simulability (paper Sec. 4.2:
+    cost grows as 2^{#T}).
+    """
+    count = 0
+    for op in circuit.all_operations():
+        gate = op.gate
+        if isinstance(gate, gates.ZPowGate) and not gate._is_parameterized_():
+            quarter_turns = 4.0 * float(gate.exponent)
+            if (
+                abs(quarter_turns - round(quarter_turns)) < 1e-9
+                and round(quarter_turns) % 2 == 1
+            ):
+                count += 1
+    return count

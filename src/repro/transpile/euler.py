@@ -1,0 +1,88 @@
+"""ZYZ Euler-angle decomposition of single-qubit unitaries.
+
+Any ``U in U(2)`` factors as ``U = e^{i alpha} Rz(beta) Ry(gamma) Rz(delta)``
+with ``R_a(t) = exp(-i a t / 2)``.  This is the leaf of the quantum Shannon
+decomposition in :mod:`repro.transpile.qsd` and the engine behind the
+``DecomposeSingleQubitMatrices`` pass.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from typing import List, Tuple
+
+import numpy as np
+
+from ..circuits import gates
+from ..circuits.operations import GateOperation
+from ..circuits.qubits import Qid
+
+_ATOL = 1e-10
+
+
+def zyz_angles(u: np.ndarray) -> Tuple[float, float, float, float]:
+    """Angles ``(alpha, beta, gamma, delta)`` with
+    ``u = e^{i alpha} Rz(beta) Ry(gamma) Rz(delta)``.
+
+    Raises:
+        ValueError: If ``u`` is not a 2x2 unitary.
+    """
+    u = np.asarray(u, dtype=np.complex128)
+    if u.shape != (2, 2):
+        raise ValueError(f"Expected a 2x2 matrix, got shape {u.shape}")
+    if not np.allclose(u.conj().T @ u, np.eye(2), atol=1e-8):
+        raise ValueError("Matrix is not unitary")
+
+    det = u[0, 0] * u[1, 1] - u[0, 1] * u[1, 0]
+    alpha = cmath.phase(det) / 2.0
+    v = u * cmath.exp(-1j * alpha)  # special unitary now
+
+    gamma = 2.0 * math.atan2(abs(v[1, 0]), abs(v[0, 0]))
+    if abs(v[0, 0]) <= _ATOL:
+        # Anti-diagonal: only beta - delta is fixed; choose delta = 0.
+        beta = 2.0 * cmath.phase(v[1, 0])
+        delta = 0.0
+    elif abs(v[1, 0]) <= _ATOL:
+        # Diagonal: only beta + delta is fixed; choose delta = 0.
+        beta = 2.0 * cmath.phase(v[1, 1])
+        delta = 0.0
+    else:
+        plus = cmath.phase(v[1, 1])  # (beta + delta) / 2
+        minus = cmath.phase(v[1, 0])  # (beta - delta) / 2
+        beta = plus + minus
+        delta = plus - minus
+    return alpha, beta, gamma, delta
+
+
+def zyz_matrix(alpha: float, beta: float, gamma: float, delta: float) -> np.ndarray:
+    """Reassemble ``e^{i alpha} Rz(beta) Ry(gamma) Rz(delta)`` (for tests)."""
+
+    def rz(t):
+        return np.diag([cmath.exp(-0.5j * t), cmath.exp(0.5j * t)])
+
+    def ry(t):
+        c, s = math.cos(t / 2.0), math.sin(t / 2.0)
+        return np.array([[c, -s], [s, c]], dtype=np.complex128)
+
+    return cmath.exp(1j * alpha) * (rz(beta) @ ry(gamma) @ rz(delta))
+
+
+def decompose_single_qubit(
+    u: np.ndarray, qubit: Qid, *, atol: float = 1e-9
+) -> Tuple[float, List[GateOperation]]:
+    """Decompose ``u`` on ``qubit`` into at most three rotation operations.
+
+    Returns ``(alpha, ops)`` where ``alpha`` is the global phase and ``ops``
+    (applied left to right) reproduce ``u`` up to that phase.  Rotations
+    with negligible angle are omitted, so Z-like inputs yield one op.
+    """
+    alpha, beta, gamma, delta = zyz_angles(u)
+    ops: List[GateOperation] = []
+    if abs(delta) > atol:
+        ops.append(gates.Rz(delta).on(qubit))
+    if abs(gamma) > atol:
+        ops.append(gates.Ry(gamma).on(qubit))
+    if abs(beta) > atol:
+        ops.append(gates.Rz(beta).on(qubit))
+    return alpha, ops

@@ -1,0 +1,69 @@
+"""Light-cone reduction: drop gates that cannot influence any measurement.
+
+For sampling, only operations inside the backward causal cone of the
+measured qubits matter.  Walking the circuit from the last moment to the
+first, an operation is kept iff its support intersects the active set
+(initialized from the measurement supports); kept operations add their
+support to the active set.  Dropped operations are provably irrelevant:
+
+* unitaries and channels outside the cone act on qubits that are never
+  measured and never interact with measured ones afterwards, and both are
+  trace-preserving on the rest of the system;
+* mid-circuit measurements are treated as cone *roots* too (their records
+  are outputs, so their own cones must be preserved).
+
+This is an optimization the paper does not ship but the gate-by-gate
+algorithm benefits from doubly: every dropped gate saves both the state
+update and a bitstring-resampling round.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from ..circuits.circuit import Circuit
+from ..circuits.moment import Moment
+from ..circuits.qubits import Qid
+
+
+def light_cone_qubits(circuit: Circuit) -> Set[Qid]:
+    """The set of qubits inside the backward cone of all measurements.
+
+    If the circuit has no measurements, every qubit is considered measured
+    (the sampler reads the full register), so this returns all qubits.
+    """
+    if not circuit.has_measurements():
+        return set(circuit.all_qubits())
+    active: Set[Qid] = set()
+    for moment in reversed(circuit.moments):
+        for op in moment.operations:
+            if op.is_measurement or any(q in active for q in op.qubits):
+                active.update(op.qubits)
+    return active
+
+
+def reduce_to_light_cone(circuit: Circuit) -> Circuit:
+    """Remove every operation outside the measurements' backward cone.
+
+    Preserves moment structure (each kept op stays in its original moment);
+    empty moments are dropped.  The reduced circuit produces the identical
+    joint distribution over all measurement keys.
+    """
+    if not circuit.has_measurements():
+        return circuit.copy()
+    active: Set[Qid] = set()
+    kept_per_moment: List[List] = []
+    for moment in reversed(circuit.moments):
+        kept = []
+        for op in moment.operations:
+            if op.is_measurement or any(q in active for q in op.qubits):
+                active.update(op.qubits)
+                kept.append(op)
+        kept_per_moment.append(kept)
+    kept_per_moment.reverse()
+
+    out = Circuit()
+    for ops in kept_per_moment:
+        if ops:
+            out.append_new_moment(ops)
+    return out

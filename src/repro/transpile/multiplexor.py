@@ -1,0 +1,98 @@
+"""Uniformly-controlled (multiplexed) rotations.
+
+A multiplexed ``R_a`` with ``k`` controls applies ``R_a(theta_x)`` to the
+target for each computational-basis state ``x`` of the controls.  The
+standard recursive construction (Shende-Bullock-Markov 2006) emits
+``2^k`` plain rotations interleaved with ``2^k`` CNOTs, using the identity
+``X R_a(t) X = R_a(-t)`` for ``a in {Y, Z}``:
+
+    UCR(theta; c0, rest) =
+        UCR((theta_lo + theta_hi)/2; rest)
+        CNOT(c0, target)
+        UCR((theta_lo - theta_hi)/2; rest)
+        CNOT(c0, target)
+
+where ``theta_lo``/``theta_hi`` are the angle halves for ``c0 = 0/1``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..circuits import gates
+from ..circuits.operations import GateOperation
+from ..circuits.qubits import Qid
+
+_ROTATIONS = {"y": gates.Ry, "z": gates.Rz}
+
+
+def multiplexed_rotation(
+    axis: str,
+    angles: Sequence[float],
+    controls: Sequence[Qid],
+    target: Qid,
+) -> List[GateOperation]:
+    """Operations implementing a multiplexed ``Ry``/``Rz``.
+
+    Args:
+        axis: ``"y"`` or ``"z"``.
+        angles: ``2^len(controls)`` rotation angles, indexed by the
+            big-endian control bitstring.
+        controls: Control qubits (``controls[0]`` is the most significant).
+        target: Target qubit.
+
+    Returns:
+        Ops applied left to right; trailing structure is exactly the
+        recursion above with no cancellation pass.
+    """
+    axis = axis.lower()
+    if axis not in _ROTATIONS:
+        raise ValueError(f"axis must be 'y' or 'z', got {axis!r}")
+    angles = np.asarray(angles, dtype=float)
+    if angles.shape != (2 ** len(controls),):
+        raise ValueError(
+            f"Need {2 ** len(controls)} angles for {len(controls)} controls, "
+            f"got {angles.shape}"
+        )
+    rot = _ROTATIONS[axis]
+
+    def build(theta: np.ndarray, ctrls: Sequence[Qid]) -> List[GateOperation]:
+        if not ctrls:
+            return [rot(float(theta[0])).on(target)]
+        half = theta.shape[0] // 2
+        lo, hi = theta[:half], theta[half:]
+        ops = build((lo + hi) / 2.0, ctrls[1:])
+        ops.append(gates.CNOT.on(ctrls[0], target))
+        ops.extend(build((lo - hi) / 2.0, ctrls[1:]))
+        ops.append(gates.CNOT.on(ctrls[0], target))
+        return ops
+
+    return build(angles, list(controls))
+
+
+def multiplexed_rotation_matrix(
+    axis: str, angles: Sequence[float]
+) -> np.ndarray:
+    """Reference dense matrix of the multiplexed rotation (for tests).
+
+    Convention: the target is the *most significant* qubit and the controls
+    follow, matching :func:`repro.transpile.qsd.quantum_shannon_decompose`.
+    The matrix is thus ``[[C, -S], [S, C]]`` for axis ``y`` (cosine-sine
+    form) and ``diag(e^{-i t/2}) (+) diag(e^{+i t/2})`` for axis ``z``.
+    """
+    angles = np.asarray(angles, dtype=float)
+    m = angles.shape[0]
+    if axis.lower() == "y":
+        c = np.diag(np.cos(angles / 2.0))
+        s = np.diag(np.sin(angles / 2.0))
+        return np.block([[c, -s], [s, c]]).astype(np.complex128)
+    if axis.lower() == "z":
+        lower = np.diag(np.exp(-0.5j * angles))
+        upper = np.diag(np.exp(+0.5j * angles))
+        out = np.zeros((2 * m, 2 * m), dtype=np.complex128)
+        out[:m, :m] = lower
+        out[m:, m:] = upper
+        return out
+    raise ValueError(f"axis must be 'y' or 'z', got {axis!r}")

@@ -1,0 +1,241 @@
+"""Composable circuit-rewriting passes and the :class:`PassManager`.
+
+Each pass is a pure ``Circuit -> Circuit`` function object; a
+:class:`PassManager` chains them.  ``default_pipeline()`` reproduces
+``optimize_for_bgls`` (paper Sec. 3.2.2) plus the light-cone reduction.
+
+Every pass preserves the sampling distribution over measurement keys —
+that invariant is what the test suite checks for each of them.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..circuits import gates
+from ..circuits.circuit import Circuit
+from ..circuits.operations import GateOperation
+from ..circuits.optimize import drop_empty_moments, merge_single_qubit_gates
+from .clifford_t import (
+    decompose_ccz,
+    decompose_cswap,
+    decompose_iswap,
+    decompose_swap,
+    decompose_toffoli,
+)
+from .light_cone import reduce_to_light_cone
+from .qsd import quantum_shannon_decompose
+
+
+class TranspilerPass(abc.ABC):
+    """A circuit-to-circuit rewrite preserving measurement distributions."""
+
+    @abc.abstractmethod
+    def __call__(self, circuit: Circuit) -> Circuit:
+        """Apply the rewrite."""
+
+    @property
+    def name(self) -> str:
+        """Display name used in PassManager history."""
+        return type(self).__name__
+
+    def __repr__(self) -> str:
+        return f"{self.name}()"
+
+
+class MergeSingleQubitGates(TranspilerPass):
+    """Merge runs of 1-qubit gates into one MatrixGate (Sec. 3.2.2)."""
+
+    def __call__(self, circuit: Circuit) -> Circuit:
+        return merge_single_qubit_gates(circuit)
+
+
+class DropEmptyMoments(TranspilerPass):
+    """Remove moments containing no operations."""
+
+    def __call__(self, circuit: Circuit) -> Circuit:
+        return drop_empty_moments(circuit)
+
+
+class DropNegligibleGates(TranspilerPass):
+    """Drop unitary gates within ``atol`` of a global phase times identity."""
+
+    def __init__(self, atol: float = 1e-8):
+        self.atol = float(atol)
+
+    def _is_negligible(self, op: GateOperation) -> bool:
+        if op.is_measurement or op._is_parameterized_():
+            return False
+        u = op._unitary_()
+        if u is None:
+            return False
+        phase = u[0, 0]
+        if abs(abs(phase) - 1.0) > self.atol:
+            return False
+        return bool(np.allclose(u, phase * np.eye(u.shape[0]), atol=self.atol))
+
+    def __call__(self, circuit: Circuit) -> Circuit:
+        out = Circuit()
+        for moment in circuit.moments:
+            kept = [op for op in moment.operations if not self._is_negligible(op)]
+            if kept:
+                out.append_new_moment(kept)
+        return out
+
+
+class CancelAdjacentInverses(TranspilerPass):
+    """Cancel consecutive op pairs whose product is a global phase.
+
+    Scans per-qubit adjacency: two ops cancel when they act on the same
+    qubit tuple with no intervening op on any of those qubits and their
+    unitaries multiply to ``e^{i phi} I``.  Repeats until a fixed point
+    (cancellations can cascade, e.g. ``X H H X``).
+    """
+
+    def __init__(self, atol: float = 1e-8):
+        self.atol = float(atol)
+
+    def _cancels(self, first: GateOperation, second: GateOperation) -> bool:
+        if first.qubits != second.qubits:
+            return False
+        u1, u2 = first._unitary_(), second._unitary_()
+        if u1 is None or u2 is None:
+            return False
+        product = u2 @ u1
+        phase = product[0, 0]
+        if abs(abs(phase) - 1.0) > self.atol:
+            return False
+        return bool(
+            np.allclose(product, phase * np.eye(product.shape[0]), atol=self.atol)
+        )
+
+    def _one_round(self, ops: List[GateOperation]) -> Optional[List[GateOperation]]:
+        last_on_qubit = {}
+        for i, op in enumerate(ops):
+            if op.is_measurement or op._is_parameterized_():
+                for q in op.qubits:
+                    last_on_qubit[q] = None
+                continue
+            prev_entries = {last_on_qubit.get(q) for q in op.qubits}
+            if len(prev_entries) == 1:
+                prev = prev_entries.pop()
+                if prev is not None and self._cancels(ops[prev], op):
+                    return ops[:prev] + ops[prev + 1 : i] + ops[i + 1 :]
+            for q in op.qubits:
+                last_on_qubit[q] = i
+        return None
+
+    def __call__(self, circuit: Circuit) -> Circuit:
+        ops = list(circuit.all_operations())
+        while True:
+            reduced = self._one_round(ops)
+            if reduced is None:
+                break
+            ops = reduced
+        out = Circuit()
+        out.append(ops)
+        return out
+
+
+class LightConeReduction(TranspilerPass):
+    """Drop operations outside the measurements' backward causal cone."""
+
+    def __call__(self, circuit: Circuit) -> Circuit:
+        return reduce_to_light_cone(circuit)
+
+
+class DecomposeMultiQubitGates(TranspilerPass):
+    """Lower 3+-qubit gates and exotic 2-qubit gates to {1q, CNOT, CZ}.
+
+    Known gates use their exact textbook identities (Toffoli as 7 T's,
+    Fredkin, CCZ, SWAP, ISWAP); anything else with a unitary goes through
+    the quantum Shannon decomposition.  One- and two-qubit CX/CZ-like
+    gates, measurements, and channels pass through unchanged.
+    """
+
+    _KEEP_TWO_QUBIT = (gates.CXPowGate, gates.CZPowGate)
+
+    def __init__(self, decompose_swaps: bool = False):
+        self.decompose_swaps = bool(decompose_swaps)
+
+    def _lower(self, op: GateOperation) -> List[GateOperation]:
+        gate = op.gate
+        qs = op.qubits
+        if isinstance(gate, gates.CCXPowGate) and float(gate.exponent) == 1.0:
+            return decompose_toffoli(*qs)
+        if isinstance(gate, gates.CCZPowGate) and float(gate.exponent) == 1.0:
+            return decompose_ccz(*qs)
+        if isinstance(gate, gates.CSwapGate):
+            return decompose_cswap(*qs)
+        if isinstance(gate, gates.SwapPowGate) and float(gate.exponent) == 1.0:
+            if self.decompose_swaps:
+                return decompose_swap(*qs)
+            return [op]
+        if isinstance(gate, gates.ISwapPowGate) and float(gate.exponent) == 1.0:
+            return decompose_iswap(*qs)
+        u = op._unitary_()
+        if u is None:
+            return [op]
+        _, ops = quantum_shannon_decompose(u, list(qs))
+        return ops
+
+    def __call__(self, circuit: Circuit) -> Circuit:
+        out = Circuit()
+        for op in circuit.all_operations():
+            if (
+                op.is_measurement
+                or op._is_parameterized_()
+                or len(op.qubits) == 1
+                or (
+                    len(op.qubits) == 2
+                    and isinstance(op.gate, self._KEEP_TWO_QUBIT)
+                )
+                or op._unitary_() is None
+            ):
+                out.append(op)
+                continue
+            out.append(self._lower(op))
+        return out
+
+
+class PassManager:
+    """Run a sequence of passes; records per-pass op counts for inspection."""
+
+    def __init__(self, passes: Iterable[TranspilerPass]):
+        self.passes: List[TranspilerPass] = list(passes)
+        self.history: List[tuple] = []
+
+    def run(self, circuit: Circuit) -> Circuit:
+        """Apply all passes in order, logging (pass name, ops before/after)."""
+        self.history = []
+        for p in self.passes:
+            before = circuit.num_operations()
+            circuit = p(circuit)
+            self.history.append((p.name, before, circuit.num_operations()))
+        return circuit
+
+    def __repr__(self) -> str:
+        return f"PassManager({self.passes!r})"
+
+
+def default_pipeline(*, light_cone: bool = True) -> PassManager:
+    """The recommended BGLS pre-sampling pipeline.
+
+    Light-cone reduction first (it can only delete work), then inverse
+    cancellation, then the paper's single-qubit merging, then cleanup.
+    """
+    passes: List[TranspilerPass] = []
+    if light_cone:
+        passes.append(LightConeReduction())
+    passes.extend(
+        [
+            CancelAdjacentInverses(),
+            MergeSingleQubitGates(),
+            DropNegligibleGates(),
+            DropEmptyMoments(),
+        ]
+    )
+    return PassManager(passes)

@@ -1,0 +1,107 @@
+"""Tests for analysis utilities: distributions, overlap, XEB, histograms."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ascii_histogram,
+    empirical_distribution,
+    fractional_overlap,
+    linear_xeb,
+    total_variation_distance,
+)
+
+
+class TestEmpiricalDistribution:
+    def test_basic_counts(self):
+        bits = np.array([[0, 0], [1, 1], [1, 1], [0, 1]])
+        dist = empirical_distribution(bits, 2)
+        np.testing.assert_allclose(dist, [0.25, 0.25, 0.0, 0.5])
+
+    def test_normalization(self):
+        rng = np.random.default_rng(0)
+        bits = rng.integers(0, 2, size=(100, 3))
+        assert empirical_distribution(bits, 3).sum() == pytest.approx(1.0)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            empirical_distribution(np.zeros((10, 3)), 2)
+
+
+class TestFractionalOverlap:
+    def test_identical_distributions(self):
+        p = np.array([0.5, 0.5, 0.0, 0.0])
+        assert fractional_overlap(p, p) == pytest.approx(1.0)
+
+    def test_disjoint_distributions(self):
+        p = np.array([1.0, 0.0])
+        q = np.array([0.0, 1.0])
+        assert fractional_overlap(p, q) == pytest.approx(0.0)
+
+    def test_partial(self):
+        p = np.array([0.75, 0.25])
+        q = np.array([0.5, 0.5])
+        assert fractional_overlap(p, q) == pytest.approx(0.75)
+
+    def test_relation_to_tv(self):
+        rng = np.random.default_rng(1)
+        p = rng.dirichlet(np.ones(8))
+        q = rng.dirichlet(np.ones(8))
+        assert fractional_overlap(p, q) == pytest.approx(
+            1.0 - total_variation_distance(p, q)
+        )
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            fractional_overlap(np.ones(2) / 2, np.ones(4) / 4)
+
+
+class TestTotalVariation:
+    def test_bounds(self):
+        rng = np.random.default_rng(2)
+        for _ in range(10):
+            p = rng.dirichlet(np.ones(16))
+            q = rng.dirichlet(np.ones(16))
+            assert 0.0 <= total_variation_distance(p, q) <= 1.0
+
+    def test_symmetry(self):
+        p = np.array([0.3, 0.7])
+        q = np.array([0.6, 0.4])
+        assert total_variation_distance(p, q) == pytest.approx(
+            total_variation_distance(q, p)
+        )
+
+
+class TestLinearXEB:
+    def test_perfect_sampler_on_uniform(self):
+        """Uniform ideal distribution gives XEB ~ 0 for any samples."""
+        n = 3
+        p_ideal = np.ones(2**n) / 2**n
+        samples = np.array([[0, 0, 0], [1, 1, 1], [0, 1, 0]])
+        assert linear_xeb(samples, p_ideal) == pytest.approx(0.0)
+
+    def test_ideal_sampler_positive(self):
+        rng = np.random.default_rng(3)
+        n = 4
+        p = rng.dirichlet(np.ones(2**n) * 0.3)
+        outcomes = rng.choice(2**n, size=5000, p=p)
+        samples = np.stack(
+            [(outcomes >> (n - 1 - j)) & 1 for j in range(n)], axis=1
+        )
+        assert linear_xeb(samples, p) > 0.2
+
+
+class TestAsciiHistogram:
+    def test_renders(self):
+        text = ascii_histogram([0.5, 0.25, 0.25, 0.0])
+        assert "00 |" in text
+        assert "0.5000" in text
+
+    def test_min_prob_filter(self):
+        text = ascii_histogram([0.9, 0.1], min_prob=0.5)
+        assert "0.9000" in text
+        assert "0.1000" not in text
+
+    def test_custom_labels(self):
+        text = ascii_histogram([1.0], labels=["everything"])
+        assert "everything" in text

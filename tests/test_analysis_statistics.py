@@ -1,0 +1,193 @@
+"""Tests for repro.analysis.statistics and repro.analysis.porter_thomas."""
+
+import numpy as np
+import pytest
+
+from repro import analysis, apps
+from repro import circuits as cirq
+from repro.analysis import (
+    bootstrap_confidence_interval,
+    collision_probability,
+    convergence_curve,
+    empirical_distribution,
+    expected_linear_xeb,
+    porter_thomas_pdf,
+    porter_thomas_test,
+    pt_collision_ratio,
+    pt_expected_entropy,
+    shannon_entropy,
+    standard_error_of_mean,
+    wilson_interval,
+)
+
+
+class TestBootstrap:
+    def _mean_metric(self, samples):
+        return float(np.mean(samples[:, 0]))
+
+    def test_interval_contains_point_estimate(self):
+        rng = np.random.default_rng(0)
+        samples = rng.integers(0, 2, size=(500, 3))
+        point, lo, hi = bootstrap_confidence_interval(
+            samples, self._mean_metric, rng=1
+        )
+        assert lo <= point <= hi
+
+    def test_interval_narrows_with_more_samples(self):
+        rng = np.random.default_rng(2)
+        small = rng.integers(0, 2, size=(50, 2))
+        large = rng.integers(0, 2, size=(5000, 2))
+        _, lo_s, hi_s = bootstrap_confidence_interval(
+            small, self._mean_metric, rng=3
+        )
+        _, lo_l, hi_l = bootstrap_confidence_interval(
+            large, self._mean_metric, rng=3
+        )
+        assert (hi_l - lo_l) < (hi_s - lo_s)
+
+    def test_deterministic_metric_gives_zero_width(self):
+        samples = np.ones((100, 2), dtype=int)
+        point, lo, hi = bootstrap_confidence_interval(
+            samples, self._mean_metric, rng=4
+        )
+        assert point == lo == hi == 1.0
+
+    def test_interval_covers_truth_mostly(self):
+        rng = np.random.default_rng(5)
+        covered = 0
+        trials = 40
+        for _ in range(trials):
+            samples = (rng.random((200, 1)) < 0.3).astype(int)
+            _, lo, hi = bootstrap_confidence_interval(
+                samples,
+                lambda s: float(np.mean(s)),
+                n_resamples=120,
+                rng=rng,
+            )
+            covered += lo <= 0.3 <= hi
+        assert covered >= 0.8 * trials
+
+    def test_rejects_bad_confidence(self):
+        with pytest.raises(ValueError, match="confidence"):
+            bootstrap_confidence_interval(
+                np.zeros((10, 1)), lambda s: 0.0, confidence=1.5
+            )
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError, match="reps"):
+            bootstrap_confidence_interval(np.zeros(10), lambda s: 0.0)
+
+
+class TestConvergenceCurve:
+    def test_overlap_improves_with_samples(self):
+        # Bell-state sampling: overlap with the ideal 50/50 distribution.
+        rng = np.random.default_rng(7)
+        reps = 4000
+        outcomes = rng.choice([0, 3], size=reps)
+        samples = np.stack([(outcomes >> 1) & 1, outcomes & 1], axis=1)
+        ideal = np.array([0.5, 0.0, 0.0, 0.5])
+
+        def overlap(s):
+            return analysis.fractional_overlap(
+                empirical_distribution(s, 2), ideal
+            )
+
+        curve = convergence_curve(samples, overlap, [10, 100, reps])
+        assert curve[-1] > 0.97
+        assert curve[-1] >= curve[0] - 0.05
+
+    def test_prefix_semantics(self):
+        samples = np.array([[0], [1], [1], [1]])
+        curve = convergence_curve(
+            samples, lambda s: float(np.mean(s)), [1, 2, 4]
+        )
+        np.testing.assert_allclose(curve, [0.0, 0.5, 0.75])
+
+    def test_rejects_out_of_range_count(self):
+        with pytest.raises(ValueError, match="outside"):
+            convergence_curve(np.zeros((5, 1)), lambda s: 0.0, [6])
+
+
+class TestScalarStats:
+    def test_sem_matches_formula(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        expected = np.std(values, ddof=1) / 2.0
+        assert standard_error_of_mean(values) == pytest.approx(expected)
+
+    def test_sem_needs_two_values(self):
+        with pytest.raises(ValueError):
+            standard_error_of_mean([1.0])
+
+    def test_wilson_interval_contains_p_hat(self):
+        lo, hi = wilson_interval(70, 100)
+        assert lo < 0.7 < hi
+
+    def test_wilson_interval_handles_extremes(self):
+        lo, hi = wilson_interval(0, 20)
+        assert lo == 0.0 and hi < 0.2
+        lo, hi = wilson_interval(20, 20)
+        assert lo > 0.8 and hi == 1.0
+
+    def test_wilson_rejects_bad_counts(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(10, 5)
+
+
+class TestPorterThomas:
+    def _random_circuit_probs(self, n=5, cycles=8, seed=0):
+        circuit = apps.random_supremacy_circuit(
+            1, n, cycles, random_state=seed, measure_key=None
+        )
+        psi = circuit.final_state_vector()
+        return np.abs(psi) ** 2
+
+    def test_deep_random_circuit_is_pt(self):
+        probs = self._random_circuit_probs(n=5, cycles=12, seed=1)
+        _, p_value = porter_thomas_test(probs)
+        assert p_value > 0.01
+
+    def test_uniform_distribution_is_not_pt(self):
+        probs = np.full(64, 1 / 64)
+        statistic, p_value = porter_thomas_test(probs)
+        assert p_value < 1e-6
+
+    def test_pdf_integrates_to_one(self):
+        dim = 32
+        p = np.linspace(0, 1, 200001)
+        mass = np.trapezoid(porter_thomas_pdf(p, dim), p)
+        assert mass == pytest.approx(1.0, abs=1e-3)
+
+    def test_collision_probability_uniform(self):
+        probs = np.full(16, 1 / 16)
+        assert collision_probability(probs) == pytest.approx(1 / 16)
+        assert pt_collision_ratio(probs) == pytest.approx(1.0)
+
+    def test_collision_ratio_pt_is_two(self):
+        probs = self._random_circuit_probs(n=6, cycles=12, seed=3)
+        assert 1.7 < pt_collision_ratio(probs) < 2.3
+
+    def test_expected_xeb_limits(self):
+        uniform = np.full(64, 1 / 64)
+        assert expected_linear_xeb(uniform) == pytest.approx(0.0)
+        pt = self._random_circuit_probs(n=6, cycles=12, seed=4)
+        assert 0.7 < expected_linear_xeb(pt) < 1.3
+
+    def test_entropy_limits(self):
+        uniform = np.full(32, 1 / 32)
+        assert shannon_entropy(uniform) == pytest.approx(5.0)
+        delta = np.zeros(32)
+        delta[3] = 1.0
+        assert shannon_entropy(delta) == 0.0
+
+    def test_pt_entropy_below_uniform(self):
+        assert pt_expected_entropy(2**8) < 8.0
+        probs = self._random_circuit_probs(n=6, cycles=12, seed=5)
+        assert shannon_entropy(probs) == pytest.approx(
+            pt_expected_entropy(2**6), abs=0.4
+        )
+
+    def test_rejects_unnormalized(self):
+        with pytest.raises(ValueError, match="sum"):
+            porter_thomas_test(np.full(8, 0.2))

@@ -1,0 +1,206 @@
+"""Tests for the application layer: GHZ builders, workloads, QAOA MaxCut."""
+
+import math
+
+import networkx as nx
+import numpy as np
+import pytest
+
+import repro as bgls
+from repro import born
+from repro import circuits as cirq
+from repro.apps import (
+    average_cut,
+    brute_force_maxcut,
+    cut_value,
+    ghz_circuit,
+    qaoa_maxcut_circuit,
+    random_fixed_cnot_circuit,
+    random_ghz_circuit,
+    random_graph,
+    random_shallow_circuit,
+    solve_maxcut,
+    sweep_parameters,
+)
+from repro.mps import MPSOptions, MPSState
+from repro.states import StateVectorSimulationState
+
+
+class TestGHZ:
+    def test_linear_ghz_state(self):
+        circuit = ghz_circuit(4, measure_key=None)
+        psi = circuit.final_state_vector()
+        np.testing.assert_allclose(abs(psi[0]) ** 2, 0.5, atol=1e-9)
+        np.testing.assert_allclose(abs(psi[-1]) ** 2, 0.5, atol=1e-9)
+        assert np.abs(psi[1:-1]).max() < 1e-12
+
+    def test_measure_key_included(self):
+        circuit = ghz_circuit(3)
+        assert circuit.all_measurement_keys() == ["z"]
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_ghz_is_still_ghz(self, seed):
+        """Random CNOT sequencing produces exactly the GHZ state."""
+        circuit = random_ghz_circuit(5, random_state=seed)
+        probs = np.abs(circuit.final_state_vector()) ** 2
+        np.testing.assert_allclose(probs[0], 0.5, atol=1e-9)
+        np.testing.assert_allclose(probs[-1], 0.5, atol=1e-9)
+
+    def test_random_ghz_connectivity_varies(self):
+        reprs = {repr(random_ghz_circuit(6, random_state=s)) for s in range(6)}
+        assert len(reprs) > 1
+
+
+class TestWorkloads:
+    def test_fixed_cnot_count(self):
+        circuit = random_fixed_cnot_circuit(8, 4, 5, random_state=0)
+        n_cnot = sum(
+            1 for op in circuit.all_operations() if len(op.qubits) == 2
+        )
+        assert n_cnot == 5
+
+    def test_shallow_depth(self):
+        circuit = random_shallow_circuit(10, 6, random_state=0)
+        assert circuit.depth() == 6
+
+    def test_shallow_circuit_bounded_entanglement(self):
+        """Shallow sparse circuits keep MPS bonds small (Fig. 7a premise)."""
+        qs = cirq.LineQubit.range(10)
+        circuit = random_shallow_circuit(qs, 4, cnot_probability=0.2, random_state=1)
+        mps = MPSState(qs)
+        for op in circuit.all_operations():
+            bgls.act_on(op, mps)
+        assert mps.max_bond_dimension() <= 4
+
+
+class TestMaxCutPrimitives:
+    def test_cut_value(self):
+        g = nx.Graph([(0, 1), (1, 2), (0, 2)])
+        assert cut_value(g, [0, 1, 1]) == 2
+        assert cut_value(g, [0, 0, 0]) == 0
+        assert cut_value(g, [0, 1, 0]) == 2
+
+    def test_average_cut(self):
+        g = nx.Graph([(0, 1)])
+        samples = np.array([[0, 1], [0, 0]])
+        assert average_cut(g, samples) == pytest.approx(0.5)
+
+    def test_brute_force_triangle(self):
+        g = nx.Graph([(0, 1), (1, 2), (0, 2)])
+        best, bits = brute_force_maxcut(g)
+        assert best == 2
+        assert cut_value(g, bits) == 2
+
+    def test_brute_force_bipartite_is_full_cut(self):
+        g = nx.complete_bipartite_graph(3, 3)
+        best, _ = brute_force_maxcut(g)
+        assert best == 9
+
+    def test_random_graph_nonempty(self):
+        g = random_graph(10, 0.3, random_state=0)
+        assert g.number_of_nodes() == 10
+        assert g.number_of_edges() > 0
+
+
+class TestQAOACircuit:
+    def test_structure(self):
+        g = nx.Graph([(0, 1), (1, 2)])
+        circuit = qaoa_maxcut_circuit(g, 0.4, 0.3)
+        ops = list(circuit.all_operations())
+        n_cnot = sum(1 for op in ops if op.gate == cirq.CNOT)
+        assert n_cnot == 2 * g.number_of_edges()
+        assert circuit.all_measurement_keys() == ["z"]
+
+    def test_parametric_template_resolves(self):
+        g = nx.Graph([(0, 1)])
+        gamma, beta = cirq.Symbol("gamma"), cirq.Symbol("beta")
+        template = qaoa_maxcut_circuit(g, gamma, beta)
+        assert template._is_parameterized_()
+        resolved = template.resolve_parameters({"gamma": 0.5, "beta": 0.25})
+        assert not resolved._is_parameterized_()
+
+    def test_zero_angles_give_uniform_distribution(self):
+        g = nx.Graph([(0, 1), (1, 2)])
+        circuit = qaoa_maxcut_circuit(g, 0.0, 0.0, measure_key=None)
+        probs = np.abs(circuit.final_state_vector()) ** 2
+        np.testing.assert_allclose(probs, np.ones(8) / 8, atol=1e-9)
+
+    def test_layers_repeat(self):
+        g = nx.Graph([(0, 1)])
+        one = qaoa_maxcut_circuit(g, 0.1, 0.2, layers=1, measure_key=None)
+        two = qaoa_maxcut_circuit(g, 0.1, 0.2, layers=2, measure_key=None)
+        # One extra (cost + mixer) block: 3 ops per edge + 1 mixer per qubit.
+        per_layer = 3 * g.number_of_edges() + g.number_of_nodes()
+        assert two.num_operations() == one.num_operations() + per_layer
+
+    def test_cost_unitary_is_diagonal_phase(self):
+        """CNOT-Rz-CNOT implements exp(-i gamma/2 Z Z) up to phase."""
+        g = nx.Graph([(0, 1)])
+        gamma = 0.73
+        circuit = qaoa_maxcut_circuit(g, gamma, 0.0, measure_key=None)
+        # strip the trailing mixer (beta=0 -> Rx(0) = I up to phase) and H's
+        u = circuit.unitary()
+        h2 = np.kron(
+            np.array([[1, 1], [1, -1]]) / math.sqrt(2),
+            np.array([[1, 1], [1, -1]]) / math.sqrt(2),
+        )
+        core = u @ h2  # undo initial Hadamards
+        zz = np.diag([1, -1, -1, 1]).astype(float)
+        from scipy.linalg import expm
+
+        expected = expm(-1j * gamma / 2 * zz)
+        inner = np.vdot(expected.ravel(), core.ravel())
+        assert abs(inner) / 4 == pytest.approx(1.0, abs=1e-9)
+
+
+class TestQAOAEndToEnd:
+    def _sv_sampler(self, qubits, seed=0):
+        sim = bgls.Simulator(
+            StateVectorSimulationState(qubits),
+            bgls.act_on,
+            born.compute_probability_state_vector,
+            seed=seed,
+        )
+        return lambda circuit, reps: sim.sample_bitstrings(circuit, reps)
+
+    def test_sweep_shape(self):
+        g = nx.Graph([(0, 1), (1, 2)])
+        qs = cirq.LineQubit.range(3)
+        grid = sweep_parameters(
+            g, self._sv_sampler(qs), gammas=[0.1, 0.5], betas=[0.2, 0.4, 0.6],
+            repetitions=30,
+        )
+        assert grid.shape == (2, 3)
+        assert np.all(grid >= 0)
+
+    def test_solve_small_graph_finds_optimum(self):
+        g = nx.Graph([(0, 1), (1, 2), (0, 2), (2, 3)])
+        qs = cirq.LineQubit.range(4)
+        result = solve_maxcut(
+            g, self._sv_sampler(qs), grid_size=6,
+            sweep_repetitions=60, final_repetitions=300,
+        )
+        optimum, _ = brute_force_maxcut(g)
+        assert result.best_cut == optimum  # small graph: sampling finds it
+        assert cut_value(g, result.best_bitstring) == result.best_cut
+        left, right = result.partition()
+        assert sorted(left + right) == [0, 1, 2, 3]
+
+    def test_solve_with_mps_bounded_bond(self):
+        """The paper's configuration: MPS with restricted chi."""
+        g = random_graph(6, 0.3, random_state=2)
+        qs = cirq.LineQubit.range(6)
+        sim = bgls.Simulator(
+            MPSState(qs, options=MPSOptions(max_bond=8)),
+            bgls.act_on,
+            born.compute_probability_mps,
+            seed=0,
+        )
+        sampler = lambda circuit, reps: sim.sample_bitstrings(circuit, reps)
+        result = solve_maxcut(
+            g, sampler, grid_size=4, sweep_repetitions=25, final_repetitions=80
+        )
+        optimum, _ = brute_force_maxcut(g)
+        assert 0 < result.best_cut <= optimum
+        # QAOA p=1 + sampling should land near the optimum on tiny graphs.
+        assert result.best_cut >= max(1, optimum - 1)

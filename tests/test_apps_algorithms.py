@@ -1,0 +1,299 @@
+"""Tests for the algorithm applications: QFT/QPE, Grover, BV, VQE, QV,
+teleportation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import apps, born
+from repro import circuits as cirq
+from repro.protocols import act_on
+from repro.sampler import Simulator
+from repro.states import StateVectorSimulationState
+
+
+def make_sampler(qubits, seed=0):
+    return Simulator(
+        initial_state=StateVectorSimulationState(qubits),
+        apply_op=lambda op, s: act_on(op, s),
+        compute_probability=born.compute_probability_state_vector,
+        seed=seed,
+    )
+
+
+def sampler_fn(qubits, seed=0):
+    def run(circuit, repetitions):
+        return make_sampler(qubits, seed).sample_bitstrings(
+            circuit, repetitions=repetitions
+        )
+
+    return run
+
+
+class TestQFT:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    def test_matches_dft_matrix(self, n):
+        qs = cirq.LineQubit.range(n)
+        u = apps.qft_circuit(qs).unitary(qubit_order=qs)
+        np.testing.assert_allclose(u, apps.qft_matrix(n), atol=1e-8)
+
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_inverse_composes_to_identity(self, n):
+        qs = cirq.LineQubit.range(n)
+        u = apps.qft_circuit(qs).unitary(qubit_order=qs)
+        ui = apps.qft_circuit(qs, inverse=True).unitary(qubit_order=qs)
+        np.testing.assert_allclose(ui @ u, np.eye(2**n), atol=1e-8)
+
+    def test_without_swaps_is_bit_reversed(self):
+        n = 3
+        qs = cirq.LineQubit.range(n)
+        u = apps.qft_circuit(qs, final_swaps=False).unitary(qubit_order=qs)
+        full = apps.qft_matrix(n)
+        # Bit-reversal permutation of the rows recovers the QFT.
+        perm = [int(f"{i:03b}"[::-1], 2) for i in range(2**n)]
+        np.testing.assert_allclose(u[perm, :], full, atol=1e-8)
+
+    def test_qft_on_basis_state_is_uniform(self):
+        qs = cirq.LineQubit.range(3)
+        circuit = apps.qft_circuit(qs, measure_key="z")
+        res = make_sampler(qs).run(circuit, repetitions=400)
+        rows = {tuple(r) for r in res.measurements["z"]}
+        assert len(rows) > 4  # uniform over 8 outcomes
+
+    def test_rejects_empty_register(self):
+        with pytest.raises(ValueError):
+            apps.qft_circuit([])
+
+
+class TestPhaseEstimation:
+    @pytest.mark.parametrize("phi_bits", [(0, 0, 1), (0, 1, 0), (1, 0, 1)])
+    def test_exactly_representable_phase(self, phi_bits):
+        phi = apps.phase_from_bits(phi_bits)
+        u = np.diag([1.0, np.exp(2j * math.pi * phi)])
+        n = len(phi_bits)
+        circuit, phase_qubits, targets = apps.phase_estimation_circuit(
+            u, n, target_preparation=[cirq.X.on(cirq.LineQubit(n))]
+        )
+        all_qubits = phase_qubits + targets
+        res = make_sampler(all_qubits, seed=1).run(circuit, repetitions=50)
+        estimate = apps.estimate_phase(res.measurements["phase"])
+        assert estimate == pytest.approx(phi)
+
+    def test_non_representable_phase_concentrates(self):
+        phi = 0.3
+        u = np.diag([1.0, np.exp(2j * math.pi * phi)])
+        n = 4
+        circuit, phase_qubits, targets = apps.phase_estimation_circuit(
+            u, n, target_preparation=[cirq.X.on(cirq.LineQubit(n))]
+        )
+        res = make_sampler(phase_qubits + targets, seed=2).run(
+            circuit, repetitions=200
+        )
+        estimate = apps.estimate_phase(res.measurements["phase"])
+        assert abs(estimate - phi) < 1.0 / 2**n
+
+    def test_eigenstate_zero_gives_zero_phase(self):
+        u = np.diag([1.0, np.exp(1j)])
+        circuit, pq, tq = apps.phase_estimation_circuit(u, 3)
+        res = make_sampler(pq + tq, seed=3).run(circuit, repetitions=20)
+        assert apps.estimate_phase(res.measurements["phase"]) == 0.0
+
+    def test_rejects_multi_qubit_unitary(self):
+        with pytest.raises(ValueError, match="1-qubit"):
+            apps.phase_estimation_circuit(np.eye(4), 3)
+
+    def test_phase_from_bits(self):
+        assert apps.phase_from_bits([1, 0, 1]) == pytest.approx(0.625)
+        assert apps.phase_from_bits([0, 0, 0]) == 0.0
+
+
+class TestGrover:
+    def test_single_marked_state_found(self):
+        n, marked = 4, [0b1011]
+        qs = cirq.LineQubit.range(n)
+        circuit = apps.grover_circuit(n, marked)
+        bits = make_sampler(qs, seed=0).sample_bitstrings(
+            circuit, repetitions=100
+        )
+        assert apps.success_probability(bits, marked) > 0.9
+
+    def test_marked_as_bit_tuple(self):
+        n = 3
+        circuit = apps.grover_circuit(n, [(1, 0, 1)])
+        qs = cirq.LineQubit.range(n)
+        bits = make_sampler(qs, seed=1).sample_bitstrings(circuit, repetitions=60)
+        assert apps.success_probability(bits, [0b101]) > 0.8
+
+    def test_multiple_marked_states(self):
+        n, marked = 4, [3, 12]
+        qs = cirq.LineQubit.range(n)
+        circuit = apps.grover_circuit(n, marked)
+        bits = make_sampler(qs, seed=2).sample_bitstrings(circuit, repetitions=100)
+        assert apps.success_probability(bits, marked) > 0.85
+
+    def test_optimal_iterations_formula(self):
+        assert apps.optimal_iterations(4, 1) == 3
+        assert apps.optimal_iterations(10, 1) == 25
+
+    def test_oracle_is_diagonal_sign_flip(self):
+        gate = apps.oracle_gate([2], 2)
+        u = gate._unitary_()
+        np.testing.assert_allclose(np.diag(u), [1, 1, -1, 1])
+
+    def test_diffusion_reflects_uniform(self):
+        gate = apps.diffusion_gate(2)
+        u = gate._unitary_()
+        s = np.full(4, 0.5)
+        np.testing.assert_allclose(u @ s, s, atol=1e-12)
+
+    def test_rejects_empty_marked(self):
+        with pytest.raises(ValueError, match="at least one"):
+            apps.grover_circuit(3, [])
+
+    def test_rejects_out_of_range_index(self):
+        with pytest.raises(ValueError, match="out of range"):
+            apps.grover_circuit(2, [7])
+
+    def test_rejects_wrong_length_bitstring(self):
+        with pytest.raises(ValueError, match="wrong length"):
+            apps.grover_circuit(3, [(0, 1)])
+
+
+class TestBernsteinVazirani:
+    @pytest.mark.parametrize("secret", ["1", "101", "1101", "00110"])
+    def test_recovers_secret_deterministically(self, secret):
+        circuit = apps.bernstein_vazirani_circuit(secret)
+        qs = cirq.LineQubit.range(len(secret) + 1)
+        res = make_sampler(qs, seed=4).run(circuit, repetitions=20)
+        recovered = apps.recover_secret(res.measurements["secret"])
+        assert recovered == apps.parse_secret(secret)
+
+    def test_accepts_bit_sequence(self):
+        assert apps.parse_secret([1, 0, 1]) == (1, 0, 1)
+
+    def test_rejects_bad_string(self):
+        with pytest.raises(ValueError):
+            apps.parse_secret("10a")
+        with pytest.raises(ValueError):
+            apps.parse_secret("")
+
+    def test_recover_secret_detects_inconsistency(self):
+        with pytest.raises(ValueError, match="disagree"):
+            apps.recover_secret(np.array([[0, 1], [1, 1]]))
+
+    def test_circuit_is_clifford(self):
+        circuit = apps.bernstein_vazirani_circuit("1011")
+        for op in circuit.all_operations():
+            if not op.is_measurement:
+                assert op._stabilizer_sequence_() is not None
+
+
+class TestVQE:
+    def test_exact_ground_energy_two_sites(self):
+        # H = -J Z0 Z1 - h (X0 + X1); for J=h=1 ground energy = -sqrt(1+4)...
+        # verified against dense diagonalization by construction; sanity:
+        problem = apps.TFIMProblem(num_sites=2, coupling=1.0, field=1.0)
+        e = apps.exact_ground_energy(problem)
+        assert e == pytest.approx(-np.sqrt(5.0), abs=1e-9)
+
+    def test_hamiltonian_is_hermitian(self):
+        problem = apps.TFIMProblem(num_sites=3)
+        ham = apps.tfim_hamiltonian_matrix(problem)
+        np.testing.assert_allclose(ham, ham.conj().T, atol=1e-12)
+
+    def test_optimizer_approaches_ground_state(self):
+        problem = apps.TFIMProblem(num_sites=3, coupling=1.0, field=0.8)
+        result = apps.optimize_tfim(problem, layers=2, grid_size=6, refinements=2)
+        assert result.best_energy >= result.exact_energy - 1e-9
+        assert result.relative_error < 0.05
+
+    def test_sampled_energy_close_to_exact(self):
+        problem = apps.TFIMProblem(num_sites=3)
+        qs = cirq.LineQubit.range(3)
+        result = apps.optimize_tfim(
+            problem,
+            layers=1,
+            grid_size=5,
+            refinements=1,
+            sampler=sampler_fn(qs, seed=5),
+            repetitions=2000,
+        )
+        exact_at_params = apps.exact_energy_of_parameters(
+            problem, result.best_params, layers=1
+        )
+        assert abs(result.best_energy - exact_at_params) < 0.25
+
+    def test_rejects_single_site(self):
+        with pytest.raises(ValueError):
+            apps.TFIMProblem(num_sites=1)
+
+    def test_rejects_wrong_parameter_count(self):
+        problem = apps.TFIMProblem(num_sites=2)
+        with pytest.raises(ValueError, match="parameters"):
+            apps.exact_energy_of_parameters(problem, [0.1], layers=1)
+
+
+class TestQuantumVolume:
+    def test_heavy_set_is_about_half(self):
+        circuit = apps.quantum_volume_circuit(3, random_state=0)
+        heavy = apps.heavy_set(circuit)
+        assert 1 <= len(heavy) <= 7
+
+    def test_ideal_sampler_beats_threshold(self):
+        qs = cirq.LineQubit.range(3)
+        result = apps.run_quantum_volume(
+            3,
+            sampler_fn(qs, seed=6),
+            num_circuits=4,
+            repetitions=150,
+            random_state=1,
+        )
+        assert result.passed
+        assert result.log2_quantum_volume == 3
+        # Ideal asymptotic HOP ~ 0.85; allow wide statistical slack.
+        assert 0.7 < result.mean_hop <= 1.0
+
+    def test_uniform_sampler_fails(self):
+        rng = np.random.default_rng(0)
+
+        def uniform_sampler(circuit, repetitions):
+            n = len(circuit.all_qubits())
+            return rng.integers(0, 2, size=(repetitions, n))
+
+        result = apps.run_quantum_volume(
+            3, uniform_sampler, num_circuits=4, repetitions=200, random_state=2
+        )
+        assert 0.35 < result.mean_hop < 0.65
+        assert not result.passed
+
+    def test_rejects_tiny_m(self):
+        with pytest.raises(ValueError):
+            apps.quantum_volume_circuit(1)
+
+
+class TestTeleportation:
+    def test_default_message_teleports_exactly(self):
+        circuit = apps.teleportation_circuit()
+        qs = cirq.LineQubit.range(3)
+        res = make_sampler(qs, seed=7).run(circuit, repetitions=200)
+        assert apps.teleportation_fidelity(res) == 1.0
+
+    def test_bell_outcomes_uniform(self):
+        circuit = apps.teleportation_circuit()
+        qs = cirq.LineQubit.range(3)
+        res = make_sampler(qs, seed=8).run(circuit, repetitions=2000)
+        dist = apps.bell_measurement_distribution(res)
+        np.testing.assert_allclose(dist, 0.25, atol=0.05)
+
+    def test_custom_message(self):
+        u = np.array([[0, 1], [1, 0]], dtype=complex)  # message = |1>
+        circuit = apps.teleportation_circuit(message_preparation=u)
+        qs = cirq.LineQubit.range(3)
+        res = make_sampler(qs, seed=9).run(circuit, repetitions=100)
+        assert apps.teleportation_fidelity(res) == 1.0
+
+    def test_without_verification_has_no_verify_key(self):
+        circuit = apps.teleportation_circuit(verify=False)
+        assert "verify" not in circuit.all_measurement_keys()
+        assert {"m0", "m1"} <= set(circuit.all_measurement_keys())

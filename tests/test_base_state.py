@@ -1,0 +1,70 @@
+"""Tests for shared simulation-state machinery."""
+
+import numpy as np
+import pytest
+
+from repro import circuits as cirq
+from repro.states import StateVectorSimulationState, bits_to_index, index_to_bits
+
+
+class TestBitConversions:
+    def test_bits_to_index_big_endian(self):
+        assert bits_to_index([1, 0, 1]) == 5
+        assert bits_to_index([0, 0, 0]) == 0
+        assert bits_to_index([1, 1, 1, 1]) == 15
+
+    def test_index_to_bits(self):
+        assert index_to_bits(5, 3) == (1, 0, 1)
+        assert index_to_bits(0, 2) == (0, 0)
+
+    def test_roundtrip(self):
+        for width in (1, 3, 6):
+            for idx in range(2**width):
+                assert bits_to_index(index_to_bits(idx, width)) == idx
+
+
+class TestRegister:
+    def test_axes_of(self):
+        qs = cirq.LineQubit.range(3)
+        state = StateVectorSimulationState(qs)
+        assert state.axes_of([qs[2], qs[0]]) == [2, 0]
+
+    def test_axes_of_unknown_qubit(self):
+        qs = cirq.LineQubit.range(2)
+        state = StateVectorSimulationState(qs)
+        with pytest.raises(ValueError, match="not in state register"):
+            state.axes_of([cirq.LineQubit(9)])
+
+    def test_num_qubits(self):
+        state = StateVectorSimulationState(cirq.LineQubit.range(4))
+        assert state.num_qubits == 4
+
+    def test_rng_seeding(self):
+        qs = cirq.LineQubit.range(1)
+        a = StateVectorSimulationState(qs, seed=7)
+        b = StateVectorSimulationState(qs, seed=7)
+        a.apply_unitary(np.eye(2), [0])
+        assert a.rng.integers(1000) == b.rng.integers(1000)
+
+    def test_shared_generator(self):
+        rng = np.random.default_rng(0)
+        state = StateVectorSimulationState(cirq.LineQubit.range(1), seed=rng)
+        assert state.rng is rng
+
+
+class TestActOnDispatch:
+    def test_measurement_dispatch(self):
+        qs = cirq.LineQubit.range(1)
+        state = StateVectorSimulationState(qs, initial_state=1, seed=0)
+        state._act_on_(cirq.measure(qs[0], key="m"))
+        assert state.probability_of([1]) == pytest.approx(1.0)
+
+    def test_unsupported_operation(self):
+        class WeirdGate(cirq.Gate):
+            def num_qubits(self):
+                return 1
+
+        qs = cirq.LineQubit.range(1)
+        state = StateVectorSimulationState(qs)
+        with pytest.raises(TypeError, match="no unitary or Kraus"):
+            state._act_on_(WeirdGate().on(qs[0]))

@@ -1,0 +1,123 @@
+"""Tests for the conventional qubit-by-qubit baseline and exact sampler."""
+
+import numpy as np
+import pytest
+
+import repro as bgls
+from repro import born
+from repro import circuits as cirq
+from repro.analysis import empirical_distribution, total_variation_distance
+from repro.sampler import ExactDistributionSampler, QubitByQubitSimulator
+from repro.states import StateVectorSimulationState
+
+
+@pytest.fixture
+def qubits():
+    return cirq.LineQubit.range(3)
+
+
+def exact_probs(circuit, qubits):
+    return (
+        np.abs(
+            circuit.without_measurements().final_state_vector(qubit_order=qubits)
+        )
+        ** 2
+    )
+
+
+class TestQubitByQubitSimulator:
+    def test_distribution_matches_exact(self, qubits):
+        circuit = cirq.generate_random_circuit(qubits, 10, random_state=1)
+        sim = QubitByQubitSimulator(
+            StateVectorSimulationState(qubits), bgls.act_on, seed=0
+        )
+        bits = sim.sample_bitstrings(circuit, repetitions=3000)
+        tv = total_variation_distance(
+            empirical_distribution(bits, 3), exact_probs(circuit, qubits)
+        )
+        assert tv < 0.05
+
+    def test_run_records(self, qubits):
+        circuit = cirq.Circuit(
+            cirq.H(qubits[0]),
+            cirq.CNOT(qubits[0], qubits[1]),
+            cirq.measure(qubits[0], qubits[1], key="z"),
+        )
+        result = sim_result = QubitByQubitSimulator(
+            StateVectorSimulationState(qubits), bgls.act_on, seed=0
+        ).run(circuit, repetitions=300)
+        hist = result.histogram("z")
+        assert set(hist) <= {0, 3}
+
+    def test_requires_measurement_for_run(self, qubits):
+        circuit = cirq.Circuit(cirq.H(qubits[0]))
+        sim = QubitByQubitSimulator(
+            StateVectorSimulationState(qubits), bgls.act_on, seed=0
+        )
+        with pytest.raises(ValueError, match="no measurements"):
+            sim.run(circuit)
+
+    def test_rejects_mid_circuit_measurement(self, qubits):
+        circuit = cirq.Circuit(
+            cirq.measure(qubits[0], key="m"), cirq.H(qubits[0])
+        )
+        sim = QubitByQubitSimulator(
+            StateVectorSimulationState(qubits), bgls.act_on, seed=0
+        )
+        with pytest.raises(ValueError, match="terminal"):
+            sim.run(circuit)
+
+    def test_agreement_with_bgls(self, qubits):
+        circuit = cirq.generate_random_circuit(qubits, 8, random_state=4)
+        baseline = QubitByQubitSimulator(
+            StateVectorSimulationState(qubits), bgls.act_on, seed=0
+        )
+        gate_by_gate = bgls.Simulator(
+            StateVectorSimulationState(qubits),
+            bgls.act_on,
+            born.compute_probability_state_vector,
+            seed=1,
+        )
+        p_base = empirical_distribution(
+            baseline.sample_bitstrings(circuit, 3000), 3
+        )
+        p_bgls = empirical_distribution(
+            gate_by_gate.sample_bitstrings(circuit, 3000), 3
+        )
+        assert total_variation_distance(p_base, p_bgls) < 0.06
+
+
+class TestExactDistributionSampler:
+    def test_final_distribution_exact(self, qubits):
+        circuit = cirq.generate_random_circuit(qubits, 10, random_state=2)
+        sampler = ExactDistributionSampler(
+            StateVectorSimulationState(qubits), bgls.act_on, seed=0
+        )
+        np.testing.assert_allclose(
+            sampler.final_distribution(circuit),
+            exact_probs(circuit, qubits),
+            atol=1e-9,
+        )
+
+    def test_samples_follow_distribution(self, qubits):
+        circuit = cirq.Circuit(cirq.H(qubits[0]), cirq.H(qubits[1]))
+        sampler = ExactDistributionSampler(
+            StateVectorSimulationState(qubits), bgls.act_on, seed=0
+        )
+        bits = sampler.sample_bitstrings(circuit, repetitions=4000)
+        emp = empirical_distribution(bits, 3)
+        expected = np.array([0.25, 0, 0.25, 0, 0.25, 0, 0.25, 0])
+        assert total_variation_distance(emp, expected) < 0.05
+
+    def test_parametric_circuit(self, qubits):
+        import math
+
+        t = cirq.Symbol("t")
+        circuit = cirq.Circuit(cirq.Rx(t).on(qubits[0]))
+        sampler = ExactDistributionSampler(
+            StateVectorSimulationState(qubits), bgls.act_on, seed=0
+        )
+        probs = sampler.final_distribution(
+            circuit, param_resolver={"t": math.pi}
+        )
+        assert probs[4] == pytest.approx(1.0)  # qubit 0 flipped (big-endian)

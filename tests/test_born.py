@@ -1,0 +1,100 @@
+"""Tests for the born module: scalar/batched probability functions."""
+
+import numpy as np
+import pytest
+
+import repro as bgls
+from repro import born
+from repro import circuits as cirq
+from repro.mps import MPSState
+from repro.states import (
+    DensityMatrixSimulationState,
+    StabilizerChFormSimulationState,
+    StateVectorSimulationState,
+)
+
+
+def evolved(state_cls, circuit, qubits, **kw):
+    state = state_cls(qubits, **kw)
+    for op in circuit.all_operations():
+        bgls.act_on(op, state)
+    return state
+
+
+@pytest.fixture
+def qubits():
+    return cirq.LineQubit.range(3)
+
+
+@pytest.fixture
+def clifford_circuit(qubits):
+    return cirq.random_clifford_circuit(qubits, 15, random_state=0)
+
+
+class TestScalarFunctions:
+    def test_all_backends_agree(self, qubits, clifford_circuit):
+        sv = evolved(StateVectorSimulationState, clifford_circuit, qubits)
+        dm = evolved(DensityMatrixSimulationState, clifford_circuit, qubits)
+        ch = evolved(StabilizerChFormSimulationState, clifford_circuit, qubits)
+        mps = evolved(MPSState, clifford_circuit, qubits)
+        for idx in range(8):
+            bits = [(idx >> (2 - j)) & 1 for j in range(3)]
+            p = born.compute_probability_state_vector(sv, bits)
+            assert born.compute_probability_density_matrix(dm, bits) == pytest.approx(p, abs=1e-9)
+            assert born.compute_probability_stabilizer_state(ch, bits) == pytest.approx(p, abs=1e-9)
+            assert born.compute_probability_mps(mps, bits) == pytest.approx(p, abs=1e-9)
+
+    def test_mps_bitstring_probability_alias(self, qubits, clifford_circuit):
+        mps = evolved(MPSState, clifford_circuit, qubits)
+        assert born.mps_bitstring_probability(mps, [0, 0, 0]) == pytest.approx(
+            born.compute_probability_mps(mps, [0, 0, 0])
+        )
+
+    def test_probabilities_normalized(self, qubits, clifford_circuit):
+        sv = evolved(StateVectorSimulationState, clifford_circuit, qubits)
+        total = sum(
+            born.compute_probability_state_vector(
+                sv, [(i >> (2 - j)) & 1 for j in range(3)]
+            )
+            for i in range(8)
+        )
+        assert total == pytest.approx(1.0)
+
+
+class TestBatchedFunctions:
+    @pytest.mark.parametrize(
+        "scalar,batched",
+        [
+            (born.compute_probability_state_vector, born.candidates_state_vector),
+            (born.compute_probability_density_matrix, born.candidates_density_matrix),
+            (born.compute_probability_stabilizer_state, born.candidates_stabilizer_state),
+            (born.compute_probability_mps, born.candidates_mps),
+            (born.mps_bitstring_probability, born.candidates_mps),
+        ],
+    )
+    def test_candidate_function_mapping(self, scalar, batched):
+        assert born.candidate_function_for(scalar) is batched
+
+    def test_unknown_function_maps_to_none(self):
+        assert born.candidate_function_for(lambda s, b: 0.0) is None
+
+    def test_batched_matches_scalar_all_backends(self, qubits, clifford_circuit):
+        backends = [
+            (StateVectorSimulationState, born.compute_probability_state_vector,
+             born.candidates_state_vector),
+            (DensityMatrixSimulationState, born.compute_probability_density_matrix,
+             born.candidates_density_matrix),
+            (StabilizerChFormSimulationState, born.compute_probability_stabilizer_state,
+             born.candidates_stabilizer_state),
+            (MPSState, born.compute_probability_mps, born.candidates_mps),
+        ]
+        bits = [1, 0, 1]
+        support = [0, 2]
+        for cls, scalar, batched in backends:
+            state = evolved(cls, clifford_circuit, qubits)
+            fast = batched(state, bits, support)
+            for idx in range(4):
+                full = list(bits)
+                full[0] = (idx >> 1) & 1
+                full[2] = idx & 1
+                assert fast[idx] == pytest.approx(scalar(state, full), abs=1e-9), cls

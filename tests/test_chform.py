@@ -1,0 +1,290 @@
+"""Tests for the CH-form stabilizer engine against the dense simulator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import circuits as cirq
+from repro.protocols import act_on, unitary
+from repro.states import (
+    StabilizerChForm,
+    StabilizerChFormSimulationState,
+    StateVectorSimulationState,
+)
+
+_SQRT2_INV = 1 / math.sqrt(2)
+
+
+def ch_and_dense(circuit, qubits):
+    """Evolve both representations and return their state vectors."""
+    sv = StateVectorSimulationState(qubits)
+    ch = StabilizerChFormSimulationState(qubits)
+    for op in circuit.all_operations():
+        act_on(op, sv)
+        act_on(op, ch)
+    return sv.state_vector(), ch.state_vector()
+
+
+class TestInitialState:
+    def test_zero_state(self):
+        form = StabilizerChForm(3)
+        vec = form.state_vector()
+        assert vec[0] == pytest.approx(1.0)
+        assert np.count_nonzero(vec) == 1
+
+    def test_basis_initial_state(self):
+        form = StabilizerChForm(3, initial_state=0b011)
+        assert abs(form.inner_product_with_basis_state([0, 1, 1])) == pytest.approx(1.0)
+
+    def test_needs_positive_qubits(self):
+        with pytest.raises(ValueError):
+            StabilizerChForm(0)
+
+
+class TestSingleGates:
+    """Each primitive, checked exactly (including global phase)."""
+
+    def test_h_on_zero(self):
+        form = StabilizerChForm(1)
+        form.apply_h(0)
+        np.testing.assert_allclose(
+            form.state_vector(), [_SQRT2_INV, _SQRT2_INV], atol=1e-12
+        )
+
+    def test_h_twice_is_identity(self):
+        form = StabilizerChForm(1)
+        form.apply_h(0)
+        form.apply_h(0)
+        np.testing.assert_allclose(form.state_vector(), [1, 0], atol=1e-12)
+
+    def test_x(self):
+        form = StabilizerChForm(2)
+        form.apply_x(1)
+        np.testing.assert_allclose(
+            form.state_vector(), [0, 1, 0, 0], atol=1e-12
+        )
+
+    def test_z_phase_on_one(self):
+        form = StabilizerChForm(1, initial_state=1)
+        form.apply_z(0)
+        np.testing.assert_allclose(form.state_vector(), [0, -1], atol=1e-12)
+
+    def test_y_on_zero(self):
+        form = StabilizerChForm(1)
+        form.apply_y(0)
+        np.testing.assert_allclose(form.state_vector(), [0, 1j], atol=1e-12)
+
+    def test_s_on_plus(self):
+        form = StabilizerChForm(1)
+        form.apply_h(0)
+        form.apply_s(0)
+        np.testing.assert_allclose(
+            form.state_vector(), [_SQRT2_INV, 1j * _SQRT2_INV], atol=1e-12
+        )
+
+    def test_s_sdg_cancel(self):
+        form = StabilizerChForm(1)
+        form.apply_h(0)
+        form.apply_s(0)
+        form.apply_sdg(0)
+        np.testing.assert_allclose(
+            form.state_vector(), [_SQRT2_INV, _SQRT2_INV], atol=1e-12
+        )
+
+    def test_cx_bell(self):
+        form = StabilizerChForm(2)
+        form.apply_h(0)
+        form.apply_cx(0, 1)
+        np.testing.assert_allclose(
+            form.state_vector(), [_SQRT2_INV, 0, 0, _SQRT2_INV], atol=1e-12
+        )
+
+    def test_cz_on_plus_plus(self):
+        form = StabilizerChForm(2)
+        form.apply_h(0)
+        form.apply_h(1)
+        form.apply_cz(0, 1)
+        np.testing.assert_allclose(
+            form.state_vector(), [0.5, 0.5, 0.5, -0.5], atol=1e-12
+        )
+
+    def test_cx_needs_distinct_qubits(self):
+        form = StabilizerChForm(2)
+        with pytest.raises(ValueError):
+            form.apply_cx(1, 1)
+        with pytest.raises(ValueError):
+            form.apply_cz(0, 0)
+
+
+class TestAgainstDenseSimulator:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_clifford_circuits_exact(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 6))
+        qs = cirq.LineQubit.range(n)
+        circ = cirq.random_clifford_circuit(qs, 25, random_state=rng)
+        dense, ch = ch_and_dense(circ, qs)
+        np.testing.assert_allclose(dense, ch, atol=1e-8)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_extended_clifford_gate_set(self, seed):
+        """X, Y, Z, S_DAG, SWAP, ISWAP and X/Y/Z half-powers all match."""
+        rng = np.random.default_rng(100 + seed)
+        qs = cirq.LineQubit.range(4)
+        one_q = [cirq.X, cirq.Y, cirq.Z, cirq.H, cirq.S, cirq.S_DAG,
+                 cirq.X**0.5, cirq.Y**0.5, cirq.Z**1.5]
+        two_q = [cirq.CNOT, cirq.CZ, cirq.SWAP, cirq.ISWAP]
+        circ = cirq.Circuit()
+        for _ in range(30):
+            if rng.random() < 0.4:
+                a, b = rng.choice(4, size=2, replace=False)
+                circ.append(two_q[int(rng.integers(4))](qs[a], qs[b]))
+            else:
+                g = one_q[int(rng.integers(len(one_q)))]
+                circ.append(g(qs[int(rng.integers(4))]))
+        dense, ch = ch_and_dense(circ, qs)
+        np.testing.assert_allclose(dense, ch, atol=1e-8)
+
+    def test_probability_matches_dense(self):
+        qs = cirq.LineQubit.range(5)
+        circ = cirq.random_clifford_circuit(qs, 30, random_state=2)
+        sv = StateVectorSimulationState(qs)
+        ch = StabilizerChFormSimulationState(qs)
+        for op in circ.all_operations():
+            act_on(op, sv)
+            act_on(op, ch)
+        dense_probs = np.abs(sv.state_vector()) ** 2
+        for idx in range(32):
+            bits = [(idx >> (4 - j)) & 1 for j in range(5)]
+            assert ch.probability_of(bits) == pytest.approx(
+                dense_probs[idx], abs=1e-10
+            )
+
+
+class TestNorm:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_omega_magnitude_stays_one(self, seed):
+        """Unitary evolution keeps the CH scalar on the unit circle."""
+        qs = cirq.LineQubit.range(4)
+        circ = cirq.random_clifford_circuit(qs, 40, random_state=seed)
+        ch = StabilizerChFormSimulationState(qs)
+        for op in circ.all_operations():
+            act_on(op, ch)
+        assert abs(ch.ch_form.omega) == pytest.approx(1.0, abs=1e-9)
+
+    def test_state_vector_normalized(self):
+        qs = cirq.LineQubit.range(4)
+        circ = cirq.random_clifford_circuit(qs, 40, random_state=9)
+        ch = StabilizerChFormSimulationState(qs)
+        for op in circ.all_operations():
+            act_on(op, ch)
+        assert np.linalg.norm(ch.state_vector()) == pytest.approx(1.0, abs=1e-9)
+
+
+class TestMeasurement:
+    def test_deterministic_outcome(self):
+        form = StabilizerChForm(2)
+        form.apply_x(0)
+        is_random, bit = form.measurement_outcome_info(0)
+        assert not is_random
+        assert bit == 1
+
+    def test_random_outcome_flagged(self):
+        form = StabilizerChForm(1)
+        form.apply_h(0)
+        is_random, _ = form.measurement_outcome_info(0)
+        assert is_random
+
+    def test_projection_collapses(self):
+        form = StabilizerChForm(2)
+        form.apply_h(0)
+        form.apply_cx(0, 1)
+        form.project_measurement(0, 1)
+        np.testing.assert_allclose(
+            np.abs(form.state_vector()) ** 2, [0, 0, 0, 1], atol=1e-9
+        )
+
+    def test_projection_impossible_outcome_raises(self):
+        form = StabilizerChForm(1)  # |0>
+        with pytest.raises(ValueError, match="probability 0"):
+            form.project_measurement(0, 1)
+
+    def test_ghz_measurement_correlations(self):
+        rng = np.random.default_rng(0)
+        outcomes = set()
+        for _ in range(50):
+            form = StabilizerChForm(3)
+            form.apply_h(0)
+            form.apply_cx(0, 1)
+            form.apply_cx(1, 2)
+            bits = tuple(form.measure(q, rng) for q in range(3))
+            outcomes.add(bits)
+        assert outcomes == {(0, 0, 0), (1, 1, 1)}
+
+    def test_measurement_statistics_match_born(self):
+        qs = cirq.LineQubit.range(3)
+        circ = cirq.random_clifford_circuit(qs, 20, random_state=13)
+        ch = StabilizerChFormSimulationState(qs, seed=0)
+        for op in circ.all_operations():
+            act_on(op, ch)
+        probs = np.abs(ch.state_vector()) ** 2
+        rng = np.random.default_rng(1)
+        counts = np.zeros(8)
+        reps = 600
+        for _ in range(reps):
+            trial = ch.ch_form.copy()
+            bits = [trial.measure(q, rng) for q in range(3)]
+            counts[int("".join(map(str, bits)), 2)] += 1
+        tv = 0.5 * np.abs(counts / reps - probs).sum()
+        assert tv < 0.08
+
+
+class TestWrapperState:
+    def test_rejects_non_clifford(self):
+        qs = cirq.LineQubit.range(1)
+        ch = StabilizerChFormSimulationState(qs)
+        with pytest.raises(ValueError, match="not a Clifford"):
+            act_on(cirq.T(qs[0]), ch)
+
+    def test_rejects_channels(self):
+        qs = cirq.LineQubit.range(1)
+        ch = StabilizerChFormSimulationState(qs)
+        with pytest.raises(ValueError):
+            act_on(cirq.depolarize(0.1)(qs[0]), ch)
+
+    def test_rejects_raw_unitary(self):
+        qs = cirq.LineQubit.range(1)
+        ch = StabilizerChFormSimulationState(qs)
+        with pytest.raises(ValueError):
+            ch.apply_unitary(unitary(cirq.H), [0])
+
+    def test_copy_independent(self):
+        qs = cirq.LineQubit.range(2)
+        ch = StabilizerChFormSimulationState(qs)
+        copy = ch.copy()
+        act_on(cirq.X(qs[0]), copy)
+        assert ch.probability_of([0, 0]) == pytest.approx(1.0)
+        assert copy.probability_of([1, 0]) == pytest.approx(1.0)
+
+    def test_project_wrapper(self):
+        qs = cirq.LineQubit.range(2)
+        ch = StabilizerChFormSimulationState(qs)
+        act_on(cirq.H(qs[0]), ch)
+        act_on(cirq.CNOT(qs[0], qs[1]), ch)
+        ch.project([0], [1])
+        assert ch.probability_of([1, 1]) == pytest.approx(1.0)
+
+    def test_depth_independent_amplitude_cost(self):
+        """Amplitude queries touch only n-sized rows, not the circuit depth.
+
+        Functional proxy: the CH data dimensions depend only on n.
+        """
+        qs = cirq.LineQubit.range(6)
+        shallow = StabilizerChFormSimulationState(qs)
+        deep = StabilizerChFormSimulationState(qs)
+        for op in cirq.random_clifford_circuit(qs, 5, random_state=1).all_operations():
+            act_on(op, shallow)
+        for op in cirq.random_clifford_circuit(qs, 200, random_state=1).all_operations():
+            act_on(op, deep)
+        assert shallow.ch_form.F.shape == deep.ch_form.F.shape == (6, 6)

@@ -1,0 +1,110 @@
+"""Property-based tests (hypothesis) for the CH-form stabilizer engine.
+
+The central invariant: for ANY sequence of Clifford gates, the CH form and
+the dense state vector evolve to exactly the same wavefunction (including
+global phase), the state stays normalized, and amplitudes obey the Born
+rule.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import circuits as cirq
+from repro.protocols import act_on
+from repro.states import (
+    StabilizerChFormSimulationState,
+    StateVectorSimulationState,
+)
+
+# A gate program is a list of (gate_id, qubit_choices) decoded against n.
+_ONE_QUBIT = [cirq.H, cirq.S, cirq.S_DAG, cirq.X, cirq.Y, cirq.Z]
+_TWO_QUBIT = [cirq.CNOT, cirq.CZ, cirq.SWAP, cirq.ISWAP]
+
+
+@st.composite
+def clifford_programs(draw):
+    n = draw(st.integers(min_value=1, max_value=5))
+    length = draw(st.integers(min_value=0, max_value=30))
+    ops = []
+    for _ in range(length):
+        if n >= 2 and draw(st.booleans()):
+            gate = draw(st.sampled_from(_TWO_QUBIT))
+            a = draw(st.integers(0, n - 1))
+            b = draw(st.integers(0, n - 2))
+            if b >= a:
+                b += 1
+            ops.append((gate, (a, b)))
+        else:
+            gate = draw(st.sampled_from(_ONE_QUBIT))
+            ops.append((gate, (draw(st.integers(0, n - 1)),)))
+    return n, ops
+
+
+def _evolve_both(n, ops):
+    qs = cirq.LineQubit.range(n)
+    sv = StateVectorSimulationState(qs)
+    ch = StabilizerChFormSimulationState(qs)
+    for gate, axes in ops:
+        op = gate.on(*(qs[a] for a in axes))
+        act_on(op, sv)
+        act_on(op, ch)
+    return sv, ch
+
+
+@given(clifford_programs())
+@settings(max_examples=120, deadline=None)
+def test_ch_form_matches_dense_exactly(program):
+    n, ops = program
+    sv, ch = _evolve_both(n, ops)
+    np.testing.assert_allclose(sv.state_vector(), ch.state_vector(), atol=1e-8)
+
+
+@given(clifford_programs())
+@settings(max_examples=60, deadline=None)
+def test_ch_form_stays_normalized(program):
+    n, ops = program
+    _, ch = _evolve_both(n, ops)
+    assert abs(np.linalg.norm(ch.state_vector()) - 1.0) < 1e-9
+    assert abs(abs(ch.ch_form.omega) - 1.0) < 1e-9
+
+
+@given(clifford_programs(), st.integers(min_value=0, max_value=31))
+@settings(max_examples=60, deadline=None)
+def test_born_probabilities_sum_to_one_and_match(program, which):
+    n, ops = program
+    sv, ch = _evolve_both(n, ops)
+    dense_probs = np.abs(sv.state_vector()) ** 2
+    idx = which % (2**n)
+    bits = [(idx >> (n - 1 - j)) & 1 for j in range(n)]
+    assert abs(ch.probability_of(bits) - dense_probs[idx]) < 1e-9
+    total = sum(
+        ch.probability_of([(i >> (n - 1 - j)) & 1 for j in range(n)])
+        for i in range(2**n)
+    )
+    assert abs(total - 1.0) < 1e-8
+
+
+@given(clifford_programs())
+@settings(max_examples=40, deadline=None)
+def test_measurement_projection_consistency(program):
+    """Projecting on a sampled outcome renormalizes and zeroes the rest."""
+    n, ops = program
+    _, ch = _evolve_both(n, ops)
+    rng = np.random.default_rng(0)
+    form = ch.ch_form
+    bits = [form.measure(q, rng) for q in range(n)]
+    # After measuring every qubit the state is the basis state |bits>.
+    amp = form.inner_product_with_basis_state(bits)
+    assert abs(abs(amp) - 1.0) < 1e-9
+
+
+@given(clifford_programs())
+@settings(max_examples=40, deadline=None)
+def test_copy_isolation(program):
+    n, ops = program
+    _, ch = _evolve_both(n, ops)
+    original = ch.state_vector()
+    clone = ch.copy()
+    act_on(cirq.X(cirq.LineQubit(0)), clone)
+    np.testing.assert_allclose(ch.state_vector(), original, atol=1e-12)

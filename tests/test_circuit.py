@@ -1,0 +1,220 @@
+"""Tests for Moment and Circuit construction/inspection/transformation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import circuits as cirq
+from repro.circuits import Circuit, Moment, ParamResolver, Symbol
+
+
+@pytest.fixture
+def qubits():
+    return cirq.LineQubit.range(3)
+
+
+class TestMoment:
+    def test_disjointness_enforced(self, qubits):
+        with pytest.raises(ValueError, match="Overlapping"):
+            Moment([cirq.H(qubits[0]), cirq.X(qubits[0])])
+
+    def test_operates_on(self, qubits):
+        m = Moment([cirq.H(qubits[0])])
+        assert m.operates_on([qubits[0]])
+        assert not m.operates_on([qubits[1]])
+
+    def test_operation_at(self, qubits):
+        op = cirq.H(qubits[1])
+        m = Moment([op])
+        assert m.operation_at(qubits[1]) == op
+        assert m.operation_at(qubits[0]) is None
+
+    def test_with_operation(self, qubits):
+        m = Moment([cirq.H(qubits[0])]).with_operation(cirq.X(qubits[1]))
+        assert len(m) == 2
+
+    def test_len_iter_bool(self, qubits):
+        m = Moment([cirq.H(qubits[0]), cirq.X(qubits[1])])
+        assert len(m) == 2
+        assert list(m)
+        assert bool(m)
+        assert not bool(Moment())
+
+
+class TestCircuitConstruction:
+    def test_earliest_packing(self, qubits):
+        c = Circuit(cirq.H(qubits[0]), cirq.H(qubits[1]))
+        assert c.depth() == 1
+
+    def test_dependent_ops_stack(self, qubits):
+        c = Circuit(cirq.H(qubits[0]), cirq.X(qubits[0]))
+        assert c.depth() == 2
+
+    def test_two_qubit_blocks(self, qubits):
+        c = Circuit(
+            cirq.H(qubits[0]),
+            cirq.CNOT(qubits[0], qubits[1]),
+            cirq.H(qubits[2]),
+        )
+        # H(q2) slides back into the first moment.
+        assert c.depth() == 2
+        assert c.moments[0].operates_on([qubits[2]])
+
+    def test_nested_iterables(self, qubits):
+        c = Circuit([cirq.H(q) for q in qubits], [[cirq.X(qubits[0])]])
+        assert c.num_operations() == 4
+
+    def test_bare_gate_raises(self):
+        with pytest.raises(TypeError, match="bare gate"):
+            Circuit(cirq.H)
+
+    def test_append_new_moment(self, qubits):
+        c = Circuit()
+        c.append_new_moment([cirq.H(qubits[0])])
+        c.append_new_moment([cirq.H(qubits[0])])
+        c.append_new_moment([])
+        assert c.depth() == 3
+
+    def test_addition(self, qubits):
+        c1 = Circuit(cirq.H(qubits[0]))
+        c2 = Circuit(cirq.X(qubits[0]))
+        combined = c1 + c2
+        assert combined.depth() == 2
+        assert c1.depth() == 1  # unchanged
+
+
+class TestCircuitInspection:
+    def test_all_qubits_sorted(self, qubits):
+        c = Circuit(cirq.H(qubits[2]), cirq.H(qubits[0]))
+        assert c.all_qubits() == [qubits[0], qubits[2]]
+
+    def test_all_operations_in_time_order(self, qubits):
+        ops = [cirq.H(qubits[0]), cirq.X(qubits[0]), cirq.Y(qubits[0])]
+        c = Circuit(ops)
+        assert list(c.all_operations()) == ops
+
+    def test_measurement_keys(self, qubits):
+        c = Circuit(
+            cirq.measure(qubits[0], key="a"), cirq.measure(qubits[1], key="b")
+        )
+        assert c.all_measurement_keys() == ["a", "b"]
+        assert c.has_measurements()
+
+    def test_terminal_measurement_detection(self, qubits):
+        terminal = Circuit(cirq.H(qubits[0]), cirq.measure(qubits[0], key="m"))
+        assert terminal.are_all_measurements_terminal()
+        midway = Circuit(
+            cirq.measure(qubits[0], key="m"), cirq.H(qubits[0])
+        )
+        assert not midway.are_all_measurements_terminal()
+
+    def test_is_unitary_circuit(self, qubits):
+        assert Circuit(cirq.H(qubits[0])).is_unitary_circuit()
+        noisy = Circuit(cirq.depolarize(0.1)(qubits[0]))
+        assert not noisy.is_unitary_circuit()
+        # measurements don't count against unitarity
+        measured = Circuit(cirq.H(qubits[0]), cirq.measure(qubits[0], key="m"))
+        assert measured.is_unitary_circuit()
+
+    def test_indexing_and_slicing(self, qubits):
+        c = Circuit(cirq.H(qubits[0]), cirq.X(qubits[0]), cirq.Y(qubits[0]))
+        assert isinstance(c[0], Moment)
+        assert c[1:].depth() == 2
+        assert len(c) == 3
+
+
+class TestCircuitNumerics:
+    def test_ghz_state(self, qubits):
+        c = Circuit(
+            cirq.H(qubits[0]),
+            cirq.CNOT(qubits[0], qubits[1]),
+            cirq.CNOT(qubits[1], qubits[2]),
+        )
+        psi = c.final_state_vector()
+        expected = np.zeros(8, dtype=complex)
+        expected[0] = expected[7] = 1 / math.sqrt(2)
+        np.testing.assert_allclose(psi, expected, atol=1e-9)
+
+    def test_unitary_of_bell_pair_circuit(self):
+        q = cirq.LineQubit.range(2)
+        c = Circuit(cirq.H(q[0]), cirq.CNOT(q[0], q[1]))
+        u = c.unitary()
+        np.testing.assert_allclose(u @ u.conj().T, np.eye(4), atol=1e-9)
+        np.testing.assert_allclose(
+            u[:, 0], [1 / math.sqrt(2), 0, 0, 1 / math.sqrt(2)], atol=1e-9
+        )
+
+    def test_unitary_respects_qubit_order(self):
+        q = cirq.LineQubit.range(2)
+        c = Circuit(cirq.X(q[0]))
+        u_default = c.unitary(qubit_order=q)
+        u_reversed = c.unitary(qubit_order=[q[1], q[0]])
+        np.testing.assert_allclose(
+            u_default, np.kron(np.eye(2)[[1, 0]], np.eye(2)), atol=1e-9
+        )
+        np.testing.assert_allclose(
+            u_reversed, np.kron(np.eye(2), np.eye(2)[[1, 0]]), atol=1e-9
+        )
+
+    def test_unitary_rejects_measurements(self, qubits):
+        c = Circuit(cirq.measure(qubits[0], key="m"))
+        with pytest.raises(ValueError):
+            c.unitary()
+
+    def test_final_state_matches_unitary_column(self):
+        q = cirq.LineQubit.range(3)
+        c = cirq.generate_random_circuit(q, 6, random_state=0)
+        np.testing.assert_allclose(
+            c.final_state_vector(qubit_order=q),
+            c.unitary(qubit_order=q)[:, 0],
+            atol=1e-9,
+        )
+
+
+class TestCircuitTransformation:
+    def test_resolve_parameters(self):
+        q = cirq.LineQubit(0)
+        c = Circuit(cirq.Rz(Symbol("t")).on(q))
+        assert c._is_parameterized_()
+        resolved = c.resolve_parameters(ParamResolver({"t": math.pi}))
+        assert not resolved._is_parameterized_()
+        # Rz(pi)|0> = -i|0>: probabilities unchanged, global phase only.
+        probs = np.abs(resolved.final_state_vector()) ** 2
+        np.testing.assert_allclose(probs, [1, 0], atol=1e-9)
+
+    def test_resolve_with_dict(self):
+        q = cirq.LineQubit(0)
+        c = Circuit(cirq.Rx(Symbol("t")).on(q))
+        resolved = c.resolve_parameters({"t": math.pi})
+        probs = np.abs(resolved.final_state_vector()) ** 2
+        np.testing.assert_allclose(probs, [0, 1], atol=1e-9)
+
+    def test_without_measurements(self):
+        q = cirq.LineQubit.range(2)
+        c = Circuit(cirq.H(q[0]), cirq.measure(*q, key="z"))
+        stripped = c.without_measurements()
+        assert not stripped.has_measurements()
+        assert stripped.num_operations() == 1
+
+    def test_copy_is_independent(self):
+        q = cirq.LineQubit(0)
+        c = Circuit(cirq.H(q))
+        c2 = c.copy()
+        c2.append(cirq.X(q))
+        assert c.depth() == 1
+        assert c2.depth() == 2
+
+
+class TestDiagram:
+    def test_contains_gate_symbols(self):
+        q = cirq.LineQubit.range(2)
+        c = Circuit(cirq.H(q[0]), cirq.CNOT(q[0], q[1]), cirq.measure(*q, key="z"))
+        text = str(c)
+        assert "H" in text
+        assert "@" in text
+        assert "X" in text
+        assert "M" in text
+
+    def test_empty_circuit(self):
+        assert "empty" in str(Circuit())

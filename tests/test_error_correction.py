@@ -1,0 +1,134 @@
+"""Tests for the 3-qubit repetition code (repro.apps.error_correction)."""
+
+import numpy as np
+import pytest
+
+from repro import apps, born
+from repro import circuits as cirq
+from repro.protocols import act_on
+from repro.sampler import Simulator, act_on_with_pauli_noise
+from repro.states import (
+    StabilizerChFormSimulationState,
+    StateVectorSimulationState,
+)
+
+
+def run_code(p, reps, seed=0, backend="sv", **circuit_kwargs):
+    circuit = apps.repetition_code_circuit(p, **circuit_kwargs)
+    qubits = cirq.LineQubit.range(
+        5 if circuit_kwargs.get("with_syndrome", True) else 3
+    )
+    if backend == "sv":
+        sim = Simulator(
+            initial_state=StateVectorSimulationState(qubits),
+            apply_op=lambda op, s: act_on(op, s),
+            compute_probability=born.compute_probability_state_vector,
+            seed=seed,
+        )
+    else:
+        sim = Simulator(
+            initial_state=StabilizerChFormSimulationState(qubits),
+            apply_op=act_on_with_pauli_noise,
+            compute_probability=born.compute_probability_stabilizer_state,
+            seed=seed,
+        )
+    return sim.run(circuit, repetitions=reps)
+
+
+class TestDecoders:
+    def test_majority_vote(self):
+        assert apps.majority_decode([0, 0, 0]) == 0
+        assert apps.majority_decode([1, 0, 1]) == 1
+        assert apps.majority_decode([0, 1, 0]) == 0
+
+    @pytest.mark.parametrize(
+        "flipped,syndrome",
+        [(None, (0, 0)), (0, (1, 0)), (1, (1, 1)), (2, (0, 1))],
+    )
+    def test_single_error_always_corrected(self, flipped, syndrome):
+        bits = [0, 0, 0]
+        if flipped is not None:
+            bits[flipped] = 1
+        assert apps.decode_with_syndrome(bits, syndrome) == 0
+
+    def test_double_error_defeats_code(self):
+        # q0 and q1 flipped: syndrome (0,1) points at q2 (wrongly).
+        assert apps.decode_with_syndrome([1, 1, 0], (0, 1)) == 1
+
+
+class TestTheory:
+    def test_rate_formula_limits(self):
+        assert apps.theoretical_logical_error_rate(0.0) == 0.0
+        assert apps.theoretical_logical_error_rate(1.0) == pytest.approx(1.0)
+        assert apps.theoretical_logical_error_rate(0.5) == pytest.approx(0.5)
+
+    def test_code_helps_below_half(self):
+        for p in (0.01, 0.1, 0.3):
+            assert apps.theoretical_logical_error_rate(p) < p
+
+    def test_syndrome_distribution_normalized(self):
+        for p in (0.0, 0.1, 0.5, 0.9):
+            dist = apps.syndrome_distribution(p)
+            assert dist.sum() == pytest.approx(1.0)
+
+    def test_syndrome_distribution_noiseless(self):
+        np.testing.assert_allclose(
+            apps.syndrome_distribution(0.0), [1, 0, 0, 0]
+        )
+
+
+class TestCircuit:
+    def test_noiseless_run_is_perfect(self):
+        result = run_code(0.0, reps=100, seed=1)
+        assert apps.logical_error_rate(result) == 0.0
+        assert np.all(result.measurements["syndrome"] == 0)
+
+    def test_logical_one_roundtrip(self):
+        result = run_code(0.0, reps=50, seed=2, logical_one=True)
+        assert apps.logical_error_rate(result, encoded=1) == 0.0
+        assert np.all(result.measurements["data"] == 1)
+
+    def test_without_syndrome_register(self):
+        result = run_code(0.1, reps=200, seed=3, with_syndrome=False)
+        assert "syndrome" not in result.measurements
+        rate = apps.logical_error_rate(result, use_syndrome=False)
+        assert rate < 0.1
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError, match="\\[0, 1\\]"):
+            apps.repetition_code_circuit(1.5)
+
+    def test_logical_error_rate_matches_theory_dense(self):
+        p = 0.2
+        result = run_code(p, reps=4000, seed=4)
+        rate = apps.logical_error_rate(result)
+        assert rate == pytest.approx(
+            apps.theoretical_logical_error_rate(p), abs=0.02
+        )
+
+    def test_logical_error_rate_matches_theory_stabilizer(self):
+        p = 0.15
+        result = run_code(p, reps=4000, seed=5, backend="stab")
+        rate = apps.logical_error_rate(result)
+        assert rate == pytest.approx(
+            apps.theoretical_logical_error_rate(p), abs=0.02
+        )
+
+    def test_syndrome_statistics_match_theory(self):
+        p = 0.25
+        result = run_code(p, reps=6000, seed=6, backend="stab")
+        syndromes = result.measurements["syndrome"]
+        hist = np.zeros(4)
+        for s01, s12 in syndromes:
+            hist[2 * int(s01) + int(s12)] += 1
+        hist /= hist.sum()
+        np.testing.assert_allclose(
+            hist, apps.syndrome_distribution(p), atol=0.02
+        )
+
+    def test_majority_and_syndrome_decoders_agree_in_rate(self):
+        p = 0.2
+        result = run_code(p, reps=3000, seed=7)
+        with_syn = apps.logical_error_rate(result, use_syndrome=True)
+        majority = apps.logical_error_rate(result, use_syndrome=False)
+        assert with_syn == pytest.approx(majority, abs=0.01)

@@ -1,0 +1,50 @@
+"""Smoke tests: the fast example scripts must run to completion.
+
+Only the cheap examples run here (the scaling/QAOA ones are exercised by
+the benchmark harness); each is executed in-process via runpy so import
+errors, API drift, or broken output paths fail the suite.
+"""
+
+import io
+import runpy
+import sys
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    buffer = io.StringIO()
+    argv = sys.argv
+    sys.argv = [name]
+    try:
+        with redirect_stdout(buffer):
+            runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = argv
+    return buffer.getvalue()
+
+
+def test_quickstart_runs_and_shows_only_ghz_outcomes():
+    out = run_example("quickstart.py")
+    assert "00" in out and "11" in out
+    assert "01 |" not in out and "10 |" not in out
+
+
+def test_qasm_interop_runs():
+    out = run_example("qasm_interop.py")
+    assert "OPENQASM" in out
+
+
+def test_grover_example_finds_marked_item():
+    out = run_example("grover_search.py")
+    assert "10110" in out
+    assert "Fraction landing on the marked item" in out
+
+
+def test_phase_estimation_example_estimates():
+    out = run_example("phase_estimation.py")
+    assert "0.625" in out  # exactly representable case recovered

@@ -1,0 +1,348 @@
+"""Tests for the gate algebra: unitaries, exponents, stabilizer sequences."""
+
+import cmath
+import math
+
+import numpy as np
+import pytest
+
+from repro import circuits as cirq
+from repro.circuits import (
+    CCX,
+    CCZ,
+    CNOT,
+    CSWAP,
+    CZ,
+    H,
+    I,
+    ISWAP,
+    S,
+    S_DAG,
+    SWAP,
+    T,
+    T_DAG,
+    X,
+    Y,
+    Z,
+    ControlledGate,
+    MatrixGate,
+    MeasurementGate,
+    ParamResolver,
+    Rx,
+    Ry,
+    Rz,
+    Symbol,
+)
+from repro.protocols import unitary
+
+_X = np.array([[0, 1], [1, 0]])
+_Y = np.array([[0, -1j], [1j, 0]])
+_Z = np.diag([1, -1])
+_H = np.array([[1, 1], [1, -1]]) / math.sqrt(2)
+
+
+def assert_allclose_up_to_global_phase(a, b, atol=1e-9):
+    inner = np.vdot(a.ravel(), b.ravel())
+    assert abs(inner) > atol, "matrices are orthogonal"
+    phase = inner / abs(inner)
+    np.testing.assert_allclose(a * phase, b, atol=atol)
+
+
+class TestFixedUnitaries:
+    @pytest.mark.parametrize(
+        "gate,expected",
+        [
+            (X, _X),
+            (Y, _Y),
+            (Z, _Z),
+            (H, _H),
+            (S, np.diag([1, 1j])),
+            (S_DAG, np.diag([1, -1j])),
+            (T, np.diag([1, cmath.exp(1j * math.pi / 4)])),
+            (T_DAG, np.diag([1, cmath.exp(-1j * math.pi / 4)])),
+        ],
+    )
+    def test_single_qubit(self, gate, expected):
+        np.testing.assert_allclose(unitary(gate), expected, atol=1e-12)
+
+    def test_cnot(self):
+        expected = np.eye(4)[[0, 1, 3, 2]]
+        np.testing.assert_allclose(unitary(CNOT), expected, atol=1e-12)
+
+    def test_cz(self):
+        np.testing.assert_allclose(unitary(CZ), np.diag([1, 1, 1, -1]), atol=1e-12)
+
+    def test_swap(self):
+        expected = np.eye(4)[[0, 2, 1, 3]]
+        np.testing.assert_allclose(unitary(SWAP), expected, atol=1e-12)
+
+    def test_iswap(self):
+        expected = np.array(
+            [[1, 0, 0, 0], [0, 0, 1j, 0], [0, 1j, 0, 0], [0, 0, 0, 1]]
+        )
+        np.testing.assert_allclose(unitary(ISWAP), expected, atol=1e-12)
+
+    def test_toffoli(self):
+        u = unitary(CCX)
+        expected = np.eye(8)
+        expected[[6, 7]] = expected[[7, 6]]
+        np.testing.assert_allclose(u, expected, atol=1e-12)
+
+    def test_ccz(self):
+        np.testing.assert_allclose(
+            unitary(CCZ), np.diag([1, 1, 1, 1, 1, 1, 1, -1]), atol=1e-12
+        )
+
+    def test_fredkin(self):
+        u = unitary(CSWAP)
+        expected = np.eye(8)
+        expected[[5, 6]] = expected[[6, 5]]
+        np.testing.assert_allclose(u, expected, atol=1e-12)
+
+    def test_identity(self):
+        np.testing.assert_allclose(unitary(I), np.eye(2), atol=1e-12)
+
+
+class TestExponents:
+    @pytest.mark.parametrize("gate", [X, Y, Z, H, CNOT, CZ, SWAP])
+    def test_square_roots(self, gate):
+        root = gate**0.5
+        u = unitary(root)
+        np.testing.assert_allclose(u @ u, unitary(gate), atol=1e-9)
+
+    @pytest.mark.parametrize("gate", [X, Y, Z, H, CNOT, CZ, SWAP, ISWAP])
+    def test_inverse(self, gate):
+        inv = gate**-1
+        u = unitary(gate) @ unitary(inv)
+        np.testing.assert_allclose(u, np.eye(u.shape[0]), atol=1e-9)
+
+    def test_iswap_squared_is_zz(self):
+        np.testing.assert_allclose(
+            unitary(ISWAP) @ unitary(ISWAP), np.diag([1, -1, -1, 1]), atol=1e-9
+        )
+
+    def test_s_is_z_half(self):
+        assert S == Z**0.5
+        assert T == Z**0.25
+
+    @pytest.mark.parametrize("t", [0.1, 0.5, 1.0, 1.7, -0.3])
+    def test_all_pow_gates_unitary(self, t):
+        for gate in [X**t, Y**t, Z**t, H**t, CNOT**t, CZ**t, SWAP**t, CCX**t]:
+            u = unitary(gate)
+            np.testing.assert_allclose(
+                u @ u.conj().T, np.eye(u.shape[0]), atol=1e-9
+            )
+
+
+class TestRotations:
+    @pytest.mark.parametrize("theta", [0.0, 0.3, math.pi / 2, math.pi, 2.5])
+    def test_rz_matrix(self, theta):
+        expected = np.diag(
+            [cmath.exp(-1j * theta / 2), cmath.exp(1j * theta / 2)]
+        )
+        np.testing.assert_allclose(unitary(Rz(theta)), expected, atol=1e-9)
+
+    @pytest.mark.parametrize("theta", [0.3, math.pi / 2, 2.5])
+    def test_rx_matrix(self, theta):
+        from scipy.linalg import expm
+
+        expected = expm(-1j * theta / 2 * _X)
+        np.testing.assert_allclose(unitary(Rx(theta)), expected, atol=1e-9)
+
+    @pytest.mark.parametrize("theta", [0.3, math.pi / 2, 2.5])
+    def test_ry_matrix(self, theta):
+        from scipy.linalg import expm
+
+        expected = expm(-1j * theta / 2 * _Y)
+        np.testing.assert_allclose(unitary(Ry(theta)), expected, atol=1e-9)
+
+    def test_t_equals_rz_up_to_phase(self):
+        assert_allclose_up_to_global_phase(
+            unitary(T), unitary(Rz(math.pi / 4))
+        )
+
+
+class TestParameterization:
+    def test_parameterized_gate_has_no_unitary(self):
+        gate = cirq.ZPowGate(exponent=Symbol("t"))
+        assert gate._unitary_() is None
+        assert gate._is_parameterized_()
+
+    def test_resolution(self):
+        gate = cirq.ZPowGate(exponent=Symbol("t"))
+        resolved = gate._resolve_parameters_(ParamResolver({"t": 0.5}))
+        np.testing.assert_allclose(unitary(resolved), np.diag([1, 1j]), atol=1e-9)
+
+    def test_parametric_rz(self):
+        gate = Rz(Symbol("theta"))
+        resolved = gate._resolve_parameters_(ParamResolver({"theta": math.pi}))
+        np.testing.assert_allclose(
+            unitary(resolved), np.diag([-1j, 1j]), atol=1e-9
+        )
+
+    def test_pow_of_parameterized(self):
+        gate = cirq.ZPowGate(exponent=Symbol("t")) ** 2
+        resolved = gate._resolve_parameters_(ParamResolver({"t": 0.25}))
+        np.testing.assert_allclose(unitary(resolved), np.diag([1, 1j]), atol=1e-9)
+
+
+class TestStabilizerSequences:
+    """Every declared stabilizer sequence must reproduce the gate's unitary."""
+
+    _PRIM = {
+        "H": _H,
+        "S": np.diag([1, 1j]),
+        "SDG": np.diag([1, -1j]),
+        "X": _X,
+        "Y": _Y,
+        "Z": _Z,
+    }
+
+    def _sequence_unitary(self, gate):
+        seq = gate._stabilizer_sequence_()
+        assert seq is not None
+        phase, prims = seq
+        n = gate.num_qubits()
+        total = np.eye(2**n, dtype=complex)
+        for name, axes in prims:
+            if name in self._PRIM:
+                op = self._embed_1q(self._PRIM[name], axes[0], n)
+            elif name == "CX":
+                op = self._embed_cx(axes[0], axes[1], n)
+            elif name == "CZ":
+                op = self._embed_cz(axes[0], axes[1], n)
+            else:
+                raise AssertionError(name)
+            total = op @ total
+        return phase * total
+
+    @staticmethod
+    def _embed_1q(u, axis, n):
+        mats = [np.eye(2)] * n
+        mats[axis] = u
+        out = np.array([[1.0]])
+        for m in mats:
+            out = np.kron(out, m)
+        return out
+
+    @staticmethod
+    def _embed_cx(c, t, n):
+        dim = 2**n
+        out = np.zeros((dim, dim))
+        for i in range(dim):
+            bits = [(i >> (n - 1 - j)) & 1 for j in range(n)]
+            if bits[c]:
+                bits[t] ^= 1
+            j = int("".join(map(str, bits)), 2)
+            out[j, i] = 1.0
+        return out
+
+    @staticmethod
+    def _embed_cz(c, t, n):
+        dim = 2**n
+        diag = np.ones(dim)
+        for i in range(dim):
+            if (i >> (n - 1 - c)) & 1 and (i >> (n - 1 - t)) & 1:
+                diag[i] = -1.0
+        return np.diag(diag)
+
+    @pytest.mark.parametrize(
+        "gate",
+        [X, Y, Z, H, S, S_DAG, CNOT, CZ, SWAP, ISWAP, I,
+         X**1.5, Y**0.5, Z**1.5, ISWAP**2, ISWAP**3,
+         Rz(math.pi / 2), Rx(math.pi), cirq.XPowGate(exponent=0.5, global_shift=0.3)],
+    )
+    def test_sequence_matches_unitary(self, gate):
+        np.testing.assert_allclose(
+            self._sequence_unitary(gate), unitary(gate), atol=1e-9
+        )
+
+    @pytest.mark.parametrize("gate", [T, T_DAG, Rz(0.3), CCX, CZ**0.5, H**0.5])
+    def test_non_clifford_has_no_sequence(self, gate):
+        assert gate._stabilizer_sequence_() is None
+
+
+class TestMatrixGate:
+    def test_roundtrip(self):
+        u = unitary(H)
+        gate = MatrixGate(u)
+        np.testing.assert_allclose(unitary(gate), u)
+        assert gate.num_qubits() == 1
+
+    def test_two_qubit(self):
+        gate = MatrixGate(unitary(CNOT))
+        assert gate.num_qubits() == 2
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            MatrixGate(np.ones((2, 3)))
+
+    def test_rejects_bad_dimension(self):
+        with pytest.raises(ValueError):
+            MatrixGate(np.eye(3))
+
+    def test_inverse(self):
+        gate = MatrixGate(unitary(S)) ** -1
+        np.testing.assert_allclose(unitary(gate), np.diag([1, -1j]), atol=1e-12)
+
+    def test_equality(self):
+        assert MatrixGate(np.eye(2)) == MatrixGate(np.eye(2))
+        assert MatrixGate(np.eye(2)) != MatrixGate(unitary(X))
+
+
+class TestControlledGate:
+    def test_controlled_x_is_cnot(self):
+        np.testing.assert_allclose(
+            unitary(ControlledGate(X)), unitary(CNOT), atol=1e-12
+        )
+
+    def test_controlled_z(self):
+        np.testing.assert_allclose(
+            unitary(ControlledGate(Z)), unitary(CZ), atol=1e-12
+        )
+
+    def test_double_controlled_x_is_toffoli(self):
+        np.testing.assert_allclose(
+            unitary(ControlledGate(X, num_controls=2)), unitary(CCX), atol=1e-12
+        )
+
+    def test_num_qubits(self):
+        assert ControlledGate(SWAP).num_qubits() == 3
+
+
+class TestMeasurementGate:
+    def test_key_and_arity(self):
+        gate = MeasurementGate(3, key="result")
+        assert gate.num_qubits() == 3
+        assert gate.key == "result"
+
+    def test_measure_helper_default_key(self):
+        qs = cirq.LineQubit.range(2)
+        op = cirq.measure(*qs)
+        assert op.measurement_key == "q(0),q(1)"
+
+    def test_measure_requires_qubits(self):
+        with pytest.raises(ValueError):
+            cirq.measure()
+
+    def test_no_unitary(self):
+        assert MeasurementGate(1, key="m")._unitary_() is None
+
+
+class TestGateOnQubits:
+    def test_on_and_call_equivalent(self):
+        q = cirq.LineQubit.range(2)
+        assert H.on(q[0]) == H(q[0])
+        assert CNOT.on(*q) == CNOT(q[0], q[1])
+
+    def test_wrong_arity_raises(self):
+        q = cirq.LineQubit.range(3)
+        with pytest.raises(ValueError):
+            CNOT.on(q[0])
+        with pytest.raises(ValueError):
+            H.on(q[0], q[1])
+
+    def test_duplicate_qubits_raise(self):
+        q = cirq.LineQubit(0)
+        with pytest.raises(ValueError):
+            CNOT.on(q, q)

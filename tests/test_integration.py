@@ -1,0 +1,192 @@
+"""End-to-end integration tests spanning multiple subsystems."""
+
+import math
+
+import numpy as np
+import pytest
+
+import repro as bgls
+from repro import born
+from repro import circuits as cirq
+from repro.analysis import (
+    empirical_distribution,
+    fractional_overlap,
+    total_variation_distance,
+)
+from repro.apps import ghz_circuit, qaoa_maxcut_circuit, random_ghz_circuit
+
+
+class TestPaperQuickstart:
+    """The exact flow of the paper's Sec. 3.1 snippet."""
+
+    def test_core_snippet(self):
+        nqubits = 2
+        qubits = cirq.LineQubit.range(nqubits)
+        circuit = cirq.Circuit(
+            cirq.H.on(qubits[0]),
+            cirq.CNOT.on(qubits[0], qubits[1]),
+            cirq.measure(*qubits, key="z"),
+        )
+        simulator = bgls.Simulator(
+            initial_state=bgls.StateVectorSimulationState(
+                qubits=qubits, initial_state=0
+            ),
+            apply_op=bgls.act_on,
+            compute_probability=born.compute_probability_state_vector,
+            seed=0,
+        )
+        results = simulator.run(circuit, repetitions=10)
+        assert results.repetitions == 10
+        assert set(results.histogram("z")) <= {0, 3}
+
+
+class TestCrossBackendAgreement:
+    """Same Clifford circuit, four backends, one distribution."""
+
+    def test_all_backends_sample_same_distribution(self):
+        qubits = cirq.LineQubit.range(4)
+        circuit = cirq.random_clifford_circuit(qubits, 15, random_state=21)
+        ideal = (
+            np.abs(circuit.final_state_vector(qubit_order=qubits)) ** 2
+        )
+        reps = 2500
+        backends = {
+            "sv": bgls.Simulator(
+                bgls.StateVectorSimulationState(qubits), bgls.act_on,
+                born.compute_probability_state_vector, seed=1),
+            "dm": bgls.Simulator(
+                bgls.DensityMatrixSimulationState(qubits), bgls.act_on,
+                born.compute_probability_density_matrix, seed=2),
+            "ch": bgls.Simulator(
+                bgls.StabilizerChFormSimulationState(qubits), bgls.act_on,
+                born.compute_probability_stabilizer_state, seed=3),
+            "mps": bgls.Simulator(
+                bgls.MPSState(qubits), bgls.act_on,
+                born.compute_probability_mps, seed=4),
+        }
+        for name, sim in backends.items():
+            bits = sim.sample_bitstrings(circuit, repetitions=reps)
+            tv = total_variation_distance(
+                empirical_distribution(bits, 4), ideal
+            )
+            assert tv < 0.07, f"{name} backend TV={tv}"
+
+
+class TestOptimizedCircuitSampling:
+    def test_optimize_then_sample_same_distribution(self):
+        qubits = cirq.LineQubit.range(4)
+        circuit = cirq.generate_random_circuit(
+            qubits, 25, op_density=0.9, random_state=31
+        )
+        circuit.append(cirq.measure(*qubits, key="m"))
+        optimized = cirq.optimize_for_bgls(circuit)
+        assert optimized.num_operations() < circuit.num_operations()
+        sim = bgls.Simulator(
+            bgls.StateVectorSimulationState(qubits), bgls.act_on,
+            born.compute_probability_state_vector, seed=0)
+        p_orig = empirical_distribution(
+            sim.run(circuit, repetitions=2500).measurements["m"], 4)
+        p_opt = empirical_distribution(
+            sim.run(optimized, repetitions=2500).measurements["m"], 4)
+        assert total_variation_distance(p_orig, p_opt) < 0.07
+
+
+class TestQasmToSampling:
+    def test_import_sample_pipeline(self):
+        qasm = """
+        OPENQASM 2.0;
+        include "qelib1.inc";
+        qreg q[3];
+        creg c[3];
+        h q[0];
+        cx q[0], q[1];
+        cx q[1], q[2];
+        measure q -> c;
+        """
+        circuit = cirq.circuit_from_qasm(qasm)
+        qubits = circuit.all_qubits()
+        sim = bgls.Simulator(
+            bgls.StateVectorSimulationState(qubits), bgls.act_on,
+            born.compute_probability_state_vector, seed=0)
+        result = sim.run(circuit, repetitions=200)
+        assert set(result.histogram("c")) <= {0, 7}
+
+
+class TestGHZScaling:
+    @pytest.mark.parametrize("width", [2, 5, 9])
+    def test_linear_and_random_ghz_same_distribution(self, width):
+        qubits = cirq.LineQubit.range(width)
+        linear = ghz_circuit(qubits, measure_key=None)
+        random_order = random_ghz_circuit(qubits, random_state=width)
+        p1 = np.abs(linear.final_state_vector(qubit_order=qubits)) ** 2
+        p2 = np.abs(random_order.final_state_vector(qubit_order=qubits)) ** 2
+        np.testing.assert_allclose(p1, p2, atol=1e-9)
+
+    def test_mps_bgls_samples_wide_ghz(self):
+        """A 16-qubit GHZ chain is trivial for MPS (chi = 2)."""
+        width = 16
+        qubits = cirq.LineQubit.range(width)
+        circuit = ghz_circuit(qubits, measure_key=None)
+        sim = bgls.Simulator(
+            bgls.MPSState(qubits), bgls.act_on,
+            born.compute_probability_mps, seed=0)
+        bits = sim.sample_bitstrings(circuit, repetitions=100)
+        sums = set(bits.sum(axis=1).tolist())
+        assert sums <= {0, width}
+
+
+class TestParametricSweep:
+    def test_rx_angle_sweep_matches_born_rule(self):
+        """Sampled P(1) follows sin^2(theta/2) across a parameter sweep."""
+        qubits = cirq.LineQubit.range(1)
+        theta = cirq.Symbol("theta")
+        template = cirq.Circuit(
+            cirq.Rx(theta).on(qubits[0]), cirq.measure(qubits[0], key="m")
+        )
+        sim = bgls.Simulator(
+            bgls.StateVectorSimulationState(qubits), bgls.act_on,
+            born.compute_probability_state_vector, seed=0)
+        for angle in (0.0, math.pi / 3, math.pi / 2, math.pi):
+            result = sim.run(
+                template, repetitions=2000, param_resolver={"theta": angle}
+            )
+            p1 = result.measurements["m"].mean()
+            assert abs(p1 - math.sin(angle / 2) ** 2) < 0.05
+
+
+class TestQAOAAcrossBackends:
+    def test_sv_and_mps_qaoa_energies_agree(self):
+        import networkx as nx
+
+        graph = nx.Graph([(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)])
+        qubits = cirq.LineQubit.range(4)
+        circuit = qaoa_maxcut_circuit(graph, 0.6, 0.4)
+        from repro.apps import average_cut
+
+        sv_sim = bgls.Simulator(
+            bgls.StateVectorSimulationState(qubits), bgls.act_on,
+            born.compute_probability_state_vector, seed=0)
+        mps_sim = bgls.Simulator(
+            bgls.MPSState(qubits), bgls.act_on,
+            born.compute_probability_mps, seed=1)
+        e_sv = average_cut(graph, sv_sim.sample_bitstrings(circuit, 1500))
+        e_mps = average_cut(graph, mps_sim.sample_bitstrings(circuit, 1500))
+        assert abs(e_sv - e_mps) < 0.25
+
+
+class TestNearCliffordOverlapPipeline:
+    def test_full_fig4_style_pipeline(self):
+        qubits = cirq.LineQubit.range(4)
+        circuit = cirq.random_clifford_t_circuit(
+            qubits, 15, t_density=0.2, random_state=2
+        )
+        ideal = np.abs(circuit.final_state_vector(qubit_order=qubits)) ** 2
+        sim = bgls.Simulator(
+            bgls.StabilizerChFormSimulationState(qubits),
+            bgls.act_on_near_clifford,
+            born.compute_probability_stabilizer_state,
+            seed=0,
+        )
+        bits = sim.sample_bitstrings(circuit, repetitions=800)
+        overlap = fractional_overlap(empirical_distribution(bits, 4), ideal)
+        assert 0.3 < overlap <= 1.0

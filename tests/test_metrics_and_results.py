@@ -1,0 +1,126 @@
+"""Tests for circuit metrics and Result merge/serialization."""
+
+import numpy as np
+import pytest
+
+from repro import circuits as cirq
+from repro.circuits import (
+    channels,
+    compute_metrics,
+    entangling_depth,
+    interaction_graph,
+    summarize,
+)
+from repro.sampler import Result
+
+
+def sample_circuit():
+    qs = cirq.LineQubit.range(3)
+    return qs, cirq.Circuit(
+        cirq.H.on(qs[0]),
+        cirq.CNOT.on(qs[0], qs[1]),
+        cirq.T.on(qs[1]),
+        channels.depolarize(0.1).on(qs[2]),
+        cirq.TOFFOLI.on(*qs),
+        cirq.measure(*qs, key="z"),
+    )
+
+
+class TestMetrics:
+    def test_counts(self):
+        _, circuit = sample_circuit()
+        m = compute_metrics(circuit)
+        assert m.num_qubits == 3
+        assert m.num_operations == 6
+        assert m.one_qubit_gates == 2  # H, T
+        assert m.two_qubit_gates == 1  # CNOT
+        assert m.multi_qubit_gates == 1  # TOFFOLI
+        assert m.num_measurements == 1
+        assert m.num_channels == 1
+
+    def test_gate_histogram(self):
+        _, circuit = sample_circuit()
+        m = compute_metrics(circuit)
+        assert m.gate_histogram["CXPowGate"] == 1
+        assert m.gate_histogram["ZPowGate"] == 1  # T
+        assert m.gate_histogram["DepolarizingChannel"] == 1
+
+    def test_qubit_depths(self):
+        qs, circuit = sample_circuit()
+        m = compute_metrics(circuit)
+        # q0: H, CNOT, TOFFOLI, measure = 4
+        assert m.qubit_depths[qs[0]] == 4
+        assert m.max_qubit_depth == 4
+
+    def test_parallelism_of_one_moment(self):
+        qs = cirq.LineQubit.range(2)
+        circuit = cirq.Circuit()
+        circuit.append_new_moment([cirq.X.on(qs[0]), cirq.X.on(qs[1])])
+        assert compute_metrics(circuit).parallelism == 2.0
+
+    def test_empty_circuit(self):
+        m = compute_metrics(cirq.Circuit())
+        assert m.num_operations == 0
+        assert m.max_qubit_depth == 0
+        assert m.parallelism == 0.0
+
+    def test_interaction_graph_edges(self):
+        qs, circuit = sample_circuit()
+        graph = interaction_graph(circuit)
+        # CNOT(0,1) + TOFFOLI gives (0,1) twice, (0,2), (1,2) once each.
+        assert graph[qs[0]][qs[1]]["weight"] == 2
+        assert graph[qs[0]][qs[2]]["weight"] == 1
+        assert graph.number_of_edges() == 3
+
+    def test_entangling_depth_counts_only_multiqubit_moments(self):
+        qs = cirq.LineQubit.range(2)
+        circuit = cirq.Circuit()
+        circuit.append_new_moment([cirq.H.on(qs[0])])
+        circuit.append_new_moment([cirq.CNOT.on(qs[0], qs[1])])
+        circuit.append_new_moment([cirq.T.on(qs[1])])
+        assert entangling_depth(circuit) == 1
+
+    def test_summary_mentions_everything(self):
+        _, circuit = sample_circuit()
+        text = summarize(circuit)
+        assert "qubits=3" in text
+        assert "entangling_depth=" in text
+        assert "CXPowGate" in text
+
+
+class TestResultUtilities:
+    def test_merge_concatenates(self):
+        a = Result({"z": np.array([[0, 0], [1, 1]])})
+        b = Result({"z": np.array([[0, 1]])})
+        merged = a.merged_with(b)
+        assert merged.repetitions == 3
+        np.testing.assert_array_equal(
+            merged.measurements["z"], [[0, 0], [1, 1], [0, 1]]
+        )
+
+    def test_merge_rejects_key_mismatch(self):
+        a = Result({"z": np.zeros((1, 1))})
+        b = Result({"y": np.zeros((1, 1))})
+        with pytest.raises(ValueError, match="Key mismatch"):
+            a.merged_with(b)
+
+    def test_json_roundtrip(self):
+        original = Result(
+            {
+                "z": np.array([[0, 1], [1, 0]]),
+                "mid": np.array([[1], [0]]),
+            }
+        )
+        restored = Result.from_json(original.to_json())
+        assert restored == original
+        assert restored.measurements["z"].dtype == np.int8
+
+    def test_from_json_rejects_garbage(self):
+        with pytest.raises(ValueError, match="serialized Result"):
+            Result.from_json("{}")
+
+    def test_histogram_after_merge(self):
+        a = Result({"z": np.array([[0, 0]] * 3)})
+        b = Result({"z": np.array([[1, 1]] * 2)})
+        hist = a.merged_with(b).histogram("z")
+        assert hist[0] == 3 and hist[3] == 2

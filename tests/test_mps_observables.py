@@ -1,0 +1,174 @@
+"""Tests for MPS observables: inner products, Pauli expectations, entropy."""
+
+import numpy as np
+import pytest
+
+from repro import circuits as cirq
+from repro.mps import (
+    MPSOptions,
+    MPSState,
+    bond_dimension_profile,
+    entanglement_entropy,
+    inner_product,
+    pauli_expectation,
+    schmidt_values,
+    truncation_infidelity,
+)
+from repro.protocols import act_on
+from repro.states import StateVectorSimulationState
+
+
+def evolve(circuit, qubits, options=None):
+    state = MPSState(qubits, options=options)
+    for op in circuit.all_operations():
+        act_on(op, state)
+    return state
+
+
+def bell_state(qubits):
+    circuit = cirq.Circuit(
+        cirq.H.on(qubits[0]), cirq.CNOT.on(qubits[0], qubits[1])
+    )
+    return evolve(circuit, qubits)
+
+
+class TestInnerProduct:
+    def test_self_overlap_is_norm(self):
+        qs = cirq.LineQubit.range(2)
+        state = bell_state(qs)
+        assert inner_product(state, state) == pytest.approx(1.0, abs=1e-9)
+
+    def test_orthogonal_basis_states(self):
+        qs = cirq.LineQubit.range(2)
+        a = MPSState(qs, initial_state=0)
+        b = MPSState(qs, initial_state=3)
+        assert inner_product(a, b) == pytest.approx(0.0, abs=1e-12)
+
+    def test_matches_dense_inner_product(self):
+        qs = cirq.LineQubit.range(3)
+        c1 = cirq.generate_random_circuit(qs, 6, random_state=1)
+        c2 = cirq.generate_random_circuit(qs, 6, random_state=2)
+        m1, m2 = evolve(c1, qs), evolve(c2, qs)
+        dense1 = c1.final_state_vector(qubit_order=qs)
+        dense2 = c2.final_state_vector(qubit_order=qs)
+        want = complex(np.vdot(dense1, dense2))
+        got = inner_product(m1, m2)
+        assert got == pytest.approx(want, abs=1e-8)
+
+    def test_rejects_mismatched_registers(self):
+        a = MPSState(cirq.LineQubit.range(2))
+        b = MPSState(cirq.LineQubit.range(3))
+        with pytest.raises(ValueError, match="register"):
+            inner_product(a, b)
+
+
+class TestPauliExpectation:
+    def test_z_on_zero_state(self):
+        qs = cirq.LineQubit.range(1)
+        state = MPSState(qs)
+        assert pauli_expectation(state, {qs[0]: "Z"}) == pytest.approx(1.0)
+
+    def test_z_on_one_state(self):
+        qs = cirq.LineQubit.range(1)
+        state = MPSState(qs, initial_state=1)
+        assert pauli_expectation(state, {qs[0]: "Z"}) == pytest.approx(-1.0)
+
+    def test_x_on_plus_state(self):
+        qs = cirq.LineQubit.range(1)
+        state = evolve(cirq.Circuit(cirq.H.on(qs[0])), qs)
+        assert pauli_expectation(state, {qs[0]: "X"}) == pytest.approx(1.0)
+
+    def test_y_on_y_eigenstate(self):
+        qs = cirq.LineQubit.range(1)
+        state = evolve(cirq.Circuit(cirq.H.on(qs[0]), cirq.S.on(qs[0])), qs)
+        assert pauli_expectation(state, {qs[0]: "Y"}) == pytest.approx(1.0)
+
+    def test_zz_correlation_of_bell_pair(self):
+        qs = cirq.LineQubit.range(2)
+        state = bell_state(qs)
+        assert pauli_expectation(state, {qs[0]: "Z", qs[1]: "Z"}) == pytest.approx(1.0)
+        assert pauli_expectation(state, {qs[0]: "X", qs[1]: "X"}) == pytest.approx(1.0)
+        assert pauli_expectation(state, {qs[0]: "Z"}) == pytest.approx(0.0, abs=1e-9)
+
+    def test_identity_entries_ignored(self):
+        qs = cirq.LineQubit.range(2)
+        state = bell_state(qs)
+        assert pauli_expectation(
+            state, {qs[0]: "I", qs[1]: "Z"}
+        ) == pytest.approx(0.0, abs=1e-9)
+
+    def test_matches_dense_on_random_circuit(self):
+        qs = cirq.LineQubit.range(3)
+        circuit = cirq.generate_random_circuit(qs, 8, random_state=5)
+        mps = evolve(circuit, qs)
+        psi = circuit.final_state_vector(qubit_order=qs)
+        z = np.diag([1.0, -1.0])
+        op = np.kron(np.kron(z, np.eye(2)), z)  # Z0 Z2
+        want = float(np.real(psi.conj() @ (op @ psi)))
+        got = pauli_expectation(mps, {qs[0]: "Z", qs[2]: "Z"})
+        assert got == pytest.approx(want, abs=1e-8)
+
+    def test_rejects_unknown_pauli(self):
+        qs = cirq.LineQubit.range(1)
+        with pytest.raises(ValueError, match="Unknown Pauli"):
+            pauli_expectation(MPSState(qs), {qs[0]: "W"})
+
+
+class TestEntanglement:
+    def test_product_state_has_zero_entropy(self):
+        qs = cirq.LineQubit.range(3)
+        state = evolve(cirq.Circuit(cirq.H.on(q) for q in qs), qs)
+        for cut in (1, 2):
+            assert entanglement_entropy(state, cut) == pytest.approx(0.0, abs=1e-9)
+
+    def test_bell_pair_has_one_bit(self):
+        qs = cirq.LineQubit.range(2)
+        state = bell_state(qs)
+        assert entanglement_entropy(state, 1) == pytest.approx(1.0, abs=1e-9)
+
+    def test_ghz_is_one_bit_at_every_cut(self):
+        qs = cirq.LineQubit.range(4)
+        circuit = cirq.Circuit(cirq.H.on(qs[0]))
+        for a, b in zip(qs, qs[1:]):
+            circuit.append(cirq.CNOT.on(a, b))
+        state = evolve(circuit, qs)
+        for cut in (1, 2, 3):
+            assert entanglement_entropy(state, cut) == pytest.approx(1.0, abs=1e-9)
+
+    def test_schmidt_values_are_normalized(self):
+        qs = cirq.LineQubit.range(3)
+        circuit = cirq.generate_random_circuit(qs, 6, random_state=9)
+        state = evolve(circuit, qs)
+        lam = schmidt_values(state, 1)
+        assert np.linalg.norm(lam) == pytest.approx(1.0, abs=1e-9)
+
+    def test_rejects_bad_cut(self):
+        qs = cirq.LineQubit.range(2)
+        state = MPSState(qs)
+        with pytest.raises(ValueError, match="cut"):
+            schmidt_values(state, 0)
+        with pytest.raises(ValueError, match="cut"):
+            schmidt_values(state, 2)
+
+
+class TestDiagnostics:
+    def test_initial_bond_profile_is_trivial(self):
+        qs = cirq.LineQubit.range(4)
+        assert bond_dimension_profile(MPSState(qs)) == [1, 1, 1, 1]
+
+    def test_entangling_grows_bonds(self):
+        qs = cirq.LineQubit.range(2)
+        state = bell_state(qs)
+        assert bond_dimension_profile(state) == [2, 2]
+
+    def test_no_truncation_means_zero_infidelity(self):
+        qs = cirq.LineQubit.range(3)
+        circuit = cirq.generate_random_circuit(qs, 5, random_state=2)
+        state = evolve(circuit, qs)
+        assert truncation_infidelity(state) == pytest.approx(0.0, abs=1e-12)
+
+    def test_hard_bond_cap_accumulates_infidelity(self):
+        qs = cirq.LineQubit.range(6)
+        circuit = cirq.generate_random_circuit(qs, 12, random_state=3)
+        capped = evolve(circuit, qs, options=MPSOptions(max_bond=1))
+        assert truncation_infidelity(capped) > 0.01

@@ -1,0 +1,110 @@
+"""Property-based tests (hypothesis) for the MPS state and tensor engine."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import circuits as cirq
+from repro.mps import MPSOptions, MPSState
+from repro.protocols import act_on
+from repro.states import StateVectorSimulationState
+from repro.tensornet import Tensor, TensorNetwork
+
+_ONE_QUBIT = [cirq.H, cirq.S, cirq.T, cirq.X, cirq.Y, cirq.Z]
+_TWO_QUBIT = [cirq.CNOT, cirq.CZ, cirq.SWAP, cirq.ISWAP]
+
+
+@st.composite
+def circuit_programs(draw):
+    n = draw(st.integers(min_value=1, max_value=5))
+    length = draw(st.integers(min_value=0, max_value=20))
+    ops = []
+    for _ in range(length):
+        if n >= 2 and draw(st.booleans()):
+            gate = draw(st.sampled_from(_TWO_QUBIT))
+            a = draw(st.integers(0, n - 1))
+            b = draw(st.integers(0, n - 2))
+            if b >= a:
+                b += 1
+            ops.append((gate, (a, b)))
+        else:
+            gate = draw(st.sampled_from(_ONE_QUBIT))
+            ops.append((gate, (draw(st.integers(0, n - 1)),)))
+    return n, ops
+
+
+def _evolve(n, ops, **mps_kwargs):
+    qs = cirq.LineQubit.range(n)
+    sv = StateVectorSimulationState(qs)
+    mps = MPSState(qs, **mps_kwargs)
+    for gate, axes in ops:
+        op = gate.on(*(qs[a] for a in axes))
+        act_on(op, sv)
+        act_on(op, mps)
+    return sv, mps
+
+
+@given(circuit_programs())
+@settings(max_examples=80, deadline=None)
+def test_untruncated_mps_is_exact(program):
+    n, ops = program
+    sv, mps = _evolve(n, ops)
+    np.testing.assert_allclose(mps.state_vector(), sv.state_vector(), atol=1e-8)
+
+
+@given(circuit_programs())
+@settings(max_examples=40, deadline=None)
+def test_mps_norm_is_one(program):
+    n, ops = program
+    _, mps = _evolve(n, ops)
+    assert abs(mps.norm_squared() - 1.0) < 1e-8
+
+
+@given(circuit_programs(), st.integers(min_value=0, max_value=31))
+@settings(max_examples=40, deadline=None)
+def test_amplitude_consistency(program, which):
+    n, ops = program
+    sv, mps = _evolve(n, ops)
+    idx = which % (2**n)
+    bits = [(idx >> (n - 1 - j)) & 1 for j in range(n)]
+    assert abs(mps.amplitude_of(bits) - sv.state_vector()[idx]) < 1e-8
+
+
+@given(circuit_programs())
+@settings(max_examples=30, deadline=None)
+def test_truncated_fidelity_bounded(program):
+    """Estimated fidelity is in (0, 1] and 1 when nothing was truncated."""
+    n, ops = program
+    _, mps = _evolve(n, ops, options=MPSOptions(max_bond=2))
+    assert 0.0 < mps.estimated_fidelity <= 1.0 + 1e-12
+
+
+@given(
+    st.lists(
+        st.complex_numbers(
+            min_magnitude=0.1, max_magnitude=2.0, allow_nan=False, allow_infinity=False
+        ),
+        min_size=2,
+        max_size=2,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_tensor_network_norm_matches_numpy(amps):
+    vec = np.asarray(amps)
+    t = Tensor(vec, ("i0",))
+    assert abs(
+        TensorNetwork([t]).norm_squared() - float(np.vdot(vec, vec).real)
+    ) < 1e-9
+
+
+@given(st.integers(min_value=1, max_value=4), st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=50, deadline=None)
+def test_isel_matches_indexing(rank_seed, data_seed):
+    rng = np.random.default_rng(data_seed)
+    shape = tuple(rng.integers(2, 4, size=rank_seed))
+    inds = tuple(f"x{i}" for i in range(rank_seed))
+    t = Tensor(rng.random(shape), inds)
+    axis = int(rng.integers(rank_seed))
+    pos = int(rng.integers(shape[axis]))
+    sliced = t.isel({inds[axis]: pos})
+    np.testing.assert_array_equal(sliced.data, np.take(t.data, pos, axis=axis))

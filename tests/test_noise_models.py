@@ -1,0 +1,241 @@
+"""Tests for the noise-model framework (repro.noise)."""
+
+import numpy as np
+import pytest
+
+from repro import born
+from repro import circuits as cirq
+from repro.circuits import channels
+from repro.noise import (
+    ComposedNoiseModel,
+    ConstantNoiseModel,
+    DepolarizingNoiseModel,
+    IdleNoiseModel,
+    NoNoise,
+    PerQubitNoiseModel,
+    ReadoutErrorModel,
+    ThermalRelaxationChannel,
+    apply_noise,
+    thermal_relaxation,
+)
+from repro.protocols import act_on
+from repro.sampler import Simulator, Result
+from repro.states import (
+    DensityMatrixSimulationState,
+    StateVectorSimulationState,
+)
+
+
+def bell_circuit(qs):
+    return cirq.Circuit(
+        cirq.H.on(qs[0]),
+        cirq.CNOT.on(qs[0], qs[1]),
+        cirq.measure(*qs, key="z"),
+    )
+
+
+class TestApplyNoise:
+    def test_no_noise_is_identity_rewrite(self):
+        qs = cirq.LineQubit.range(2)
+        circuit = bell_circuit(qs)
+        noisy = apply_noise(circuit, NoNoise())
+        assert noisy.num_operations() == circuit.num_operations()
+        assert noisy.is_unitary_circuit()
+
+    def test_constant_model_adds_channel_per_touched_qubit(self):
+        qs = cirq.LineQubit.range(2)
+        circuit = bell_circuit(qs)
+        model = ConstantNoiseModel(lambda: channels.depolarize(0.01))
+        noisy = apply_noise(circuit, model)
+        # H -> 1 channel; CNOT -> 2 channels; measurement -> none.
+        assert noisy.num_operations() == 3 + 3
+        assert not noisy.is_unitary_circuit()
+
+    def test_constant_model_accepts_fixed_gate(self):
+        qs = cirq.LineQubit.range(1)
+        circuit = cirq.Circuit(cirq.X.on(qs[0]))
+        model = ConstantNoiseModel(channels.bit_flip(0.5))
+        noisy = apply_noise(circuit, model)
+        assert noisy.num_operations() == 2
+
+    def test_measurements_are_virtual(self):
+        qs = cirq.LineQubit.range(1)
+        circuit = cirq.Circuit(cirq.measure(qs[0], key="z"))
+        model = ConstantNoiseModel(lambda: channels.depolarize(0.5))
+        noisy = apply_noise(circuit, model)
+        assert noisy.num_operations() == 1
+
+    def test_depolarizing_model_two_qubit_rate(self):
+        qs = cirq.LineQubit.range(2)
+        circuit = cirq.Circuit(cirq.CNOT.on(*qs))
+        model = DepolarizingNoiseModel(p1=0.001, p2=0.02)
+        noisy = apply_noise(circuit, model)
+        channel_ops = [
+            op
+            for op in noisy.all_operations()
+            if isinstance(op.gate, channels.DepolarizingChannel)
+        ]
+        assert len(channel_ops) == 2
+        assert all(op.gate.probability == 0.02 for op in channel_ops)
+
+    def test_depolarizing_zero_rate_emits_nothing(self):
+        qs = cirq.LineQubit.range(1)
+        circuit = cirq.Circuit(cirq.X.on(qs[0]))
+        noisy = apply_noise(circuit, DepolarizingNoiseModel(p1=0.0))
+        assert noisy.num_operations() == 1
+
+    def test_depolarizing_rejects_bad_rate(self):
+        with pytest.raises(ValueError, match="\\[0, 1\\]"):
+            DepolarizingNoiseModel(p1=1.5)
+
+    def test_per_qubit_model_targets_one_qubit(self):
+        qs = cirq.LineQubit.range(2)
+        circuit = cirq.Circuit(cirq.X.on(qs[0]), cirq.X.on(qs[1]))
+        model = PerQubitNoiseModel({qs[1]: channels.bit_flip(0.3)})
+        noisy = apply_noise(circuit, model)
+        flips = [
+            op
+            for op in noisy.all_operations()
+            if isinstance(op.gate, channels.BitFlipChannel)
+        ]
+        assert len(flips) == 1
+        assert flips[0].qubits == (qs[1],)
+
+    def test_idle_model_hits_only_idle_qubits(self):
+        qs = cirq.LineQubit.range(3)
+        circuit = cirq.Circuit()
+        circuit.append_new_moment([cirq.X.on(qs[0])])
+        model = IdleNoiseModel(channels.amplitude_damp(0.1))
+        noisy = apply_noise(circuit, model, system_qubits=qs)
+        damps = [
+            op
+            for op in noisy.all_operations()
+            if isinstance(op.gate, channels.AmplitudeDampingChannel)
+        ]
+        assert {op.qubits[0] for op in damps} == {qs[1], qs[2]}
+
+    def test_composed_model_concatenates(self):
+        qs = cirq.LineQubit.range(2)
+        circuit = cirq.Circuit(cirq.X.on(qs[0]))
+        model = ComposedNoiseModel(
+            [
+                ConstantNoiseModel(lambda: channels.depolarize(0.01)),
+                IdleNoiseModel(channels.amplitude_damp(0.1)),
+            ]
+        )
+        noisy = apply_noise(circuit, model, system_qubits=qs)
+        assert noisy.num_operations() == 3  # X + depolarize(q0) + damp(q1)
+
+
+class TestTrajectoryVsDensityMatrix:
+    """Trajectory sampling of a noisy circuit must match the exact
+    density-matrix diagonal."""
+
+    def _exact_diagonal(self, circuit, qs):
+        rho = DensityMatrixSimulationState(qs, seed=0)
+        for op in circuit.without_measurements().all_operations():
+            act_on(op, rho)
+        return rho.diagonal_probabilities()
+
+    @pytest.mark.parametrize(
+        "channel", [channels.depolarize(0.15), channels.amplitude_damp(0.3)]
+    )
+    def test_bell_with_noise(self, channel):
+        qs = cirq.LineQubit.range(2)
+        noisy = apply_noise(bell_circuit(qs), ConstantNoiseModel(channel))
+        exact = self._exact_diagonal(noisy, qs)
+
+        sim = Simulator(
+            initial_state=StateVectorSimulationState(qs),
+            apply_op=lambda op, s: act_on(op, s),
+            compute_probability=born.compute_probability_state_vector,
+            seed=7,
+        )
+        reps = 4000
+        bits = sim.sample_bitstrings(noisy, repetitions=reps)
+        hist = np.zeros(4)
+        for row in bits:
+            hist[2 * row[0] + row[1]] += 1
+        hist /= reps
+        tv = 0.5 * np.abs(hist - exact).sum()
+        assert tv < 0.05
+
+
+class TestReadoutError:
+    def test_zero_error_is_identity(self):
+        model = ReadoutErrorModel(0.0, 0.0)
+        bits = np.array([[0, 1], [1, 0]], dtype=np.int8)
+        np.testing.assert_array_equal(model.apply_to_bits(bits, rng=0), bits)
+
+    def test_certain_flip(self):
+        model = ReadoutErrorModel(1.0, 1.0)
+        bits = np.array([[0, 1, 0, 1]], dtype=np.int8)
+        np.testing.assert_array_equal(
+            model.apply_to_bits(bits, rng=0), 1 - bits
+        )
+
+    def test_asymmetric_rates(self):
+        model = ReadoutErrorModel(p0_to_1=0.2, p1_to_0=0.0)
+        rng = np.random.default_rng(5)
+        zeros = np.zeros((20000, 1), dtype=np.int8)
+        ones = np.ones((20000, 1), dtype=np.int8)
+        assert 0.17 < model.apply_to_bits(zeros, rng).mean() < 0.23
+        assert model.apply_to_bits(ones, rng).mean() == 1.0
+
+    def test_apply_to_result(self):
+        model = ReadoutErrorModel(1.0, 1.0)
+        result = Result({"z": np.array([[0, 0], [1, 1]], dtype=np.int8)})
+        noisy = model.apply_to_result(result, rng=0)
+        np.testing.assert_array_equal(
+            noisy.measurements["z"], np.array([[1, 1], [0, 0]])
+        )
+
+    def test_confusion_matrix_columns_sum_to_one(self):
+        m = ReadoutErrorModel(0.1, 0.25).confusion_matrix()
+        np.testing.assert_allclose(m.sum(axis=0), [1.0, 1.0])
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError, match="p0_to_1"):
+            ReadoutErrorModel(-0.1, 0.0)
+
+
+class TestThermalRelaxation:
+    def test_kraus_completeness(self):
+        gate = thermal_relaxation(t1=50.0, t2=70.0, t=1.0)
+        ks = gate._kraus_()
+        total = sum(k.conj().T @ k for k in ks)
+        np.testing.assert_allclose(total, np.eye(2), atol=1e-12)
+
+    def test_t2_limit_enforced(self):
+        with pytest.raises(ValueError, match="Unphysical"):
+            thermal_relaxation(t1=10.0, t2=25.0, t=1.0)
+
+    def test_zero_duration_is_identity(self):
+        gate = thermal_relaxation(t1=50.0, t2=70.0, t=0.0)
+        ks = gate._kraus_()
+        np.testing.assert_allclose(ks[0], np.eye(2), atol=1e-12)
+        for k in ks[1:]:
+            np.testing.assert_allclose(k, 0, atol=1e-12)
+
+    def test_excited_state_decays(self):
+        qs = cirq.LineQubit.range(1)
+        rho = DensityMatrixSimulationState(qs, seed=0)
+        act_on(cirq.X.on(qs[0]), rho)
+        act_on(thermal_relaxation(t1=1.0, t2=1.0, t=2.0).on(qs[0]), rho)
+        probs = rho.diagonal_probabilities()
+        # P(1) = e^{-t/T1} = e^{-2}
+        assert probs[1] == pytest.approx(np.exp(-2.0), abs=1e-9)
+
+    def test_coherence_decays_at_t2(self):
+        qs = cirq.LineQubit.range(1)
+        rho = DensityMatrixSimulationState(qs, seed=0)
+        act_on(cirq.H.on(qs[0]), rho)
+        act_on(thermal_relaxation(t1=10.0, t2=4.0, t=3.0).on(qs[0]), rho)
+        dm = rho.density_matrix()
+        assert abs(dm[0, 1]) == pytest.approx(0.5 * np.exp(-3.0 / 4.0), abs=1e-9)
+
+    def test_rejects_negative_times(self):
+        with pytest.raises(ValueError):
+            thermal_relaxation(t1=-1.0, t2=1.0, t=1.0)
+        with pytest.raises(ValueError):
+            thermal_relaxation(t1=1.0, t2=1.0, t=-1.0)

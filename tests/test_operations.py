@@ -1,0 +1,85 @@
+"""Tests for GateOperation behaviour and protocol forwarding."""
+
+import numpy as np
+import pytest
+
+from repro import circuits as cirq
+from repro.circuits import GateOperation, ParamResolver, Symbol
+
+
+@pytest.fixture
+def qubits():
+    return cirq.LineQubit.range(3)
+
+
+class TestConstruction:
+    def test_arity_checked(self, qubits):
+        with pytest.raises(ValueError, match="acts on"):
+            GateOperation(cirq.CNOT, (qubits[0],))
+
+    def test_duplicates_rejected(self, qubits):
+        with pytest.raises(ValueError, match="Duplicate"):
+            GateOperation(cirq.CNOT, (qubits[0], qubits[0]))
+
+    def test_qubits_stored_in_given_order(self, qubits):
+        op = cirq.CNOT(qubits[2], qubits[0])
+        assert op.qubits == (qubits[2], qubits[0])
+
+
+class TestProtocolForwarding:
+    def test_unitary(self, qubits):
+        op = cirq.H(qubits[0])
+        np.testing.assert_allclose(op._unitary_(), cirq.H._unitary_())
+
+    def test_kraus(self, qubits):
+        op = cirq.bit_flip(0.5)(qubits[0])
+        assert len(op._kraus_()) == 2
+
+    def test_stabilizer_sequence(self, qubits):
+        op = cirq.S(qubits[0])
+        assert op._stabilizer_sequence_() is not None
+        op_t = cirq.T(qubits[0])
+        assert op_t._stabilizer_sequence_() is None
+
+    def test_parameter_resolution(self, qubits):
+        op = cirq.Rz(Symbol("t")).on(qubits[0])
+        assert op._is_parameterized_()
+        resolved = op._resolve_parameters_(ParamResolver({"t": 0.5}))
+        assert not resolved._is_parameterized_()
+        assert resolved.qubits == op.qubits
+
+
+class TestMeasurementProperties:
+    def test_is_measurement(self, qubits):
+        assert cirq.measure(qubits[0], key="m").is_measurement
+        assert not cirq.H(qubits[0]).is_measurement
+
+    def test_measurement_key(self, qubits):
+        assert cirq.measure(qubits[0], key="m").measurement_key == "m"
+        assert cirq.H(qubits[0]).measurement_key is None
+
+
+class TestWithQubits:
+    def test_remaps(self, qubits):
+        op = cirq.CNOT(qubits[0], qubits[1])
+        moved = op.with_qubits(qubits[1], qubits[2])
+        assert moved.qubits == (qubits[1], qubits[2])
+        assert moved.gate == op.gate
+
+    def test_arity_still_checked(self, qubits):
+        op = cirq.H(qubits[0])
+        with pytest.raises(ValueError):
+            op.with_qubits(qubits[0], qubits[1])
+
+
+class TestEqualityAndRepr:
+    def test_equality(self, qubits):
+        assert cirq.H(qubits[0]) == cirq.H(qubits[0])
+        assert cirq.H(qubits[0]) != cirq.H(qubits[1])
+        assert cirq.H(qubits[0]) != cirq.X(qubits[0])
+
+    def test_hashable(self, qubits):
+        assert len({cirq.H(qubits[0]), cirq.H(qubits[0])}) == 1
+
+    def test_repr_contains_qubits(self, qubits):
+        assert "LineQubit(0)" in repr(cirq.H(qubits[0]))

@@ -1,0 +1,108 @@
+"""Tests for optimize_for_bgls (paper Sec. 3.2.2)."""
+
+import numpy as np
+import pytest
+
+from repro import circuits as cirq
+from repro.circuits import (
+    Circuit,
+    MatrixGate,
+    drop_empty_moments,
+    merge_single_qubit_gates,
+    optimize_for_bgls,
+)
+
+
+def assert_same_unitary_up_to_phase(c1: Circuit, c2: Circuit, qubits):
+    u1 = c1.unitary(qubit_order=qubits)
+    u2 = c2.unitary(qubit_order=qubits)
+    inner = np.vdot(u1.ravel(), u2.ravel())
+    assert abs(inner) > 1e-9
+    phase = inner / abs(inner)
+    np.testing.assert_allclose(u1 * np.conj(phase), u2, atol=1e-8)
+
+
+class TestMergeSingleQubitGates:
+    def test_five_sequential_ops_merge_to_one(self):
+        """The paper's illustrative example: 5 sequential 1q ops -> 1 op."""
+        q = cirq.LineQubit(0)
+        c = Circuit([cirq.H(q), cirq.T(q), cirq.S(q), cirq.X(q), cirq.H(q)])
+        merged = optimize_for_bgls(c)
+        assert merged.num_operations() == 1
+        assert isinstance(next(merged.all_operations()).gate, MatrixGate)
+        assert_same_unitary_up_to_phase(c, merged, [q])
+
+    def test_multi_qubit_gates_break_runs(self):
+        q = cirq.LineQubit.range(2)
+        c = Circuit(
+            cirq.H(q[0]), cirq.T(q[0]),
+            cirq.CNOT(q[0], q[1]),
+            cirq.S(q[0]), cirq.X(q[0]),
+        )
+        merged = optimize_for_bgls(c)
+        # two merged 1q ops + the CNOT
+        assert merged.num_operations() == 3
+        assert_same_unitary_up_to_phase(c, merged, q)
+
+    def test_identity_runs_dropped(self):
+        q = cirq.LineQubit(0)
+        c = Circuit([cirq.X(q), cirq.X(q)])
+        merged = optimize_for_bgls(c)
+        assert merged.num_operations() == 0
+
+    def test_measurements_preserved(self):
+        q = cirq.LineQubit.range(2)
+        c = Circuit(
+            cirq.H(q[0]), cirq.S(q[0]), cirq.measure(*q, key="z")
+        )
+        merged = optimize_for_bgls(c)
+        assert merged.has_measurements()
+        assert merged.all_measurement_keys() == ["z"]
+        # merged 1q run must come before the measurement
+        ops = list(merged.all_operations())
+        assert ops[-1].is_measurement
+
+    def test_channels_break_runs_and_survive(self):
+        q = cirq.LineQubit(0)
+        c = Circuit(
+            cirq.H(q), cirq.depolarize(0.1)(q), cirq.S(q), cirq.T(q)
+        )
+        merged = merge_single_qubit_gates(c)
+        kinds = [type(op.gate).__name__ for op in merged.all_operations()]
+        assert kinds[1] == "DepolarizingChannel"
+        assert merged.num_operations() == 3
+
+    def test_parameterized_ops_not_merged(self):
+        q = cirq.LineQubit(0)
+        c = Circuit(
+            cirq.H(q), cirq.Rz(cirq.Symbol("t")).on(q), cirq.S(q)
+        )
+        merged = merge_single_qubit_gates(c)
+        assert merged.num_operations() == 3
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_random_circuits_preserve_distribution(self, seed):
+        qs = cirq.LineQubit.range(4)
+        c = cirq.generate_random_circuit(qs, 20, random_state=seed)
+        merged = optimize_for_bgls(c)
+        assert merged.num_operations() <= c.num_operations()
+        p1 = np.abs(c.final_state_vector(qubit_order=qs)) ** 2
+        p2 = np.abs(merged.final_state_vector(qubit_order=qs)) ** 2
+        np.testing.assert_allclose(p1, p2, atol=1e-8)
+
+    def test_reduces_operation_count_on_dense_circuits(self):
+        qs = cirq.LineQubit.range(8)
+        c = cirq.generate_random_circuit(qs, 50, op_density=0.9, random_state=0)
+        merged = optimize_for_bgls(c)
+        assert merged.num_operations() < c.num_operations()
+
+
+class TestDropEmptyMoments:
+    def test_drops(self):
+        q = cirq.LineQubit(0)
+        c = Circuit()
+        c.append_new_moment([cirq.H(q)])
+        c.append_new_moment([])
+        c.append_new_moment([cirq.X(q)])
+        assert c.depth() == 3
+        assert drop_empty_moments(c).depth() == 2

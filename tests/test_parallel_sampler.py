@@ -1,0 +1,179 @@
+"""Tests for the process-parallel trajectory sampler."""
+
+import numpy as np
+import pytest
+
+from repro import born
+from repro import circuits as cirq
+from repro.circuits import channels
+from repro.protocols import act_on
+from repro.sampler import (
+    Simulator,
+    act_on_near_clifford,
+    count_non_clifford_gates,
+    run_parallel,
+    sample_trajectories_parallel,
+    stabilizer_extent_circuit,
+    stabilizer_extent_rz,
+)
+from repro.sampler.parallel import _chunk_sizes
+from repro.states import (
+    StabilizerChFormSimulationState,
+    StateVectorSimulationState,
+)
+
+QUBITS = cirq.LineQubit.range(2)
+
+
+def sv_factory(seed):
+    """Module-level factory (picklable for the process pool)."""
+    return Simulator(
+        initial_state=StateVectorSimulationState(QUBITS),
+        apply_op=lambda op, s: act_on(op, s),
+        compute_probability=born.compute_probability_state_vector,
+        seed=seed,
+    )
+
+
+def stabilizer_factory(seed):
+    return Simulator(
+        initial_state=StabilizerChFormSimulationState(QUBITS),
+        apply_op=act_on_near_clifford,
+        compute_probability=born.compute_probability_stabilizer_state,
+        seed=seed,
+    )
+
+
+def noisy_bell_circuit():
+    return cirq.Circuit(
+        cirq.H.on(QUBITS[0]),
+        channels.depolarize(0.1).on(QUBITS[0]),
+        cirq.CNOT.on(QUBITS[0], QUBITS[1]),
+        cirq.measure(*QUBITS, key="z"),
+    )
+
+
+class TestChunking:
+    def test_even_split(self):
+        assert _chunk_sizes(100, 4) == [25, 25, 25, 25]
+
+    def test_remainder_spread(self):
+        assert _chunk_sizes(10, 3) == [4, 3, 3]
+
+    def test_fewer_reps_than_chunks(self):
+        assert _chunk_sizes(2, 8) == [1, 1]
+
+    def test_total_preserved(self):
+        for reps in (1, 7, 100, 1001):
+            for chunks in (1, 3, 8):
+                assert sum(_chunk_sizes(reps, chunks)) == reps
+
+
+class TestParallelSampling:
+    def test_repetition_count_and_keys(self):
+        records, bits = sample_trajectories_parallel(
+            sv_factory, noisy_bell_circuit(), 40, num_workers=2, seed=0
+        )
+        assert bits.shape == (40, 2)
+        assert records["z"].shape == (40, 2)
+
+    def test_single_worker_fallback(self):
+        records, bits = sample_trajectories_parallel(
+            sv_factory, noisy_bell_circuit(), 10, num_workers=1, seed=1
+        )
+        assert bits.shape == (10, 2)
+
+    def test_distribution_matches_serial(self):
+        circuit = noisy_bell_circuit()
+        reps = 1200
+        _, par_bits = sample_trajectories_parallel(
+            sv_factory, circuit, reps, num_workers=2, seed=2
+        )
+        serial = sv_factory(3)
+        ser_bits = serial.sample_bitstrings(circuit, repetitions=reps)
+
+        def hist(bits):
+            h = np.zeros(4)
+            for row in bits:
+                h[2 * row[0] + row[1]] += 1
+            return h / len(bits)
+
+        tv = 0.5 * np.abs(hist(par_bits) - hist(ser_bits)).sum()
+        assert tv < 0.08
+
+    def test_near_clifford_trajectories_parallelize(self):
+        circuit = cirq.Circuit(
+            cirq.H.on(QUBITS[0]),
+            cirq.T.on(QUBITS[0]),
+            cirq.CNOT.on(QUBITS[0], QUBITS[1]),
+            cirq.measure(*QUBITS, key="z"),
+        )
+        result = run_parallel(
+            stabilizer_factory, circuit, 60, num_workers=2, seed=4
+        )
+        assert result.measurements["z"].shape == (60, 2)
+
+    def test_run_parallel_requires_measurements(self):
+        circuit = cirq.Circuit(cirq.H.on(QUBITS[0]))
+        with pytest.raises(ValueError, match="no measurements"):
+            run_parallel(sv_factory, circuit, 8, num_workers=1)
+
+    def test_rejects_zero_repetitions(self):
+        with pytest.raises(ValueError, match="repetitions"):
+            sample_trajectories_parallel(
+                sv_factory, noisy_bell_circuit(), 0
+            )
+
+    def test_reproducible_for_fixed_configuration(self):
+        circuit = noisy_bell_circuit()
+        _, a = sample_trajectories_parallel(
+            sv_factory, circuit, 30, num_workers=2, seed=7
+        )
+        _, b = sample_trajectories_parallel(
+            sv_factory, circuit, 30, num_workers=2, seed=7
+        )
+        np.testing.assert_array_equal(a, b)
+
+
+class TestStabilizerExtent:
+    def test_t_gate_extent(self):
+        import math
+
+        # zeta(T) = (cos(pi/8) + (sqrt(2)-1) sin(pi/8))^2 ~ 1.17 (Bravyi 2019)
+        zeta = stabilizer_extent_rz(math.pi / 4)
+        assert 1.1 < zeta < 1.3
+
+    def test_clifford_angles_have_unit_extent(self):
+        import math
+
+        assert stabilizer_extent_rz(0.0) == pytest.approx(1.0)
+        assert stabilizer_extent_rz(math.pi / 2) == pytest.approx(1.0)
+
+    def test_circuit_extent_multiplies(self):
+        q = cirq.LineQubit(0)
+        one_t = cirq.Circuit(cirq.H.on(q), cirq.T.on(q))
+        two_t = cirq.Circuit(cirq.H.on(q), cirq.T.on(q), cirq.T.on(q))
+        z1 = stabilizer_extent_circuit(one_t)
+        z2 = stabilizer_extent_circuit(two_t)
+        assert z2 == pytest.approx(z1**2)
+
+    def test_pure_clifford_circuit_extent_is_one(self):
+        qs = cirq.LineQubit.range(2)
+        circuit = cirq.Circuit(
+            cirq.H.on(qs[0]), cirq.CNOT.on(*qs), cirq.measure(*qs, key="z")
+        )
+        assert stabilizer_extent_circuit(circuit) == pytest.approx(1.0)
+        assert count_non_clifford_gates(circuit) == 0
+
+    def test_count_non_clifford(self):
+        q = cirq.LineQubit(0)
+        circuit = cirq.Circuit(
+            cirq.H.on(q), cirq.T.on(q), cirq.S.on(q), cirq.T_DAG.on(q)
+        )
+        assert count_non_clifford_gates(circuit) == 2
+
+    def test_extent_rejects_unsupported_gates(self):
+        qs = cirq.LineQubit.range(3)
+        circuit = cirq.Circuit(cirq.TOFFOLI.on(*qs))
+        with pytest.raises(ValueError, match="extent"):
+            stabilizer_extent_circuit(circuit)

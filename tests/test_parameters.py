@@ -1,0 +1,88 @@
+"""Tests for symbolic parameters and resolution."""
+
+import math
+
+import pytest
+
+from repro.circuits import ParamResolver, Symbol, is_parameterized
+from repro.circuits.parameters import resolve_value
+
+
+class TestSymbol:
+    def test_identity(self):
+        s = Symbol("t")
+        assert s.value(0.7) == pytest.approx(0.7)
+
+    def test_scale(self):
+        s = Symbol("t") * 3
+        assert s.value(2.0) == pytest.approx(6.0)
+
+    def test_rmul(self):
+        s = 3 * Symbol("t")
+        assert s.value(2.0) == pytest.approx(6.0)
+
+    def test_divide(self):
+        s = Symbol("t") / math.pi
+        assert s.value(math.pi) == pytest.approx(1.0)
+
+    def test_add_sub(self):
+        s = Symbol("t") + 1.5
+        assert s.value(1.0) == pytest.approx(2.5)
+        s = Symbol("t") - 0.5
+        assert s.value(1.0) == pytest.approx(0.5)
+
+    def test_neg(self):
+        s = -Symbol("t")
+        assert s.value(2.0) == pytest.approx(-2.0)
+
+    def test_affine_composition(self):
+        s = (2 * Symbol("t") + 1) / 2
+        assert s.value(3.0) == pytest.approx(3.5)
+
+    def test_equality_hash(self):
+        assert Symbol("a") == Symbol("a")
+        assert Symbol("a") != Symbol("b")
+        assert Symbol("a") * 2 != Symbol("a")
+        assert hash(Symbol("a")) == hash(Symbol("a"))
+
+    def test_is_parameterized(self):
+        assert is_parameterized(Symbol("x"))
+        assert not is_parameterized(1.0)
+
+
+class TestParamResolver:
+    def test_resolves_by_name(self):
+        r = ParamResolver({"t": 0.25})
+        assert r.value_of(Symbol("t")) == pytest.approx(0.25)
+
+    def test_resolves_by_symbol_key(self):
+        r = ParamResolver({Symbol("t"): 0.25})
+        assert r.value_of(Symbol("t")) == pytest.approx(0.25)
+
+    def test_resolves_affine(self):
+        r = ParamResolver({"t": 2.0})
+        assert r.value_of(3 * Symbol("t") + 1) == pytest.approx(7.0)
+
+    def test_numbers_pass_through(self):
+        r = ParamResolver({})
+        assert r.value_of(1.5) == pytest.approx(1.5)
+
+    def test_unresolved_raises(self):
+        r = ParamResolver({"other": 1.0})
+        with pytest.raises(ValueError, match="Unresolved"):
+            r.value_of(Symbol("t"))
+
+    def test_contains(self):
+        r = ParamResolver({"t": 1.0})
+        assert "t" in r
+        assert "u" not in r
+
+
+def test_resolve_value_without_resolver_keeps_symbol():
+    s = Symbol("x")
+    assert resolve_value(s, None) is s
+    assert resolve_value(2.0, None) == 2.0
+
+
+def test_resolve_value_with_resolver():
+    assert resolve_value(Symbol("x"), ParamResolver({"x": 4})) == pytest.approx(4.0)

@@ -1,0 +1,107 @@
+"""Property-based tests (hypothesis) for the Pauli-string algebra.
+
+Every algebraic law is checked against the dense matrix representation,
+which is ground truth by construction.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import circuits as cirq
+from repro.circuits import PauliString, PauliSum
+
+N = 3
+QUBITS = cirq.LineQubit.range(N)
+
+
+@st.composite
+def pauli_strings(draw):
+    factors = {}
+    for q in QUBITS:
+        name = draw(st.sampled_from("IXYZ"))
+        if name != "I":
+            factors[q] = name
+    coeff_re = draw(st.sampled_from([1.0, -1.0, 0.5, 2.0]))
+    coeff_im = draw(st.sampled_from([0.0, 1.0, -0.5]))
+    return PauliString(factors, complex(coeff_re, coeff_im))
+
+
+@given(pauli_strings(), pauli_strings())
+@settings(max_examples=150, deadline=None)
+def test_product_matches_matrix_product(a, b):
+    got = (a * b).matrix(QUBITS)
+    want = a.matrix(QUBITS) @ b.matrix(QUBITS)
+    np.testing.assert_allclose(got, want, atol=1e-12)
+
+
+@given(pauli_strings(), pauli_strings(), pauli_strings())
+@settings(max_examples=100, deadline=None)
+def test_product_associative(a, b, c):
+    left = ((a * b) * c).matrix(QUBITS)
+    right = (a * (b * c)).matrix(QUBITS)
+    np.testing.assert_allclose(left, right, atol=1e-12)
+
+
+@given(pauli_strings(), pauli_strings())
+@settings(max_examples=150, deadline=None)
+def test_commutes_with_matches_matrices(a, b):
+    ma, mb = a.matrix(QUBITS), b.matrix(QUBITS)
+    commutator = ma @ mb - mb @ ma
+    matrix_commutes = bool(np.allclose(commutator, 0, atol=1e-12))
+    zero_coeff = abs(a.coefficient * b.coefficient) < 1e-12
+    assert a.commutes_with(b) == matrix_commutes or zero_coeff
+
+
+@given(pauli_strings())
+@settings(max_examples=100, deadline=None)
+def test_square_is_scaled_identity(a):
+    square = a * a
+    assert square.weight == 0
+    np.testing.assert_allclose(
+        square.matrix(QUBITS),
+        a.coefficient**2 * np.eye(2**N),
+        atol=1e-12,
+    )
+
+
+@given(pauli_strings(), pauli_strings())
+@settings(max_examples=100, deadline=None)
+def test_sum_matrix_is_matrix_sum(a, b):
+    got = (a + b).matrix(QUBITS)
+    want = a.matrix(QUBITS) + b.matrix(QUBITS)
+    np.testing.assert_allclose(got, want, atol=1e-12)
+
+
+@given(st.lists(pauli_strings(), min_size=1, max_size=4))
+@settings(max_examples=80, deadline=None)
+def test_sum_collects_like_terms_exactly(terms):
+    total = PauliSum(terms)
+    want = sum((t.matrix(QUBITS) for t in terms), np.zeros((2**N, 2**N), dtype=complex))
+    np.testing.assert_allclose(total.matrix(QUBITS), want, atol=1e-12)
+
+
+@given(pauli_strings())
+@settings(max_examples=80, deadline=None)
+def test_hermitian_iff_real_coefficient(a):
+    m = a.matrix(QUBITS)
+    is_hermitian = bool(np.allclose(m, m.conj().T, atol=1e-12))
+    expect = abs(a.coefficient.imag) < 1e-12 or abs(a.coefficient) < 1e-12
+    assert is_hermitian == expect
+
+
+@given(pauli_strings())
+@settings(max_examples=60, deadline=None)
+def test_basis_change_diagonalizes(a):
+    """After the measurement basis change, the string acts diagonally."""
+    ops = a.measurement_basis_change()
+    circuit = cirq.Circuit()
+    circuit.append(ops)
+    v = (
+        circuit.unitary(qubit_order=QUBITS)
+        if ops
+        else np.eye(2**N, dtype=complex)
+    )
+    rotated = v @ a.matrix(QUBITS) @ v.conj().T
+    off_diag = rotated - np.diag(np.diagonal(rotated))
+    np.testing.assert_allclose(off_diag, 0, atol=1e-10)

@@ -1,0 +1,226 @@
+"""Tests for the Pauli-string algebra (repro.circuits.paulis)."""
+
+import numpy as np
+import pytest
+
+from repro import born
+from repro import circuits as cirq
+from repro.circuits import PauliString, PauliSum, pauli_string_from_text
+from repro.protocols import act_on
+from repro.sampler import Simulator
+from repro.states import StateVectorSimulationState
+
+Q = cirq.LineQubit.range(3)
+
+X0 = PauliString({Q[0]: "X"})
+Y0 = PauliString({Q[0]: "Y"})
+Z0 = PauliString({Q[0]: "Z"})
+Z1 = PauliString({Q[1]: "Z"})
+
+
+class TestAlgebra:
+    def test_xy_is_iz(self):
+        assert X0 * Y0 == PauliString({Q[0]: "Z"}, 1j)
+
+    def test_yx_is_minus_iz(self):
+        assert Y0 * X0 == PauliString({Q[0]: "Z"}, -1j)
+
+    def test_square_is_identity(self):
+        for p in (X0, Y0, Z0):
+            assert p * p == PauliString({}, 1.0)
+
+    def test_disjoint_factors_tensor(self):
+        product = Z0 * Z1
+        assert product.get(Q[0]) == "Z"
+        assert product.get(Q[1]) == "Z"
+        assert product.weight == 2
+
+    def test_scalar_multiplication(self):
+        assert (2.0 * X0).coefficient == 2.0
+        assert (X0 * -1j).coefficient == -1j
+
+    def test_negation(self):
+        assert (-X0).coefficient == -1.0
+
+    def test_identity_factors_dropped(self):
+        p = PauliString({Q[0]: "I", Q[1]: "Z"})
+        assert p.weight == 1
+        assert p.get(Q[0]) == "I"
+
+    def test_rejects_unknown_pauli(self):
+        with pytest.raises(ValueError, match="Unknown Pauli"):
+            PauliString({Q[0]: "Q"})
+
+    def test_hashable_and_equal(self):
+        a = PauliString({Q[0]: "X", Q[1]: "Z"}, 2.0)
+        b = PauliString({Q[1]: "Z", Q[0]: "X"}, 2.0)
+        assert a == b and hash(a) == hash(b)
+
+    def test_dense_text_parser(self):
+        p = pauli_string_from_text("XIZ", Q)
+        assert p.get(Q[0]) == "X"
+        assert p.get(Q[1]) == "I"
+        assert p.get(Q[2]) == "Z"
+
+    def test_text_parser_rejects_length_mismatch(self):
+        with pytest.raises(ValueError, match="factors"):
+            pauli_string_from_text("XX", Q)
+
+
+class TestCommutation:
+    def test_same_string_commutes(self):
+        assert X0.commutes_with(X0)
+
+    def test_x_z_same_qubit_anticommute(self):
+        assert not X0.commutes_with(Z0)
+
+    def test_disjoint_strings_commute(self):
+        assert X0.commutes_with(Z1)
+
+    def test_two_anticommuting_sites_commute_overall(self):
+        xx = pauli_string_from_text("XXI", Q)
+        zz = pauli_string_from_text("ZZI", Q)
+        assert xx.commutes_with(zz)
+
+    def test_three_anticommuting_sites_anticommute(self):
+        xxx = pauli_string_from_text("XXX", Q)
+        zzz = pauli_string_from_text("ZZZ", Q)
+        assert not xxx.commutes_with(zzz)
+
+
+class TestMatrixForm:
+    def test_single_z_matrix(self):
+        m = Z0.matrix([Q[0]])
+        np.testing.assert_allclose(m, np.diag([1, -1]))
+
+    def test_kron_ordering_big_endian(self):
+        m = pauli_string_from_text("ZI", Q[:2]).matrix(Q[:2])
+        np.testing.assert_allclose(m, np.diag([1, 1, -1, -1]))
+
+    def test_matrix_product_matches_algebra(self):
+        a = pauli_string_from_text("XY", Q[:2])
+        b = pauli_string_from_text("YZ", Q[:2])
+        np.testing.assert_allclose(
+            (a * b).matrix(Q[:2]), a.matrix(Q[:2]) @ b.matrix(Q[:2]), atol=1e-12
+        )
+
+    def test_rejects_foreign_qubits(self):
+        with pytest.raises(ValueError, match="outside"):
+            Z1.matrix([Q[0]])
+
+    def test_expectation_from_state_vector(self):
+        psi = np.array([1, 0], dtype=complex)
+        assert Z0.expectation_from_state_vector(psi, [Q[0]]) == 1.0
+        plus = np.array([1, 1], dtype=complex) / np.sqrt(2)
+        assert X0.expectation_from_state_vector(plus, [Q[0]]) == pytest.approx(1.0)
+
+
+class TestPauliSum:
+    def test_like_terms_collect(self):
+        total = PauliSum([X0, X0])
+        assert len(total) == 1
+        assert total.terms[0].coefficient == 2.0
+
+    def test_cancellation_removes_term(self):
+        total = X0 + (-X0)
+        assert len(total) == 0
+
+    def test_sum_matrix(self):
+        total = Z0 + Z1
+        m = total.matrix(Q[:2])
+        np.testing.assert_allclose(np.diag(m), [2, 0, 0, -2])
+
+    def test_sum_product_distributes(self):
+        lhs = (X0 + Z0) * (X0 + Z0)
+        m = lhs.matrix([Q[0]])
+        np.testing.assert_allclose(m, 2 * np.eye(2), atol=1e-12)
+
+    def test_scalar_multiplication(self):
+        total = 3.0 * (Z0 + Z1)
+        assert all(t.coefficient == 3.0 for t in total.terms)
+
+    def test_subtraction(self):
+        total = (Z0 + Z1) - Z1
+        assert len(total) == 1
+
+    def test_sum_expectation(self):
+        psi = np.zeros(4, dtype=complex)
+        psi[0] = 1.0  # |00>
+        total = Z0 + Z1
+        assert total.expectation_from_state_vector(psi, Q[:2]) == pytest.approx(2.0)
+
+    def test_qubits_union(self):
+        total = Z0 + Z1
+        assert total.qubits == (Q[0], Q[1])
+
+
+class TestSamplingWorkflow:
+    """End-to-end: basis change + BGLS sampling reproduces <P>."""
+
+    def _sampled_expectation(self, prep_ops, string, reps=4000, seed=0):
+        qubits = Q[:2]
+        circuit = cirq.Circuit(prep_ops)
+        circuit.append(string.measurement_basis_change())
+        circuit.append(cirq.measure(*qubits, key="m"))
+        sim = Simulator(
+            initial_state=StateVectorSimulationState(qubits),
+            apply_op=lambda op, s: act_on(op, s),
+            compute_probability=born.compute_probability_state_vector,
+            seed=seed,
+        )
+        samples = sim.run(circuit, repetitions=reps).measurements["m"]
+        return string.expectation_from_samples(samples, qubits)
+
+    def test_z_expectation_of_zero_state(self):
+        got = self._sampled_expectation([cirq.I.on(Q[0])], Z0)
+        assert got == pytest.approx(1.0)
+
+    def test_x_expectation_of_plus_state(self):
+        got = self._sampled_expectation([cirq.H.on(Q[0])], X0)
+        assert got == pytest.approx(1.0)
+
+    def test_y_expectation_of_y_eigenstate(self):
+        got = self._sampled_expectation(
+            [cirq.H.on(Q[0]), cirq.S.on(Q[0])], Y0
+        )
+        assert got == pytest.approx(1.0)
+
+    def test_xx_on_bell_state(self):
+        xx = pauli_string_from_text("XX", Q[:2])
+        got = self._sampled_expectation(
+            [cirq.H.on(Q[0]), cirq.CNOT.on(Q[0], Q[1])], xx
+        )
+        assert got == pytest.approx(1.0)
+
+    def test_generic_state_matches_dense(self):
+        prep = [
+            cirq.Ry(0.7).on(Q[0]),
+            cirq.Rx(1.1).on(Q[1]),
+            cirq.CNOT.on(Q[0], Q[1]),
+        ]
+        string = pauli_string_from_text("YZ", Q[:2], coefficient=0.5)
+        circuit = cirq.Circuit(prep)
+        psi = circuit.final_state_vector(qubit_order=Q[:2])
+        want = string.expectation_from_state_vector(psi, Q[:2]).real
+        got = self._sampled_expectation(prep, string, reps=20000, seed=3)
+        assert got == pytest.approx(want, abs=0.03)
+
+    def test_rejects_complex_coefficient_sampling(self):
+        string = PauliString({Q[0]: "Z"}, 1j)
+        with pytest.raises(ValueError, match="real"):
+            string.expectation_from_samples(np.zeros((4, 2)), Q[:2])
+
+    def test_constant_string_expectation(self):
+        identity = PauliString({}, 0.7)
+        assert identity.expectation_from_samples(np.zeros((4, 2)), Q[:2]) == 0.7
+
+    def test_to_operations_roundtrip(self):
+        string = pauli_string_from_text("XZ", Q[:2])
+        ops = string.to_operations()
+        circuit = cirq.Circuit(ops)
+        got = circuit.unitary(qubit_order=Q[:2])
+        np.testing.assert_allclose(got, string.matrix(Q[:2]), atol=1e-12)
+
+    def test_to_operations_rejects_scaled(self):
+        with pytest.raises(ValueError, match="unit-coefficient"):
+            (2.0 * X0).to_operations()

@@ -1,0 +1,92 @@
+"""Tests for PhasedXPowGate (the sqrt-W member of the supremacy gate set)."""
+
+import numpy as np
+import pytest
+
+from repro import circuits as cirq
+from repro.circuits import PhasedXPowGate
+from repro.protocols import act_on, has_stabilizer_effect, unitary
+from repro.states import (
+    StabilizerChFormSimulationState,
+    StateVectorSimulationState,
+)
+
+
+def z_pow(p):
+    return np.diag([1.0, np.exp(1j * np.pi * p)])
+
+
+class TestUnitary:
+    @pytest.mark.parametrize("p", [0.0, 0.25, 0.5, 1.0, -0.3])
+    @pytest.mark.parametrize("t", [0.5, 1.0, 0.37])
+    def test_equals_sandwich(self, p, t):
+        gate = PhasedXPowGate(phase_exponent=p, exponent=t)
+        want = z_pow(p) @ unitary(cirq.XPowGate(exponent=t)) @ z_pow(p).conj().T
+        np.testing.assert_allclose(unitary(gate), want, atol=1e-12)
+
+    def test_phase_zero_is_x_pow(self):
+        gate = PhasedXPowGate(phase_exponent=0.0, exponent=0.7)
+        np.testing.assert_allclose(
+            unitary(gate), unitary(cirq.XPowGate(exponent=0.7)), atol=1e-12
+        )
+
+    def test_phase_half_is_y_pow(self):
+        gate = PhasedXPowGate(phase_exponent=0.5, exponent=0.7)
+        np.testing.assert_allclose(
+            unitary(gate), unitary(cirq.YPowGate(exponent=0.7)), atol=1e-12
+        )
+
+    def test_is_unitary(self):
+        u = unitary(PhasedXPowGate(phase_exponent=0.25, exponent=0.5))
+        np.testing.assert_allclose(u.conj().T @ u, np.eye(2), atol=1e-12)
+
+    def test_pow_multiplies_exponent(self):
+        gate = PhasedXPowGate(phase_exponent=0.25, exponent=0.5)
+        squared = gate**2
+        np.testing.assert_allclose(
+            unitary(squared), unitary(gate) @ unitary(gate), atol=1e-12
+        )
+
+
+class TestCliffordness:
+    def test_sqrt_w_is_not_clifford(self):
+        gate = PhasedXPowGate(phase_exponent=0.25, exponent=0.5)
+        assert gate._stabilizer_sequence_() is None
+        assert not has_stabilizer_effect(gate)
+
+    @pytest.mark.parametrize("p", [0.0, 0.5, 1.0, -0.5])
+    @pytest.mark.parametrize("t", [0.5, 1.0, -0.5, 2.0])
+    def test_half_integer_cases_are_clifford_and_exact(self, p, t):
+        gate = PhasedXPowGate(phase_exponent=p, exponent=t)
+        assert gate._stabilizer_sequence_() is not None
+        q = cirq.LineQubit.range(1)
+        sv = StateVectorSimulationState(q)
+        ch = StabilizerChFormSimulationState(q)
+        act_on(cirq.H.on(q[0]), sv)
+        act_on(cirq.H.on(q[0]), ch)
+        act_on(gate.on(q[0]), sv)
+        act_on(gate.on(q[0]), ch)
+        np.testing.assert_allclose(
+            sv.state_vector(), ch.state_vector(), atol=1e-9
+        )
+
+
+class TestParameters:
+    def test_parameterized_resolves(self):
+        s = cirq.Symbol("a")
+        gate = PhasedXPowGate(phase_exponent=0.25, exponent=s)
+        assert gate._is_parameterized_()
+        resolved = gate._resolve_parameters_(cirq.ParamResolver({"a": 0.5}))
+        assert not resolved._is_parameterized_()
+        assert float(resolved.exponent) == 0.5
+
+    def test_parameterized_has_no_unitary(self):
+        gate = PhasedXPowGate(phase_exponent=cirq.Symbol("p"), exponent=1.0)
+        assert gate._unitary_() is None
+
+    def test_equality_and_hash(self):
+        a = PhasedXPowGate(phase_exponent=0.25, exponent=0.5)
+        b = PhasedXPowGate(phase_exponent=0.25, exponent=0.5)
+        c = PhasedXPowGate(phase_exponent=0.5, exponent=0.5)
+        assert a == b and hash(a) == hash(b)
+        assert a != c

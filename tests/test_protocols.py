@@ -1,0 +1,116 @@
+"""Tests for the protocol layer: unitary, kraus, act_on, stabilizer effect."""
+
+import numpy as np
+import pytest
+
+from repro import circuits as cirq
+from repro.protocols import (
+    act_on,
+    has_kraus,
+    has_stabilizer_effect,
+    has_unitary,
+    is_channel,
+    kraus,
+    unitary,
+)
+from repro.states import StateVectorSimulationState
+
+
+class TestUnitaryProtocol:
+    def test_gate(self):
+        np.testing.assert_allclose(unitary(cirq.X), [[0, 1], [1, 0]])
+
+    def test_operation(self):
+        op = cirq.X(cirq.LineQubit(0))
+        np.testing.assert_allclose(unitary(op), [[0, 1], [1, 0]])
+
+    def test_circuit(self):
+        c = cirq.Circuit(cirq.X(cirq.LineQubit(0)))
+        np.testing.assert_allclose(unitary(c), [[0, 1], [1, 0]])
+
+    def test_default_for_channel(self):
+        assert unitary(cirq.depolarize(0.5), default=None) is None
+        assert not has_unitary(cirq.depolarize(0.5))
+
+    def test_raises_without_default(self):
+        with pytest.raises(TypeError):
+            unitary(cirq.depolarize(0.5))
+
+    def test_parameterized_gate(self):
+        gate = cirq.Rz(cirq.Symbol("t"))
+        assert unitary(gate, default=None) is None
+
+
+class TestKrausProtocol:
+    def test_unitary_gate_wraps_to_single_kraus(self):
+        ks = kraus(cirq.H)
+        assert len(ks) == 1
+        np.testing.assert_allclose(ks[0], unitary(cirq.H))
+
+    def test_channel(self):
+        ks = kraus(cirq.bit_flip(0.25))
+        assert len(ks) == 2
+        assert has_kraus(cirq.bit_flip(0.25))
+
+    def test_is_channel_classification(self):
+        assert is_channel(cirq.bit_flip(0.25))
+        assert not is_channel(cirq.H)
+
+    def test_measurement_has_no_kraus(self):
+        gate = cirq.MeasurementGate(1, key="m")
+        assert kraus(gate, default=None) is None
+
+
+class TestActOn:
+    def test_applies_to_state(self):
+        qs = cirq.LineQubit.range(1)
+        state = StateVectorSimulationState(qs)
+        act_on(cirq.X(qs[0]), state)
+        np.testing.assert_allclose(state.state_vector(), [0, 1], atol=1e-12)
+
+    def test_rejects_non_state(self):
+        with pytest.raises(TypeError, match="_act_on_"):
+            act_on(cirq.X(cirq.LineQubit(0)), object())
+
+
+class TestHasStabilizerEffect:
+    @pytest.mark.parametrize(
+        "gate",
+        [cirq.I, cirq.X, cirq.Y, cirq.Z, cirq.H, cirq.S, cirq.S_DAG,
+         cirq.CNOT, cirq.CZ, cirq.SWAP, cirq.ISWAP],
+    )
+    def test_clifford_gates(self, gate):
+        assert has_stabilizer_effect(gate)
+
+    @pytest.mark.parametrize(
+        "gate", [cirq.T, cirq.T_DAG, cirq.Rz(0.3), cirq.CCX, cirq.CCZ]
+    )
+    def test_non_clifford_gates(self, gate):
+        assert not has_stabilizer_effect(gate)
+
+    def test_matrix_gate_clifford_detected_numerically(self):
+        """MatrixGate has no _stabilizer_sequence_; the numeric check runs."""
+        gate = cirq.MatrixGate(unitary(cirq.H) @ unitary(cirq.S))
+        assert has_stabilizer_effect(gate)
+
+    def test_matrix_gate_non_clifford(self):
+        gate = cirq.MatrixGate(unitary(cirq.T))
+        assert not has_stabilizer_effect(gate)
+
+    def test_two_qubit_matrix_gate(self):
+        gate = cirq.MatrixGate(unitary(cirq.CNOT))
+        assert has_stabilizer_effect(gate)
+
+    def test_rz_at_clifford_angles(self):
+        import math
+
+        assert has_stabilizer_effect(cirq.Rz(math.pi / 2))
+        assert has_stabilizer_effect(cirq.Rz(math.pi))
+        assert not has_stabilizer_effect(cirq.Rz(math.pi / 4))
+
+    def test_channel_is_not_stabilizer(self):
+        assert not has_stabilizer_effect(cirq.depolarize(0.1))
+
+    def test_operation_forwarding(self):
+        op = cirq.S(cirq.LineQubit(0))
+        assert has_stabilizer_effect(op)

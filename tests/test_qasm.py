@@ -1,0 +1,135 @@
+"""Tests for OpenQASM 2.0 import/export (paper Sec. 3.2.4)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import circuits as cirq
+from repro.circuits import QasmError, circuit_from_qasm, circuit_to_qasm
+
+
+def state_of(circuit):
+    return circuit.without_measurements().final_state_vector(
+        qubit_order=circuit.all_qubits()
+    )
+
+
+class TestImport:
+    def test_bell_pair(self):
+        qasm = """
+        OPENQASM 2.0;
+        include "qelib1.inc";
+        qreg q[2];
+        creg c[2];
+        h q[0];
+        cx q[0], q[1];
+        measure q[0] -> c[0];
+        measure q[1] -> c[1];
+        """
+        circuit = circuit_from_qasm(qasm)
+        psi = state_of(circuit)
+        np.testing.assert_allclose(
+            np.abs(psi) ** 2, [0.5, 0, 0, 0.5], atol=1e-9
+        )
+        assert circuit.all_measurement_keys() == ["c"]
+
+    def test_rotations(self):
+        qasm = """
+        OPENQASM 2.0;
+        qreg q[1];
+        rx(pi/2) q[0];
+        rz(0.5) q[0];
+        """
+        circuit = circuit_from_qasm(qasm)
+        ops = list(circuit.all_operations())
+        assert len(ops) == 2
+        u = circuit.unitary()
+        np.testing.assert_allclose(u @ u.conj().T, np.eye(2), atol=1e-9)
+
+    def test_angle_expressions(self):
+        qasm = "OPENQASM 2.0; qreg q[1]; rz(2*pi/4) q[0];"
+        circuit = circuit_from_qasm(qasm)
+        gate = next(circuit.all_operations()).gate
+        assert float(gate.exponent) * math.pi == pytest.approx(math.pi / 2)
+
+    def test_whole_register_broadcast(self):
+        qasm = "OPENQASM 2.0; qreg q[3]; h q;"
+        circuit = circuit_from_qasm(qasm)
+        assert circuit.num_operations() == 3
+
+    def test_comments_and_barriers_ignored(self):
+        qasm = """
+        OPENQASM 2.0;
+        // a comment
+        qreg q[1];
+        barrier q;
+        x q[0]; // trailing comment
+        """
+        circuit = circuit_from_qasm(qasm)
+        assert circuit.num_operations() == 1
+
+    def test_all_fixed_gates(self):
+        qasm = """
+        OPENQASM 2.0; qreg q[3];
+        id q[0]; h q[0]; x q[0]; y q[0]; z q[0]; s q[0]; sdg q[0];
+        t q[0]; tdg q[0]; cx q[0], q[1]; cz q[0], q[1]; swap q[0], q[1];
+        ccx q[0], q[1], q[2]; cswap q[0], q[1], q[2];
+        """
+        circuit = circuit_from_qasm(qasm)
+        assert circuit.num_operations() == 14
+
+    def test_missing_header(self):
+        with pytest.raises(QasmError, match="header"):
+            circuit_from_qasm("qreg q[1]; h q[0];")
+
+    def test_unknown_gate(self):
+        with pytest.raises(QasmError, match="Unsupported gate"):
+            circuit_from_qasm("OPENQASM 2.0; qreg q[1]; frobnicate q[0];")
+
+    def test_unknown_register(self):
+        with pytest.raises(QasmError, match="Unknown quantum register"):
+            circuit_from_qasm("OPENQASM 2.0; qreg q[1]; h r[0];")
+
+    def test_out_of_range_index(self):
+        with pytest.raises(QasmError, match="out of range"):
+            circuit_from_qasm("OPENQASM 2.0; qreg q[1]; h q[5];")
+
+
+class TestExportRoundtrip:
+    def test_ghz_roundtrip(self):
+        q = cirq.LineQubit.range(3)
+        circuit = cirq.Circuit(
+            cirq.H(q[0]),
+            cirq.CNOT(q[0], q[1]),
+            cirq.CNOT(q[1], q[2]),
+            cirq.measure(*q, key="z"),
+        )
+        back = circuit_from_qasm(circuit_to_qasm(circuit))
+        np.testing.assert_allclose(state_of(circuit), state_of(back), atol=1e-9)
+        assert back.all_measurement_keys() == ["z"]
+
+    def test_rotation_roundtrip(self):
+        q = cirq.LineQubit(0)
+        circuit = cirq.Circuit(
+            cirq.Rz(0.7).on(q), cirq.Rx(1.1).on(q), cirq.Ry(-0.4).on(q)
+        )
+        back = circuit_from_qasm(circuit_to_qasm(circuit))
+        a, b = state_of(circuit), state_of(back)
+        inner = np.vdot(a, b)
+        # Equal up to the global phase dropped by rx/ry/rz serialization.
+        assert abs(abs(inner) - 1.0) < 1e-9
+
+    def test_random_circuit_roundtrip_distribution(self):
+        circuit = cirq.generate_random_circuit(4, 8, random_state=5)
+        back = circuit_from_qasm(circuit_to_qasm(circuit))
+        p1 = np.abs(state_of(circuit)) ** 2
+        p2 = np.abs(state_of(back)) ** 2
+        np.testing.assert_allclose(p1, p2, atol=1e-9)
+
+    def test_qasm_declares_registers(self):
+        q = cirq.LineQubit.range(2)
+        circuit = cirq.Circuit(cirq.H(q[0]), cirq.measure(*q, key="out"))
+        text = circuit_to_qasm(circuit)
+        assert "qreg q[2];" in text
+        assert "creg out[2];" in text

@@ -1,0 +1,92 @@
+"""Tests for qubit identifier types."""
+
+import pytest
+
+from repro.circuits import GridQubit, LineQubit, NamedQubit, sorted_qubits
+from repro.circuits.qubits import qubit_index_map
+
+
+class TestLineQubit:
+    def test_range(self):
+        qs = LineQubit.range(3)
+        assert [q.x for q in qs] == [0, 1, 2]
+
+    def test_range_with_start_stop(self):
+        qs = LineQubit.range(2, 5)
+        assert [q.x for q in qs] == [2, 3, 4]
+
+    def test_ordering(self):
+        assert LineQubit(0) < LineQubit(1)
+        assert LineQubit(5) > LineQubit(-1)
+        assert LineQubit(2) <= LineQubit(2)
+
+    def test_equality_and_hash(self):
+        assert LineQubit(3) == LineQubit(3)
+        assert LineQubit(3) != LineQubit(4)
+        assert hash(LineQubit(3)) == hash(LineQubit(3))
+        assert len({LineQubit(1), LineQubit(1), LineQubit(2)}) == 2
+
+    def test_arithmetic(self):
+        assert LineQubit(3) + 2 == LineQubit(5)
+        assert LineQubit(3) - 1 == LineQubit(2)
+
+    def test_dimension(self):
+        assert LineQubit(0).dimension == 2
+
+    def test_repr_str(self):
+        assert repr(LineQubit(7)) == "LineQubit(7)"
+        assert str(LineQubit(7)) == "q(7)"
+
+
+class TestGridQubit:
+    def test_square(self):
+        qs = GridQubit.square(2)
+        assert len(qs) == 4
+        assert qs[0] == GridQubit(0, 0)
+        assert qs[3] == GridQubit(1, 1)
+
+    def test_rect(self):
+        qs = GridQubit.rect(2, 3)
+        assert len(qs) == 6
+
+    def test_adjacency(self):
+        assert GridQubit(0, 0).is_adjacent(GridQubit(0, 1))
+        assert GridQubit(0, 0).is_adjacent(GridQubit(1, 0))
+        assert not GridQubit(0, 0).is_adjacent(GridQubit(1, 1))
+        assert not GridQubit(0, 0).is_adjacent(GridQubit(0, 0))
+
+    def test_ordering_row_major(self):
+        assert GridQubit(0, 5) < GridQubit(1, 0)
+        assert GridQubit(1, 1) < GridQubit(1, 2)
+
+
+class TestNamedQubit:
+    def test_range(self):
+        qs = NamedQubit.range(3, prefix="a")
+        assert [q.name for q in qs] == ["a0", "a1", "a2"]
+
+    def test_lexicographic_order(self):
+        assert NamedQubit("alice") < NamedQubit("bob")
+
+
+class TestMixedTypes:
+    def test_cross_type_ordering_is_deterministic(self):
+        qs = [NamedQubit("z"), LineQubit(0), GridQubit(0, 0)]
+        once = sorted_qubits(qs)
+        again = sorted_qubits(list(reversed(qs)))
+        assert once == again
+
+    def test_cross_type_inequality(self):
+        assert LineQubit(0) != NamedQubit("q(0)")
+
+    def test_index_map(self):
+        qs = LineQubit.range(4)
+        index = qubit_index_map(qs)
+        assert index[qs[2]] == 2
+        assert len(index) == 4
+
+
+def test_qid_comparison_with_non_qid():
+    assert LineQubit(0).__eq__(42) is NotImplemented
+    with pytest.raises(TypeError):
+        _ = LineQubit(0) < 42

@@ -1,0 +1,110 @@
+"""Tests for random-circuit generators and gate substitution."""
+
+import numpy as np
+import pytest
+
+from repro import circuits as cirq
+from repro.circuits import (
+    CLIFFORD_GATE_DOMAIN,
+    count_gate,
+    generate_random_circuit,
+    random_clifford_circuit,
+    random_clifford_t_circuit,
+    substitute_clifford_with_t,
+    substitute_gate,
+)
+from repro.protocols import has_stabilizer_effect
+
+
+class TestGenerateRandomCircuit:
+    def test_depth_is_exact(self):
+        c = generate_random_circuit(4, 17, random_state=0)
+        assert c.depth() == 17
+
+    def test_int_qubits(self):
+        c = generate_random_circuit(5, 3, random_state=0)
+        assert set(c.all_qubits()) <= set(cirq.LineQubit.range(5))
+
+    def test_reproducible_with_seed(self):
+        a = generate_random_circuit(4, 10, random_state=123)
+        b = generate_random_circuit(4, 10, random_state=123)
+        assert repr(a) == repr(b)
+
+    def test_different_seeds_differ(self):
+        a = generate_random_circuit(4, 10, random_state=1)
+        b = generate_random_circuit(4, 10, random_state=2)
+        assert repr(a) != repr(b)
+
+    def test_op_density_extremes(self):
+        empty = generate_random_circuit(4, 5, op_density=0.0, random_state=0)
+        assert empty.num_operations() == 0
+        dense = generate_random_circuit(4, 5, op_density=1.0, random_state=0)
+        assert dense.num_operations() >= 5  # at least one op per moment
+
+    def test_custom_gate_domain(self):
+        c = generate_random_circuit(
+            3, 20, gate_domain={cirq.H: 1}, random_state=0
+        )
+        assert all(op.gate == cirq.H for op in c.all_operations())
+
+    def test_domain_too_large_for_qubits(self):
+        c = generate_random_circuit(
+            1, 5, gate_domain={cirq.H: 1, cirq.CNOT: 2}, random_state=0
+        )
+        assert all(len(op.qubits) == 1 for op in c.all_operations())
+
+    def test_no_qubits_raises(self):
+        with pytest.raises(ValueError):
+            generate_random_circuit([], 5)
+
+
+class TestCliffordGenerators:
+    def test_clifford_circuit_is_all_clifford(self):
+        c = random_clifford_circuit(5, 20, random_state=3)
+        assert all(
+            has_stabilizer_effect(op.gate) for op in c.all_operations()
+        )
+        gates = {op.gate for op in c.all_operations()}
+        assert gates <= set(CLIFFORD_GATE_DOMAIN)
+
+    def test_clifford_t_has_t_gates(self):
+        c = random_clifford_t_circuit(5, 30, t_density=0.5, random_state=3)
+        assert count_gate(c, cirq.T) > 0
+
+    def test_clifford_t_zero_density_is_clifford(self):
+        c = random_clifford_t_circuit(5, 20, t_density=0.0, random_state=3)
+        assert count_gate(c, cirq.T) == 0
+
+
+class TestSubstitution:
+    def test_substitute_gate_t_to_s(self):
+        c = random_clifford_t_circuit(4, 20, t_density=0.4, random_state=7)
+        n_t = count_gate(c, cirq.T)
+        assert n_t > 0
+        swapped = substitute_gate(c, cirq.T, cirq.S)
+        assert count_gate(swapped, cirq.T) == 0
+        assert count_gate(swapped, cirq.S) >= n_t
+        assert swapped.depth() == c.depth()
+
+    def test_substitute_preserves_structure(self):
+        c = random_clifford_t_circuit(4, 10, t_density=0.3, random_state=7)
+        swapped = substitute_gate(c, cirq.T, cirq.S)
+        for m1, m2 in zip(c.moments, swapped.moments):
+            assert [op.qubits for op in m1] == [op.qubits for op in m2]
+
+    def test_substitute_clifford_with_t_counts(self):
+        c = random_clifford_circuit(5, 30, random_state=11)
+        for k in (0, 1, 5):
+            subbed = substitute_clifford_with_t(c, k, random_state=0)
+            assert count_gate(subbed, cirq.T) == k
+
+    def test_substitute_too_many_raises(self):
+        c = random_clifford_circuit(2, 2, random_state=1)
+        with pytest.raises(ValueError, match="substitutions"):
+            substitute_clifford_with_t(c, 10_000, random_state=0)
+
+    def test_substitution_reproducible(self):
+        c = random_clifford_circuit(5, 30, random_state=11)
+        a = substitute_clifford_with_t(c, 4, random_state=42)
+        b = substitute_clifford_with_t(c, 4, random_state=42)
+        assert repr(a) == repr(b)

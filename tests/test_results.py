@@ -1,0 +1,70 @@
+"""Tests for the Result container and histogram utilities."""
+
+import numpy as np
+import pytest
+
+from repro.sampler import Result, plot_state_histogram
+
+
+@pytest.fixture
+def result():
+    return Result(
+        {
+            "z": np.array([[0, 0], [1, 1], [1, 1], [0, 1]]),
+            "single": np.array([[0], [1], [0], [1]]),
+        }
+    )
+
+
+class TestResult:
+    def test_repetitions(self, result):
+        assert result.repetitions == 4
+
+    def test_empty_result(self):
+        assert Result({}).repetitions == 0
+
+    def test_histogram_big_endian(self, result):
+        hist = result.histogram("z")
+        assert hist == {0: 1, 3: 2, 1: 1}
+
+    def test_histogram_single_qubit(self, result):
+        assert result.histogram("single") == {0: 2, 1: 2}
+
+    def test_probabilities(self, result):
+        probs = result.probabilities("z")
+        assert probs[3] == pytest.approx(0.5)
+        assert sum(probs.values()) == pytest.approx(1.0)
+
+    def test_missing_key_raises(self, result):
+        with pytest.raises(KeyError):
+            result.histogram("nope")
+
+    def test_dtype_coercion(self):
+        r = Result({"m": [[0, 1], [1, 0]]})
+        assert r.measurements["m"].dtype == np.int8
+
+    def test_equality(self):
+        a = Result({"m": np.array([[0], [1]])})
+        b = Result({"m": np.array([[0], [1]])})
+        c = Result({"m": np.array([[1], [1]])})
+        assert a == b
+        assert a != c
+        assert a != Result({"other": np.array([[0], [1]])})
+
+
+class TestPlotStateHistogram:
+    def test_renders_bars(self, result, capsys):
+        text = plot_state_histogram(result, key="z")
+        assert "00 |" in text
+        assert "11 |" in text
+        assert "#" in text
+        assert capsys.readouterr().out  # also printed
+
+    def test_single_key_inferred(self):
+        r = Result({"z": np.array([[0], [1]])})
+        text = plot_state_histogram(r)
+        assert "0 |" in text
+
+    def test_ambiguous_key_raises(self, result):
+        with pytest.raises(ValueError, match="Multiple keys"):
+            plot_state_histogram(result)

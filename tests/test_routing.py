@@ -1,0 +1,218 @@
+"""Tests for the qubit router (repro.transpile.routing)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import circuits as cirq
+from repro.transpile import (
+    DecomposeMultiQubitGates,
+    Topology,
+    is_routed,
+    route_circuit,
+)
+
+
+def routed_state_matches(circuit, logical_qubits, routed):
+    """Final state of the routed circuit, axes permuted back to logical."""
+    want = circuit.without_measurements().final_state_vector(
+        qubit_order=logical_qubits
+    )
+    physical_order = [routed.final_mapping[l] for l in logical_qubits]
+    got = routed.circuit.without_measurements().final_state_vector(
+        qubit_order=physical_order
+    )
+    np.testing.assert_allclose(got, want, atol=1e-9)
+
+
+class TestTopology:
+    def test_line_adjacency(self):
+        topo = Topology.line(4)
+        qs = cirq.LineQubit.range(4)
+        assert topo.are_adjacent(qs[0], qs[1])
+        assert not topo.are_adjacent(qs[0], qs[2])
+
+    def test_ring_wraps(self):
+        topo = Topology.ring(5)
+        qs = cirq.LineQubit.range(5)
+        assert topo.are_adjacent(qs[4], qs[0])
+
+    def test_ring_needs_three(self):
+        with pytest.raises(ValueError, match="at least 3"):
+            Topology.ring(2)
+
+    def test_grid_adjacency(self):
+        topo = Topology.grid(2, 3)
+        assert topo.are_adjacent(cirq.GridQubit(0, 0), cirq.GridQubit(1, 0))
+        assert not topo.are_adjacent(cirq.GridQubit(0, 0), cirq.GridQubit(1, 1))
+
+    def test_shortest_path_on_grid(self):
+        topo = Topology.grid(3, 3)
+        path = topo.shortest_path(cirq.GridQubit(0, 0), cirq.GridQubit(2, 2))
+        assert len(path) == 5
+
+    def test_disconnected_rejected(self):
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_nodes_from(cirq.LineQubit.range(2))
+        with pytest.raises(ValueError, match="connected"):
+            Topology(graph)
+
+
+class TestIsRouted:
+    def test_adjacent_circuit_is_routed(self):
+        qs = cirq.LineQubit.range(3)
+        circuit = cirq.Circuit(
+            cirq.CNOT.on(qs[0], qs[1]), cirq.CNOT.on(qs[1], qs[2])
+        )
+        assert is_routed(circuit, Topology.line(3))
+
+    def test_long_range_gate_is_not_routed(self):
+        qs = cirq.LineQubit.range(3)
+        circuit = cirq.Circuit(cirq.CNOT.on(qs[0], qs[2]))
+        assert not is_routed(circuit, Topology.line(3))
+
+    def test_foreign_qubit_is_not_routed(self):
+        circuit = cirq.Circuit(cirq.X.on(cirq.LineQubit(9)))
+        assert not is_routed(circuit, Topology.line(3))
+
+
+class TestRouteCircuit:
+    def test_already_routed_inserts_no_swaps(self):
+        qs = cirq.LineQubit.range(3)
+        circuit = cirq.Circuit(
+            cirq.H.on(qs[0]),
+            cirq.CNOT.on(qs[0], qs[1]),
+            cirq.CNOT.on(qs[1], qs[2]),
+        )
+        routed = route_circuit(circuit, Topology.line(3))
+        assert routed.num_swaps == 0
+        routed_state_matches(circuit, qs, routed)
+
+    def test_default_placement_avoids_swaps_when_possible(self):
+        # Only q0 and q3 are used, so the default placement puts them on
+        # adjacent physical qubits and no SWAP is needed.
+        qs = cirq.LineQubit.range(4)
+        circuit = cirq.Circuit(cirq.H.on(qs[0]), cirq.CNOT.on(qs[0], qs[3]))
+        routed = route_circuit(circuit, Topology.line(4))
+        assert routed.num_swaps == 0
+        assert is_routed(routed.circuit, Topology.line(4))
+
+    def test_long_range_cnot_gets_swaps(self):
+        qs = cirq.LineQubit.range(4)
+        circuit = cirq.Circuit(cirq.H.on(qs[0]), cirq.CNOT.on(qs[0], qs[3]))
+        routed = route_circuit(
+            circuit, Topology.line(4), initial_mapping={q: q for q in qs}
+        )
+        assert routed.num_swaps == 2
+        assert is_routed(routed.circuit, Topology.line(4))
+        routed_state_matches(circuit, qs, routed)
+
+    def test_ghz_on_ring(self):
+        qs = cirq.LineQubit.range(5)
+        circuit = cirq.Circuit(cirq.H.on(qs[0]))
+        for b in qs[1:]:
+            circuit.append(cirq.CNOT.on(qs[0], b))
+        routed = route_circuit(circuit, Topology.ring(5))
+        assert is_routed(routed.circuit, Topology.ring(5))
+        routed_state_matches(circuit, qs, routed)
+
+    def test_measurements_remapped(self):
+        qs = cirq.LineQubit.range(3)
+        circuit = cirq.Circuit(
+            cirq.X.on(qs[2]),
+            cirq.CNOT.on(qs[0], qs[2]),
+            cirq.measure(*qs, key="z"),
+        )
+        routed = route_circuit(circuit, Topology.line(3))
+        measure_ops = [
+            op for op in routed.circuit.all_operations() if op.is_measurement
+        ]
+        assert len(measure_ops) == 1
+        want = tuple(routed.final_mapping[q] for q in qs)
+        assert measure_ops[0].qubits == want
+
+    def test_too_many_qubits_rejected(self):
+        qs = cirq.LineQubit.range(4)
+        circuit = cirq.Circuit(cirq.X.on(q) for q in qs)
+        with pytest.raises(ValueError, match="topology has"):
+            route_circuit(circuit, Topology.line(3))
+
+    def test_three_qubit_gate_rejected(self):
+        qs = cirq.LineQubit.range(3)
+        circuit = cirq.Circuit(cirq.TOFFOLI.on(*qs))
+        with pytest.raises(ValueError, match="decompose"):
+            route_circuit(circuit, Topology.line(3))
+
+    def test_toffoli_routes_after_decomposition(self):
+        qs = cirq.LineQubit.range(3)
+        circuit = cirq.Circuit(
+            cirq.H.on(qs[0]), cirq.H.on(qs[1]), cirq.TOFFOLI.on(*qs)
+        )
+        lowered = DecomposeMultiQubitGates()(circuit)
+        routed = route_circuit(lowered, Topology.line(3))
+        assert is_routed(routed.circuit, Topology.line(3))
+        routed_state_matches(circuit, qs, routed)
+
+    def test_custom_initial_mapping(self):
+        qs = cirq.LineQubit.range(2)
+        circuit = cirq.Circuit(cirq.X.on(qs[0]))
+        mapping = {qs[0]: qs[1], qs[1]: qs[0]}
+        routed = route_circuit(circuit, Topology.line(2), initial_mapping=mapping)
+        op = next(iter(routed.circuit.all_operations()))
+        assert op.qubits == (qs[1],)
+
+    def test_bad_initial_mapping_rejected(self):
+        qs = cirq.LineQubit.range(2)
+        circuit = cirq.Circuit(cirq.CNOT.on(*qs))
+        with pytest.raises(ValueError, match="inject"):
+            route_circuit(
+                circuit,
+                Topology.line(2),
+                initial_mapping={qs[0]: qs[0], qs[1]: qs[0]},
+            )
+        with pytest.raises(ValueError, match="misses"):
+            route_circuit(
+                circuit, Topology.line(2), initial_mapping={qs[0]: qs[0]}
+            )
+
+
+_GATES_1Q = [cirq.H, cirq.T, cirq.X, cirq.S]
+_GATES_2Q = [cirq.CNOT, cirq.CZ]
+
+
+@st.composite
+def routing_cases(draw):
+    n = draw(st.integers(min_value=2, max_value=5))
+    qs = cirq.LineQubit.range(n)
+    length = draw(st.integers(min_value=1, max_value=12))
+    ops = []
+    for _ in range(length):
+        if draw(st.booleans()):
+            gate = draw(st.sampled_from(_GATES_2Q))
+            a = draw(st.integers(0, n - 1))
+            b = draw(st.integers(0, n - 2))
+            if b >= a:
+                b += 1
+            ops.append(gate.on(qs[a], qs[b]))
+        else:
+            gate = draw(st.sampled_from(_GATES_1Q))
+            ops.append(gate.on(qs[draw(st.integers(0, n - 1))]))
+    return n, qs, cirq.Circuit(ops)
+
+
+@given(routing_cases(), st.sampled_from(["line", "ring"]))
+@settings(max_examples=60, deadline=None)
+def test_routing_preserves_state_property(case, kind):
+    n, qs, circuit = case
+    if kind == "ring" and n < 3:
+        topology = Topology.line(n)
+    else:
+        topology = Topology.line(n) if kind == "line" else Topology.ring(n)
+    routed = route_circuit(
+        circuit, topology, initial_mapping={q: q for q in qs}
+    )
+    assert is_routed(routed.circuit, topology)
+    routed_state_matches(circuit, qs, routed)

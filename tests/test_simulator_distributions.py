@@ -1,0 +1,254 @@
+"""Statistical correctness of BGLS sampling across all state backends.
+
+Each test draws many samples and checks the empirical distribution against
+the exact Born distribution via total-variation distance with a tolerance
+sized for the sample count (TV of N samples over K outcomes concentrates
+around sqrt(K/N)).
+"""
+
+import numpy as np
+import pytest
+
+import repro as bgls
+from repro import born
+from repro import circuits as cirq
+from repro.analysis import empirical_distribution, total_variation_distance
+from repro.mps import MPSState
+from repro.states import (
+    DensityMatrixSimulationState,
+    StabilizerChFormSimulationState,
+    StateVectorSimulationState,
+)
+
+REPS = 4000
+
+
+def exact_probs(circuit, qubits):
+    return np.abs(circuit.without_measurements().final_state_vector(qubit_order=qubits)) ** 2
+
+
+def tv_of(sim, circuit, qubits, reps=REPS):
+    bits = sim.sample_bitstrings(circuit, repetitions=reps)
+    return total_variation_distance(
+        empirical_distribution(bits, len(qubits)), exact_probs(circuit, qubits)
+    )
+
+
+class TestStateVectorBackend:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_universal_circuits(self, seed):
+        qs = cirq.LineQubit.range(4)
+        circuit = cirq.generate_random_circuit(qs, 12, random_state=seed)
+        sim = bgls.Simulator(
+            StateVectorSimulationState(qs),
+            bgls.act_on,
+            born.compute_probability_state_vector,
+            seed=seed,
+        )
+        assert tv_of(sim, circuit, qs) < 0.05
+
+    def test_toffoli_circuit(self):
+        qs = cirq.LineQubit.range(3)
+        circuit = cirq.Circuit(
+            cirq.H(qs[0]), cirq.H(qs[1]), cirq.CCX(*qs), cirq.H(qs[2])
+        )
+        sim = bgls.Simulator(
+            StateVectorSimulationState(qs),
+            bgls.act_on,
+            born.compute_probability_state_vector,
+            seed=0,
+        )
+        assert tv_of(sim, circuit, qs) < 0.05
+
+
+class TestStabilizerBackend:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_clifford_circuits(self, seed):
+        qs = cirq.LineQubit.range(5)
+        circuit = cirq.random_clifford_circuit(qs, 25, random_state=seed)
+        sim = bgls.Simulator(
+            StabilizerChFormSimulationState(qs),
+            bgls.act_on,
+            born.compute_probability_stabilizer_state,
+            seed=seed,
+        )
+        assert tv_of(sim, circuit, qs) < 0.06
+
+    def test_agreement_with_state_vector_backend(self):
+        qs = cirq.LineQubit.range(4)
+        circuit = cirq.random_clifford_circuit(qs, 20, random_state=7)
+        sv_sim = bgls.Simulator(
+            StateVectorSimulationState(qs),
+            bgls.act_on,
+            born.compute_probability_state_vector,
+            seed=0,
+        )
+        ch_sim = bgls.Simulator(
+            StabilizerChFormSimulationState(qs),
+            bgls.act_on,
+            born.compute_probability_stabilizer_state,
+            seed=1,
+        )
+        p_sv = empirical_distribution(sv_sim.sample_bitstrings(circuit, REPS), 4)
+        p_ch = empirical_distribution(ch_sim.sample_bitstrings(circuit, REPS), 4)
+        assert total_variation_distance(p_sv, p_ch) < 0.07
+
+
+class TestMPSBackend:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_random_circuits(self, seed):
+        qs = cirq.LineQubit.range(4)
+        circuit = cirq.generate_random_circuit(qs, 10, random_state=seed)
+        sim = bgls.Simulator(
+            MPSState(qs),
+            bgls.act_on,
+            born.compute_probability_mps,
+            seed=seed,
+        )
+        assert tv_of(sim, circuit, qs, reps=2000) < 0.07
+
+    def test_ghz_extremes_only(self):
+        qs = cirq.LineQubit.range(6)
+        circuit = cirq.Circuit(cirq.H(qs[0]))
+        for a, b in zip(qs, qs[1:]):
+            circuit.append(cirq.CNOT(a, b))
+        sim = bgls.Simulator(
+            MPSState(qs), bgls.act_on, born.compute_probability_mps, seed=0
+        )
+        bits = sim.sample_bitstrings(circuit, repetitions=200)
+        sums = bits.sum(axis=1)
+        assert set(sums.tolist()) <= {0, 6}
+
+
+class TestDensityMatrixBackend:
+    def test_unitary_circuit(self):
+        qs = cirq.LineQubit.range(3)
+        circuit = cirq.generate_random_circuit(qs, 8, random_state=3)
+        sim = bgls.Simulator(
+            DensityMatrixSimulationState(qs),
+            bgls.act_on,
+            born.compute_probability_density_matrix,
+            seed=0,
+        )
+        assert tv_of(sim, circuit, qs) < 0.05
+
+    def test_noisy_circuit_matches_exact_channel_output(self):
+        qs = cirq.LineQubit.range(3)
+        circuit = cirq.Circuit(
+            cirq.H(qs[0]),
+            cirq.depolarize(0.2)(qs[0]),
+            cirq.CNOT(qs[0], qs[1]),
+            cirq.amplitude_damp(0.3)(qs[1]),
+            cirq.CNOT(qs[1], qs[2]),
+            cirq.measure(*qs, key="m"),
+        )
+        dm = DensityMatrixSimulationState(qs)
+        for op in circuit.without_measurements().all_operations():
+            bgls.act_on(op, dm)
+        exact = dm.diagonal_probabilities()
+        sim = bgls.Simulator(
+            DensityMatrixSimulationState(qs),
+            bgls.act_on,
+            born.compute_probability_density_matrix,
+            seed=1,
+        )
+        result = sim.run(circuit, repetitions=REPS)
+        emp = empirical_distribution(result.measurements["m"], 3)
+        assert total_variation_distance(emp, exact) < 0.05
+
+
+class TestNoisyTrajectories:
+    def test_state_vector_trajectories_match_density_matrix(self):
+        qs = cirq.LineQubit.range(3)
+        circuit = cirq.Circuit(
+            cirq.H(qs[0]),
+            cirq.depolarize(0.2)(qs[0]),
+            cirq.CNOT(qs[0], qs[1]),
+            cirq.amplitude_damp(0.3)(qs[1]),
+            cirq.CNOT(qs[1], qs[2]),
+            cirq.measure(*qs, key="m"),
+        )
+        dm = DensityMatrixSimulationState(qs)
+        for op in circuit.without_measurements().all_operations():
+            bgls.act_on(op, dm)
+        exact = dm.diagonal_probabilities()
+        sim = bgls.Simulator(
+            StateVectorSimulationState(qs),
+            bgls.act_on,
+            born.compute_probability_state_vector,
+            seed=5,
+        )
+        result = sim.run(circuit, repetitions=REPS)
+        emp = empirical_distribution(result.measurements["m"], 3)
+        assert total_variation_distance(emp, exact) < 0.05
+
+    def test_branch_zero_amplitude_edge_case(self):
+        """Amplitude damping on a GHZ pair: exact zeros in branch overlaps.
+
+        Regression test for the conditional Kraus-branch selection; the
+        naive (state-global) branch choice crashes here.
+        """
+        qs = cirq.LineQubit.range(2)
+        circuit = cirq.Circuit(
+            cirq.H(qs[0]),
+            cirq.CNOT(qs[0], qs[1]),
+            cirq.amplitude_damp(0.5)(qs[1]),
+            cirq.measure(*qs, key="m"),
+        )
+        sim = bgls.Simulator(
+            StateVectorSimulationState(qs),
+            bgls.act_on,
+            born.compute_probability_state_vector,
+            seed=0,
+        )
+        result = sim.run(circuit, repetitions=2000)
+        emp = empirical_distribution(result.measurements["m"], 2)
+        # Exact: 0.5|00> + 0.25|10> + 0.25|11>  (damping |11> -> |10| w.p. 0.5)
+        np.testing.assert_allclose(emp, [0.5, 0.0, 0.25, 0.25], atol=0.05)
+
+
+class TestMidCircuitMeasurement:
+    def test_records_are_self_consistent(self):
+        qs = cirq.LineQubit.range(2)
+        circuit = cirq.Circuit(
+            cirq.H(qs[0]),
+            cirq.measure(qs[0], key="first"),
+            cirq.CNOT(qs[0], qs[1]),
+            cirq.measure(qs[1], key="second"),
+        )
+        sim = bgls.Simulator(
+            StateVectorSimulationState(qs),
+            bgls.act_on,
+            born.compute_probability_state_vector,
+            seed=2,
+        )
+        result = sim.run(circuit, repetitions=1000)
+        np.testing.assert_array_equal(
+            result.measurements["first"], result.measurements["second"]
+        )
+        mean = result.measurements["first"].mean()
+        assert 0.4 < mean < 0.6
+
+    def test_measurement_then_hadamard(self):
+        """Measure, then rotate: outcomes of the second must be 50/50
+        regardless of the first."""
+        qs = cirq.LineQubit.range(1)
+        circuit = cirq.Circuit(
+            cirq.H(qs[0]),
+            cirq.measure(qs[0], key="a"),
+            cirq.H(qs[0]),
+            cirq.measure(qs[0], key="b"),
+        )
+        sim = bgls.Simulator(
+            StateVectorSimulationState(qs),
+            bgls.act_on,
+            born.compute_probability_state_vector,
+            seed=3,
+        )
+        result = sim.run(circuit, repetitions=2000)
+        a = result.measurements["a"][:, 0]
+        b = result.measurements["b"][:, 0]
+        # b should be ~independent of a
+        assert abs(b.mean() - 0.5) < 0.05
+        corr = np.corrcoef(a, b)[0, 1]
+        assert abs(corr) < 0.1

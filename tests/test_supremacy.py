@@ -1,0 +1,88 @@
+"""Tests for the random-circuit-sampling (supremacy) workload."""
+
+import numpy as np
+import pytest
+
+import repro as bgls
+from repro import born
+from repro import circuits as cirq
+from repro.apps import random_supremacy_circuit, xeb_fidelity
+
+
+class TestCircuitStructure:
+    def test_grid_qubits(self):
+        circuit = random_supremacy_circuit(2, 3, cycles=4, random_state=0)
+        qubits = circuit.all_qubits()
+        assert len(qubits) == 6
+        assert all(isinstance(q, cirq.GridQubit) for q in qubits)
+
+    def test_cycle_count_sets_depth(self):
+        circuit = random_supremacy_circuit(
+            2, 2, cycles=4, random_state=0, measure_key=None
+        )
+        # 4 cycles x (1q layer + entangler layer); some entangler patterns
+        # may be empty on a 2x2 grid, so depth is between 4 and 8.
+        assert 4 <= circuit.depth() <= 8
+
+    def test_no_repeated_single_qubit_gate(self):
+        circuit = random_supremacy_circuit(
+            2, 2, cycles=10, random_state=1, measure_key=None
+        )
+        per_qubit = {}
+        for moment in circuit.moments:
+            for op in moment.operations:
+                if len(op.qubits) == 1:
+                    q = op.qubits[0]
+                    assert per_qubit.get(q) != op.gate
+                    per_qubit[q] = op.gate
+
+    def test_entanglers_on_adjacent_qubits(self):
+        circuit = random_supremacy_circuit(
+            3, 3, cycles=8, random_state=2, measure_key=None
+        )
+        for op in circuit.all_operations():
+            if len(op.qubits) == 2:
+                assert op.qubits[0].is_adjacent(op.qubits[1])
+
+    def test_reproducible(self):
+        a = random_supremacy_circuit(2, 3, 6, random_state=5)
+        b = random_supremacy_circuit(2, 3, 6, random_state=5)
+        assert repr(a) == repr(b)
+
+    def test_custom_entangler(self):
+        circuit = random_supremacy_circuit(
+            2, 2, 4, entangler=cirq.CZ, random_state=0, measure_key=None
+        )
+        two_q = {op.gate for op in circuit.all_operations() if len(op.qubits) == 2}
+        assert two_q == {cirq.CZ}
+
+
+class TestXEB:
+    def test_bgls_samples_achieve_high_xeb(self):
+        """BGLS samples from the true distribution: XEB near the ideal."""
+        circuit = random_supremacy_circuit(
+            2, 3, cycles=8, random_state=3, measure_key=None
+        )
+        qubits = circuit.all_qubits()
+        ideal = np.abs(circuit.final_state_vector(qubit_order=qubits)) ** 2
+        sim = bgls.Simulator(
+            bgls.StateVectorSimulationState(qubits),
+            bgls.act_on,
+            born.compute_probability_state_vector,
+            seed=0,
+        )
+        samples = sim.sample_bitstrings(circuit, repetitions=3000)
+        ideal_xeb = float(2 ** len(qubits) * (ideal**2).sum() - 1.0)
+        achieved = xeb_fidelity(samples, ideal)
+        assert achieved > 0.5 * ideal_xeb
+        assert achieved > 0.3  # scrambled circuits have ideal XEB ~ 1
+
+    def test_uniform_sampler_scores_zero(self):
+        circuit = random_supremacy_circuit(
+            2, 3, cycles=8, random_state=4, measure_key=None
+        )
+        qubits = circuit.all_qubits()
+        ideal = np.abs(circuit.final_state_vector(qubit_order=qubits)) ** 2
+        rng = np.random.default_rng(0)
+        uniform = rng.integers(0, 2, size=(3000, len(qubits)))
+        assert abs(xeb_fidelity(uniform, ideal)) < 0.15

@@ -1,0 +1,151 @@
+"""Tests for run_sweep and Circuit.with_noise."""
+
+import math
+
+import numpy as np
+import pytest
+
+import repro as bgls
+from repro import born
+from repro import circuits as cirq
+from repro.analysis import empirical_distribution, total_variation_distance
+
+
+@pytest.fixture
+def qubits():
+    return cirq.LineQubit.range(2)
+
+
+class TestRunSweep:
+    def test_sweep_returns_one_result_per_resolver(self, qubits):
+        theta = cirq.Symbol("theta")
+        circuit = cirq.Circuit(
+            cirq.Rx(theta).on(qubits[0]), cirq.measure(qubits[0], key="m")
+        )
+        sim = bgls.Simulator(
+            bgls.StateVectorSimulationState(qubits),
+            bgls.act_on,
+            born.compute_probability_state_vector,
+            seed=0,
+        )
+        results = sim.run_sweep(
+            circuit,
+            params=[{"theta": 0.0}, {"theta": math.pi}],
+            repetitions=50,
+        )
+        assert len(results) == 2
+        assert results[0].histogram("m") == {0: 50}
+        assert results[1].histogram("m") == {1: 50}
+
+    def test_sweep_with_param_resolver_objects(self, qubits):
+        theta = cirq.Symbol("t")
+        circuit = cirq.Circuit(
+            cirq.Ry(theta).on(qubits[0]), cirq.measure(qubits[0], key="m")
+        )
+        sim = bgls.Simulator(
+            bgls.StateVectorSimulationState(qubits),
+            bgls.act_on,
+            born.compute_probability_state_vector,
+            seed=1,
+        )
+        resolvers = [cirq.ParamResolver({"t": v}) for v in (0.3, 1.2, 2.9)]
+        results = sim.run_sweep(circuit, resolvers, repetitions=600)
+        for resolver, result in zip(resolvers, results):
+            angle = resolver.value_of(cirq.Symbol("t"))
+            expected = math.sin(angle / 2) ** 2
+            assert abs(result.measurements["m"].mean() - expected) < 0.07
+
+
+class TestWithNoise:
+    def test_inserts_channels_after_each_moment(self, qubits):
+        circuit = cirq.Circuit(
+            cirq.H(qubits[0]), cirq.CNOT(qubits[0], qubits[1])
+        )
+        noisy = circuit.with_noise(cirq.depolarize(0.01))
+        n_channels = sum(
+            1
+            for op in noisy.all_operations()
+            if isinstance(op.gate, cirq.DepolarizingChannel)
+        )
+        assert n_channels == 2 * len(qubits)
+        assert not noisy.is_unitary_circuit()
+
+    def test_measurement_moment_left_clean(self, qubits):
+        circuit = cirq.Circuit(
+            cirq.H(qubits[0]), cirq.measure(*qubits, key="m")
+        )
+        noisy = circuit.with_noise(cirq.bit_flip(0.1))
+        # noise after the H moment only, not after the measurement
+        n_channels = sum(
+            1
+            for op in noisy.all_operations()
+            if isinstance(op.gate, cirq.BitFlipChannel)
+        )
+        assert n_channels == len(qubits)
+
+    def test_factory_callable(self, qubits):
+        circuit = cirq.Circuit(cirq.H(qubits[0]))
+        noisy = circuit.with_noise(lambda: cirq.phase_flip(0.2))
+        assert any(
+            isinstance(op.gate, cirq.PhaseFlipChannel)
+            for op in noisy.all_operations()
+        )
+
+    def test_zero_noise_preserves_distribution(self, qubits):
+        circuit = cirq.Circuit(
+            cirq.H(qubits[0]),
+            cirq.CNOT(qubits[0], qubits[1]),
+            cirq.measure(*qubits, key="m"),
+        )
+        noisy = circuit.with_noise(cirq.depolarize(0.0))
+        sim = bgls.Simulator(
+            bgls.StateVectorSimulationState(qubits),
+            bgls.act_on,
+            born.compute_probability_state_vector,
+            seed=0,
+        )
+        emp = empirical_distribution(
+            sim.run(noisy, repetitions=1500).measurements["m"], 2
+        )
+        np.testing.assert_allclose(emp, [0.5, 0, 0, 0.5], atol=0.05)
+
+    def test_strong_noise_mixes_ghz(self, qubits):
+        """Depolarizing noise must populate the 01/10 outcomes."""
+        circuit = cirq.Circuit(
+            cirq.H(qubits[0]),
+            cirq.CNOT(qubits[0], qubits[1]),
+            cirq.measure(*qubits, key="m"),
+        )
+        noisy = circuit.with_noise(cirq.depolarize(0.3))
+        sim = bgls.Simulator(
+            bgls.StateVectorSimulationState(qubits),
+            bgls.act_on,
+            born.compute_probability_state_vector,
+            seed=0,
+        )
+        emp = empirical_distribution(
+            sim.run(noisy, repetitions=1500).measurements["m"], 2
+        )
+        assert emp[1] + emp[2] > 0.1
+
+    def test_noisy_sampling_matches_density_matrix(self, qubits):
+        circuit = cirq.Circuit(
+            cirq.H(qubits[0]),
+            cirq.CNOT(qubits[0], qubits[1]),
+            cirq.measure(*qubits, key="m"),
+        )
+        noisy = circuit.with_noise(cirq.amplitude_damp(0.15))
+        dm = bgls.DensityMatrixSimulationState(qubits)
+        for op in noisy.without_measurements().all_operations():
+            bgls.act_on(op, dm)
+        exact = dm.diagonal_probabilities()
+        sim = bgls.Simulator(
+            bgls.StateVectorSimulationState(qubits),
+            bgls.act_on,
+            born.compute_probability_state_vector,
+            seed=3,
+        )
+        emp = empirical_distribution(
+            sim.run(noisy, repetitions=3000).measurements["m"], 2
+        )
+        assert total_variation_distance(emp, exact) < 0.05

@@ -1,0 +1,330 @@
+"""Tests for the Aaronson-Gottesman tableau engine."""
+
+import numpy as np
+import pytest
+
+from repro import born
+from repro import circuits as cirq
+from repro.protocols import act_on
+from repro.sampler import Simulator
+from repro.states import (
+    CliffordTableau,
+    CliffordTableauSimulationState,
+    StabilizerChFormSimulationState,
+    StateVectorSimulationState,
+)
+
+
+def evolve_all(circuit, qubits, seed=0):
+    """Evolve dense, CH-form, and tableau states through a circuit."""
+    sv = StateVectorSimulationState(qubits, seed=seed)
+    ch = StabilizerChFormSimulationState(qubits, seed=seed)
+    tb = CliffordTableauSimulationState(qubits, seed=seed)
+    for op in circuit.all_operations():
+        act_on(op, sv)
+        act_on(op, ch)
+        act_on(op, tb)
+    return sv, ch, tb
+
+
+def all_probabilities(state, n):
+    return np.array(
+        [
+            state.probability_of([(i >> (n - 1 - j)) & 1 for j in range(n)])
+            for i in range(2**n)
+        ]
+    )
+
+
+class TestInitialState:
+    def test_zero_state_stabilizers(self):
+        t = CliffordTableau(3)
+        assert t.stabilizer_strings() == ["+ZII", "+IZI", "+IIZ"]
+
+    def test_basis_state_signs(self):
+        t = CliffordTableau(3, initial_state=0b101)
+        assert t.stabilizer_strings() == ["-ZII", "+IZI", "-IIZ"]
+
+    def test_basis_state_probability(self):
+        t = CliffordTableau(3, initial_state=0b110)
+        assert t.probability_of([1, 1, 0]) == pytest.approx(1.0)
+        assert t.probability_of([0, 0, 0]) == 0.0
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            CliffordTableau(0)
+
+    def test_rejects_out_of_range_initial_state(self):
+        with pytest.raises(ValueError):
+            CliffordTableau(2, initial_state=4)
+
+
+class TestSingleQubitGates:
+    def test_h_creates_plus_state(self):
+        t = CliffordTableau(1)
+        t.apply_h(0)
+        assert t.stabilizer_strings() == ["+X"]
+        assert t.probability_of([0]) == pytest.approx(0.5)
+        assert t.probability_of([1]) == pytest.approx(0.5)
+
+    def test_x_flips(self):
+        t = CliffordTableau(1)
+        t.apply_x(0)
+        assert t.probability_of([1]) == pytest.approx(1.0)
+
+    def test_z_phase_invisible_in_z_basis(self):
+        t = CliffordTableau(1)
+        t.apply_z(0)
+        assert t.probability_of([0]) == pytest.approx(1.0)
+
+    def test_s_on_plus_gives_y_eigenstate(self):
+        t = CliffordTableau(1)
+        t.apply_h(0)
+        t.apply_s(0)
+        assert t.stabilizer_strings() == ["+Y"]
+
+    def test_sdg_inverts_s(self):
+        t = CliffordTableau(1)
+        t.apply_h(0)
+        t.apply_s(0)
+        t.apply_sdg(0)
+        assert t.stabilizer_strings() == ["+X"]
+
+    def test_y_equals_ixz_signs(self):
+        t = CliffordTableau(1)
+        t.apply_h(0)
+        t.apply_y(0)
+        assert t.stabilizer_strings() == ["-X"]
+
+    def test_hzh_is_x(self):
+        a = CliffordTableau(1)
+        a.apply_h(0)
+        a.apply_z(0)
+        a.apply_h(0)
+        b = CliffordTableau(1)
+        b.apply_x(0)
+        assert a == b
+
+
+class TestTwoQubitGates:
+    def test_cx_makes_bell_pair(self):
+        t = CliffordTableau(2)
+        t.apply_h(0)
+        t.apply_cx(0, 1)
+        assert t.probability_of([0, 0]) == pytest.approx(0.5)
+        assert t.probability_of([1, 1]) == pytest.approx(0.5)
+        assert t.probability_of([0, 1]) == 0.0
+        assert t.probability_of([1, 0]) == 0.0
+
+    def test_cx_rejects_equal_qubits(self):
+        t = CliffordTableau(2)
+        with pytest.raises(ValueError):
+            t.apply_cx(1, 1)
+
+    def test_cz_symmetric(self):
+        a = CliffordTableau(2)
+        a.apply_h(0)
+        a.apply_h(1)
+        a.apply_cz(0, 1)
+        b = CliffordTableau(2)
+        b.apply_h(0)
+        b.apply_h(1)
+        b.apply_cz(1, 0)
+        assert a == b
+
+    def test_swap_exchanges_columns(self):
+        t = CliffordTableau(2, initial_state=0b10)
+        t.apply_swap(0, 1)
+        assert t.probability_of([0, 1]) == pytest.approx(1.0)
+
+    def test_swap_equals_three_cnots(self):
+        a = CliffordTableau(2)
+        a.apply_h(0)
+        a.apply_s(0)
+        a.apply_swap(0, 1)
+        b = CliffordTableau(2)
+        b.apply_h(0)
+        b.apply_s(0)
+        b.apply_cx(0, 1)
+        b.apply_cx(1, 0)
+        b.apply_cx(0, 1)
+        assert a == b
+
+
+class TestMeasurement:
+    def test_deterministic_outcome_basis_state(self):
+        t = CliffordTableau(2, initial_state=0b01)
+        assert t.deterministic_outcome(0) == 0
+        assert t.deterministic_outcome(1) == 1
+
+    def test_deterministic_outcome_none_for_random(self):
+        t = CliffordTableau(1)
+        t.apply_h(0)
+        assert t.deterministic_outcome(0) is None
+
+    def test_measure_collapses(self):
+        rng = np.random.default_rng(7)
+        t = CliffordTableau(1)
+        t.apply_h(0)
+        bit = t.measure(0, rng)
+        assert bit in (0, 1)
+        assert t.deterministic_outcome(0) == bit
+
+    def test_measure_bell_pair_correlates(self):
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            t = CliffordTableau(2)
+            t.apply_h(0)
+            t.apply_cx(0, 1)
+            b0 = t.measure(0, rng)
+            b1 = t.measure(1, rng)
+            assert b0 == b1
+
+    def test_measure_is_roughly_unbiased(self):
+        rng = np.random.default_rng(11)
+        outcomes = []
+        for _ in range(400):
+            t = CliffordTableau(1)
+            t.apply_h(0)
+            outcomes.append(t.measure(0, rng))
+        assert 100 < sum(outcomes) < 300
+
+    def test_project_forced_probabilities(self):
+        t = CliffordTableau(1)
+        t.apply_h(0)
+        assert t.project_measurement(0, 1) == pytest.approx(0.5)
+        assert t.project_measurement(0, 1) == pytest.approx(1.0)
+        assert t.project_measurement(0, 0) == 0.0
+
+    def test_probability_needs_full_bitstring(self):
+        t = CliffordTableau(2)
+        with pytest.raises(ValueError):
+            t.probability_of([0])
+
+
+class TestAgainstDense:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_clifford_probabilities_match_dense(self, seed):
+        n = 4
+        qubits = cirq.LineQubit.range(n)
+        circuit = cirq.random_clifford_circuit(
+            qubits, n_moments=12, random_state=seed
+        )
+        sv, ch, tb = evolve_all(circuit, qubits)
+        dense = all_probabilities(sv, n)
+        tableau = all_probabilities(tb, n)
+        chform = all_probabilities(ch, n)
+        np.testing.assert_allclose(tableau, dense, atol=1e-9)
+        np.testing.assert_allclose(tableau, chform, atol=1e-9)
+
+    def test_ghz_probabilities(self):
+        qubits = cirq.LineQubit.range(3)
+        circuit = cirq.Circuit(
+            cirq.H.on(qubits[0]),
+            cirq.CNOT.on(qubits[0], qubits[1]),
+            cirq.CNOT.on(qubits[1], qubits[2]),
+        )
+        _, _, tb = evolve_all(circuit, qubits)
+        assert tb.probability_of([0, 0, 0]) == pytest.approx(0.5)
+        assert tb.probability_of([1, 1, 1]) == pytest.approx(0.5)
+        assert tb.probability_of([0, 1, 0]) == 0.0
+
+
+class TestSimulationState:
+    def test_rejects_non_clifford(self):
+        qubits = cirq.LineQubit.range(1)
+        state = CliffordTableauSimulationState(qubits)
+        with pytest.raises(ValueError, match="not a Clifford"):
+            act_on(cirq.T.on(qubits[0]), state)
+
+    def test_rejects_raw_unitary(self):
+        state = CliffordTableauSimulationState(cirq.LineQubit.range(1))
+        with pytest.raises(ValueError, match="raw unitaries"):
+            state.apply_unitary(np.eye(2), [0])
+
+    def test_rejects_channels(self):
+        state = CliffordTableauSimulationState(cirq.LineQubit.range(1))
+        with pytest.raises(ValueError, match="channels"):
+            state.apply_channel([np.eye(2)], [0])
+
+    def test_project_zero_probability_raises(self):
+        qubits = cirq.LineQubit.range(1)
+        state = CliffordTableauSimulationState(qubits)
+        with pytest.raises(ValueError, match="zero"):
+            state.project([0], [1])
+
+    def test_copy_is_independent(self):
+        qubits = cirq.LineQubit.range(2)
+        state = CliffordTableauSimulationState(qubits)
+        act_on(cirq.H.on(qubits[0]), state)
+        clone = state.copy(seed=1)
+        clone.tableau.apply_x(1)
+        assert state.probability_of([0, 1]) == 0.0
+        assert clone.probability_of([0, 1]) == pytest.approx(0.5)
+
+    def test_measure_through_act_on(self):
+        qubits = cirq.LineQubit.range(2)
+        state = CliffordTableauSimulationState(qubits, seed=5)
+        act_on(cirq.H.on(qubits[0]), state)
+        act_on(cirq.CNOT.on(qubits[0], qubits[1]), state)
+        act_on(cirq.measure(*qubits, key="m"), state)
+        # Collapsed: both outcomes now deterministic and equal.
+        b0 = state.tableau.deterministic_outcome(0)
+        b1 = state.tableau.deterministic_outcome(1)
+        assert b0 is not None and b0 == b1
+
+
+class TestBglsSampling:
+    def _sampler(self, qubits, seed=0):
+        return Simulator(
+            initial_state=CliffordTableauSimulationState(qubits),
+            apply_op=lambda op, state: act_on(op, state),
+            compute_probability=born.compute_probability_tableau,
+            seed=seed,
+        )
+
+    def test_ghz_sampling(self):
+        qubits = cirq.LineQubit.range(3)
+        circuit = cirq.Circuit(
+            cirq.H.on(qubits[0]),
+            cirq.CNOT.on(qubits[0], qubits[1]),
+            cirq.CNOT.on(qubits[1], qubits[2]),
+            cirq.measure(*qubits, key="z"),
+        )
+        sim = Simulator(
+            initial_state=CliffordTableauSimulationState(qubits),
+            apply_op=lambda op, state: act_on(op, state),
+            compute_probability=born.compute_probability_tableau,
+            seed=0,
+        )
+        result = sim.run(circuit, repetitions=200)
+        rows = {tuple(row) for row in result.measurements["z"]}
+        assert rows <= {(0, 0, 0), (1, 1, 1)}
+        assert len(rows) == 2
+
+    def test_matches_chform_sampler_distribution(self):
+        n = 4
+        qubits = cirq.LineQubit.range(n)
+        circuit = cirq.random_clifford_circuit(
+            qubits, n_moments=10, random_state=42
+        )
+        circuit.append(cirq.measure(*qubits, key="z"))
+        reps = 2000
+        res_tb = self._sampler(qubits, seed=1).run(circuit, repetitions=reps)
+        sim_ch = Simulator(
+            initial_state=StabilizerChFormSimulationState(qubits),
+            apply_op=lambda op, state: act_on(op, state),
+            compute_probability=born.compute_probability_stabilizer_state,
+            seed=2,
+        )
+        res_ch = sim_ch.run(circuit, repetitions=reps)
+
+        def hist(res):
+            h = np.zeros(2**n)
+            for row in res.measurements["z"]:
+                idx = int("".join(str(b) for b in row), 2)
+                h[idx] += 1
+            return h / reps
+
+        tv = 0.5 * np.abs(hist(res_tb) - hist(res_ch)).sum()
+        assert tv < 0.1

@@ -1,0 +1,153 @@
+"""Tests for the mini tensor-network engine."""
+
+import numpy as np
+import pytest
+
+from repro.tensornet import Tensor, TensorNetwork, contract_pair
+
+
+class TestTensor:
+    def test_construction_validates_rank(self):
+        with pytest.raises(ValueError):
+            Tensor(np.zeros((2, 2)), ("a",))
+
+    def test_duplicate_index_names_rejected(self):
+        with pytest.raises(ValueError):
+            Tensor(np.zeros((2, 2)), ("a", "a"))
+
+    def test_isel(self):
+        t = Tensor(np.arange(6).reshape(2, 3), ("a", "b"))
+        s = t.isel({"a": 1})
+        assert s.inds == ("b",)
+        np.testing.assert_array_equal(s.data, [3, 4, 5])
+
+    def test_isel_multiple(self):
+        t = Tensor(np.arange(8).reshape(2, 2, 2), ("a", "b", "c"))
+        s = t.isel({"a": 1, "c": 0})
+        assert s.inds == ("b",)
+        np.testing.assert_array_equal(s.data, [4, 6])
+
+    def test_isel_unknown_index(self):
+        t = Tensor(np.zeros(2), ("a",))
+        with pytest.raises(KeyError):
+            t.isel({"zz": 0})
+
+    def test_isel_out_of_range(self):
+        t = Tensor(np.zeros(2), ("a",))
+        with pytest.raises(IndexError):
+            t.isel({"a": 5})
+
+    def test_reindex(self):
+        t = Tensor(np.zeros((2, 3)), ("a", "b")).reindex({"a": "x"})
+        assert t.inds == ("x", "b")
+
+    def test_transpose_to(self):
+        t = Tensor(np.arange(6).reshape(2, 3), ("a", "b"))
+        s = t.transpose_to(("b", "a"))
+        assert s.shape == (3, 2)
+        np.testing.assert_array_equal(s.data, t.data.T)
+
+    def test_transpose_to_invalid(self):
+        t = Tensor(np.zeros((2, 3)), ("a", "b"))
+        with pytest.raises(ValueError):
+            t.transpose_to(("a", "zz"))
+
+    def test_conj_with_suffix(self):
+        t = Tensor(np.array([1j, 2]), ("a",)).conj("*")
+        assert t.inds == ("a*",)
+        np.testing.assert_array_equal(t.data, [-1j, 2])
+
+    def test_fuse(self):
+        t = Tensor(np.arange(8).reshape(2, 2, 2), ("a", "b", "c"))
+        m = t.fuse([["a", "b"], ["c"]])
+        assert m.shape == (4, 2)
+
+    def test_ind_size(self):
+        t = Tensor(np.zeros((2, 5)), ("a", "b"))
+        assert t.ind_size("b") == 5
+
+
+class TestContractPair:
+    def test_matrix_vector(self):
+        m = Tensor(np.array([[1, 2], [3, 4]]), ("i", "j"))
+        v = Tensor(np.array([1, 1]), ("j",))
+        out = contract_pair(m, v)
+        assert out.inds == ("i",)
+        np.testing.assert_array_equal(out.data, [3, 7])
+
+    def test_outer_product(self):
+        a = Tensor(np.array([1, 2]), ("i",))
+        b = Tensor(np.array([3, 4]), ("j",))
+        out = contract_pair(a, b)
+        assert set(out.inds) == {"i", "j"}
+        np.testing.assert_array_equal(out.data, [[3, 4], [6, 8]])
+
+    def test_multiple_shared_indices(self):
+        rng = np.random.default_rng(0)
+        a = Tensor(rng.random((2, 3, 4)), ("i", "j", "k"))
+        b = Tensor(rng.random((3, 4, 5)), ("j", "k", "l"))
+        out = contract_pair(a, b)
+        expected = np.einsum("ijk,jkl->il", a.data, b.data)
+        np.testing.assert_allclose(out.data, expected)
+
+
+class TestTensorNetwork:
+    def test_index_appearing_three_times_rejected(self):
+        t = Tensor(np.zeros(2), ("a",))
+        with pytest.raises(ValueError, match="more than twice"):
+            TensorNetwork([t, t, t])
+
+    def test_free_indices(self):
+        a = Tensor(np.zeros((2, 3)), ("i", "j"))
+        b = Tensor(np.zeros((3, 4)), ("j", "k"))
+        tn = TensorNetwork([a, b])
+        assert set(tn.free_indices()) == {"i", "k"}
+
+    def test_scalar_contraction(self):
+        a = Tensor(np.array([1.0, 2.0]), ("i",))
+        b = Tensor(np.array([3.0, 4.0]), ("i",))
+        assert TensorNetwork([a, b]).contract() == pytest.approx(11.0)
+
+    def test_contract_with_output_order(self):
+        rng = np.random.default_rng(1)
+        a = Tensor(rng.random((2, 3)), ("i", "j"))
+        b = Tensor(rng.random((3, 4)), ("j", "k"))
+        out = TensorNetwork([a, b]).contract(output_inds=["k", "i"])
+        expected = np.einsum("ij,jk->ki", a.data, b.data)
+        np.testing.assert_allclose(out.data, expected)
+
+    def test_chain_contraction_matches_einsum(self):
+        rng = np.random.default_rng(2)
+        t1 = Tensor(rng.random((2, 3)), ("a", "x"))
+        t2 = Tensor(rng.random((3, 2, 4)), ("x", "b", "y"))
+        t3 = Tensor(rng.random((4, 2)), ("y", "c"))
+        out = TensorNetwork([t1, t2, t3]).contract(output_inds=["a", "b", "c"])
+        expected = np.einsum("ax,xby,yc->abc", t1.data, t2.data, t3.data)
+        np.testing.assert_allclose(out.data, expected)
+
+    def test_disconnected_network_outer_product(self):
+        a = Tensor(np.array([1.0, 2.0]), ("i",))
+        b = Tensor(np.array([3.0, 4.0]), ("j",))
+        out = TensorNetwork([a, b]).contract(output_inds=["i", "j"])
+        np.testing.assert_allclose(out.data, [[3, 4], [6, 8]])
+
+    def test_empty_network_raises(self):
+        with pytest.raises(ValueError):
+            TensorNetwork([]).contract()
+
+    def test_norm_squared_product_state(self):
+        a = Tensor(np.array([0.6, 0.8]), ("i0",))
+        b = Tensor(np.array([1.0, 0.0]), ("i1",))
+        assert TensorNetwork([a, b]).norm_squared() == pytest.approx(1.0)
+
+    def test_norm_squared_with_bonds(self):
+        # Bell-like pair: psi_{ij} = delta_{ij}/sqrt(2) via a bond.
+        data = np.zeros((2, 2))
+        data[0, 0] = data[1, 1] = 2 ** -0.25
+        a = Tensor(data, ("i0", "bond"))
+        b = Tensor(data, ("bond", "i1"))
+        assert TensorNetwork([a, b]).norm_squared() == pytest.approx(1.0)
+
+    def test_norm_squared_complex(self):
+        a = Tensor(np.array([1j / np.sqrt(2), 1 / np.sqrt(2)]), ("i0",))
+        assert TensorNetwork([a]).norm_squared() == pytest.approx(1.0)

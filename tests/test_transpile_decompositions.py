@@ -1,0 +1,205 @@
+"""Unitary-equivalence tests for every decomposition in repro.transpile."""
+
+import cmath
+
+import numpy as np
+import pytest
+import scipy.stats
+
+from repro import circuits as cirq
+from repro.protocols import unitary
+from repro.transpile import (
+    decompose_ccz,
+    decompose_cswap,
+    decompose_iswap,
+    decompose_single_qubit,
+    decompose_swap,
+    decompose_toffoli,
+    multiplexed_rotation,
+    multiplexed_rotation_matrix,
+    quantum_shannon_decompose,
+    shannon_circuit,
+    t_count,
+    zyz_angles,
+    zyz_matrix,
+)
+
+
+def random_unitary(dim, seed):
+    return scipy.stats.unitary_group.rvs(dim, random_state=seed)
+
+
+def ops_unitary(ops, qubits):
+    """Composite unitary of an op list over an explicit qubit order."""
+    circuit = cirq.Circuit()
+    circuit.append(ops)
+    return circuit.unitary(qubit_order=qubits)
+
+
+def assert_equal_up_to_phase(a, b, atol=1e-7):
+    index = np.unravel_index(np.argmax(np.abs(b)), b.shape)
+    phase = a[index] / b[index]
+    assert abs(abs(phase) - 1.0) < atol
+    np.testing.assert_allclose(a, phase * b, atol=atol)
+
+
+class TestZYZ:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_random_unitary_roundtrip(self, seed):
+        u = random_unitary(2, seed)
+        np.testing.assert_allclose(zyz_matrix(*zyz_angles(u)), u, atol=1e-9)
+
+    @pytest.mark.parametrize(
+        "gate", [cirq.X, cirq.Y, cirq.Z, cirq.H, cirq.S, cirq.T]
+    )
+    def test_named_gates_roundtrip(self, gate):
+        u = unitary(gate)
+        np.testing.assert_allclose(zyz_matrix(*zyz_angles(u)), u, atol=1e-9)
+
+    def test_identity_gives_zero_angles(self):
+        alpha, beta, gamma, delta = zyz_angles(np.eye(2))
+        assert alpha == beta == gamma == delta == 0.0
+
+    def test_antidiagonal_branch(self):
+        u = np.array([[0, 1], [1, 0]], dtype=complex)  # X
+        np.testing.assert_allclose(zyz_matrix(*zyz_angles(u)), u, atol=1e-9)
+
+    def test_rejects_non_unitary(self):
+        with pytest.raises(ValueError, match="not unitary"):
+            zyz_angles(np.array([[1, 1], [0, 1]], dtype=complex))
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError, match="2x2"):
+            zyz_angles(np.eye(4))
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_decompose_single_qubit_ops(self, seed):
+        u = random_unitary(2, seed + 100)
+        q = cirq.LineQubit(0)
+        alpha, ops = decompose_single_qubit(u, q)
+        got = ops_unitary(ops, [q]) if ops else np.eye(2)
+        np.testing.assert_allclose(cmath.exp(1j * alpha) * got, u, atol=1e-8)
+
+    def test_z_like_input_yields_single_op(self):
+        q = cirq.LineQubit(0)
+        _, ops = decompose_single_qubit(unitary(cirq.T), q)
+        assert len(ops) == 1
+
+
+class TestMultiplexor:
+    @pytest.mark.parametrize("axis", ["y", "z"])
+    @pytest.mark.parametrize("k", [0, 1, 2, 3])
+    def test_matches_reference_matrix(self, axis, k):
+        rng = np.random.default_rng(17 * k + ord(axis))
+        angles = rng.uniform(-np.pi, np.pi, size=2**k)
+        qubits = cirq.LineQubit.range(k + 1)
+        target, controls = qubits[0], qubits[1:]
+        ops = multiplexed_rotation(axis, angles, controls, target)
+        got = ops_unitary(ops, qubits)
+        want = multiplexed_rotation_matrix(axis, angles)
+        np.testing.assert_allclose(got, want, atol=1e-8)
+
+    def test_rejects_bad_axis(self):
+        with pytest.raises(ValueError, match="axis"):
+            multiplexed_rotation("x", [0.1], [], cirq.LineQubit(0))
+
+    def test_rejects_wrong_angle_count(self):
+        qs = cirq.LineQubit.range(2)
+        with pytest.raises(ValueError, match="angles"):
+            multiplexed_rotation("y", [0.1], [qs[1]], qs[0])
+
+    def test_emits_expected_op_count(self):
+        qs = cirq.LineQubit.range(3)
+        ops = multiplexed_rotation("z", [0.1, 0.2, 0.3, 0.4], qs[1:], qs[0])
+        rotations = [op for op in ops if len(op.qubits) == 1]
+        cnots = [op for op in ops if len(op.qubits) == 2]
+        assert len(rotations) == 4
+        # The plain recursion emits 2^(k+1) - 2 CNOTs (no cancellation pass).
+        assert len(cnots) == 6
+
+
+class TestQuantumShannon:
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_unitaries_exact_with_phase(self, n, seed):
+        u = random_unitary(2**n, 31 * n + seed)
+        qubits = cirq.LineQubit.range(n)
+        alpha, ops = quantum_shannon_decompose(u, qubits)
+        got = ops_unitary(ops, qubits)
+        np.testing.assert_allclose(cmath.exp(1j * alpha) * got, u, atol=1e-7)
+
+    def test_four_qubit_unitary(self):
+        u = random_unitary(16, 999)
+        qubits = cirq.LineQubit.range(4)
+        circuit = shannon_circuit(u, qubits)
+        got = circuit.unitary(qubit_order=qubits)
+        assert_equal_up_to_phase(u, got)
+
+    def test_gate_set_is_rz_ry_cnot(self):
+        u = random_unitary(8, 5)
+        qubits = cirq.LineQubit.range(3)
+        _, ops = quantum_shannon_decompose(u, qubits)
+        for op in ops:
+            if len(op.qubits) == 2:
+                assert isinstance(op.gate, cirq.CXPowGate)
+            else:
+                assert isinstance(op.gate, (cirq.ZPowGate, cirq.YPowGate))
+
+    def test_cnot_itself_decomposes(self):
+        qubits = cirq.LineQubit.range(2)
+        u = unitary(cirq.CNOT)
+        alpha, ops = quantum_shannon_decompose(u, qubits)
+        got = ops_unitary(ops, qubits) if ops else np.eye(4)
+        np.testing.assert_allclose(cmath.exp(1j * alpha) * got, u, atol=1e-7)
+
+    def test_rejects_non_unitary(self):
+        with pytest.raises(ValueError, match="not unitary"):
+            quantum_shannon_decompose(np.ones((2, 2)), cirq.LineQubit.range(1))
+
+    def test_rejects_size_mismatch(self):
+        with pytest.raises(ValueError, match="does not match"):
+            quantum_shannon_decompose(np.eye(4), cirq.LineQubit.range(1))
+
+
+class TestCliffordTIdentities:
+    def test_toffoli_exact(self):
+        qs = cirq.LineQubit.range(3)
+        got = ops_unitary(decompose_toffoli(*qs), qs)
+        np.testing.assert_allclose(got, unitary(cirq.TOFFOLI), atol=1e-8)
+
+    def test_ccz_exact(self):
+        qs = cirq.LineQubit.range(3)
+        got = ops_unitary(decompose_ccz(*qs), qs)
+        np.testing.assert_allclose(got, unitary(cirq.CCZ), atol=1e-8)
+
+    def test_cswap_exact(self):
+        qs = cirq.LineQubit.range(3)
+        got = ops_unitary(decompose_cswap(*qs), qs)
+        np.testing.assert_allclose(got, unitary(cirq.CSWAP), atol=1e-8)
+
+    def test_swap_exact(self):
+        qs = cirq.LineQubit.range(2)
+        got = ops_unitary(decompose_swap(*qs), qs)
+        np.testing.assert_allclose(got, unitary(cirq.SWAP), atol=1e-8)
+
+    def test_iswap_exact(self):
+        qs = cirq.LineQubit.range(2)
+        got = ops_unitary(decompose_iswap(*qs), qs)
+        np.testing.assert_allclose(got, unitary(cirq.ISWAP), atol=1e-8)
+
+    def test_toffoli_t_count_is_seven(self):
+        qs = cirq.LineQubit.range(3)
+        circuit = cirq.Circuit()
+        circuit.append(decompose_toffoli(*qs))
+        assert t_count(circuit) == 7
+
+    def test_t_count_counts_t_dagger(self):
+        q = cirq.LineQubit(0)
+        circuit = cirq.Circuit(cirq.T.on(q), cirq.T_DAG.on(q), cirq.S.on(q))
+        assert t_count(circuit) == 2
+
+    def test_t_count_ignores_parameterized(self):
+        q = cirq.LineQubit(0)
+        theta = cirq.Symbol("t")
+        circuit = cirq.Circuit(cirq.ZPowGate(exponent=theta).on(q))
+        assert t_count(circuit) == 0

@@ -1,0 +1,308 @@
+"""Tests for the transpiler pass framework and light-cone reduction.
+
+The invariant every pass must satisfy: the rewritten circuit produces the
+same sampling distribution over measurement keys (checked against exact
+final-state probabilities, and statistically through the BGLS sampler).
+"""
+
+import numpy as np
+import pytest
+
+from repro import born
+from repro import circuits as cirq
+from repro.protocols import act_on
+from repro.sampler import Simulator
+from repro.states import StateVectorSimulationState
+from repro.transpile import (
+    CancelAdjacentInverses,
+    DecomposeMultiQubitGates,
+    DropEmptyMoments,
+    DropNegligibleGates,
+    LightConeReduction,
+    MergeSingleQubitGates,
+    PassManager,
+    default_pipeline,
+    light_cone_qubits,
+    reduce_to_light_cone,
+)
+
+
+def final_probabilities(circuit, qubits):
+    state = StateVectorSimulationState(qubits)
+    for op in circuit.without_measurements().all_operations():
+        act_on(op, state)
+    return np.abs(state.state_vector()) ** 2
+
+
+def assert_same_distribution(circuit_a, circuit_b, qubits, atol=1e-8):
+    np.testing.assert_allclose(
+        final_probabilities(circuit_a, qubits),
+        final_probabilities(circuit_b, qubits),
+        atol=atol,
+    )
+
+
+class TestLightCone:
+    def test_unrelated_branch_is_dropped(self):
+        qs = cirq.LineQubit.range(4)
+        circuit = cirq.Circuit(
+            cirq.H.on(qs[0]),
+            cirq.CNOT.on(qs[0], qs[1]),
+            cirq.H.on(qs[2]),          # outside cone
+            cirq.CNOT.on(qs[2], qs[3]),  # outside cone
+            cirq.measure(qs[0], qs[1], key="z"),
+        )
+        reduced = reduce_to_light_cone(circuit)
+        assert reduced.num_operations() == 3
+        assert light_cone_qubits(circuit) == {qs[0], qs[1]}
+
+    def test_interacting_branch_is_kept(self):
+        qs = cirq.LineQubit.range(3)
+        circuit = cirq.Circuit(
+            cirq.H.on(qs[2]),
+            cirq.CNOT.on(qs[2], qs[1]),
+            cirq.CNOT.on(qs[1], qs[0]),
+            cirq.measure(qs[0], key="z"),
+        )
+        reduced = reduce_to_light_cone(circuit)
+        assert reduced.num_operations() == 4
+
+    def test_gate_after_measurement_on_other_qubit_dropped(self):
+        qs = cirq.LineQubit.range(2)
+        circuit = cirq.Circuit(
+            cirq.H.on(qs[0]),
+            cirq.measure(qs[0], key="z"),
+        )
+        circuit.append(cirq.X.on(qs[1]))
+        reduced = reduce_to_light_cone(circuit)
+        assert reduced.num_operations() == 2
+
+    def test_no_measurements_keeps_everything(self):
+        qs = cirq.LineQubit.range(2)
+        circuit = cirq.Circuit(cirq.H.on(qs[0]), cirq.X.on(qs[1]))
+        reduced = reduce_to_light_cone(circuit)
+        assert reduced.num_operations() == 2
+        assert light_cone_qubits(circuit) == set(qs)
+
+    def test_mid_circuit_measurement_cone_preserved(self):
+        qs = cirq.LineQubit.range(3)
+        circuit = cirq.Circuit(
+            cirq.H.on(qs[2]),
+            cirq.measure(qs[2], key="mid"),
+            cirq.H.on(qs[0]),
+            cirq.measure(qs[0], key="z"),
+        )
+        reduced = reduce_to_light_cone(circuit)
+        # The H feeding the mid-circuit measurement must survive.
+        assert reduced.num_operations() == 4
+
+    def test_measured_marginal_unchanged(self):
+        qs = cirq.LineQubit.range(5)
+        circuit = cirq.random_clifford_circuit(qs, n_moments=8, random_state=3)
+        circuit.append(cirq.measure(qs[0], qs[1], key="z"))
+        reduced = reduce_to_light_cone(circuit)
+
+        def marginal(c):
+            probs = final_probabilities(c, qs).reshape((2,) * 5)
+            return probs.sum(axis=(2, 3, 4))
+
+        np.testing.assert_allclose(marginal(circuit), marginal(reduced), atol=1e-8)
+
+
+class TestDropNegligible:
+    def test_drops_identity_and_phase(self):
+        qs = cirq.LineQubit.range(1)
+        circuit = cirq.Circuit(
+            cirq.I.on(qs[0]),
+            cirq.ZPowGate(exponent=2.0).on(qs[0]),  # = identity up to phase
+            cirq.X.on(qs[0]),
+        )
+        out = DropNegligibleGates()(circuit)
+        assert out.num_operations() == 1
+
+    def test_keeps_measurements(self):
+        qs = cirq.LineQubit.range(1)
+        circuit = cirq.Circuit(cirq.I.on(qs[0]), cirq.measure(qs[0], key="z"))
+        out = DropNegligibleGates()(circuit)
+        assert out.has_measurements()
+
+    def test_distribution_preserved(self):
+        qs = cirq.LineQubit.range(3)
+        circuit = cirq.generate_random_circuit(qs, 6, random_state=11)
+        out = DropNegligibleGates()(circuit)
+        assert_same_distribution(circuit, out, qs)
+
+
+class TestCancelAdjacentInverses:
+    def test_cancels_double_h(self):
+        q = cirq.LineQubit(0)
+        circuit = cirq.Circuit(cirq.H.on(q), cirq.H.on(q), cirq.X.on(q))
+        out = CancelAdjacentInverses()(circuit)
+        assert out.num_operations() == 1
+
+    def test_cascading_cancellation(self):
+        q = cirq.LineQubit(0)
+        circuit = cirq.Circuit(
+            cirq.X.on(q), cirq.H.on(q), cirq.H.on(q), cirq.X.on(q)
+        )
+        out = CancelAdjacentInverses()(circuit)
+        assert out.num_operations() == 0
+
+    def test_cancels_s_sdag(self):
+        q = cirq.LineQubit(0)
+        circuit = cirq.Circuit(cirq.S.on(q), cirq.S_DAG.on(q))
+        out = CancelAdjacentInverses()(circuit)
+        assert out.num_operations() == 0
+
+    def test_cancels_cnot_pair(self):
+        qs = cirq.LineQubit.range(2)
+        circuit = cirq.Circuit(
+            cirq.CNOT.on(qs[0], qs[1]), cirq.CNOT.on(qs[0], qs[1])
+        )
+        out = CancelAdjacentInverses()(circuit)
+        assert out.num_operations() == 0
+
+    def test_no_cancel_through_blocking_op(self):
+        qs = cirq.LineQubit.range(2)
+        circuit = cirq.Circuit(
+            cirq.H.on(qs[0]),
+            cirq.CNOT.on(qs[0], qs[1]),
+            cirq.H.on(qs[0]),
+        )
+        out = CancelAdjacentInverses()(circuit)
+        assert out.num_operations() == 3
+
+    def test_measurement_blocks_cancellation(self):
+        q = cirq.LineQubit(0)
+        circuit = cirq.Circuit(
+            cirq.H.on(q), cirq.measure(q, key="m"), cirq.H.on(q)
+        )
+        out = CancelAdjacentInverses()(circuit)
+        assert out.num_operations() == 3
+
+    def test_distribution_preserved_random(self):
+        qs = cirq.LineQubit.range(3)
+        circuit = cirq.generate_random_circuit(qs, 10, random_state=5)
+        out = CancelAdjacentInverses()(circuit)
+        assert_same_distribution(circuit, out, qs)
+
+
+class TestDecomposeMultiQubit:
+    def _check(self, circuit, qs):
+        out = DecomposeMultiQubitGates()(circuit)
+        for op in out.all_operations():
+            assert len(op.qubits) <= 2
+        assert_same_distribution(circuit, out, qs)
+        return out
+
+    def test_toffoli_lowered(self):
+        qs = cirq.LineQubit.range(3)
+        circuit = cirq.Circuit(
+            cirq.H.on(qs[0]), cirq.H.on(qs[1]), cirq.TOFFOLI.on(*qs)
+        )
+        self._check(circuit, qs)
+
+    def test_ccz_lowered(self):
+        qs = cirq.LineQubit.range(3)
+        circuit = cirq.Circuit(
+            cirq.H.on(qs[0]), cirq.H.on(qs[1]), cirq.H.on(qs[2]),
+            cirq.CCZ.on(*qs),
+        )
+        self._check(circuit, qs)
+
+    def test_cswap_lowered(self):
+        qs = cirq.LineQubit.range(3)
+        circuit = cirq.Circuit(
+            cirq.H.on(qs[0]), cirq.X.on(qs[1]), cirq.CSWAP.on(*qs)
+        )
+        self._check(circuit, qs)
+
+    def test_matrix_gate_lowered_via_qsd(self):
+        import scipy.stats
+
+        qs = cirq.LineQubit.range(3)
+        u = scipy.stats.unitary_group.rvs(8, random_state=1)
+        circuit = cirq.Circuit(cirq.MatrixGate(u).on(*qs))
+        self._check(circuit, qs)
+
+    def test_iswap_lowered_to_cliffords(self):
+        qs = cirq.LineQubit.range(2)
+        circuit = cirq.Circuit(cirq.H.on(qs[0]), cirq.ISWAP.on(*qs))
+        out = self._check(circuit, qs)
+        for op in out.all_operations():
+            assert op._stabilizer_sequence_() is not None
+
+    def test_swap_kept_by_default(self):
+        qs = cirq.LineQubit.range(2)
+        circuit = cirq.Circuit(cirq.SWAP.on(*qs))
+        out = DecomposeMultiQubitGates()(circuit)
+        assert out.num_operations() == 1
+        out = DecomposeMultiQubitGates(decompose_swaps=True)(circuit)
+        assert out.num_operations() == 3
+
+    def test_measurements_pass_through(self):
+        qs = cirq.LineQubit.range(3)
+        circuit = cirq.Circuit(cirq.TOFFOLI.on(*qs), cirq.measure(*qs, key="z"))
+        out = DecomposeMultiQubitGates()(circuit)
+        assert out.has_measurements()
+
+
+class TestPassManager:
+    def test_history_records_counts(self):
+        qs = cirq.LineQubit.range(2)
+        circuit = cirq.Circuit(
+            cirq.H.on(qs[0]), cirq.H.on(qs[0]), cirq.measure(*qs, key="z")
+        )
+        pm = PassManager([CancelAdjacentInverses(), DropEmptyMoments()])
+        out = pm.run(circuit)
+        assert out.num_operations() == 1
+        assert pm.history[0] == ("CancelAdjacentInverses", 3, 1)
+
+    def test_default_pipeline_distribution_preserved(self):
+        qs = cirq.LineQubit.range(4)
+        circuit = cirq.generate_random_circuit(qs, 12, random_state=7)
+        circuit.append(cirq.measure(*qs, key="z"))
+        out = default_pipeline().run(circuit)
+        assert_same_distribution(circuit, out, qs)
+
+    def test_default_pipeline_shrinks_wasteful_circuit(self):
+        qs = cirq.LineQubit.range(4)
+        circuit = cirq.Circuit()
+        for _ in range(5):
+            circuit.append(cirq.H.on(qs[0]))
+            circuit.append(cirq.T.on(qs[0]))
+        circuit.append(cirq.H.on(qs[3]))  # outside the cone
+        circuit.append(cirq.measure(qs[0], key="z"))
+        out = default_pipeline().run(circuit)
+        assert out.num_operations() < circuit.num_operations()
+
+    def test_pipeline_without_light_cone(self):
+        qs = cirq.LineQubit.range(2)
+        circuit = cirq.Circuit(
+            cirq.H.on(qs[1]),  # would be pruned with light_cone=True
+            cirq.measure(qs[0], key="z"),
+        )
+        out = default_pipeline(light_cone=False).run(circuit)
+        assert out.num_operations() == 2
+
+    def test_sampling_agrees_end_to_end(self):
+        qs = cirq.LineQubit.range(3)
+        circuit = cirq.Circuit(
+            cirq.H.on(qs[0]),
+            cirq.CNOT.on(qs[0], qs[1]),
+            cirq.T.on(qs[1]),
+            cirq.T_DAG.on(qs[1]),
+            cirq.H.on(qs[2]),
+            cirq.H.on(qs[2]),
+            cirq.measure(qs[0], qs[1], key="z"),
+        )
+        optimized = default_pipeline().run(circuit)
+        sim = Simulator(
+            initial_state=StateVectorSimulationState(qs),
+            apply_op=lambda op, s: act_on(op, s),
+            compute_probability=born.compute_probability_state_vector,
+            seed=3,
+        )
+        res = sim.run(optimized, repetitions=300)
+        rows = {tuple(r) for r in res.measurements["z"]}
+        assert rows == {(0, 0), (1, 1)}

@@ -1,0 +1,150 @@
+"""Property-based tests (hypothesis) for the transpiler.
+
+Invariants: decompositions reproduce their input unitary exactly (up to
+the returned global phase), and every pass preserves the final-state
+distribution of arbitrary random circuits.
+"""
+
+import cmath
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import circuits as cirq
+from repro.protocols import act_on
+from repro.states import StateVectorSimulationState
+from repro.transpile import (
+    CancelAdjacentInverses,
+    DropNegligibleGates,
+    default_pipeline,
+    quantum_shannon_decompose,
+    reduce_to_light_cone,
+    zyz_angles,
+    zyz_matrix,
+)
+
+_GATE_POOL_1Q = [cirq.H, cirq.S, cirq.S_DAG, cirq.T, cirq.X, cirq.Y, cirq.Z]
+_GATE_POOL_2Q = [cirq.CNOT, cirq.CZ, cirq.SWAP]
+
+
+@st.composite
+def random_unitaries(draw, dim):
+    """Haar-ish unitaries from seeded scipy (hypothesis controls the seed)."""
+    import scipy.stats
+
+    seed = draw(st.integers(0, 2**31 - 1))
+    return scipy.stats.unitary_group.rvs(dim, random_state=seed)
+
+
+@st.composite
+def random_circuits(draw):
+    n = draw(st.integers(min_value=2, max_value=4))
+    qs = cirq.LineQubit.range(n)
+    length = draw(st.integers(min_value=0, max_value=20))
+    ops = []
+    for _ in range(length):
+        if draw(st.booleans()):
+            gate = draw(st.sampled_from(_GATE_POOL_2Q))
+            a = draw(st.integers(0, n - 1))
+            b = draw(st.integers(0, n - 2))
+            if b >= a:
+                b += 1
+            ops.append(gate.on(qs[a], qs[b]))
+        else:
+            gate = draw(st.sampled_from(_GATE_POOL_1Q))
+            ops.append(gate.on(qs[draw(st.integers(0, n - 1))]))
+    circuit = cirq.Circuit(ops)
+    return n, qs, circuit
+
+
+def final_probabilities(circuit, qubits):
+    state = StateVectorSimulationState(qubits)
+    for op in circuit.without_measurements().all_operations():
+        act_on(op, state)
+    return np.abs(state.state_vector()) ** 2
+
+
+@given(random_unitaries(2))
+@settings(max_examples=100, deadline=None)
+def test_zyz_roundtrip_property(u):
+    np.testing.assert_allclose(zyz_matrix(*zyz_angles(u)), u, atol=1e-8)
+
+
+@given(random_unitaries(4))
+@settings(max_examples=40, deadline=None)
+def test_qsd_two_qubit_property(u):
+    qs = cirq.LineQubit.range(2)
+    alpha, ops = quantum_shannon_decompose(u, qs)
+    circuit = cirq.Circuit(ops)
+    got = (
+        circuit.unitary(qubit_order=qs)
+        if ops
+        else np.eye(4, dtype=complex)
+    )
+    np.testing.assert_allclose(cmath.exp(1j * alpha) * got, u, atol=1e-7)
+
+
+@given(random_unitaries(8))
+@settings(max_examples=15, deadline=None)
+def test_qsd_three_qubit_property(u):
+    qs = cirq.LineQubit.range(3)
+    alpha, ops = quantum_shannon_decompose(u, qs)
+    circuit = cirq.Circuit(ops)
+    got = circuit.unitary(qubit_order=qs)
+    np.testing.assert_allclose(cmath.exp(1j * alpha) * got, u, atol=1e-7)
+
+
+@given(random_circuits())
+@settings(max_examples=60, deadline=None)
+def test_cancel_inverses_preserves_distribution(case):
+    _, qs, circuit = case
+    out = CancelAdjacentInverses()(circuit)
+    np.testing.assert_allclose(
+        final_probabilities(out, qs), final_probabilities(circuit, qs), atol=1e-8
+    )
+    assert out.num_operations() <= circuit.num_operations()
+
+
+@given(random_circuits())
+@settings(max_examples=60, deadline=None)
+def test_drop_negligible_preserves_distribution(case):
+    _, qs, circuit = case
+    out = DropNegligibleGates()(circuit)
+    np.testing.assert_allclose(
+        final_probabilities(out, qs), final_probabilities(circuit, qs), atol=1e-8
+    )
+
+
+@given(random_circuits())
+@settings(max_examples=50, deadline=None)
+def test_default_pipeline_preserves_distribution(case):
+    _, qs, circuit = case
+    with_measure = circuit.copy()
+    with_measure.append(cirq.measure(*qs, key="z"))
+    out = default_pipeline().run(with_measure)
+    np.testing.assert_allclose(
+        final_probabilities(out, qs),
+        final_probabilities(with_measure, qs),
+        atol=1e-8,
+    )
+
+
+@given(random_circuits(), st.integers(1, 3))
+@settings(max_examples=50, deadline=None)
+def test_light_cone_preserves_measured_marginal(case, num_measured):
+    n, qs, circuit = case
+    num_measured = min(num_measured, n)
+    with_measure = circuit.copy()
+    with_measure.append(cirq.measure(*qs[:num_measured], key="z"))
+    reduced = reduce_to_light_cone(with_measure)
+
+    def marginal(c):
+        probs = final_probabilities(c, qs).reshape((2,) * n)
+        other = tuple(range(num_measured, n))
+        return probs.sum(axis=other) if other else probs
+
+    np.testing.assert_allclose(
+        marginal(reduced), marginal(with_measure), atol=1e-8
+    )
+    assert reduced.num_operations() <= with_measure.num_operations()
