@@ -5,10 +5,17 @@ pytest-benchmark times the headline sampling call, and each module prints
 the full data series (the "figure") to stdout.  Run with::
 
     pytest benchmarks/ --benchmark-only -s
+
+Each printed series is also written as machine-readable JSON to
+``benchmarks/results/BENCH_<slug>.json`` so the perf trajectory can be
+tracked (and diffed) across PRs.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import re
 import time
 from typing import Callable, List, Sequence, Tuple
 
@@ -61,10 +68,35 @@ def wall_time(fn: Callable[[], object], repeats: int = 1) -> float:
     return float(np.median(times))
 
 
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+
+
+def save_bench_json(
+    title: str, columns: Sequence[str], rows: List[Tuple]
+) -> str:
+    """Write a data series as ``results/BENCH_<slug>.json``; returns the path."""
+    slug = re.sub(r"[^a-z0-9]+", "_", title.lower()).strip("_")[:64]
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"BENCH_{slug}.json")
+    payload = {
+        "title": title,
+        "columns": list(columns),
+        "rows": [
+            [v if isinstance(v, (int, str)) else float(v) for v in row]
+            for row in rows
+        ],
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    }
+    with open(path, "w") as f:
+        json.dump(payload, f, indent=2)
+        f.write("\n")
+    return path
+
+
 def print_series(
     title: str, columns: Sequence[str], rows: List[Tuple]
 ) -> None:
-    """Print a figure's data series as an aligned table (CSV-ish)."""
+    """Print a figure's data series as an aligned table, and save it as JSON."""
     print(f"\n### {title}")
     widths = [max(len(str(c)), 12) for c in columns]
     print(" ".join(str(c).rjust(w) for c, w in zip(columns, widths)))
@@ -73,6 +105,7 @@ def print_series(
             f"{v:.6f}" if isinstance(v, float) else str(v) for v in row
         ]
         print(" ".join(c.rjust(w) for c, w in zip(cells, widths)))
+    print(f"[json] {save_bench_json(title, columns, rows)}")
 
 
 @pytest.fixture(scope="session")

@@ -84,27 +84,21 @@ def candidates_mps(state, bits, support) -> np.ndarray:
 
 
 def candidates_stabilizer_state(state, bits, support) -> np.ndarray:
-    """Candidate probabilities via 2^k CH-form inner products (k <= 2)."""
-    k = len(support)
-    bits = list(bits)
-    out = np.empty(2**k)
-    for idx in range(2**k):
-        for pos, axis in enumerate(support):
-            bits[axis] = (idx >> (k - 1 - pos)) & 1
-        out[idx] = state.probability_of(bits)
-    return out
+    """All candidate probabilities via one shared CH-form generator
+    accumulation (the 2^k inner products differ only in the support rows)."""
+    return state.candidate_probabilities(bits, support)
 
 
 def candidates_tableau(state, bits, support) -> np.ndarray:
-    """Candidate probabilities via 2^k tableau forced-measurement chains."""
-    k = len(support)
-    bits = list(bits)
-    out = np.empty(2**k)
-    for idx in range(2**k):
-        for pos, axis in enumerate(support):
-            bits[axis] = (idx >> (k - 1 - pos)) & 1
-        out[idx] = state.probability_of(bits)
-    return out
+    """All candidate probabilities via one shared tableau forced-measurement
+    chain (the off-support projections run once, then candidates branch)."""
+    return state.candidate_probabilities(bits, support)
+
+
+def candidates_stabilizer_state_many(state, bits_list, support) -> np.ndarray:
+    """A ``(B, 2^k)`` candidate-probability matrix for ``B`` tracked
+    bitstrings — one GF(2) matvec for a whole parallel resampling step."""
+    return state.candidate_probabilities_many(bits_list, support)
 
 
 _CANDIDATE_MAP = {
@@ -114,6 +108,12 @@ _CANDIDATE_MAP = {
     compute_probability_tableau: candidates_tableau,
     compute_probability_mps: candidates_mps,
     mps_bitstring_probability: candidates_mps,
+}
+
+# Backends that can answer a whole {bitstring: multiplicity} front in one
+# call; the parallel-mode sampler prefers these when available.
+_MANY_CANDIDATE_MAP = {
+    compute_probability_stabilizer_state: candidates_stabilizer_state_many,
 }
 
 
@@ -129,6 +129,17 @@ def candidate_function_for(
     return _CANDIDATE_MAP.get(compute_probability)
 
 
+def many_candidate_function_for(
+    compute_probability: Callable,
+) -> Optional[Callable]:
+    """The cross-bitstring batched candidate function, or None.
+
+    Signature of the returned function:
+    ``(state, bits_list, support) -> (len(bits_list), 2^k) ndarray``.
+    """
+    return _MANY_CANDIDATE_MAP.get(compute_probability)
+
+
 __all__ = [
     "compute_probability_state_vector",
     "compute_probability_density_matrix",
@@ -139,7 +150,9 @@ __all__ = [
     "candidates_state_vector",
     "candidates_density_matrix",
     "candidates_stabilizer_state",
+    "candidates_stabilizer_state_many",
     "candidates_tableau",
     "candidates_mps",
     "candidate_function_for",
+    "many_candidate_function_for",
 ]

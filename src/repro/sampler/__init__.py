@@ -10,6 +10,7 @@ from .near_clifford import (
     stabilizer_extent_rz,
 )
 from .parallel import run_parallel, sample_trajectories_parallel
+from .plan import ExecutionPlan, OpRecord, compile_plan
 from .results import Result, plot_state_histogram
 from .simulator import Simulator
 from .stabilizer_noise import (
@@ -19,6 +20,9 @@ from .stabilizer_noise import (
 
 __all__ = [
     "Simulator",
+    "ExecutionPlan",
+    "OpRecord",
+    "compile_plan",
     "Result",
     "plot_state_histogram",
     "QubitByQubitSimulator",

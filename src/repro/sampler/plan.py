@@ -1,0 +1,177 @@
+"""Compiled execution plans for the BGLS sampler.
+
+The sampler's hot loop historically re-derived per-operation metadata on
+every gate application of every repetition: qubit-to-axis lookups, the
+``_stabilizer_sequence_`` decomposition, the gate unitary, the
+diagonal-unitary check (which rebuilds the matrix and runs ``allclose``),
+and the Kraus-branching decision.  None of that depends on the run state —
+only on the resolved circuit, the state *type*, and the ``apply_op``
+function — so :func:`compile_plan` computes it once per execution into a
+flat list of :class:`OpRecord` plain-data entries the run loops iterate
+over with zero per-op protocol dispatch.
+
+A plan also records which *fast application paths* are sound:
+
+* ``fast_stab`` — ``apply_op`` is the default :func:`repro.protocols.act_on`
+  and the state exposes ``apply_stabilizer_sequence``; Clifford records
+  then apply their cached primitive sequence directly (no per-op
+  decomposition, no axis lookups).
+* ``fast_unitary`` — ``apply_op`` is the default ``act_on`` and the state
+  uses the base ``SimulationState`` dispatch; unitary records then call
+  ``state.apply_unitary`` with the cached matrix (gates never rebuild it).
+
+Any other configuration (custom ``apply_op`` functions, user states with
+their own ``_act_on_``) falls back to calling ``apply_op(op, state)``
+exactly as before.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..circuits.circuit import Circuit
+from ..protocols.act_on import act_on
+from ..states.base import SimulationState
+
+
+class OpRecord:
+    """One operation of a compiled plan, with all per-op metadata cached."""
+
+    __slots__ = (
+        "op",
+        "support",
+        "is_measurement",
+        "measurement_key",
+        "stab_seq",
+        "unitary",
+        "kraus",
+        "needs_branching",
+        "_diagonal",
+    )
+
+    def __init__(self, op, support: Tuple[int, ...]):
+        self.op = op
+        self.support = support
+        self.is_measurement = op.is_measurement
+        self.measurement_key = op.measurement_key
+        self.needs_branching = False
+        self._diagonal: Optional[bool] = None
+        if self.is_measurement:
+            self.stab_seq = None
+            self.unitary = None
+            self.kraus = None
+        else:
+            self.stab_seq = op._stabilizer_sequence_()
+            self.unitary = op._unitary_()
+            self.kraus = None if self.unitary is not None else op._kraus_()
+
+    def is_diagonal(self) -> bool:
+        """Whether the cached unitary is diagonal (computed once, lazily)."""
+        if self._diagonal is None:
+            u = self.unitary
+            self._diagonal = bool(
+                u is not None and np.allclose(u, np.diag(np.diagonal(u)))
+            )
+        return self._diagonal
+
+
+class ExecutionPlan:
+    """A resolved circuit flattened into :class:`OpRecord` tuples."""
+
+    __slots__ = (
+        "records",
+        "key_axes",
+        "num_qubits",
+        "needs_trajectories",
+        "fast_stab",
+        "fast_unitary",
+    )
+
+    def __init__(
+        self,
+        records: List[OpRecord],
+        key_axes: Dict[str, Tuple[int, ...]],
+        num_qubits: int,
+        needs_trajectories: bool,
+        fast_stab: bool,
+        fast_unitary: bool,
+    ):
+        self.records = records
+        self.key_axes = key_axes
+        self.num_qubits = num_qubits
+        self.needs_trajectories = needs_trajectories
+        self.fast_stab = fast_stab
+        self.fast_unitary = fast_unitary
+
+    def apply(self, rec: OpRecord, state, apply_op) -> None:
+        """Apply a record to ``state`` through the fastest sound path."""
+        if self.fast_stab and rec.stab_seq is not None:
+            state.apply_stabilizer_sequence(rec.stab_seq, rec.support)
+        elif self.fast_unitary and rec.unitary is not None:
+            state.apply_unitary(rec.unitary, rec.support)
+        else:
+            apply_op(rec.op, state)
+
+
+def compile_plan(circuit: Circuit, state, apply_op) -> ExecutionPlan:
+    """Compile a resolved circuit into an :class:`ExecutionPlan`.
+
+    Validates the circuit against the state register (unknown qubits,
+    duplicate measurement keys) and decides up front whether execution
+    needs trajectory mode (stochastic ``apply_op``, non-unitary operations,
+    or non-terminal measurements).
+    """
+    qubit_index = state.qubit_index
+    missing = [q for q in circuit.all_qubits() if q not in qubit_index]
+    if missing:
+        raise ValueError(f"Circuit qubits not in state register: {missing}")
+
+    records: List[OpRecord] = []
+    key_axes: Dict[str, Tuple[int, ...]] = {}
+    handles_channels = getattr(apply_op, "_bgls_handles_channels_", False)
+    exact_channels = getattr(state, "_exact_channels_", False)
+    measured = set()
+    all_unitary = True
+    all_terminal = True
+    for op in circuit.all_operations():
+        rec = OpRecord(op, tuple(qubit_index[q] for q in op.qubits))
+        if any(q in measured for q in op.qubits):
+            all_terminal = False
+        if rec.is_measurement:
+            key = rec.measurement_key
+            if key in key_axes:
+                raise ValueError(f"Duplicate measurement key {key!r}")
+            key_axes[key] = rec.support
+            measured.update(op.qubits)
+        else:
+            if rec.unitary is None:
+                all_unitary = False
+            rec.needs_branching = (
+                not handles_channels
+                and not exact_channels
+                and rec.unitary is None
+                and rec.kraus is not None
+            )
+        records.append(rec)
+
+    needs_trajectories = (
+        getattr(apply_op, "_bgls_stochastic_", False)
+        or not all_unitary
+        or not all_terminal
+    )
+    default_apply = apply_op is act_on
+    fast_stab = default_apply and hasattr(state, "apply_stabilizer_sequence")
+    fast_unitary = (
+        default_apply
+        and getattr(type(state), "_act_on_", None) is SimulationState._act_on_
+    )
+    return ExecutionPlan(
+        records,
+        key_axes,
+        len(state.qubits),
+        needs_trajectories,
+        fast_stab,
+        fast_unitary,
+    )

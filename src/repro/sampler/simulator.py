@@ -23,6 +23,13 @@ Implemented features from the paper:
 * **Pluggable states** (Sec. 3.1): any object with ``copy``/``qubit_index``
   works; ``apply_op`` and ``compute_probability`` are user-supplied
   functions, exactly like the reference API.
+
+Execution is driven by a compiled :class:`~repro.sampler.plan.ExecutionPlan`:
+each ``_execute`` resolves the circuit once into flat per-op records
+(support axes, cached unitary/stabilizer-sequence/Kraus forms, lazily
+cached diagonal flag, measurement key) so the run loops perform no per-op
+protocol dispatch — a large win in trajectory mode, where the old loop
+re-derived everything per repetition.
 """
 
 from __future__ import annotations
@@ -31,10 +38,10 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..born import candidate_function_for
+from ..born import candidate_function_for, many_candidate_function_for
 from ..circuits.circuit import Circuit
 from ..circuits.parameters import ParamResolver
-from ..protocols.unitary import unitary as unitary_protocol
+from .plan import ExecutionPlan, OpRecord, compile_plan
 from .results import Result
 
 BitTuple = Tuple[int, ...]
@@ -75,11 +82,24 @@ class Simulator:
         self.initial_state = initial_state
         self.apply_op = apply_op
         self.compute_probability = compute_probability
+        user_candidates = compute_candidate_probabilities is not None
         if compute_candidate_probabilities is None:
             compute_candidate_probabilities = candidate_function_for(
                 compute_probability
             )
-        self._candidate_fn = compute_candidate_probabilities
+        # Resolve the candidate backend once; the run loops never branch on
+        # "is there a batched function?" per gate.
+        self._candidates = (
+            compute_candidate_probabilities
+            if compute_candidate_probabilities is not None
+            else self._candidate_loop
+        )
+        # Cross-bitstring batching: one call per gate answers the whole
+        # {bitstring: multiplicity} front of parallel mode.  Only used for
+        # known backends, and never overrides a user-supplied candidate fn.
+        self._candidates_many = (
+            None if user_candidates else many_candidate_function_for(compute_probability)
+        )
         self._rng = (
             seed
             if isinstance(seed, np.random.Generator)
@@ -156,36 +176,15 @@ class Simulator:
         resolved = circuit.resolve_parameters(param_resolver)
         if resolved._is_parameterized_():
             raise ValueError("Circuit still has unresolved parameters")
-        state_qubits = set(self.initial_state.qubits)
-        missing = [q for q in resolved.all_qubits() if q not in state_qubits]
-        if missing:
-            raise ValueError(f"Circuit qubits not in state register: {missing}")
+        plan = compile_plan(resolved, self.initial_state, self.apply_op)
+        if plan.needs_trajectories:
+            return self._run_trajectories(plan, repetitions)
+        return self._run_parallel(plan, repetitions)
 
-        key_qubits: Dict[str, tuple] = {}
-        for op in resolved.all_operations():
-            if op.is_measurement:
-                key = op.measurement_key
-                if key in key_qubits:
-                    raise ValueError(f"Duplicate measurement key {key!r}")
-                key_qubits[key] = op.qubits
-
-        needs_trajectories = (
-            getattr(self.apply_op, "_bgls_stochastic_", False)
-            or not resolved.is_unitary_circuit()
-            or not resolved.are_all_measurements_terminal()
-        )
-        if needs_trajectories:
-            records, bits = self._run_trajectories(resolved, repetitions)
-        else:
-            records, bits = self._run_parallel(resolved, repetitions, key_qubits)
-        return records, bits
-
-    def _candidate_probabilities(
+    def _candidate_loop(
         self, state, bits: Sequence[int], support: Sequence[int]
     ) -> np.ndarray:
-        """All ``2^k`` candidate probabilities for ``bits`` over ``support``."""
-        if self._candidate_fn is not None:
-            return np.asarray(self._candidate_fn(state, bits, support), dtype=float)
+        """Per-candidate fallback for user-supplied probability functions."""
         k = len(support)
         candidate = list(bits)
         out = np.empty(2**k)
@@ -194,6 +193,12 @@ class Simulator:
                 candidate[axis] = (idx >> (k - 1 - pos)) & 1
             out[idx] = self.compute_probability(state, candidate)
         return out
+
+    def _candidate_probabilities(
+        self, state, bits: Sequence[int], support: Sequence[int]
+    ) -> np.ndarray:
+        """All ``2^k`` candidate probabilities for ``bits`` over ``support``."""
+        return np.asarray(self._candidates(state, bits, support), dtype=float)
 
     @staticmethod
     def _normalize_probs(probs: np.ndarray) -> np.ndarray:
@@ -205,8 +210,20 @@ class Simulator:
                 "All candidate probabilities vanished; state and bitstring "
                 "are inconsistent (is compute_probability correct?)"
             )
-        probs = probs / total
-        return probs / probs.sum()
+        probs /= total
+        return probs
+
+    @staticmethod
+    def _normalize_prob_rows(probs: np.ndarray) -> np.ndarray:
+        """Row-wise :meth:`_normalize_probs` for a ``(B, 2^k)`` matrix."""
+        probs = np.clip(np.asarray(probs, dtype=float), 0.0, None)
+        totals = probs.sum(axis=1, keepdims=True)
+        if not np.all(np.isfinite(totals)) or np.any(totals <= 0):
+            raise ValueError(
+                "All candidate probabilities vanished; state and bitstring "
+                "are inconsistent (is compute_probability correct?)"
+            )
+        return probs / totals
 
     def _resample_support(
         self, probs: np.ndarray, draws: int
@@ -214,43 +231,46 @@ class Simulator:
         """Multinomial draw of candidate indices; returns counts per index."""
         return self._rng.multinomial(draws, self._normalize_probs(probs))
 
-    def _is_diagonal(self, op) -> bool:
-        u = unitary_protocol(op, default=None)
-        if u is None:
-            return False
-        return bool(np.allclose(u, np.diag(np.diagonal(u))))
-
     # -- parallel (dict-of-bitstrings) mode --------------------------------
     def _run_parallel(
-        self,
-        circuit: Circuit,
-        repetitions: int,
-        key_qubits: Dict[str, tuple],
+        self, plan: ExecutionPlan, repetitions: int
     ) -> Tuple[Dict[str, np.ndarray], np.ndarray]:
         state = self.initial_state.copy(
             seed=int(self._rng.integers(2**62))
         )
-        n = len(state.qubits)
+        n = plan.num_qubits
         counts: Dict[BitTuple, int] = {(0,) * n: repetitions}
+        candidates = self._candidates
+        apply_op = self.apply_op
+        skip_diagonal = self.skip_diagonal_updates
 
-        for op in circuit.all_operations():
-            if op.is_measurement:
+        candidates_many = self._candidates_many
+        for rec in plan.records:
+            if rec.is_measurement:
                 continue
-            self.apply_op(op, state)
-            if self.skip_diagonal_updates and self._is_diagonal(op):
+            plan.apply(rec, state, apply_op)
+            if skip_diagonal and rec.is_diagonal():
                 continue
-            support = [state.qubit_index[q] for q in op.qubits]
+            support = rec.support
             k = len(support)
+            bit_keys = list(counts.keys())
+            if candidates_many is not None:
+                prob_rows = candidates_many(state, bit_keys, support)
+            else:
+                prob_rows = [candidates(state, bits, support) for bits in bit_keys]
+            prob_rows = self._normalize_prob_rows(np.asarray(prob_rows, dtype=float))
+            mults = np.fromiter(
+                (counts[bits] for bits in bit_keys), dtype=np.int64
+            )
+            # One vectorized multinomial resamples every tracked bitstring.
+            draws = self._rng.multinomial(mults, prob_rows)
             new_counts: Dict[BitTuple, int] = {}
-            for bits, mult in counts.items():
-                probs = self._candidate_probabilities(state, bits, support)
-                draws = self._resample_support(probs, mult)
-                for idx in np.flatnonzero(draws):
-                    candidate = list(bits)
-                    for pos, axis in enumerate(support):
-                        candidate[axis] = (int(idx) >> (k - 1 - pos)) & 1
-                    key = tuple(candidate)
-                    new_counts[key] = new_counts.get(key, 0) + int(draws[idx])
+            for row, idx in zip(*np.nonzero(draws)):
+                candidate = list(bit_keys[row])
+                for pos, axis in enumerate(support):
+                    candidate[axis] = (int(idx) >> (k - 1 - pos)) & 1
+                key = tuple(candidate)
+                new_counts[key] = new_counts.get(key, 0) + int(draws[row, idx])
             counts = new_counts
 
         all_bits = np.empty((repetitions, n), dtype=np.int8)
@@ -261,40 +281,42 @@ class Simulator:
         self._rng.shuffle(all_bits, axis=0)
 
         records = {}
-        for key, qubits in key_qubits.items():
-            cols = [state.qubit_index[q] for q in qubits]
-            records[key] = all_bits[:, cols].copy()
+        for key, axes in plan.key_axes.items():
+            records[key] = all_bits[:, list(axes)].copy()
         return records, all_bits
 
     # -- trajectory mode -----------------------------------------------------
     def _run_trajectories(
-        self, circuit: Circuit, repetitions: int
+        self, plan: ExecutionPlan, repetitions: int
     ) -> Tuple[Dict[str, np.ndarray], np.ndarray]:
-        n = len(self.initial_state.qubits)
+        n = plan.num_qubits
         per_key: Dict[str, List[List[int]]] = {}
         all_bits = np.empty((repetitions, n), dtype=np.int8)
+        candidates = self._candidates
+        apply_op = self.apply_op
+        skip_diagonal = self.skip_diagonal_updates
 
         for rep in range(repetitions):
             state = self.initial_state.copy(
                 seed=int(self._rng.integers(2**62))
             )
             bits = [0] * n
-            for op in circuit.all_operations():
-                support = [state.qubit_index[q] for q in op.qubits]
-                if op.is_measurement:
+            for rec in plan.records:
+                support = rec.support
+                if rec.is_measurement:
                     outcome = [bits[axis] for axis in support]
-                    per_key.setdefault(op.measurement_key, []).append(outcome)
+                    per_key.setdefault(rec.measurement_key, []).append(outcome)
                     state.project(support, outcome)
                     continue
-                if self._needs_branching(op, state):
+                if rec.needs_branching:
                     state, probs = self._apply_channel_branch(
-                        op, state, bits, support
+                        rec, state, bits, support
                     )
                 else:
-                    self.apply_op(op, state)
-                    if self.skip_diagonal_updates and self._is_diagonal(op):
+                    plan.apply(rec, state, apply_op)
+                    if skip_diagonal and rec.is_diagonal():
                         continue
-                    probs = self._candidate_probabilities(state, bits, support)
+                    probs = candidates(state, bits, support)
                 self._assign_support(bits, support, probs)
             all_bits[rep] = bits
 
@@ -312,30 +334,8 @@ class Simulator:
         for pos, axis in enumerate(support):
             bits[axis] = (idx >> (len(support) - 1 - pos)) & 1
 
-    def _needs_branching(self, op, state) -> bool:
-        """Whether the sampler must pick the Kraus branch itself.
-
-        States that apply channels exactly (density matrices) never branch.
-        Apply-op functions flagged ``_bgls_handles_channels_`` own the
-        branch choice themselves (e.g. stochastic-Pauli noise on stabilizer
-        states, where each branch is unitary and the choice needs no
-        bitstring conditioning).  For other pure-state representations the
-        *sampler* selects the branch, conditioned on the tracked
-        bitstring's off-support bits — a global (state-side) branch choice
-        could land on a branch under which the tracked bitstring has
-        probability zero (exact zeros are common in stabilizer-like
-        states), breaking the trajectory.
-        """
-        if getattr(self.apply_op, "_bgls_handles_channels_", False):
-            return False
-        if getattr(state, "_exact_channels_", False):
-            return False
-        if op._unitary_() is not None:
-            return False
-        return op._kraus_() is not None
-
     def _apply_channel_branch(
-        self, op, state, bits: Sequence[int], support: Sequence[int]
+        self, rec: OpRecord, state, bits: Sequence[int], support: Sequence[int]
     ):
         """Conditional Kraus-branch selection (quantum trajectories).
 
@@ -344,8 +344,16 @@ class Simulator:
         sample of the channel output's diagonal: the off-support marginal
         is preserved by trace preservation, and within the branch the
         candidates are resampled from the correct conditional.
+
+        Only pure-state representations reach this path: the plan marks a
+        record ``needs_branching`` when neither the state (density
+        matrices apply channels exactly) nor ``apply_op`` (flagged
+        ``_bgls_handles_channels_``) owns the branch choice.  A global
+        (state-side) choice could land on a branch under which the tracked
+        bitstring has probability zero — exact zeros are common in
+        stabilizer-like states — breaking the trajectory.
         """
-        kraus = op._kraus_()
+        kraus = rec.kraus
         trials = []
         probses = []
         weights = []

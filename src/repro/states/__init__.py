@@ -6,6 +6,7 @@ from .density_matrix import DensityMatrixSimulationState
 from .chform import StabilizerChForm
 from .stabilizer import StabilizerChFormSimulationState
 from .tableau import CliffordTableau, CliffordTableauSimulationState
+from .reference import UnpackedCliffordTableau, UnpackedStabilizerChForm
 
 __all__ = [
     "SimulationState",
@@ -15,6 +16,8 @@ __all__ = [
     "StabilizerChFormSimulationState",
     "CliffordTableau",
     "CliffordTableauSimulationState",
+    "UnpackedCliffordTableau",
+    "UnpackedStabilizerChForm",
     "bits_to_index",
     "index_to_bits",
 ]

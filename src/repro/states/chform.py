@@ -14,8 +14,25 @@ All update rules below are derived from these relations (see DESIGN.md);
 the implementation is validated against the dense state-vector simulator
 by reconstructing full wavefunctions.
 
+Packed layout (see :mod:`repro.states.bitpack`): the binary matrices are
+stored row-packed as ``Fw``/``Gw``/``Mw`` — ``(n, ceil(n/64))`` ``uint64``
+arrays with column ``c`` at bit ``c & 63`` of word ``c >> 6`` — and the
+``v``/``s`` vectors as packed words ``vw``/``sw``.  Row operations
+(``M[q] ^= G[r]``, the amplitude query's generator accumulation) are
+``O(n/64)`` word XORs; parity counts are word popcounts; phase powers are
+tracked as integers mod 4 rather than complex scalars.  ``F``/``G``/``M``
+/``v``/``s`` properties unpack to the textbook ``bool`` form.  The
+pre-packing implementation is retained as
+:class:`repro.states.reference.UnpackedStabilizerChForm` and property
+tests assert exact agreement gate-for-gate.
+
 Why BGLS cares: computing one bitstring amplitude costs O(n^2) and is
 *independent of circuit depth* — the property behind the paper's Fig. 3.
+Probability queries are cheaper still: a stabilizer state is flat, so
+:meth:`StabilizerChForm.probabilities_of_many` answers a whole batch of
+bitstrings (all ``2^k`` candidates of a gate's support, across every
+tracked bitstring of a parallel-mode run) with one dense GF(2) matvec
+membership test and the shared magnitude ``|omega|^2 2^{-|v|}``.
 """
 
 from __future__ import annotations
@@ -24,6 +41,8 @@ import math
 from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
+
+from . import bitpack as bp
 
 _SQRT2 = math.sqrt(2.0)
 _I_POW = np.array([1, 1j, -1, -1j], dtype=np.complex128)
@@ -37,55 +56,83 @@ class StabilizerChForm:
         if n <= 0:
             raise ValueError("Need at least one qubit")
         self.n = n
-        self.F = np.eye(n, dtype=bool)
-        self.G = np.eye(n, dtype=bool)
-        self.M = np.zeros((n, n), dtype=bool)
+        w = bp.num_words(n)
+        self._w = w
+        self._mask = bp.mask(n)
+        self.Fw = bp.packed_eye(n)
+        self.Gw = self.Fw.copy()
+        self.Mw = np.zeros((n, w), dtype=np.uint64)
         self.gamma = np.zeros(n, dtype=np.int64)  # i^gamma row phases, mod 4
-        self.v = np.zeros(n, dtype=bool)
-        self.s = np.zeros(n, dtype=bool)
+        self.vw = np.zeros(w, dtype=np.uint64)
+        self.sw = np.zeros(w, dtype=np.uint64)
         self.omega: complex = 1.0 + 0.0j
         if initial_state:
             for q in range(n):
                 if (initial_state >> (n - 1 - q)) & 1:
                     self.apply_x(q)
 
+    # -- unpacked views (tests, diagnostics) -------------------------------
+    @property
+    def F(self) -> np.ndarray:
+        """The F matrix unpacked to ``(n, n)`` ``bool`` (read-only copy)."""
+        return bp.unpack_rows(self.Fw, self.n).astype(bool)
+
+    @property
+    def G(self) -> np.ndarray:
+        """The G matrix unpacked to ``(n, n)`` ``bool`` (read-only copy)."""
+        return bp.unpack_rows(self.Gw, self.n).astype(bool)
+
+    @property
+    def M(self) -> np.ndarray:
+        """The M matrix unpacked to ``(n, n)`` ``bool`` (read-only copy)."""
+        return bp.unpack_rows(self.Mw, self.n).astype(bool)
+
+    @property
+    def v(self) -> np.ndarray:
+        """The Hadamard-layer vector unpacked to ``(n,)`` ``bool``."""
+        return bp.unpack_rows(self.vw, self.n).astype(bool)
+
+    @property
+    def s(self) -> np.ndarray:
+        """The basis-state vector unpacked to ``(n,)`` ``bool``."""
+        return bp.unpack_rows(self.sw, self.n).astype(bool)
+
     # ------------------------------------------------------------------
     # Pauli rows pushed through U_H onto |s>
     # ------------------------------------------------------------------
-    def _x_row_action(self, q: int) -> Tuple[complex, np.ndarray]:
-        """Action of ``U_C^dag X_q U_C`` on ``U_H|s>``: (phase, new_s).
+    def _x_row_action(self, q: int) -> Tuple[int, np.ndarray]:
+        """Action of ``U_C^dag X_q U_C`` on ``U_H|s>``: (i-power, new_s).
 
         Per qubit j the operator is X^F Z^M;  through H (v_j=1) it becomes
         H Z^F X^M, flipping s_j by M and contributing (-1)^{F*(s+M)}; on
         bare qubits (v_j=0) it flips s_j by F and contributes (-1)^{M*s}.
         """
-        f_row, m_row = self.F[q], self.M[q]
-        v, s = self.v, self.s
+        f_row, m_row = self.Fw[q], self.Mw[q]
+        v, s = self.vw, self.sw
         t = s ^ (f_row & ~v) ^ (m_row & v)
-        beta = int(np.count_nonzero(m_row & ~v & s))
-        beta += int(np.count_nonzero(f_row & v & (s ^ m_row)))
-        phase = _I_POW[(self.gamma[q] + 2 * beta) % 4]
-        return phase, t
+        beta = bp.count_bits(m_row & ~v & s)
+        beta += bp.count_bits(f_row & v & (s ^ m_row))
+        return int(self.gamma[q] + 2 * beta) % 4, t
 
-    def _z_row_action(self, q: int) -> Tuple[complex, np.ndarray]:
-        """Action of ``U_C^dag Z_q U_C`` on ``U_H|s>``: (phase, new_s)."""
-        g_row = self.G[q]
-        u = self.s ^ (g_row & self.v)
-        alpha = int(np.count_nonzero(g_row & ~self.v & self.s))
-        return _I_POW[(2 * alpha) % 4], u
+    def _z_row_action(self, q: int) -> Tuple[int, np.ndarray]:
+        """Action of ``U_C^dag Z_q U_C`` on ``U_H|s>``: (i-power, new_s)."""
+        g_row = self.Gw[q]
+        u = self.sw ^ (g_row & self.vw)
+        alpha = bp.count_bits(g_row & ~self.vw & self.sw)
+        return (2 * alpha) % 4, u
 
     # ------------------------------------------------------------------
     # Left multiplications (circuit gates)
     # ------------------------------------------------------------------
     def apply_x(self, q: int) -> None:
-        phase, t = self._x_row_action(q)
-        self.omega *= phase
-        self.s = t
+        pw, t = self._x_row_action(q)
+        self.omega *= _I_POW[pw]
+        self.sw = t
 
     def apply_z(self, q: int) -> None:
-        phase, u = self._z_row_action(q)
-        self.omega *= phase
-        self.s = u
+        pw, u = self._z_row_action(q)
+        self.omega *= _I_POW[pw]
+        self.sw = u
 
     def apply_y(self, q: int) -> None:
         """Y = i X Z (apply Z, then X, then the i)."""
@@ -95,20 +142,20 @@ class StabilizerChForm:
 
     def apply_s(self, q: int) -> None:
         """S (phase gate): gamma_q -= 1, M_q ^= G_q."""
-        self.M[q] ^= self.G[q]
+        self.Mw[q] ^= self.Gw[q]
         self.gamma[q] = (self.gamma[q] - 1) % 4
 
     def apply_sdg(self, q: int) -> None:
         """S^dagger: gamma_q += 1, M_q ^= G_q."""
-        self.M[q] ^= self.G[q]
+        self.Mw[q] ^= self.Gw[q]
         self.gamma[q] = (self.gamma[q] + 1) % 4
 
     def apply_cz(self, q: int, r: int) -> None:
         """CZ: M_q ^= G_r and M_r ^= G_q (no phase)."""
         if q == r:
             raise ValueError("CZ needs distinct qubits")
-        self.M[q] ^= self.G[r]
-        self.M[r] ^= self.G[q]
+        self.Mw[q] ^= self.Gw[r]
+        self.Mw[r] ^= self.Gw[q]
 
     def apply_cx(self, c: int, t: int) -> None:
         """CNOT with control c, target t."""
@@ -118,22 +165,19 @@ class StabilizerChForm:
         self.gamma[c] = (
             self.gamma[c]
             + self.gamma[t]
-            + 2 * int(np.count_nonzero(self.M[c] & self.F[t]) % 2)
+            + 2 * (bp.count_bits(self.Mw[c] & self.Fw[t]) & 1)
         ) % 4
-        self.G[t] ^= self.G[c]
-        self.F[c] ^= self.F[t]
-        self.M[c] ^= self.M[t]
+        self.Gw[t] ^= self.Gw[c]
+        self.Fw[c] ^= self.Fw[t]
+        self.Mw[c] ^= self.Mw[t]
 
     def apply_h(self, q: int) -> None:
         """Hadamard: H = (X + Z)/sqrt(2) creates a two-branch superposition
         which :meth:`update_sum` folds back into CH form (Proposition 4)."""
-        phase_x, t = self._x_row_action(q)
-        phase_z, u = self._z_row_action(q)
-        # phase_x, phase_z are powers of i; delta = (z-power - x-power) mod 4
-        px = int(np.argmax(np.isclose(_I_POW, phase_x)))
-        pz = int(np.argmax(np.isclose(_I_POW, phase_z)))
+        px, t = self._x_row_action(q)
+        pz, u = self._z_row_action(q)
         delta = (pz - px) % 4
-        self.omega *= phase_x / _SQRT2
+        self.omega *= _I_POW[px] / _SQRT2
         self.update_sum(t, u, delta)
 
     # ------------------------------------------------------------------
@@ -141,25 +185,29 @@ class StabilizerChForm:
     # ------------------------------------------------------------------
     def _right_cx(self, c: int, t: int) -> None:
         """U_C <- U_C CX_{c,t} (column operations, no phase)."""
-        self.G[:, c] ^= self.G[:, t]
-        self.F[:, t] ^= self.F[:, c]
-        self.M[:, c] ^= self.M[:, t]
+        bp.xor_col(self.Gw, c, bp.get_col(self.Gw, t))
+        bp.xor_col(self.Fw, t, bp.get_col(self.Fw, c))
+        bp.xor_col(self.Mw, c, bp.get_col(self.Mw, t))
 
     def _right_cz(self, c: int, t: int) -> None:
         """U_C <- U_C CZ_{c,t}."""
-        self.gamma[:] = (self.gamma + 2 * (self.F[:, c] & self.F[:, t])) % 4
-        self.M[:, c] ^= self.F[:, t]
-        self.M[:, t] ^= self.F[:, c]
+        fc = bp.get_col(self.Fw, c)
+        ft = bp.get_col(self.Fw, t)
+        self.gamma[:] = (self.gamma + 2 * (fc & ft).astype(np.int64)) % 4
+        bp.xor_col(self.Mw, c, ft)
+        bp.xor_col(self.Mw, t, fc)
 
     def _right_s(self, q: int) -> None:
         """U_C <- U_C S_q   (S^dag X S = i X Z per row with an X there)."""
-        self.M[:, q] ^= self.F[:, q]
-        self.gamma[:] = (self.gamma - self.F[:, q].astype(np.int64)) % 4
+        fq = bp.get_col(self.Fw, q)
+        bp.xor_col(self.Mw, q, fq)
+        self.gamma[:] = (self.gamma - fq.astype(np.int64)) % 4
 
     def _right_sdg(self, q: int) -> None:
         """U_C <- U_C S^dag_q."""
-        self.M[:, q] ^= self.F[:, q]
-        self.gamma[:] = (self.gamma + self.F[:, q].astype(np.int64)) % 4
+        fq = bp.get_col(self.Fw, q)
+        bp.xor_col(self.Mw, q, fq)
+        self.gamma[:] = (self.gamma + fq.astype(np.int64)) % 4
 
     # ------------------------------------------------------------------
     # Proposition 4: rewrite U_H (|t> + i^delta |u>) back into CH form
@@ -167,20 +215,19 @@ class StabilizerChForm:
     def update_sum(self, t: np.ndarray, u: np.ndarray, delta: int) -> None:
         """Set the state to ``omega * U_C * U_H (|t> + i^delta |u>)``.
 
-        ``omega`` must already hold all prefactors; this method multiplies
-        the scalars it extracts into ``omega`` and updates U_C, v, s.
+        ``t`` and ``u`` are packed word vectors.  ``omega`` must already
+        hold all prefactors; this method multiplies the scalars it extracts
+        into ``omega`` and updates U_C, v, s.
         """
         delta = int(delta) % 4
-        t = t.astype(bool).copy()
-        u = u.astype(bool).copy()
         if np.array_equal(t, u):
-            self.s = t
+            self.sw = t.copy()
             self.omega *= 1 + _I_POW[delta]
             return
 
         diff = t ^ u
-        set0 = np.flatnonzero(diff & ~self.v)
-        set1 = np.flatnonzero(diff & self.v)
+        set0 = bp.bit_positions(diff & ~self.vw & self._mask, self.n)
+        set1 = bp.bit_positions(diff & self.vw, self.n)
 
         if set0.size > 0:
             # Case A: an un-Hadamarded difference qubit exists.
@@ -189,18 +236,19 @@ class StabilizerChForm:
                 self._right_cx(q, int(i))
             for i in set1:
                 self._right_cz(q, int(i))
-            new_s = t.copy()
-            new_s[diff] = t[diff] ^ t[q]  # t_i XOR t_q on the difference set
+            t_q = bp.get_bit(t, q)
+            # t_i XOR t_q on the difference set.
+            new_s = (t ^ diff) if t_q else t.copy()
             # Single-qubit superposition |t_q> + i^delta |1 - t_q>.
-            if t[q]:
+            if t_q:
                 self.omega *= _I_POW[delta]
                 delta = (-delta) % 4
             a, b = {0: (0, 0), 1: (1, 0), 2: (0, 1), 3: (1, 1)}[delta]
             if a:
                 self._right_s(q)
-            new_s[q] = bool(b)
-            self.v[q] = True
-            self.s = new_s
+            bp.set_bit(new_s, q, b)
+            bp.set_bit(self.vw, q, 1)
+            self.sw = new_s
             self.omega *= _SQRT2
             return
 
@@ -208,29 +256,29 @@ class StabilizerChForm:
         q = int(set1[0])
         for i in set1[1:]:
             self._right_cx(int(i), q)  # H (x) H conjugation reverses CX
-        new_s = t.copy()
-        new_s[diff] = t[diff] ^ t[q]
-        if t[q]:
+        t_q = bp.get_bit(t, q)
+        new_s = (t ^ diff) if t_q else t.copy()
+        if t_q:
             self.omega *= _I_POW[delta]
             delta = (-delta) % 4
         # H(|0> + i^delta |1>) for delta = 0..3.
         if delta == 0:
-            new_s[q] = False
-            self.v[q] = False
+            bp.set_bit(new_s, q, 0)
+            bp.set_bit(self.vw, q, 0)
             self.omega *= _SQRT2
         elif delta == 2:
-            new_s[q] = True
-            self.v[q] = False
+            bp.set_bit(new_s, q, 1)
+            bp.set_bit(self.vw, q, 0)
             self.omega *= _SQRT2
         elif delta == 1:
-            new_s[q] = False
+            bp.set_bit(new_s, q, 0)
             self._right_sdg(q)
             self.omega *= 1 + 1j
         else:  # delta == 3
-            new_s[q] = False
+            bp.set_bit(new_s, q, 0)
             self._right_s(q)
             self.omega *= 1 - 1j
-        self.s = new_s
+        self.sw = new_s
 
     # ------------------------------------------------------------------
     # Measurement
@@ -238,28 +286,26 @@ class StabilizerChForm:
     def measurement_outcome_info(self, q: int) -> Tuple[bool, int]:
         """(is_random, deterministic_bit): whether measuring qubit ``q`` is
         a coin flip, and the forced outcome when it is not."""
-        phase_z, u = self._z_row_action(q)
-        if np.array_equal(u, self.s):
-            # Z_q |psi> = phase_z |psi>; +1 eigenvalue <-> bit 0.
-            bit = 0 if phase_z.real > 0 else 1
-            return False, bit
+        pz, u = self._z_row_action(q)
+        if np.array_equal(u, self.sw):
+            # Z_q |psi> = i^pz |psi| with pz in {0, 2}; +1 eigenvalue <-> 0.
+            return False, 0 if pz == 0 else 1
         return True, -1
 
     def project_measurement(self, q: int, outcome: int) -> None:
         """Collapse qubit ``q`` to ``outcome`` (must have probability > 0)."""
-        phase_z, u = self._z_row_action(q)
-        if np.array_equal(u, self.s):
-            bit = 0 if phase_z.real > 0 else 1
+        pz, u = self._z_row_action(q)
+        if np.array_equal(u, self.sw):
+            bit = 0 if pz == 0 else 1
             if bit != int(outcome):
                 raise ValueError(
                     f"Measurement outcome {outcome} has probability 0"
                 )
             return
         # (I + (-1)^m Z_q)/2 |psi|, renormalized by sqrt(2).
-        alpha_pow = 0 if phase_z.real > 0 else 2
-        delta = (2 * int(outcome) + alpha_pow) % 4
+        delta = (2 * int(outcome) + pz) % 4
         self.omega /= _SQRT2
-        self.update_sum(self.s.copy(), u, delta)
+        self.update_sum(self.sw.copy(), u, delta)
 
     def measure(self, q: int, rng: np.random.Generator) -> int:
         """Sample and collapse a Z measurement of qubit ``q``."""
@@ -273,34 +319,149 @@ class StabilizerChForm:
     # ------------------------------------------------------------------
     # Amplitudes
     # ------------------------------------------------------------------
+    def _accumulate_x_rows(
+        self, positions: Sequence[int], phase_pow: int, x: np.ndarray, z: np.ndarray
+    ) -> int:
+        """Multiply the X rows of ``positions`` into the (phase, x, z)
+        accumulator in place; returns the new phase power.
+
+        The rows are conjugates of X's on distinct qubits, so they commute
+        and any accumulation order yields the same group element.  The
+        sequential recurrence ``phase += 2 * parity(z_running & F[p])``
+        expands into pairwise cross terms (XOR distributes over AND and
+        parities add mod 2), so the whole accumulation vectorizes: one
+        ``(k, k)`` pairwise-parity table plus two XOR reductions, with no
+        Python loop over rows.
+        """
+        pos = np.asarray(positions, dtype=np.intp)
+        k = pos.size
+        if k == 0:
+            return phase_pow
+        if k == 1:
+            p = pos[0]
+            f_row = self.Fw[p]
+            phase_pow += int(self.gamma[p])
+            phase_pow += 2 * (int(bp.popcount(f_row & z).sum()) & 1)
+            x ^= f_row
+            z ^= self.Mw[p]
+            return phase_pow
+        f_rows = self.Fw[pos]
+        m_rows = self.Mw[pos]
+        phase_pow += int(self.gamma[pos].sum())
+        # Step j of the sequential recurrence sees the incoming z XOR'd
+        # with the M rows of steps i < j; an exclusive cumulative XOR
+        # reproduces all cross terms in one vectorized popcount.
+        zcum = np.bitwise_xor.accumulate(m_rows, axis=0)
+        zprev = np.empty_like(zcum)
+        zprev[0] = z
+        zprev[1:] = zcum[:-1] ^ z
+        phase_pow += 2 * (int(bp.popcount(zprev & f_rows).sum()) & 1)
+        x ^= np.bitwise_xor.reduce(f_rows, axis=0)
+        z ^= zcum[-1]
+        return phase_pow
+
+    def _finish_amplitude(
+        self, phase_pow: int, x: np.ndarray, z: np.ndarray
+    ) -> complex:
+        """``<0| i^phi X^x Z^z U_H |s>`` given the accumulated generator."""
+        if ((x ^ self.sw) & ~self.vw & self._mask).any():
+            return 0.0 + 0.0j
+        phase_pow += 2 * (int(bp.popcount((x & z) ^ (x & self.sw & self.vw)).sum()) & 1)
+        magnitude = 2.0 ** (-0.5 * int(bp.popcount(self.vw).sum()))
+        return self.omega * _I_POW[phase_pow % 4] * magnitude
+
     def inner_product_with_basis_state(self, bits: Sequence[int]) -> complex:
         """Amplitude ``<b|psi>`` for a computational-basis bitstring.
 
         Writes <b| = <0| prod_{p: b_p=1} X_p and pushes the X's through
-        U_C; cost O(n * |b|) <= O(n^2), independent of circuit depth.
+        U_C; cost O(n * |b| / 64) <= O(n^2 / 64), independent of depth.
         """
         b = np.asarray(bits, dtype=bool)
         if b.shape != (self.n,):
             raise ValueError(f"Expected {self.n} bits, got {b.shape}")
-        phase_pow = 0
-        x = np.zeros(self.n, dtype=bool)
-        z = np.zeros(self.n, dtype=bool)
-        for p in np.flatnonzero(b):
-            phase_pow += int(self.gamma[p])
-            phase_pow += 2 * int(np.count_nonzero(z & self.F[p]) % 2)
-            x ^= self.F[p]
-            z ^= self.M[p]
-        # <0| i^phi X^x Z^z U_H |s> = i^phi (-1)^{x.z} <x| U_H |s>
-        phase_pow += 2 * int(np.count_nonzero(x & z) % 2)
-        if np.any((x != self.s) & ~self.v):
-            return 0.0 + 0.0j
-        phase_pow += 2 * int(np.count_nonzero(x & self.s & self.v) % 2)
-        magnitude = 2.0 ** (-0.5 * int(np.count_nonzero(self.v)))
-        return self.omega * _I_POW[phase_pow % 4] * magnitude
+        x = np.zeros(self._w, dtype=np.uint64)
+        z = np.zeros(self._w, dtype=np.uint64)
+        phase_pow = self._accumulate_x_rows(np.flatnonzero(b), 0, x, z)
+        return self._finish_amplitude(phase_pow, x, z)
+
+    def _nonzero_probability(self) -> float:
+        """The common probability of every basis state in the support.
+
+        A stabilizer state is flat: all nonzero amplitudes share the
+        magnitude ``|omega| * 2^{-|v|/2}``, so probability queries reduce
+        to the support-membership test and this constant — no phase
+        bookkeeping required.
+        """
+        return abs(self.omega) ** 2 * 2.0 ** (-int(bp.popcount(self.vw).sum()))
 
     def probability_of(self, bits: Sequence[int]) -> float:
-        """Born probability of a full bitstring: |<b|psi>|^2."""
-        return float(abs(self.inner_product_with_basis_state(bits)) ** 2)
+        """Born probability of a full bitstring: |<b|psi>|^2.
+
+        ``b`` is in the support iff ``x = F^T b`` agrees with ``s`` on the
+        un-Hadamarded qubits; the probability is then the flat constant.
+        """
+        b = np.asarray(bits, dtype=bool)
+        if b.shape != (self.n,):
+            raise ValueError(f"Expected {self.n} bits, got {b.shape}")
+        pos = np.flatnonzero(b)
+        if pos.size:
+            x = np.bitwise_xor.reduce(self.Fw[pos], axis=0)
+        else:
+            x = np.zeros(self._w, dtype=np.uint64)
+        if ((x ^ self.sw) & ~self.vw & self._mask).any():
+            return 0.0
+        return self._nonzero_probability()
+
+    def probabilities_of_many(self, bitstrings) -> np.ndarray:
+        """Born probabilities of a whole ``(R, n)`` batch of bitstrings.
+
+        One dense GF(2) matvec ``X = C F mod 2`` answers every
+        support-membership test at once; the per-row probability is the
+        flat stabilizer constant.  This is the kernel behind the sampler's
+        per-gate candidate batching.
+        """
+        c = np.asarray(bitstrings, dtype=np.float64)
+        if c.ndim != 2 or c.shape[1] != self.n:
+            raise ValueError(f"Expected (R, {self.n}) bitstrings, got {c.shape}")
+        f_mat = bp.unpack_rows(self.Fw, self.n).astype(np.float64)
+        x = (c @ f_mat) % 2.0
+        s = bp.unpack_rows(self.sw, self.n).astype(np.float64)
+        bare = bp.unpack_rows(self.vw, self.n) == 0
+        mismatch = ((x != s) & bare).any(axis=1)
+        out = np.full(c.shape[0], self._nonzero_probability())
+        out[mismatch] = 0.0
+        return out
+
+    def candidate_probabilities(
+        self, bits: Sequence[int], support: Sequence[int]
+    ) -> np.ndarray:
+        """All ``2^k`` candidate probabilities over ``support`` at once.
+
+        Candidate ``idx`` encodes ``support[pos]`` at bit ``k - 1 - pos``,
+        the BGLS resampling convention.
+        """
+        return self.candidate_probabilities_many([bits], support)[0]
+
+    def candidate_probabilities_many(
+        self, bits_list: Sequence[Sequence[int]], support: Sequence[int]
+    ) -> np.ndarray:
+        """A ``(B, 2^k)`` matrix of candidate probabilities for ``B``
+        tracked bitstrings sharing one gate support — one batched matvec
+        for the whole resampling step of a gate."""
+        support = [int(a) for a in support]
+        k = len(support)
+        base = np.asarray(bits_list, dtype=np.uint8)
+        if base.ndim != 2 or base.shape[1] != self.n:
+            raise ValueError(
+                f"Expected (B, {self.n}) bitstrings, got {base.shape}"
+            )
+        cands = np.repeat(base[:, None, :], 2**k, axis=1)
+        patterns = (
+            (np.arange(2**k)[:, None] >> np.arange(k - 1, -1, -1)[None, :]) & 1
+        ).astype(np.uint8)
+        cands[:, :, support] = patterns[None, :, :]
+        flat = cands.reshape(base.shape[0] * 2**k, self.n)
+        return self.probabilities_of_many(flat).reshape(base.shape[0], 2**k)
 
     def state_vector(self) -> np.ndarray:
         """Full dense wavefunction (exponential; for testing on small n)."""
@@ -314,14 +475,16 @@ class StabilizerChForm:
     def copy(self) -> "StabilizerChForm":
         out = StabilizerChForm.__new__(StabilizerChForm)
         out.n = self.n
-        out.F = self.F.copy()
-        out.G = self.G.copy()
-        out.M = self.M.copy()
+        out._w = self._w
+        out._mask = self._mask
+        out.Fw = self.Fw.copy()
+        out.Gw = self.Gw.copy()
+        out.Mw = self.Mw.copy()
         out.gamma = self.gamma.copy()
-        out.v = self.v.copy()
-        out.s = self.s.copy()
+        out.vw = self.vw.copy()
+        out.sw = self.sw.copy()
         out.omega = self.omega
         return out
 
     def __repr__(self) -> str:
-        return f"StabilizerChForm(n={self.n}, |v|={int(self.v.sum())})"
+        return f"StabilizerChForm(n={self.n}, |v|={bp.count_bits(self.vw)})"

@@ -1,0 +1,432 @@
+"""Retained unpacked reference implementations of the stabilizer engines.
+
+These are the pre-bit-packing versions of :class:`CliffordTableau` and
+:class:`StabilizerChForm`, kept verbatim (one bit per ``uint8``/``bool``
+element, scalar Python loops in ``_collapse``/``deterministic_outcome``)
+as an executable specification.  The property tests in
+``tests/test_bitpack_kernels.py`` drive the packed production engines and
+these references gate-for-gate through random Clifford programs and assert
+bit-exact agreement; the micro-benchmark
+``benchmarks/bench_bitpack_kernels.py`` quantifies the word-parallel
+speedup against them.
+
+Do not optimize this module — its value is being obviously correct.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+_SQRT2 = math.sqrt(2.0)
+_I_POW = np.array([1, 1j, -1, -1j], dtype=np.complex128)
+
+
+class UnpackedCliffordTableau:
+    """Aaronson-Gottesman tableau with one bit per ``uint8`` (reference)."""
+
+    def __init__(self, num_qubits: int, initial_state: int = 0):
+        n = int(num_qubits)
+        if n < 1:
+            raise ValueError(f"num_qubits must be >= 1, got {num_qubits}")
+        if not 0 <= initial_state < 2**n:
+            raise ValueError(
+                f"initial_state {initial_state} out of range for {n} qubits"
+            )
+        self.n = n
+        self.x = np.zeros((2 * n + 1, n), dtype=np.uint8)
+        self.z = np.zeros((2 * n + 1, n), dtype=np.uint8)
+        self.r = np.zeros(2 * n + 1, dtype=np.uint8)
+        idx = np.arange(n)
+        self.x[idx, idx] = 1
+        self.z[n + idx, idx] = 1
+        for j in range(n):
+            if (initial_state >> (n - 1 - j)) & 1:
+                self.r[n + j] = 1
+
+    def _rowsum(self, h: int, i: int) -> None:
+        x1, z1 = self.x[i], self.z[i]
+        x2, z2 = self.x[h], self.z[h]
+        x1i = x1.astype(np.int64)
+        z1i = z1.astype(np.int64)
+        x2i = x2.astype(np.int64)
+        z2i = z2.astype(np.int64)
+        g = (
+            x1i * z1i * (z2i - x2i)
+            + x1i * (1 - z1i) * z2i * (2 * x2i - 1)
+            + (1 - x1i) * z1i * x2i * (1 - 2 * z2i)
+        )
+        total = 2 * int(self.r[h]) + 2 * int(self.r[i]) + int(g.sum())
+        self.r[h] = (total % 4) // 2
+        self.x[h] ^= x1
+        self.z[h] ^= z1
+
+    def apply_h(self, a: int) -> None:
+        xa = self.x[:, a].copy()
+        za = self.z[:, a]
+        self.r ^= xa & za
+        self.x[:, a] = za
+        self.z[:, a] = xa
+
+    def apply_s(self, a: int) -> None:
+        xa = self.x[:, a]
+        za = self.z[:, a]
+        self.r ^= xa & za
+        self.z[:, a] = za ^ xa
+
+    def apply_sdg(self, a: int) -> None:
+        self.apply_z(a)
+        self.apply_s(a)
+
+    def apply_x(self, a: int) -> None:
+        self.r ^= self.z[:, a]
+
+    def apply_z(self, a: int) -> None:
+        self.r ^= self.x[:, a]
+
+    def apply_y(self, a: int) -> None:
+        self.r ^= self.x[:, a] ^ self.z[:, a]
+
+    def apply_cx(self, a: int, b: int) -> None:
+        if a == b:
+            raise ValueError("CNOT control and target must differ")
+        xa, xb = self.x[:, a], self.x[:, b]
+        za, zb = self.z[:, a], self.z[:, b]
+        self.r ^= xa & zb & (xb ^ za ^ 1)
+        self.x[:, b] = xb ^ xa
+        self.z[:, a] = za ^ zb
+
+    def apply_cz(self, a: int, b: int) -> None:
+        self.apply_h(b)
+        self.apply_cx(a, b)
+        self.apply_h(b)
+
+    def apply_swap(self, a: int, b: int) -> None:
+        self.x[:, [a, b]] = self.x[:, [b, a]]
+        self.z[:, [a, b]] = self.z[:, [b, a]]
+
+    def _random_pivot(self, a: int) -> Optional[int]:
+        n = self.n
+        hits = np.flatnonzero(self.x[n : 2 * n, a])
+        if hits.size == 0:
+            return None
+        return n + int(hits[0])
+
+    def deterministic_outcome(self, a: int) -> Optional[int]:
+        if self._random_pivot(a) is not None:
+            return None
+        n = self.n
+        self.x[2 * n] = 0
+        self.z[2 * n] = 0
+        self.r[2 * n] = 0
+        for i in np.flatnonzero(self.x[:n, a]):
+            self._rowsum(2 * n, n + int(i))
+        return int(self.r[2 * n])
+
+    def _collapse(self, a: int, p: int, outcome: int) -> None:
+        n = self.n
+        for i in np.flatnonzero(self.x[:, a]):
+            i = int(i)
+            if i != p and i != 2 * n:
+                self._rowsum(i, p)
+        self.x[p - n] = self.x[p]
+        self.z[p - n] = self.z[p]
+        self.r[p - n] = self.r[p]
+        self.x[p] = 0
+        self.z[p] = 0
+        self.z[p, a] = 1
+        self.r[p] = outcome
+
+    def measure(self, a: int, rng: np.random.Generator) -> int:
+        p = self._random_pivot(a)
+        if p is None:
+            outcome = self.deterministic_outcome(a)
+            assert outcome is not None
+            return outcome
+        outcome = int(rng.integers(2))
+        self._collapse(a, p, outcome)
+        return outcome
+
+    def project_measurement(self, a: int, bit: int) -> float:
+        bit = int(bit)
+        p = self._random_pivot(a)
+        if p is None:
+            forced = self.deterministic_outcome(a)
+            return 1.0 if forced == bit else 0.0
+        self._collapse(a, p, bit)
+        return 0.5
+
+    def probability_of(self, bits: Sequence[int]) -> float:
+        if len(bits) != self.n:
+            raise ValueError(f"Expected {self.n} bits, got {len(bits)}")
+        scratch = self.copy()
+        prob = 1.0
+        for a, bit in enumerate(bits):
+            factor = scratch.project_measurement(a, int(bit))
+            if factor == 0.0:
+                return 0.0
+            prob *= factor
+        return prob
+
+    def stabilizer_strings(self) -> List[str]:
+        out = []
+        for i in range(self.n, 2 * self.n):
+            sign = "-" if self.r[i] else "+"
+            chars = []
+            for j in range(self.n):
+                xij, zij = int(self.x[i, j]), int(self.z[i, j])
+                chars.append(
+                    {(0, 0): "I", (1, 0): "X", (0, 1): "Z", (1, 1): "Y"}[(xij, zij)]
+                )
+            out.append(sign + "".join(chars))
+        return out
+
+    def copy(self) -> "UnpackedCliffordTableau":
+        out = UnpackedCliffordTableau.__new__(UnpackedCliffordTableau)
+        out.n = self.n
+        out.x = self.x.copy()
+        out.z = self.z.copy()
+        out.r = self.r.copy()
+        return out
+
+    def __repr__(self) -> str:
+        return f"UnpackedCliffordTableau(num_qubits={self.n})"
+
+
+class UnpackedStabilizerChForm:
+    """CH-form stabilizer state with ``bool`` matrices (reference)."""
+
+    def __init__(self, num_qubits: int, initial_state: int = 0):
+        n = int(num_qubits)
+        if n <= 0:
+            raise ValueError("Need at least one qubit")
+        self.n = n
+        self.F = np.eye(n, dtype=bool)
+        self.G = np.eye(n, dtype=bool)
+        self.M = np.zeros((n, n), dtype=bool)
+        self.gamma = np.zeros(n, dtype=np.int64)
+        self.v = np.zeros(n, dtype=bool)
+        self.s = np.zeros(n, dtype=bool)
+        self.omega: complex = 1.0 + 0.0j
+        if initial_state:
+            for q in range(n):
+                if (initial_state >> (n - 1 - q)) & 1:
+                    self.apply_x(q)
+
+    def _x_row_action(self, q: int) -> Tuple[complex, np.ndarray]:
+        f_row, m_row = self.F[q], self.M[q]
+        v, s = self.v, self.s
+        t = s ^ (f_row & ~v) ^ (m_row & v)
+        beta = int(np.count_nonzero(m_row & ~v & s))
+        beta += int(np.count_nonzero(f_row & v & (s ^ m_row)))
+        phase = _I_POW[(self.gamma[q] + 2 * beta) % 4]
+        return phase, t
+
+    def _z_row_action(self, q: int) -> Tuple[complex, np.ndarray]:
+        g_row = self.G[q]
+        u = self.s ^ (g_row & self.v)
+        alpha = int(np.count_nonzero(g_row & ~self.v & self.s))
+        return _I_POW[(2 * alpha) % 4], u
+
+    def apply_x(self, q: int) -> None:
+        phase, t = self._x_row_action(q)
+        self.omega *= phase
+        self.s = t
+
+    def apply_z(self, q: int) -> None:
+        phase, u = self._z_row_action(q)
+        self.omega *= phase
+        self.s = u
+
+    def apply_y(self, q: int) -> None:
+        self.apply_z(q)
+        self.apply_x(q)
+        self.omega *= 1j
+
+    def apply_s(self, q: int) -> None:
+        self.M[q] ^= self.G[q]
+        self.gamma[q] = (self.gamma[q] - 1) % 4
+
+    def apply_sdg(self, q: int) -> None:
+        self.M[q] ^= self.G[q]
+        self.gamma[q] = (self.gamma[q] + 1) % 4
+
+    def apply_cz(self, q: int, r: int) -> None:
+        if q == r:
+            raise ValueError("CZ needs distinct qubits")
+        self.M[q] ^= self.G[r]
+        self.M[r] ^= self.G[q]
+
+    def apply_cx(self, c: int, t: int) -> None:
+        if c == t:
+            raise ValueError("CNOT needs distinct qubits")
+        self.gamma[c] = (
+            self.gamma[c]
+            + self.gamma[t]
+            + 2 * int(np.count_nonzero(self.M[c] & self.F[t]) % 2)
+        ) % 4
+        self.G[t] ^= self.G[c]
+        self.F[c] ^= self.F[t]
+        self.M[c] ^= self.M[t]
+
+    def apply_h(self, q: int) -> None:
+        phase_x, t = self._x_row_action(q)
+        phase_z, u = self._z_row_action(q)
+        px = int(np.argmax(np.isclose(_I_POW, phase_x)))
+        pz = int(np.argmax(np.isclose(_I_POW, phase_z)))
+        delta = (pz - px) % 4
+        self.omega *= phase_x / _SQRT2
+        self.update_sum(t, u, delta)
+
+    def _right_cx(self, c: int, t: int) -> None:
+        self.G[:, c] ^= self.G[:, t]
+        self.F[:, t] ^= self.F[:, c]
+        self.M[:, c] ^= self.M[:, t]
+
+    def _right_cz(self, c: int, t: int) -> None:
+        self.gamma[:] = (self.gamma + 2 * (self.F[:, c] & self.F[:, t])) % 4
+        self.M[:, c] ^= self.F[:, t]
+        self.M[:, t] ^= self.F[:, c]
+
+    def _right_s(self, q: int) -> None:
+        self.M[:, q] ^= self.F[:, q]
+        self.gamma[:] = (self.gamma - self.F[:, q].astype(np.int64)) % 4
+
+    def _right_sdg(self, q: int) -> None:
+        self.M[:, q] ^= self.F[:, q]
+        self.gamma[:] = (self.gamma + self.F[:, q].astype(np.int64)) % 4
+
+    def update_sum(self, t: np.ndarray, u: np.ndarray, delta: int) -> None:
+        delta = int(delta) % 4
+        t = t.astype(bool).copy()
+        u = u.astype(bool).copy()
+        if np.array_equal(t, u):
+            self.s = t
+            self.omega *= 1 + _I_POW[delta]
+            return
+
+        diff = t ^ u
+        set0 = np.flatnonzero(diff & ~self.v)
+        set1 = np.flatnonzero(diff & self.v)
+
+        if set0.size > 0:
+            q = int(set0[0])
+            for i in set0[1:]:
+                self._right_cx(q, int(i))
+            for i in set1:
+                self._right_cz(q, int(i))
+            new_s = t.copy()
+            new_s[diff] = t[diff] ^ t[q]
+            if t[q]:
+                self.omega *= _I_POW[delta]
+                delta = (-delta) % 4
+            a, b = {0: (0, 0), 1: (1, 0), 2: (0, 1), 3: (1, 1)}[delta]
+            if a:
+                self._right_s(q)
+            new_s[q] = bool(b)
+            self.v[q] = True
+            self.s = new_s
+            self.omega *= _SQRT2
+            return
+
+        q = int(set1[0])
+        for i in set1[1:]:
+            self._right_cx(int(i), q)
+        new_s = t.copy()
+        new_s[diff] = t[diff] ^ t[q]
+        if t[q]:
+            self.omega *= _I_POW[delta]
+            delta = (-delta) % 4
+        if delta == 0:
+            new_s[q] = False
+            self.v[q] = False
+            self.omega *= _SQRT2
+        elif delta == 2:
+            new_s[q] = True
+            self.v[q] = False
+            self.omega *= _SQRT2
+        elif delta == 1:
+            new_s[q] = False
+            self._right_sdg(q)
+            self.omega *= 1 + 1j
+        else:
+            new_s[q] = False
+            self._right_s(q)
+            self.omega *= 1 - 1j
+        self.s = new_s
+
+    def measurement_outcome_info(self, q: int) -> Tuple[bool, int]:
+        phase_z, u = self._z_row_action(q)
+        if np.array_equal(u, self.s):
+            bit = 0 if phase_z.real > 0 else 1
+            return False, bit
+        return True, -1
+
+    def project_measurement(self, q: int, outcome: int) -> None:
+        phase_z, u = self._z_row_action(q)
+        if np.array_equal(u, self.s):
+            bit = 0 if phase_z.real > 0 else 1
+            if bit != int(outcome):
+                raise ValueError(
+                    f"Measurement outcome {outcome} has probability 0"
+                )
+            return
+        alpha_pow = 0 if phase_z.real > 0 else 2
+        delta = (2 * int(outcome) + alpha_pow) % 4
+        self.omega /= _SQRT2
+        self.update_sum(self.s.copy(), u, delta)
+
+    def measure(self, q: int, rng: np.random.Generator) -> int:
+        is_random, bit = self.measurement_outcome_info(q)
+        if not is_random:
+            return bit
+        outcome = int(rng.integers(2))
+        self.project_measurement(q, outcome)
+        return outcome
+
+    def inner_product_with_basis_state(self, bits: Sequence[int]) -> complex:
+        b = np.asarray(bits, dtype=bool)
+        if b.shape != (self.n,):
+            raise ValueError(f"Expected {self.n} bits, got {b.shape}")
+        phase_pow = 0
+        x = np.zeros(self.n, dtype=bool)
+        z = np.zeros(self.n, dtype=bool)
+        for p in np.flatnonzero(b):
+            phase_pow += int(self.gamma[p])
+            phase_pow += 2 * int(np.count_nonzero(z & self.F[p]) % 2)
+            x ^= self.F[p]
+            z ^= self.M[p]
+        phase_pow += 2 * int(np.count_nonzero(x & z) % 2)
+        if np.any((x != self.s) & ~self.v):
+            return 0.0 + 0.0j
+        phase_pow += 2 * int(np.count_nonzero(x & self.s & self.v) % 2)
+        magnitude = 2.0 ** (-0.5 * int(np.count_nonzero(self.v)))
+        return self.omega * _I_POW[phase_pow % 4] * magnitude
+
+    def probability_of(self, bits: Sequence[int]) -> float:
+        return float(abs(self.inner_product_with_basis_state(bits)) ** 2)
+
+    def state_vector(self) -> np.ndarray:
+        dim = 2**self.n
+        out = np.empty(dim, dtype=np.complex128)
+        for idx in range(dim):
+            bits = [(idx >> (self.n - 1 - j)) & 1 for j in range(self.n)]
+            out[idx] = self.inner_product_with_basis_state(bits)
+        return out
+
+    def copy(self) -> "UnpackedStabilizerChForm":
+        out = UnpackedStabilizerChForm.__new__(UnpackedStabilizerChForm)
+        out.n = self.n
+        out.F = self.F.copy()
+        out.G = self.G.copy()
+        out.M = self.M.copy()
+        out.gamma = self.gamma.copy()
+        out.v = self.v.copy()
+        out.s = self.s.copy()
+        out.omega = self.omega
+        return out
+
+    def __repr__(self) -> str:
+        return f"UnpackedStabilizerChForm(n={self.n}, |v|={int(self.v.sum())})"

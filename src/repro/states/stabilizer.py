@@ -98,6 +98,18 @@ class StabilizerChFormSimulationState(SimulationState):
         """Born probability of a full bitstring (O(n^2), depth-free)."""
         return self.ch_form.probability_of(bits)
 
+    def candidate_probabilities(
+        self, bits: Sequence[int], support: Sequence[int]
+    ) -> np.ndarray:
+        """All ``2^k`` candidate probabilities in one batched membership test."""
+        return self.ch_form.candidate_probabilities(bits, support)
+
+    def candidate_probabilities_many(
+        self, bits_list: Sequence[Sequence[int]], support: Sequence[int]
+    ) -> np.ndarray:
+        """Candidate probabilities for many tracked bitstrings at once."""
+        return self.ch_form.candidate_probabilities_many(bits_list, support)
+
     def state_vector(self) -> np.ndarray:
         """Dense wavefunction (exponential; testing only)."""
         return self.ch_form.state_vector()

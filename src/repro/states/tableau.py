@@ -1,4 +1,4 @@
-"""Aaronson-Gottesman stabilizer tableau (paper reference [1]).
+"""Aaronson-Gottesman stabilizer tableau, bit-packed (paper reference [1]).
 
 This is the second stabilizer engine in the package, complementing the
 CH form of :mod:`repro.states.chform`.  The paper's Sec. 4.1 builds on the
@@ -6,35 +6,66 @@ CH form because it supports *amplitudes* natively in ``O(n^2)``; the plain
 tableau of Aaronson & Gottesman (PRA 70, 052328 (2004)) is the more common
 textbook representation but only answers measurement queries directly.
 Shipping both lets the benchmark suite quantify that design choice (see
-``benchmarks/bench_tableau_vs_chform.py``): computing one bitstring
-probability from a tableau costs ``O(n^3)`` (``n`` sequential forced
-measurements, each ``O(n^2)``), versus ``O(n^2)`` for the CH form.
+``benchmarks/bench_tableau_vs_chform.py``).
 
-Layout (Aaronson-Gottesman Sec. III):
+Packed layout (Stim-style; see :mod:`repro.states.bitpack`):
 
-* ``x``/``z`` are ``(2n+1, n)`` binary matrices; row ``i < n`` is the i-th
-  *destabilizer*, row ``n + i`` the i-th *stabilizer*, row ``2n`` scratch.
+* ``xw``/``zw`` are ``(2n+1, ceil(n/64))`` ``uint64`` matrices; column
+  ``c`` lives at bit ``c & 63`` of word ``c >> 6``.  Row ``i < n`` is the
+  i-th *destabilizer*, row ``n + i`` the i-th *stabilizer*, row ``2n``
+  scratch.  ``x``/``z`` properties unpack to the textbook ``uint8`` form.
 * ``r`` is the ``(2n+1,)`` sign vector (1 means the row carries a ``-``).
 * Row ``h`` represents the Pauli ``(-1)^{r[h]} prod_j X_j^{x[h,j]}
   Z_j^{z[h,j]}`` (up to the ``i^{x.z}`` bookkeeping handled by rowsum).
 
-All row updates are vectorized over columns with NumPy; no Python loop
-runs over qubits inside a gate application.
+Kernel complexities with ``W = ceil(n/64)`` words per row:
+
+* Gate updates touch one or two columns of all rows: ``O(n)`` single-word
+  operations.  CZ and S-dagger use direct single-pass sign/column updates
+  instead of their H.CX.H / Z.S compositions.
+* ``_rowsum`` multiplies two Pauli rows in ``O(W)`` via three AND/NOT word
+  masks per sign (the phase exponent is ``popcount(pos) - popcount(neg)``).
+* ``_rowsum_many`` — the measurement-collapse kernel — multiplies one
+  pivot row into *all* anticommuting rows in a single 2-D vectorized pass:
+  ``O(n * W)`` with no Python loop over rows.
+* ``candidate_probabilities`` answers all ``2^k`` BGLS candidate queries
+  of a gate's support from one shared scratch tableau (the off-support
+  projection chain is done once, not ``2^k`` times).
+
+The pre-packing one-bit-per-byte implementation is retained verbatim as
+:class:`repro.states.reference.UnpackedCliffordTableau`; property tests
+assert bit-exact agreement gate-for-gate.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
 from ..circuits.operations import GateOperation
 from ..circuits.qubits import Qid
+from . import bitpack as bp
 from .base import SimulationState
+
+_ONE = np.uint64(1)
+
+
+def _g_masks(x1, z1, x2, z2):
+    """Word masks of columns contributing +1 / -1 to the rowsum phase.
+
+    ``x1``/``z1`` is the multiplying (pivot) row, ``x2``/``z2`` the row(s)
+    being multiplied into; broadcasting allows ``x2`` to be 2-D.  Each term
+    ANDs a complemented word with an uncomplemented one, so tail bits past
+    the logical width stay zero.
+    """
+    pos = (x1 & z1 & z2 & ~x2) | (x1 & ~z1 & z2 & x2) | (~x1 & z1 & x2 & ~z2)
+    neg = (x1 & z1 & x2 & ~z2) | (x1 & ~z1 & z2 & ~x2) | (~x1 & z1 & x2 & z2)
+    return pos, neg
 
 
 class CliffordTableau:
-    """The raw Aaronson-Gottesman tableau over ``n`` qubits.
+    """The Aaronson-Gottesman tableau over ``n`` qubits, ``uint64``-packed.
 
     Args:
         num_qubits: Register width ``n``.
@@ -50,98 +81,146 @@ class CliffordTableau:
                 f"initial_state {initial_state} out of range for {n} qubits"
             )
         self.n = n
+        w = bp.num_words(n)
+        self._w = w
         # Destabilizers X_0..X_{n-1}, stabilizers Z_0..Z_{n-1}, scratch row.
-        self.x = np.zeros((2 * n + 1, n), dtype=np.uint8)
-        self.z = np.zeros((2 * n + 1, n), dtype=np.uint8)
+        eye = bp.packed_eye(n)
+        scratch = np.zeros((1, w), dtype=np.uint64)
+        self.xw = np.concatenate([eye, np.zeros_like(eye), scratch])
+        self.zw = np.concatenate([np.zeros_like(eye), eye, scratch])
         self.r = np.zeros(2 * n + 1, dtype=np.uint8)
-        idx = np.arange(n)
-        self.x[idx, idx] = 1
-        self.z[n + idx, idx] = 1
         # |b> is stabilized by (-1)^{b_j} Z_j.
         for j in range(n):
             if (initial_state >> (n - 1 - j)) & 1:
                 self.r[n + j] = 1
 
+    # -- unpacked views (tests, diagnostics, stabilizer_strings) -----------
+    @property
+    def x(self) -> np.ndarray:
+        """The X block unpacked to ``(2n+1, n)`` ``uint8`` (read-only copy)."""
+        return bp.unpack_rows(self.xw, self.n)
+
+    @property
+    def z(self) -> np.ndarray:
+        """The Z block unpacked to ``(2n+1, n)`` ``uint8`` (read-only copy)."""
+        return bp.unpack_rows(self.zw, self.n)
+
     # ------------------------------------------------------------------
     # rowsum: multiply row h by row i, tracking the sign (AG04 Sec. III)
     # ------------------------------------------------------------------
     def _rowsum(self, h: int, i: int) -> None:
-        x1, z1 = self.x[i], self.z[i]
-        x2, z2 = self.x[h], self.z[h]
-        x1i = x1.astype(np.int64)
-        z1i = z1.astype(np.int64)
-        x2i = x2.astype(np.int64)
-        z2i = z2.astype(np.int64)
-        # g(x1,z1,x2,z2) per column, in {-1, 0, 1}:
-        #   (1,1): z2 - x2        (Y * P)
-        #   (1,0): z2 (2 x2 - 1)  (X * P)
-        #   (0,1): x2 (1 - 2 z2)  (Z * P)
-        #   (0,0): 0
-        g = (
-            x1i * z1i * (z2i - x2i)
-            + x1i * (1 - z1i) * z2i * (2 * x2i - 1)
-            + (1 - x1i) * z1i * x2i * (1 - 2 * z2i)
-        )
-        total = 2 * int(self.r[h]) + 2 * int(self.r[i]) + int(g.sum())
+        x1, z1 = self.xw[i], self.zw[i]
+        x2, z2 = self.xw[h], self.zw[h]
+        pos, neg = _g_masks(x1, z1, x2, z2)
+        gsum = int(bp.popcount(pos).sum()) - int(bp.popcount(neg).sum())
+        total = 2 * int(self.r[h]) + 2 * int(self.r[i]) + gsum
         self.r[h] = (total % 4) // 2
-        self.x[h] ^= x1
-        self.z[h] ^= z1
+        x2 ^= x1
+        z2 ^= z1
+
+    def _rowsum_many(self, targets: np.ndarray, i: int) -> None:
+        """Multiply pivot row ``i`` into every row in ``targets`` at once.
+
+        One 2-D vectorized pass replaces the per-row Python loop of the
+        unpacked engine; this is the measurement-collapse hot kernel.
+        """
+        x1, z1 = self.xw[i], self.zw[i]
+        x2 = self.xw[targets]
+        z2 = self.zw[targets]
+        pos, neg = _g_masks(x1, z1, x2, z2)
+        gsum = bp.popcount(pos).sum(axis=1).astype(np.int64) - bp.popcount(
+            neg
+        ).sum(axis=1).astype(np.int64)
+        total = 2 * self.r[targets].astype(np.int64) + 2 * int(self.r[i]) + gsum
+        self.r[targets] = ((total % 4) // 2).astype(np.uint8)
+        self.xw[targets] = x2 ^ x1
+        self.zw[targets] = z2 ^ z1
 
     # ------------------------------------------------------------------
-    # Clifford gate updates (all O(n), vectorized down the rows)
+    # Clifford gate updates (all O(n) single-word column operations)
     # ------------------------------------------------------------------
     def apply_h(self, a: int) -> None:
         """Hadamard on qubit ``a``: swaps the X and Z columns."""
-        xa = self.x[:, a].copy()
-        za = self.z[:, a]
-        self.r ^= xa & za
-        self.x[:, a] = za
-        self.z[:, a] = xa
+        w, b = bp.word_and_bit(a)
+        xa = (self.xw[:, w] >> b) & _ONE
+        za = (self.zw[:, w] >> b) & _ONE
+        self.r ^= (xa & za).astype(np.uint8)
+        diff = (xa ^ za) << b
+        self.xw[:, w] ^= diff
+        self.zw[:, w] ^= diff
 
     def apply_s(self, a: int) -> None:
         """Phase gate S on qubit ``a``."""
-        xa = self.x[:, a]
-        za = self.z[:, a]
-        self.r ^= xa & za
-        self.z[:, a] = za ^ xa
+        w, b = bp.word_and_bit(a)
+        xa = (self.xw[:, w] >> b) & _ONE
+        za = (self.zw[:, w] >> b) & _ONE
+        self.r ^= (xa & za).astype(np.uint8)
+        self.zw[:, w] ^= xa << b
 
     def apply_sdg(self, a: int) -> None:
-        """S-dagger on qubit ``a`` (= Z then S)."""
-        self.apply_z(a)
-        self.apply_s(a)
+        """S-dagger on qubit ``a``, in one pass (= Z then S fused)."""
+        w, b = bp.word_and_bit(a)
+        xa = (self.xw[:, w] >> b) & _ONE
+        za = (self.zw[:, w] >> b) & _ONE
+        self.r ^= (xa & (za ^ _ONE)).astype(np.uint8)
+        self.zw[:, w] ^= xa << b
 
     def apply_x(self, a: int) -> None:
         """Pauli X: flips the sign of rows anticommuting with X_a."""
-        self.r ^= self.z[:, a]
+        w, b = bp.word_and_bit(a)
+        self.r ^= ((self.zw[:, w] >> b) & _ONE).astype(np.uint8)
 
     def apply_z(self, a: int) -> None:
         """Pauli Z: flips the sign of rows anticommuting with Z_a."""
-        self.r ^= self.x[:, a]
+        w, b = bp.word_and_bit(a)
+        self.r ^= ((self.xw[:, w] >> b) & _ONE).astype(np.uint8)
 
     def apply_y(self, a: int) -> None:
         """Pauli Y: flips the sign of rows holding X or Z (not Y) at ``a``."""
-        self.r ^= self.x[:, a] ^ self.z[:, a]
+        w, b = bp.word_and_bit(a)
+        xa = (self.xw[:, w] >> b) & _ONE
+        za = (self.zw[:, w] >> b) & _ONE
+        self.r ^= (xa ^ za).astype(np.uint8)
 
     def apply_cx(self, a: int, b: int) -> None:
         """CNOT with control ``a`` and target ``b``."""
         if a == b:
             raise ValueError("CNOT control and target must differ")
-        xa, xb = self.x[:, a], self.x[:, b]
-        za, zb = self.z[:, a], self.z[:, b]
-        self.r ^= xa & zb & (xb ^ za ^ 1)
-        self.x[:, b] = xb ^ xa
-        self.z[:, a] = za ^ zb
+        wa, ba = bp.word_and_bit(a)
+        wb, bb = bp.word_and_bit(b)
+        xa = (self.xw[:, wa] >> ba) & _ONE
+        za = (self.zw[:, wa] >> ba) & _ONE
+        xb = (self.xw[:, wb] >> bb) & _ONE
+        zb = (self.zw[:, wb] >> bb) & _ONE
+        self.r ^= (xa & zb & (xb ^ za ^ _ONE)).astype(np.uint8)
+        self.xw[:, wb] ^= xa << bb
+        self.zw[:, wa] ^= zb << ba
 
     def apply_cz(self, a: int, b: int) -> None:
-        """CZ via the exact identity CZ = H_b CX(a,b) H_b."""
-        self.apply_h(b)
-        self.apply_cx(a, b)
-        self.apply_h(b)
+        """CZ in one pass: Z_a gains X_b, Z_b gains X_a, sign flips where
+        both rows hold X and exactly one holds Z (the fused H.CX.H sign)."""
+        if a == b:
+            raise ValueError("CZ control and target must differ")
+        wa, ba = bp.word_and_bit(a)
+        wb, bb = bp.word_and_bit(b)
+        xa = (self.xw[:, wa] >> ba) & _ONE
+        za = (self.zw[:, wa] >> ba) & _ONE
+        xb = (self.xw[:, wb] >> bb) & _ONE
+        zb = (self.zw[:, wb] >> bb) & _ONE
+        self.r ^= (xa & xb & (za ^ zb)).astype(np.uint8)
+        self.zw[:, wa] ^= xb << ba
+        self.zw[:, wb] ^= xa << bb
 
     def apply_swap(self, a: int, b: int) -> None:
         """SWAP by column exchange (cheaper than three CNOTs)."""
-        self.x[:, [a, b]] = self.x[:, [b, a]]
-        self.z[:, [a, b]] = self.z[:, [b, a]]
+        wa, ba = bp.word_and_bit(a)
+        wb, bb = bp.word_and_bit(b)
+        for mat in (self.xw, self.zw):
+            ca = (mat[:, wa] >> ba) & _ONE
+            cb = (mat[:, wb] >> bb) & _ONE
+            diff = ca ^ cb
+            mat[:, wa] ^= diff << ba
+            mat[:, wb] ^= diff << bb
 
     # ------------------------------------------------------------------
     # Measurement (AG04 Sec. III) and forced projection
@@ -149,7 +228,8 @@ class CliffordTableau:
     def _random_pivot(self, a: int) -> Optional[int]:
         """First stabilizer row with X at column ``a``, or None."""
         n = self.n
-        hits = np.flatnonzero(self.x[n : 2 * n, a])
+        w, b = bp.word_and_bit(a)
+        hits = np.flatnonzero((self.xw[n : 2 * n, w] >> b) & _ONE)
         if hits.size == 0:
             return None
         return n + int(hits[0])
@@ -157,33 +237,62 @@ class CliffordTableau:
     def deterministic_outcome(self, a: int) -> Optional[int]:
         """The forced measurement outcome of qubit ``a``, or None if random.
 
-        Does not modify the tableau's first ``2n`` rows (uses the scratch
-        row only), so it can answer "is this qubit's value pinned?" queries
-        non-destructively.
+        Does not modify the tableau's first ``2n`` rows (it only overwrites
+        the scratch row), so it can answer "is this qubit's value pinned?"
+        queries non-destructively.
+
+        The product of the selected stabilizer rows is accumulated in one
+        vectorized pass: stabilizer rows commute, so step ``j`` of the
+        sequential rowsum recurrence sees exactly the XOR of rows ``< j``
+        — an exclusive cumulative XOR — and every per-column sign mask is
+        evaluated on the full 2-D block at once.
         """
         if self._random_pivot(a) is not None:
             return None
         n = self.n
-        self.x[2 * n] = 0
-        self.z[2 * n] = 0
+        w, b = bp.word_and_bit(a)
+        hits = np.flatnonzero((self.xw[:n, w] >> b) & _ONE)
+        self.xw[2 * n] = 0
+        self.zw[2 * n] = 0
         self.r[2 * n] = 0
-        for i in np.flatnonzero(self.x[:n, a]):
-            self._rowsum(2 * n, n + int(i))
-        return int(self.r[2 * n])
+        if hits.size == 0:
+            return 0
+        rows = n + hits
+        x_rows = self.xw[rows]
+        z_rows = self.zw[rows]
+        xcum = np.bitwise_xor.accumulate(x_rows, axis=0)
+        zcum = np.bitwise_xor.accumulate(z_rows, axis=0)
+        xprev = np.zeros_like(xcum)
+        zprev = np.zeros_like(zcum)
+        xprev[1:] = xcum[:-1]
+        zprev[1:] = zcum[:-1]
+        pos, neg = _g_masks(x_rows, z_rows, xprev, zprev)
+        gsum = int(bp.popcount(pos).sum()) - int(bp.popcount(neg).sum())
+        total = 2 * int(self.r[rows].sum()) + gsum
+        outcome = (total % 4) // 2
+        self.xw[2 * n] = xcum[-1]
+        self.zw[2 * n] = zcum[-1]
+        self.r[2 * n] = outcome
+        return outcome
 
     def _collapse(self, a: int, p: int, outcome: int) -> None:
-        """Post-random-measurement update: pivot row ``p``, result ``outcome``."""
+        """Post-random-measurement update: pivot row ``p``, result ``outcome``.
+
+        All rows anticommuting with Z_a absorb the pivot through one
+        batched :meth:`_rowsum_many` pass.
+        """
         n = self.n
-        for i in np.flatnonzero(self.x[:, a]):
-            i = int(i)
-            if i != p and i != 2 * n:
-                self._rowsum(i, p)
-        self.x[p - n] = self.x[p]
-        self.z[p - n] = self.z[p]
+        w, b = bp.word_and_bit(a)
+        hits = np.flatnonzero((self.xw[:, w] >> b) & _ONE)
+        hits = hits[(hits != p) & (hits != 2 * n)]
+        if hits.size:
+            self._rowsum_many(hits, p)
+        self.xw[p - n] = self.xw[p]
+        self.zw[p - n] = self.zw[p]
         self.r[p - n] = self.r[p]
-        self.x[p] = 0
-        self.z[p] = 0
-        self.z[p, a] = 1
+        self.xw[p] = 0
+        self.zw[p] = 0
+        bp.set_bit(self.zw[p], a, 1)
         self.r[p] = outcome
 
     def measure(self, a: int, rng: np.random.Generator) -> int:
@@ -220,9 +329,8 @@ class CliffordTableau:
 
         Implemented as a chain of forced measurements on a scratch copy:
         ``P(b) = prod_j P(b_j | b_0..b_{j-1})`` where each conditional is
-        0, 1/2, or 1.  Cost ``O(n^3)`` — the tableau has no native
-        amplitude query, which is exactly why the paper's Sec. 4.1 uses
-        the CH form instead.
+        0, 1/2, or 1.  The tableau has no native amplitude query, which is
+        exactly why the paper's Sec. 4.1 uses the CH form instead.
         """
         if len(bits) != self.n:
             raise ValueError(f"Expected {self.n} bits, got {len(bits)}")
@@ -235,14 +343,64 @@ class CliffordTableau:
             prob *= factor
         return prob
 
+    def candidate_probabilities(
+        self, bits: Sequence[int], support: Sequence[int]
+    ) -> np.ndarray:
+        """All ``2^k`` candidate probabilities over ``support`` at once.
+
+        Candidate ``idx`` agrees with ``bits`` off ``support`` and encodes
+        ``support[pos]`` at bit ``k - 1 - pos`` of ``idx`` — the BGLS
+        resampling convention.  The off-support forced-measurement chain
+        runs once on one shared scratch tableau; the candidates then branch
+        from it (at most ``2^k - 1`` extra copies, none when every support
+        outcome is pinned), instead of ``2^k`` full chains on ``2^k``
+        copies.
+        """
+        if len(bits) != self.n:
+            raise ValueError(f"Expected {self.n} bits, got {len(bits)}")
+        support = [int(a) for a in support]
+        k = len(support)
+        out = np.zeros(2**k)
+        support_set = set(support)
+        scratch = self.copy()
+        prob = 1.0
+        for a, bit in enumerate(bits):
+            if a in support_set:
+                continue
+            factor = scratch.project_measurement(a, int(bit))
+            if factor == 0.0:
+                return out
+            prob *= factor
+
+        def fill(tab: "CliffordTableau", pos: int, idx: int, acc: float) -> None:
+            if pos == k:
+                out[idx] = acc
+                return
+            a = support[pos]
+            pivot = tab._random_pivot(a)
+            if pivot is None:
+                forced = tab.deterministic_outcome(a)
+                fill(tab, pos + 1, (idx << 1) | forced, acc)
+                return
+            branch = tab.copy()
+            branch._collapse(a, pivot, 0)
+            fill(branch, pos + 1, idx << 1, acc * 0.5)
+            tab._collapse(a, pivot, 1)
+            fill(tab, pos + 1, (idx << 1) | 1, acc * 0.5)
+
+        fill(scratch, 0, 0, prob)
+        return out
+
     def stabilizer_strings(self) -> List[str]:
         """Human-readable stabilizer generators (e.g. ``['+XX', '-ZZ']``)."""
+        x = self.x
+        z = self.z
         out = []
         for i in range(self.n, 2 * self.n):
             sign = "-" if self.r[i] else "+"
             chars = []
             for j in range(self.n):
-                xij, zij = int(self.x[i, j]), int(self.z[i, j])
+                xij, zij = int(x[i, j]), int(z[i, j])
                 chars.append({(0, 0): "I", (1, 0): "X", (0, 1): "Z", (1, 1): "Y"}[(xij, zij)])
             out.append(sign + "".join(chars))
         return out
@@ -250,8 +408,9 @@ class CliffordTableau:
     def copy(self) -> "CliffordTableau":
         out = CliffordTableau.__new__(CliffordTableau)
         out.n = self.n
-        out.x = self.x.copy()
-        out.z = self.z.copy()
+        out._w = self._w
+        out.xw = self.xw.copy()
+        out.zw = self.zw.copy()
         out.r = self.r.copy()
         return out
 
@@ -260,8 +419,8 @@ class CliffordTableau:
             return NotImplemented
         return (
             self.n == other.n
-            and bool(np.array_equal(self.x[: 2 * self.n], other.x[: 2 * other.n]))
-            and bool(np.array_equal(self.z[: 2 * self.n], other.z[: 2 * other.n]))
+            and bool(np.array_equal(self.xw[: 2 * self.n], other.xw[: 2 * other.n]))
+            and bool(np.array_equal(self.zw[: 2 * self.n], other.zw[: 2 * other.n]))
             and bool(np.array_equal(self.r[: 2 * self.n], other.r[: 2 * other.n]))
         )
 
@@ -349,8 +508,14 @@ class CliffordTableauSimulationState(SimulationState):
 
     # -- queries -------------------------------------------------------------
     def probability_of(self, bits: Sequence[int]) -> float:
-        """Born probability of a full bitstring (O(n^3); see module note)."""
+        """Born probability of a full bitstring (see module note)."""
         return self.tableau.probability_of(bits)
+
+    def candidate_probabilities(
+        self, bits: Sequence[int], support: Sequence[int]
+    ) -> np.ndarray:
+        """All ``2^k`` candidate probabilities from one shared scratch chain."""
+        return self.tableau.candidate_probabilities(bits, support)
 
     def stabilizer_strings(self) -> List[str]:
         """The current stabilizer generators as signed Pauli strings."""
