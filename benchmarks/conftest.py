@@ -68,6 +68,28 @@ def wall_time(fn: Callable[[], object], repeats: int = 1) -> float:
     return float(np.median(times))
 
 
+def assert_timing_win(fast_seconds: float, slow_seconds: float, label: str) -> None:
+    """Assert a measured speedup, downgraded to a warning on noisy machines.
+
+    Timing comparisons on shared CI runners flip under co-tenant load with
+    no code regression, so ``BGLS_RELAX_TIMING=1`` (set by the CI smoke
+    job) turns a miss into a warning while local/idle runs keep the hard
+    assertion.
+    """
+    if fast_seconds < slow_seconds:
+        return
+    message = (
+        f"{label}: expected a win but measured {fast_seconds:.6f}s vs "
+        f"{slow_seconds:.6f}s"
+    )
+    if os.environ.get("BGLS_RELAX_TIMING") == "1":
+        import warnings
+
+        warnings.warn(message + " (tolerated: BGLS_RELAX_TIMING=1)")
+        return
+    raise AssertionError(message)
+
+
 RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
 
 

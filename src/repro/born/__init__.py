@@ -101,6 +101,30 @@ def candidates_stabilizer_state_many(state, bits_list, support) -> np.ndarray:
     return state.candidate_probabilities_many(bits_list, support)
 
 
+def candidates_state_vector_many(state, bits_list, support) -> np.ndarray:
+    """A ``(B, 2^k)`` candidate-probability matrix via one gather over the
+    flat amplitude tensor — the whole bitstring front in one indexing op."""
+    return state.candidate_probabilities_many(bits_list, support)
+
+
+def candidates_density_matrix_many(state, bits_list, support) -> np.ndarray:
+    """A ``(B, 2^k)`` candidate-probability matrix gathered from the
+    density-matrix diagonal in one fancy-indexed load."""
+    return state.candidate_probabilities_many(bits_list, support)
+
+
+def candidates_tableau_many(state, bits_list, support) -> np.ndarray:
+    """A ``(B, 2^k)`` candidate-probability matrix whose off-support
+    forced-measurement chains are shared across common bitstring prefixes."""
+    return state.candidate_probabilities_many(bits_list, support)
+
+
+def candidates_mps_many(state, bits_list, support) -> np.ndarray:
+    """A ``(B, 2^k)`` candidate-probability matrix with left/right
+    environment tensors cached across the front's shared prefixes."""
+    return state.candidate_probabilities_many(bits_list, support)
+
+
 _CANDIDATE_MAP = {
     compute_probability_state_vector: candidates_state_vector,
     compute_probability_density_matrix: candidates_density_matrix,
@@ -111,9 +135,15 @@ _CANDIDATE_MAP = {
 }
 
 # Backends that can answer a whole {bitstring: multiplicity} front in one
-# call; the parallel-mode sampler prefers these when available.
+# call; the parallel-mode sampler prefers these when available.  Since PR 2
+# every shipped backend implements the batched oracle.
 _MANY_CANDIDATE_MAP = {
+    compute_probability_state_vector: candidates_state_vector_many,
+    compute_probability_density_matrix: candidates_density_matrix_many,
     compute_probability_stabilizer_state: candidates_stabilizer_state_many,
+    compute_probability_tableau: candidates_tableau_many,
+    compute_probability_mps: candidates_mps_many,
+    mps_bitstring_probability: candidates_mps_many,
 }
 
 
@@ -148,11 +178,15 @@ __all__ = [
     "compute_probability_mps",
     "mps_bitstring_probability",
     "candidates_state_vector",
+    "candidates_state_vector_many",
     "candidates_density_matrix",
+    "candidates_density_matrix_many",
     "candidates_stabilizer_state",
     "candidates_stabilizer_state_many",
     "candidates_tableau",
+    "candidates_tableau_many",
     "candidates_mps",
+    "candidates_mps_many",
     "candidate_function_for",
     "many_candidate_function_for",
 ]

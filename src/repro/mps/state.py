@@ -260,6 +260,87 @@ class MPSState(SimulationState):
         """Born probabilities of candidates over ``support`` (unnormalized)."""
         return np.abs(self.candidate_amplitudes(bits, support)) ** 2
 
+    def candidate_probabilities_many(
+        self, bits_list: Sequence[Sequence[int]], support: Sequence[int]
+    ) -> np.ndarray:
+        """A ``(B, 2^k)`` candidate-probability matrix for ``B`` bitstrings.
+
+        The parallel-mode front shares its sliced-network contractions
+        through left/right *environment caches*: the partial contraction of
+        the sites left (right) of the support is keyed by the bit prefix
+        (suffix) that produced it, so bitstrings agreeing on a prefix reuse
+        the same environment tensor instead of re-contracting the chain,
+        and the ``2^k`` candidates of each off-support pattern come from a
+        single contraction with the support legs kept free (as in
+        :meth:`candidate_amplitudes`).  Identical off-support patterns are
+        deduplicated outright.
+        """
+        from ..tensornet.tensor import contract_pair
+
+        n = self.num_qubits
+        support = [int(a) for a in support]
+        k = len(support)
+        base = np.asarray(bits_list, dtype=np.int8)
+        if base.ndim != 2 or base.shape[1] != n:
+            raise ValueError(f"Expected (B, {n}) bitstrings, got {base.shape}")
+        support_set = set(support)
+        off_axes = [a for a in range(n) if a not in support_set]
+        off_bits = base[:, off_axes] if off_axes else base[:, :0]
+        uniq, inverse = np.unique(off_bits, axis=0, return_inverse=True)
+        lo, hi = min(support), max(support)
+        out_inds = [self.i_str(a) for a in support]
+
+        left_cache: Dict[Tuple[int, ...], Tensor] = {}
+        right_cache: Dict[Tuple[int, ...], Tensor] = {}
+
+        def left_env(bits: np.ndarray) -> Optional[Tensor]:
+            env: Optional[Tensor] = None
+            key: Tuple[int, ...] = ()
+            for j in range(lo):
+                key = key + (int(bits[j]),)
+                cached = left_cache.get(key)
+                if cached is None:
+                    sliced = self.tensors[j].isel({self.i_str(j): int(bits[j])})
+                    cached = sliced if env is None else contract_pair(env, sliced)
+                    left_cache[key] = cached
+                env = cached
+            return env
+
+        def right_env(bits: np.ndarray) -> Optional[Tensor]:
+            env: Optional[Tensor] = None
+            key: Tuple[int, ...] = ()
+            for j in range(n - 1, hi, -1):
+                key = (int(bits[j]),) + key
+                cached = right_cache.get(key)
+                if cached is None:
+                    sliced = self.tensors[j].isel({self.i_str(j): int(bits[j])})
+                    cached = sliced if env is None else contract_pair(sliced, env)
+                    right_cache[key] = cached
+                env = cached
+            return env
+
+        out_uniq = np.empty((uniq.shape[0], 2**k))
+        full = np.zeros(n, dtype=np.int8)
+        for row, pattern in enumerate(uniq):
+            full[off_axes] = pattern
+            parts: List[Tensor] = []
+            env_l = left_env(full)
+            if env_l is not None:
+                parts.append(env_l)
+            for j in range(lo, hi + 1):
+                t = self.tensors[j]
+                parts.append(
+                    t if j in support_set else t.isel({self.i_str(j): int(full[j])})
+                )
+            env_r = right_env(full)
+            if env_r is not None:
+                parts.append(env_r)
+            result = self._contract_in_site_order(parts)
+            if result.data.ndim > 0:
+                result = result.transpose_to(out_inds)
+            out_uniq[row] = np.abs(result.data.reshape(-1)) ** 2
+        return out_uniq[inverse]
+
     def renormalize(self) -> None:
         """Rescale to unit norm (after non-unitary linear maps)."""
         norm_sq = self.norm_squared()

@@ -15,6 +15,12 @@ is substantial (many gates, stabilizer branching) and loses below that.
 Factories must be importable (module-level) callables: workers receive
 them by pickling.  Closures and lambdas work only with the ``fork`` start
 method, which is the default used here when the platform provides it.
+
+Seeding is deterministic: chunk ``i``'s worker seed is derived from
+``SeedSequence([user_seed, i])`` (see :func:`_chunk_seeds`), never from
+ambient entropy or sequential draws whose position depends on pool
+geometry, so identically seeded runs with the same worker/chunk
+configuration reproduce bit-for-bit on any platform.
 """
 
 from __future__ import annotations
@@ -52,6 +58,32 @@ def _chunk_sizes(repetitions: int, num_chunks: int) -> List[int]:
     return [base + (1 if i < extra else 0) for i in range(num_chunks)]
 
 
+def _chunk_seeds(
+    seed: Union[int, np.random.Generator, None], num_chunks: int
+) -> List[int]:
+    """Per-chunk worker seeds derived deterministically from the user seed.
+
+    Chunk ``i`` receives the first word of ``SeedSequence([base, i])`` —
+    a stable function of the user seed and the chunk *index* alone, so
+    identically seeded runs hand every worker the same stream, streams of
+    different chunks are statistically independent (unlike raw sequential
+    ``integers()`` draws), and chunk ``i``'s seed does not shift when the
+    total chunk count changes.  ``None`` draws a fresh entropy base;
+    passing a Generator consumes one draw from it for the base.
+    """
+    if isinstance(seed, np.random.Generator):
+        base = int(seed.integers(2**62))
+    elif seed is None:
+        base = int(np.random.SeedSequence().entropy) % 2**62
+    else:
+        base = int(seed)
+    return [
+        int(np.random.SeedSequence([base, i]).generate_state(1, np.uint64)[0])
+        >> 2
+        for i in range(num_chunks)
+    ]
+
+
 def sample_trajectories_parallel(
     factory: SimulatorFactory,
     circuit: Circuit,
@@ -70,8 +102,11 @@ def sample_trajectories_parallel(
         num_workers: Pool size; defaults to ``os.cpu_count()``.
         chunks_per_worker: >1 gives smaller tasks (better load balance,
             more dispatch overhead).
-        seed: Seeds the per-chunk seed stream, making runs reproducible
-            for a fixed worker/chunk configuration.
+        seed: Seeds the per-chunk seed stream.  Worker seeds are derived
+            per chunk index via ``SeedSequence([seed, index])``, so two
+            identically seeded runs with the same worker/chunk
+            configuration produce identical histograms on any platform
+            (no dependence on process scheduling or ambient entropy).
 
     Returns:
         ``(records, bits)`` with the same layout as ``Simulator._execute``:
@@ -82,14 +117,9 @@ def sample_trajectories_parallel(
     if num_workers is None:
         num_workers = os.cpu_count() or 1
     num_workers = max(1, int(num_workers))
-    rng = (
-        seed
-        if isinstance(seed, np.random.Generator)
-        else np.random.default_rng(seed)
-    )
 
     sizes = _chunk_sizes(repetitions, num_workers * max(1, chunks_per_worker))
-    seeds = [int(rng.integers(2**62)) for _ in sizes]
+    seeds = _chunk_seeds(seed, len(sizes))
 
     if num_workers == 1 or len(sizes) == 1:
         parts = [

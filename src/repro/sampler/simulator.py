@@ -29,7 +29,11 @@ each ``_execute`` resolves the circuit once into flat per-op records
 (support axes, cached unitary/stabilizer-sequence/Kraus forms, lazily
 cached diagonal flag, measurement key) so the run loops perform no per-op
 protocol dispatch — a large win in trajectory mode, where the old loop
-re-derived everything per repetition.
+re-derived everything per repetition.  Moments of disjoint single-qubit
+Clifford gates compile into fused records (one batched state update, one
+union-support resampling round; see :mod:`repro.sampler.plan`), and every
+shipped backend answers parallel mode's whole bitstring front through the
+batched ``born.many_candidate_function_for`` oracle.
 """
 
 from __future__ import annotations
@@ -67,6 +71,11 @@ class Simulator:
         skip_diagonal_updates: When True, candidate resampling is skipped
             for gates whose unitary is diagonal (their conditional output
             distribution is unchanged); an optimization ablation.
+        fuse_moments: When True (default), moments of disjoint single-qubit
+            Clifford gates compile into fused records: one batched state
+            update and one union-support resampling round per group.  The
+            sampled distribution is identical; the RNG draw sequence is
+            not, so pass False to reproduce historical per-gate streams.
     """
 
     def __init__(
@@ -78,6 +87,7 @@ class Simulator:
         compute_candidate_probabilities: Optional[Callable] = None,
         seed: Union[int, np.random.Generator, None] = None,
         skip_diagonal_updates: bool = False,
+        fuse_moments: bool = True,
     ):
         self.initial_state = initial_state
         self.apply_op = apply_op
@@ -106,6 +116,7 @@ class Simulator:
             else np.random.default_rng(seed)
         )
         self.skip_diagonal_updates = skip_diagonal_updates
+        self.fuse_moments = fuse_moments
 
     # ------------------------------------------------------------------
     # public API
@@ -176,7 +187,12 @@ class Simulator:
         resolved = circuit.resolve_parameters(param_resolver)
         if resolved._is_parameterized_():
             raise ValueError("Circuit still has unresolved parameters")
-        plan = compile_plan(resolved, self.initial_state, self.apply_op)
+        plan = compile_plan(
+            resolved,
+            self.initial_state,
+            self.apply_op,
+            fuse_moments=self.fuse_moments,
+        )
         if plan.needs_trajectories:
             return self._run_trajectories(plan, repetitions)
         return self._run_parallel(plan, repetitions)

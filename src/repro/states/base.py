@@ -99,6 +99,35 @@ class SimulationState(abc.ABC):
         """Deep copy (fresh RNG unless ``seed`` shares one)."""
 
 
+def candidate_index_matrix(
+    bits_list: Sequence[Sequence[int]], support: Sequence[int], n: int
+) -> np.ndarray:
+    """Flat big-endian indices of every candidate of every bitstring.
+
+    Entry ``[b, idx]`` is the computational-basis index of the candidate
+    that agrees with ``bits_list[b]`` off ``support`` and encodes
+    ``support[pos]`` at bit ``k - 1 - pos`` of ``idx`` (the BGLS
+    convention).  Shared by the dense backends' batched oracles: the
+    returned ``(B, 2^k)`` matrix gathers directly from a flat amplitude
+    vector or a density-matrix diagonal.
+    """
+    base = np.asarray(bits_list, dtype=np.int64)
+    if base.ndim != 2 or base.shape[1] != n:
+        raise ValueError(f"Expected (B, {n}) bitstrings, got {base.shape}")
+    support = [int(a) for a in support]
+    k = len(support)
+    weights = np.left_shift(np.int64(1), n - 1 - np.arange(n, dtype=np.int64))
+    masked = base.copy()
+    masked[:, support] = 0
+    base_idx = masked @ weights
+    patterns = (
+        np.arange(2**k, dtype=np.int64)[:, None]
+        >> np.arange(k - 1, -1, -1, dtype=np.int64)[None, :]
+    ) & 1
+    offsets = patterns @ weights[support]
+    return base_idx[:, None] + offsets[None, :]
+
+
 def bits_to_index(bits: Sequence[int]) -> int:
     """Big-endian bits -> integer index (qubit 0 is the most significant)."""
     index = 0

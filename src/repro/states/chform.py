@@ -150,6 +150,34 @@ class StabilizerChForm:
         self.Mw[q] ^= self.Gw[q]
         self.gamma[q] = (self.gamma[q] + 1) % 4
 
+    def apply_s_many(self, qs: Sequence[int]) -> None:
+        """S on several distinct qubits in one batched row pass."""
+        idx = np.asarray(qs, dtype=np.intp)
+        self.Mw[idx] ^= self.Gw[idx]
+        self.gamma[idx] = (self.gamma[idx] - 1) % 4
+
+    def apply_sdg_many(self, qs: Sequence[int]) -> None:
+        """S-dagger on several distinct qubits in one batched row pass."""
+        idx = np.asarray(qs, dtype=np.intp)
+        self.Mw[idx] ^= self.Gw[idx]
+        self.gamma[idx] = (self.gamma[idx] + 1) % 4
+
+    def apply_z_many(self, qs: Sequence[int]) -> None:
+        """Z on several distinct qubits in one batched pass.
+
+        Sound because Z only flips ``s`` under the Hadamard layer (``v``
+        positions) while each gate's phase count reads ``s`` on the bare
+        (``~v``) positions — so the per-qubit contributions never observe
+        each other's updates and commute into one XOR reduction.
+        """
+        idx = np.asarray(qs, dtype=np.intp)
+        if idx.size == 0:
+            return
+        g_rows = self.Gw[idx]
+        alpha = bp.count_bits(g_rows & ~self.vw[None, :] & self.sw[None, :])
+        self.omega *= _I_POW[(2 * int(alpha)) % 4]
+        self.sw = self.sw ^ np.bitwise_xor.reduce(g_rows & self.vw[None, :], axis=0)
+
     def apply_cz(self, q: int, r: int) -> None:
         """CZ: M_q ^= G_r and M_r ^= G_q (no phase)."""
         if q == r:

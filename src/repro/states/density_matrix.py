@@ -13,7 +13,7 @@ from typing import List, Sequence, Union
 import numpy as np
 
 from ..circuits.qubits import Qid
-from .base import SimulationState
+from .base import SimulationState, candidate_index_matrix
 
 
 class DensityMatrixSimulationState(SimulationState):
@@ -148,6 +148,20 @@ class DensityMatrixSimulationState(SimulationState):
             block.reshape(2**k, 2**k), [0, 0], [0]
         )
         return np.real(diag)
+
+    def candidate_probabilities_many(
+        self, bits_list: Sequence[Sequence[int]], support: Sequence[int]
+    ) -> np.ndarray:
+        """A ``(B, 2^k)`` candidate-probability matrix for ``B`` bitstrings.
+
+        One fancy-indexed gather over the density-matrix diagonal answers
+        the whole tracked-bitstring front of a parallel-mode resampling
+        step; no per-bitstring tensor slicing.
+        """
+        n = self.num_qubits
+        idx = candidate_index_matrix(bits_list, support, n)
+        rho = self.tensor.reshape(2**n, 2**n)
+        return np.real(rho[idx, idx])
 
     def copy(self, seed=None) -> "DensityMatrixSimulationState":
         out = DensityMatrixSimulationState.__new__(DensityMatrixSimulationState)

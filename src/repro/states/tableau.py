@@ -64,6 +64,24 @@ def _g_masks(x1, z1, x2, z2):
     return pos, neg
 
 
+def _scatter_xor_columns(
+    mat: np.ndarray, ws: np.ndarray, bs: np.ndarray, vals: np.ndarray
+) -> None:
+    """XOR per-column 0/1 values into packed columns, one pass per word.
+
+    ``vals[:, j]`` lands at bit ``bs[j]`` of word column ``ws[j]``.  Columns
+    sharing a word are combined first (their bit positions are distinct, so
+    OR equals the XOR sum) and each destination word is touched once —
+    plain fancy-indexed ``^=`` would silently drop duplicate word indices.
+    """
+    shifted = vals << bs[None, :]
+    order = np.argsort(ws, kind="stable")
+    sorted_ws = ws[order]
+    starts = np.flatnonzero(np.r_[True, sorted_ws[1:] != sorted_ws[:-1]])
+    combined = np.bitwise_or.reduceat(shifted[:, order], starts, axis=1)
+    mat[:, sorted_ws[starts]] ^= combined
+
+
 class CliffordTableau:
     """The Aaronson-Gottesman tableau over ``n`` qubits, ``uint64``-packed.
 
@@ -210,6 +228,60 @@ class CliffordTableau:
         self.r ^= (xa & xb & (za ^ zb)).astype(np.uint8)
         self.zw[:, wa] ^= xb << ba
         self.zw[:, wb] ^= xa << bb
+
+    def apply_single_qubit_layer(
+        self, names: Sequence[str], cols: Sequence[int]
+    ) -> None:
+        """Apply one single-qubit Clifford primitive per (distinct) column.
+
+        The whole layer runs as one batched column pass: every column's X/Z
+        bits are gathered with one 2-D fancy index, the sign flips of all
+        gates XOR into ``r`` in one reduction, and the column updates
+        scatter back word-by-word.  This replaces the ~10 small NumPy calls
+        per gate of the scalar kernels with a constant number of calls per
+        *moment* — the per-gate overhead win for circuits below a few
+        hundred qubits.
+        """
+        cols = np.asarray(cols, dtype=np.intp)
+        if cols.size == 0:
+            return
+        if np.unique(cols).size != cols.size:
+            raise ValueError("Layer columns must be distinct qubits")
+        ws = cols >> 6
+        bs = (cols & (bp.WORD_BITS - 1)).astype(np.uint64)
+        xa = (self.xw[:, ws] >> bs[None, :]) & _ONE
+        za = (self.zw[:, ws] >> bs[None, :]) & _ONE
+        flips = np.empty_like(xa)
+        dx = np.zeros_like(xa)
+        dz = np.zeros_like(xa)
+        names_arr = np.asarray(names)
+        if names_arr.shape != cols.shape:
+            raise ValueError("Need exactly one primitive name per column")
+        for name in set(names):
+            sel = names_arr == name
+            x_s, z_s = xa[:, sel], za[:, sel]
+            if name == "H":
+                diff = x_s ^ z_s
+                flips[:, sel] = x_s & z_s
+                dx[:, sel] = diff
+                dz[:, sel] = diff
+            elif name == "S":
+                flips[:, sel] = x_s & z_s
+                dz[:, sel] = x_s
+            elif name == "SDG":
+                flips[:, sel] = x_s & (z_s ^ _ONE)
+                dz[:, sel] = x_s
+            elif name == "X":
+                flips[:, sel] = z_s
+            elif name == "Z":
+                flips[:, sel] = x_s
+            elif name == "Y":
+                flips[:, sel] = x_s ^ z_s
+            else:
+                raise ValueError(f"Unknown single-qubit primitive {name!r}")
+        self.r ^= np.bitwise_xor.reduce(flips, axis=1).astype(np.uint8)
+        _scatter_xor_columns(self.xw, ws, bs, dx)
+        _scatter_xor_columns(self.zw, ws, bs, dz)
 
     def apply_swap(self, a: int, b: int) -> None:
         """SWAP by column exchange (cheaper than three CNOTs)."""
@@ -359,8 +431,7 @@ class CliffordTableau:
         if len(bits) != self.n:
             raise ValueError(f"Expected {self.n} bits, got {len(bits)}")
         support = [int(a) for a in support]
-        k = len(support)
-        out = np.zeros(2**k)
+        out = np.zeros(2 ** len(support))
         support_set = set(support)
         scratch = self.copy()
         prob = 1.0
@@ -371,25 +442,106 @@ class CliffordTableau:
             if factor == 0.0:
                 return out
             prob *= factor
-
-        def fill(tab: "CliffordTableau", pos: int, idx: int, acc: float) -> None:
-            if pos == k:
-                out[idx] = acc
-                return
-            a = support[pos]
-            pivot = tab._random_pivot(a)
-            if pivot is None:
-                forced = tab.deterministic_outcome(a)
-                fill(tab, pos + 1, (idx << 1) | forced, acc)
-                return
-            branch = tab.copy()
-            branch._collapse(a, pivot, 0)
-            fill(branch, pos + 1, idx << 1, acc * 0.5)
-            tab._collapse(a, pivot, 1)
-            fill(tab, pos + 1, (idx << 1) | 1, acc * 0.5)
-
-        fill(scratch, 0, 0, prob)
+        self._fill_support(scratch, support, 0, 0, prob, out)
         return out
+
+    def _fill_support(
+        self,
+        tab: "CliffordTableau",
+        support: Sequence[int],
+        pos: int,
+        idx: int,
+        acc: float,
+        out_row: np.ndarray,
+    ) -> None:
+        """Branch the support qubits of a projected scratch tableau.
+
+        Forced outcomes follow without copies; random outcomes split the
+        tableau once per coin flip (probability halves each time).
+        """
+        if pos == len(support):
+            out_row[idx] = acc
+            return
+        a = support[pos]
+        pivot = tab._random_pivot(a)
+        if pivot is None:
+            forced = tab.deterministic_outcome(a)
+            self._fill_support(
+                tab, support, pos + 1, (idx << 1) | forced, acc, out_row
+            )
+            return
+        branch = tab.copy()
+        branch._collapse(a, pivot, 0)
+        self._fill_support(branch, support, pos + 1, idx << 1, acc * 0.5, out_row)
+        tab._collapse(a, pivot, 1)
+        self._fill_support(
+            tab, support, pos + 1, (idx << 1) | 1, acc * 0.5, out_row
+        )
+
+    def candidate_probabilities_many(
+        self, bits_list: Sequence[Sequence[int]], support: Sequence[int]
+    ) -> np.ndarray:
+        """A ``(B, 2^k)`` candidate-probability matrix for ``B`` bitstrings.
+
+        The off-support forced-measurement chains of the whole tracked
+        front are shared through a prefix tree: bitstrings are first
+        deduplicated on their off-support bits (candidate rows of equal
+        off-support patterns are identical), then the projection chain
+        walks qubits in ascending order and only copies the scratch
+        tableau where two patterns actually diverge.  A front of ``B``
+        bitstrings therefore costs one chain for the common prefix plus
+        one sub-chain per divergence, instead of ``B`` full chains.
+        """
+        support = [int(a) for a in support]
+        k = len(support)
+        base = np.asarray(bits_list, dtype=np.uint8)
+        if base.ndim != 2 or base.shape[1] != self.n:
+            raise ValueError(
+                f"Expected (B, {self.n}) bitstrings, got {base.shape}"
+            )
+        if base.shape[0] == 1:
+            # Trajectory-mode hot path: skip dedup/grouping for one string.
+            return self.candidate_probabilities(list(base[0]), support)[None, :]
+        support_set = set(support)
+        off_axes = [a for a in range(self.n) if a not in support_set]
+        off_bits = base[:, off_axes]
+        uniq, inverse = np.unique(off_bits, axis=0, return_inverse=True)
+        out_uniq = np.zeros((uniq.shape[0], 2**k))
+
+        # Iterative prefix walk (one Python frame would otherwise be spent
+        # per off-support qubit — a RecursionError past ~1000 qubits).  The
+        # stack holds only divergence branches; the all-agree case advances
+        # in place.
+        stack = [(self.copy(), 0, 1.0, np.arange(uniq.shape[0]))]
+        while stack:
+            tab, depth, acc, rows = stack.pop()
+            annihilated = False
+            while depth < len(off_axes):
+                a = off_axes[depth]
+                bits_here = uniq[rows, depth]
+                ones = bits_here == 1
+                if ones.all() or not ones.any():
+                    factor = tab.project_measurement(a, int(bits_here[0]))
+                else:
+                    zero_tab = tab.copy()
+                    zero_factor = zero_tab.project_measurement(a, 0)
+                    if zero_factor != 0.0:
+                        stack.append(
+                            (zero_tab, depth + 1, acc * zero_factor, rows[~ones])
+                        )
+                    rows = rows[ones]
+                    factor = tab.project_measurement(a, 1)
+                if factor == 0.0:
+                    annihilated = True
+                    break
+                acc *= factor
+                depth += 1
+            if not annihilated:
+                # Distinct off-support patterns: exactly one row per leaf.
+                self._fill_support(
+                    tab, support, 0, 0, acc, out_uniq[int(rows[0])]
+                )
+        return out_uniq[inverse]
 
     def stabilizer_strings(self) -> List[str]:
         """Human-readable stabilizer generators (e.g. ``['+XX', '-ZZ']``)."""
@@ -482,6 +634,28 @@ class CliffordTableauSimulationState(SimulationState):
             except KeyError:  # pragma: no cover - defensive
                 raise ValueError(f"Unknown tableau primitive {name!r}") from None
 
+    def apply_single_qubit_moment(
+        self, seqs: Sequence, axes: Sequence[int]
+    ) -> None:
+        """Apply one single-qubit Clifford gate per (disjoint) axis, batched.
+
+        ``seqs[i]`` is ``(phase, [primitive, ...])`` — the gate on
+        ``axes[i]`` as a sequence of single-qubit primitives.  The gates
+        are layered (j-th primitive of every axis together) and each layer
+        runs as one :meth:`CliffordTableau.apply_single_qubit_layer` column
+        pass.  Global phases are not representable and are dropped, as in
+        :meth:`apply_stabilizer_sequence`.
+        """
+        depth = max(len(prims) for _, prims in seqs)
+        for layer in range(depth):
+            names = []
+            cols = []
+            for (_, prims), axis in zip(seqs, axes):
+                if layer < len(prims):
+                    names.append(prims[layer])
+                    cols.append(axis)
+            self.tableau.apply_single_qubit_layer(names, cols)
+
     # -- SimulationState interface ------------------------------------------
     def apply_unitary(self, u: np.ndarray, axes: Sequence[int]) -> None:
         raise ValueError(
@@ -516,6 +690,13 @@ class CliffordTableauSimulationState(SimulationState):
     ) -> np.ndarray:
         """All ``2^k`` candidate probabilities from one shared scratch chain."""
         return self.tableau.candidate_probabilities(bits, support)
+
+    def candidate_probabilities_many(
+        self, bits_list: Sequence[Sequence[int]], support: Sequence[int]
+    ) -> np.ndarray:
+        """Candidate probabilities for many tracked bitstrings at once,
+        sharing the off-support projection chain across common prefixes."""
+        return self.tableau.candidate_probabilities_many(bits_list, support)
 
     def stabilizer_strings(self) -> List[str]:
         """The current stabilizer generators as signed Pauli strings."""

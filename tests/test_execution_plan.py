@@ -162,3 +162,113 @@ class TestPlannedExecutionMatchesBackends:
         result = sim.run(circuit, repetitions=300)
         frac = float(result.measurements["m"].mean())
         assert 0.35 < frac < 0.65
+
+
+class TestMomentFusion:
+    """Moments of disjoint single-qubit Clifford gates compile fused."""
+
+    def test_moment_of_singles_fuses_into_one_record(self):
+        from repro.sampler.plan import FusedOpRecord
+
+        qs = cirq.LineQubit.range(4)
+        circuit = cirq.Circuit(
+            [cirq.H(qs[0]), cirq.S(qs[1]), cirq.X(qs[2]), cirq.Z(qs[3])]
+        )
+        plan = compile_plan(circuit, StateVectorSimulationState(qs), act_on)
+        assert len(plan.records) == 1
+        rec = plan.records[0]
+        assert type(rec) is FusedOpRecord
+        assert rec.support == (0, 1, 2, 3)
+        assert not rec.is_diagonal()  # H and X are not diagonal
+
+    def test_diagonal_only_group_reports_diagonal(self):
+        qs = cirq.LineQubit.range(2)
+        circuit = cirq.Circuit([cirq.Z(qs[0]), cirq.S(qs[1])])
+        plan = compile_plan(circuit, StateVectorSimulationState(qs), act_on)
+        assert plan.records[0].is_diagonal()
+
+    def test_group_size_is_capped(self):
+        from repro.sampler.plan import MAX_FUSED_SUPPORT, FusedOpRecord
+
+        n = MAX_FUSED_SUPPORT + 3
+        qs = cirq.LineQubit.range(n)
+        circuit = cirq.Circuit([cirq.H(q) for q in qs])
+        plan = compile_plan(circuit, StateVectorSimulationState(qs), act_on)
+        assert len(plan.records) == 2
+        assert type(plan.records[0]) is FusedOpRecord
+        assert len(plan.records[0].records) == MAX_FUSED_SUPPORT
+        assert len(plan.records[1].records) == 3
+
+    def test_non_clifford_and_multiqubit_ops_stay_unfused(self):
+        from repro.sampler.plan import FusedOpRecord
+
+        qs = cirq.LineQubit.range(4)
+        circuit = cirq.Circuit(
+            [cirq.H(qs[0]), cirq.T(qs[1]), cirq.CNOT(qs[2], qs[3])]
+        )
+        plan = compile_plan(circuit, StateVectorSimulationState(qs), act_on)
+        assert not any(type(r) is FusedOpRecord for r in plan.records)
+        assert len(plan.records) == 3
+
+    def test_fusion_disabled_flags(self):
+        from repro.sampler.plan import FusedOpRecord
+
+        qs = cirq.LineQubit.range(3)
+        circuit = cirq.Circuit([cirq.H(q) for q in qs])
+        plan = compile_plan(
+            circuit, StateVectorSimulationState(qs), act_on, fuse_moments=False
+        )
+        assert len(plan.records) == 3
+
+        def custom(op, state):  # pragma: no cover - never called
+            act_on(op, state)
+
+        plan = compile_plan(circuit, StateVectorSimulationState(qs), custom)
+        assert not any(type(r) is FusedOpRecord for r in plan.records)
+
+    @pytest.mark.parametrize(
+        "make_state",
+        [
+            StateVectorSimulationState,
+            StabilizerChFormSimulationState,
+            CliffordTableauSimulationState,
+        ],
+    )
+    def test_fused_apply_reaches_same_state(self, make_state):
+        """plan.apply on fused records == sequential per-gate application."""
+        qs = cirq.LineQubit.range(5)
+        circuit = cirq.Circuit(
+            [cirq.H(qs[0]), cirq.S(qs[1]), cirq.Y(qs[2]), cirq.Z(qs[3]),
+             cirq.X(qs[4])]
+        )
+        fused_state = make_state(qs)
+        plain_state = make_state(qs)
+        plan = compile_plan(circuit, fused_state, act_on)
+        for rec in plan.records:
+            plan.apply(rec, fused_state, act_on)
+        for op in circuit.all_operations():
+            act_on(op, plain_state)
+        bits_list = [[0] * 5, [1, 0, 1, 0, 1], [1] * 5]
+        np.testing.assert_allclose(
+            fused_state.candidate_probabilities_many(bits_list, [0, 2, 4]),
+            plain_state.candidate_probabilities_many(bits_list, [0, 2, 4]),
+            atol=1e-12,
+        )
+
+    def test_fused_sampling_matches_unfused_distribution(self):
+        qs = cirq.LineQubit.range(5)
+        circuit = cirq.random_clifford_circuit(qs, 20, random_state=5)
+        reps = 2000
+        hists = []
+        for fuse in (True, False):
+            sim = bgls.Simulator(
+                StabilizerChFormSimulationState(qs),
+                bgls.act_on,
+                born.compute_probability_stabilizer_state,
+                seed=21,
+                fuse_moments=fuse,
+            )
+            bits = sim.sample_bitstrings(circuit, repetitions=reps)
+            idx = bits @ (1 << np.arange(4, -1, -1))
+            hists.append(np.bincount(idx, minlength=32) / reps)
+        assert 0.5 * np.abs(hists[0] - hists[1]).sum() < 0.07
