@@ -44,11 +44,15 @@ from .mps import MPSOptions, MPSState
 from .protocols import act_on, has_stabilizer_effect
 from .sampler import (
     ExactDistributionSampler,
+    ProcessPoolExecutor,
+    Program,
     QubitByQubitSimulator,
     Result,
+    SerialExecutor,
     Simulator,
     act_on_near_clifford,
     plot_state_histogram,
+    program_cache_info,
 )
 from .states import (
     CliffordTableau,
@@ -57,6 +61,8 @@ from .states import (
     StabilizerChForm,
     StabilizerChFormSimulationState,
     StateVectorSimulationState,
+    capabilities_for,
+    register_backend,
 )
 
 __version__ = "1.0.0"
@@ -83,6 +89,12 @@ __all__ = [
     "act_on",
     "has_stabilizer_effect",
     "Simulator",
+    "Program",
+    "program_cache_info",
+    "SerialExecutor",
+    "ProcessPoolExecutor",
+    "register_backend",
+    "capabilities_for",
     "Result",
     "plot_state_histogram",
     "QubitByQubitSimulator",

@@ -32,9 +32,17 @@ from ..circuits import (
     Symbol,
     measure,
 )
+from .sampling import sample_bits as _sample_bits
 
 SamplerFn = Callable[[Circuit, int], np.ndarray]
-"""A function ``(resolved_circuit, repetitions) -> (reps, n) bit array``."""
+"""A function ``(resolved_circuit, repetitions) -> (reps, n) bit array``.
+
+Everywhere a ``SamplerFn`` is accepted, a
+:class:`repro.sampler.Simulator` works too: sweeps then go through its
+``sample_bitstrings_sweep`` API, which compiles the parameterized
+template once and re-specializes only the resolver-dependent gates per
+grid point instead of recompiling the whole circuit per point.
+"""
 
 
 def random_graph(
@@ -132,16 +140,33 @@ def sweep_parameters(
     """Average cut for every (gamma, beta) grid point (paper Fig. 9a).
 
     Returns an array of shape ``(len(gammas), len(betas))``.
+
+    With a :class:`repro.sampler.Simulator` as ``sampler`` the whole grid
+    runs through ``sample_bitstrings_sweep``: the template compiles once
+    and every (gamma, beta) point re-specializes just its Rz/Rx records —
+    the parameter-scan fast path the Program cache exists for.
     """
     gamma_s, beta_s = Symbol("gamma"), Symbol("beta")
     template = qaoa_maxcut_circuit(graph, gamma_s, beta_s, layers=layers)
+    if hasattr(sampler, "sample_bitstrings_sweep"):
+        resolvers = [
+            ParamResolver({"gamma": float(g), "beta": float(b)})
+            for g in gammas
+            for b in betas
+        ]
+        sweeps = sampler.sample_bitstrings_sweep(
+            template, resolvers, repetitions=repetitions
+        )
+        return np.asarray(
+            [average_cut(graph, samples) for samples in sweeps]
+        ).reshape(len(gammas), len(betas))
     grid = np.empty((len(gammas), len(betas)))
     for i, gamma in enumerate(gammas):
         for j, beta in enumerate(betas):
             resolved = template.resolve_parameters(
                 ParamResolver({"gamma": gamma, "beta": beta})
             )
-            samples = sampler(resolved, repetitions)
+            samples = _sample_bits(sampler, resolved, repetitions)
             grid[i, j] = average_cut(graph, samples)
     return grid
 
@@ -168,7 +193,7 @@ def solve_maxcut(
     best_gamma, best_beta = float(gammas[gi]), float(betas[bj])
 
     final_circuit = qaoa_maxcut_circuit(graph, best_gamma, best_beta, layers=layers)
-    samples = sampler(final_circuit, final_repetitions)
+    samples = _sample_bits(sampler, final_circuit, final_repetitions)
     cuts = np.asarray([cut_value(graph, row) for row in samples])
     best_row = int(np.argmax(cuts))
     return QAOAResult(

@@ -1,0 +1,18 @@
+"""Shared sampler adaptation for the application modules.
+
+The apps accept either a plain ``SamplerFn`` — ``(resolved_circuit,
+repetitions) -> (reps, n) bit array`` — or a
+:class:`repro.sampler.Simulator`, which additionally unlocks the cached
+parameter-sweep fast path where an app sweeps a template.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def sample_bits(sampler, circuit, repetitions: int) -> np.ndarray:
+    """Draw final bitstrings from a SamplerFn or a BGLS Simulator."""
+    if hasattr(sampler, "sample_bitstrings"):
+        return sampler.sample_bitstrings(circuit, repetitions)
+    return sampler(circuit, repetitions)

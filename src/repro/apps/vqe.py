@@ -33,9 +33,13 @@ from ..circuits import (
     Symbol,
     measure,
 )
+from .sampling import sample_bits as _sample_bits
 
 SamplerFn = Callable[[Circuit, int], np.ndarray]
-"""``(resolved_circuit, repetitions) -> (reps, n) bit array``."""
+"""``(resolved_circuit, repetitions) -> (reps, n) bit array``.
+
+A :class:`repro.sampler.Simulator` is accepted anywhere a ``SamplerFn``
+is (drawn through its ``sample_bitstrings`` API)."""
 
 
 @dataclass(frozen=True)
@@ -228,8 +232,8 @@ def optimize_tfim(
         ).resolve_parameters(resolver)
         best_energy = energy_from_samples(
             problem,
-            sampler(z_circuit, repetitions),
-            sampler(x_circuit, repetitions),
+            _sample_bits(sampler, z_circuit, repetitions),
+            _sample_bits(sampler, x_circuit, repetitions),
         )
 
     return VQEResult(

@@ -6,6 +6,14 @@ shipped here, batched *candidate* versions exist that compute all ``2^k``
 candidate probabilities of a gate's support in one vectorized slice or
 contraction; :func:`candidate_function_for` maps the scalar function to its
 batched sibling so the Simulator can use the fast path automatically.
+
+Dispatch flows through the backend capability registry
+(:mod:`repro.states.registry`): importing this module registers the five
+shipped backends, binding each scalar function to its batched siblings and
+declaring the application fast paths the execution planner may use.  User
+backends get identical treatment by calling
+:func:`repro.states.registry.register_backend` — there is no privileged
+shipped-backend table anymore.
 """
 
 from __future__ import annotations
@@ -15,6 +23,7 @@ from typing import Callable, Optional, Sequence
 import numpy as np
 
 from ..mps.state import MPSState
+from ..states import registry
 from ..states.density_matrix import DensityMatrixSimulationState
 from ..states.stabilizer import StabilizerChFormSimulationState
 from ..states.state_vector import StateVectorSimulationState
@@ -125,38 +134,62 @@ def candidates_mps_many(state, bits_list, support) -> np.ndarray:
     return state.candidate_probabilities_many(bits_list, support)
 
 
-_CANDIDATE_MAP = {
-    compute_probability_state_vector: candidates_state_vector,
-    compute_probability_density_matrix: candidates_density_matrix,
-    compute_probability_stabilizer_state: candidates_stabilizer_state,
-    compute_probability_tableau: candidates_tableau,
-    compute_probability_mps: candidates_mps,
-    mps_bitstring_probability: candidates_mps,
-}
-
-# Backends that can answer a whole {bitstring: multiplicity} front in one
-# call; the parallel-mode sampler prefers these when available.  Since PR 2
-# every shipped backend implements the batched oracle.
-_MANY_CANDIDATE_MAP = {
-    compute_probability_state_vector: candidates_state_vector_many,
-    compute_probability_density_matrix: candidates_density_matrix_many,
-    compute_probability_stabilizer_state: candidates_stabilizer_state_many,
-    compute_probability_tableau: candidates_tableau_many,
-    compute_probability_mps: candidates_mps_many,
-    mps_bitstring_probability: candidates_mps_many,
-}
+# Shipped-backend registrations: one descriptor per backend, declaring the
+# scalar oracle, both batched siblings, and (by introspection) the
+# application fast paths.  Every later lookup — the Simulator's candidate
+# resolution, the planner's fast-path flags, the pooled executor's
+# snapshots — reads these descriptors; there is no other dispatch table.
+registry.register_backend(
+    StateVectorSimulationState,
+    name="state_vector",
+    compute_probability=compute_probability_state_vector,
+    candidates=candidates_state_vector,
+    candidates_many=candidates_state_vector_many,
+)
+registry.register_backend(
+    DensityMatrixSimulationState,
+    name="density_matrix",
+    compute_probability=compute_probability_density_matrix,
+    candidates=candidates_density_matrix,
+    candidates_many=candidates_density_matrix_many,
+)
+registry.register_backend(
+    StabilizerChFormSimulationState,
+    name="stabilizer_ch_form",
+    compute_probability=compute_probability_stabilizer_state,
+    candidates=candidates_stabilizer_state,
+    candidates_many=candidates_stabilizer_state_many,
+)
+registry.register_backend(
+    CliffordTableauSimulationState,
+    name="clifford_tableau",
+    compute_probability=compute_probability_tableau,
+    candidates=candidates_tableau,
+    candidates_many=candidates_tableau_many,
+)
+registry.register_backend(
+    MPSState,
+    name="mps",
+    compute_probability=compute_probability_mps,
+    scalar_aliases=(mps_bitstring_probability,),
+    candidates=candidates_mps,
+    candidates_many=candidates_mps_many,
+)
 
 
 def candidate_function_for(
     compute_probability: Callable,
 ) -> Optional[Callable]:
-    """The batched candidate function matching a known scalar function.
+    """The batched candidate function matching a registered scalar function.
 
-    Returns None for user-supplied probability functions, in which case the
-    Simulator falls back to a per-candidate loop (still correct, just not
-    vectorized).
+    Returns None for unregistered (user-supplied) probability functions, in
+    which case the Simulator falls back to a per-candidate loop (still
+    correct, just not vectorized).  Registering a backend via
+    :func:`repro.states.registry.register_backend` makes its functions
+    resolvable here exactly like the shipped ones.
     """
-    return _CANDIDATE_MAP.get(compute_probability)
+    caps = registry.capabilities_for_probability_fn(compute_probability)
+    return caps.candidates if caps is not None else None
 
 
 def many_candidate_function_for(
@@ -167,7 +200,8 @@ def many_candidate_function_for(
     Signature of the returned function:
     ``(state, bits_list, support) -> (len(bits_list), 2^k) ndarray``.
     """
-    return _MANY_CANDIDATE_MAP.get(compute_probability)
+    caps = registry.capabilities_for_probability_fn(compute_probability)
+    return caps.candidates_many if caps is not None else None
 
 
 __all__ = [

@@ -53,6 +53,48 @@ class MPSState(SimulationState):
             self.tensors.append(Tensor(vec, (self.i_str(k),)))
         self._bond_counter = 0
         self.estimated_fidelity = 1.0
+        self._init_env_caches()
+
+    # -- environment caches (live across gates of one run) -------------------
+    _ENV_CACHE_MAX = 8192
+    """Safety cap on cached environment tensors; a full clear past this
+    bound keeps memory proportional to the tracked front, not the run."""
+
+    def _init_env_caches(self) -> None:
+        # Left entries are keyed by the bit prefix (b_0..b_{L-1}) and hold
+        # the contraction of sites 0..L-1 sliced to those bits; right
+        # entries mirror that from the chain's other end.  Both depend only
+        # on the *tensors* of the sites they cover, so they stay valid
+        # across gates — and across whole candidate_probabilities_many
+        # calls — until a gate touches a covered site.
+        self._left_env_cache: Dict[Tuple[int, ...], Tensor] = {}
+        self._right_env_cache: Dict[Tuple[int, ...], Tensor] = {}
+        self.env_cache_hits = 0
+        self.env_cache_misses = 0
+
+    def _invalidate_envs(self, lo_axis: int, hi_axis: int) -> None:
+        """Drop environments covering any site in ``[lo_axis, hi_axis]``.
+
+        A left entry of key length ``L`` covers sites ``0..L-1`` — stale
+        iff ``L > lo_axis``; a right entry of length ``L`` covers sites
+        ``n-L..n-1`` — stale iff ``L >= n - hi_axis``.  Everything else
+        (prefixes strictly left of the gate, suffixes strictly right of
+        it) survives, which is the whole point: a two-qubit gate on bond
+        ``(j, j+1)`` keeps all environments outside that bond alive.
+        """
+        if self._left_env_cache:
+            self._left_env_cache = {
+                key: env
+                for key, env in self._left_env_cache.items()
+                if len(key) <= lo_axis
+            }
+        if self._right_env_cache:
+            keep = self.num_qubits - hi_axis
+            self._right_env_cache = {
+                key: env
+                for key, env in self._right_env_cache.items()
+                if len(key) < keep
+            }
 
     # -- index bookkeeping ---------------------------------------------------
     def i_str(self, k: int) -> str:
@@ -91,6 +133,7 @@ class MPSState(SimulationState):
             )
 
     def _apply_one_qubit(self, u: np.ndarray, axis: int) -> None:
+        self._invalidate_envs(axis, axis)
         phys = self.i_str(axis)
         gate = Tensor(u.reshape(2, 2), (phys + "'", phys))
         site = self.tensors[axis]
@@ -98,6 +141,7 @@ class MPSState(SimulationState):
         self.tensors[axis] = merged.reindex({phys + "'": phys})
 
     def _apply_two_qubit(self, u: np.ndarray, a: int, b: int) -> None:
+        self._invalidate_envs(min(a, b), max(a, b))
         pa, pb = self.i_str(a), self.i_str(b)
         gate = Tensor(u.reshape(2, 2, 2, 2), (pa + "'", pb + "'", pa, pb))
         ta, tb = self.tensors[a], self.tensors[b]
@@ -164,6 +208,9 @@ class MPSState(SimulationState):
         self.tensors = chosen.tensors
         self._bond_counter = chosen._bond_counter
         self.estimated_fidelity = chosen.estimated_fidelity
+        # The whole tensor list was swapped out; no environment survives.
+        self._left_env_cache.clear()
+        self._right_env_cache.clear()
         # Renormalize by the branch weight.
         self.tensors[0] = Tensor(
             self.tensors[0].data / math.sqrt(weights[choice]),
@@ -274,6 +321,15 @@ class MPSState(SimulationState):
         single contraction with the support legs kept free (as in
         :meth:`candidate_amplitudes`).  Identical off-support patterns are
         deduplicated outright.
+
+        The caches live on the state and survive *across gates of one
+        run*: an environment depends only on the tensors of the sites it
+        covers, so applying a gate invalidates just the prefixes reaching
+        into the gate's site range (:meth:`_invalidate_envs`) and every
+        other entry is reused by later gates' fronts — e.g. a gate at the
+        right end of the chain re-pays none of its left environments.
+        ``env_cache_hits``/``env_cache_misses`` count lookups for the
+        regression tests and the environment-cache benchmark.
         """
         from ..tensornet.tensor import contract_pair
 
@@ -290,8 +346,14 @@ class MPSState(SimulationState):
         lo, hi = min(support), max(support)
         out_inds = [self.i_str(a) for a in support]
 
-        left_cache: Dict[Tuple[int, ...], Tensor] = {}
-        right_cache: Dict[Tuple[int, ...], Tensor] = {}
+        if (
+            len(self._left_env_cache) > self._ENV_CACHE_MAX
+            or len(self._right_env_cache) > self._ENV_CACHE_MAX
+        ):
+            self._left_env_cache.clear()
+            self._right_env_cache.clear()
+        left_cache = self._left_env_cache
+        right_cache = self._right_env_cache
 
         def left_env(bits: np.ndarray) -> Optional[Tensor]:
             env: Optional[Tensor] = None
@@ -300,9 +362,12 @@ class MPSState(SimulationState):
                 key = key + (int(bits[j]),)
                 cached = left_cache.get(key)
                 if cached is None:
+                    self.env_cache_misses += 1
                     sliced = self.tensors[j].isel({self.i_str(j): int(bits[j])})
                     cached = sliced if env is None else contract_pair(env, sliced)
                     left_cache[key] = cached
+                else:
+                    self.env_cache_hits += 1
                 env = cached
             return env
 
@@ -313,9 +378,12 @@ class MPSState(SimulationState):
                 key = (int(bits[j]),) + key
                 cached = right_cache.get(key)
                 if cached is None:
+                    self.env_cache_misses += 1
                     sliced = self.tensors[j].isel({self.i_str(j): int(bits[j])})
                     cached = sliced if env is None else contract_pair(sliced, env)
                     right_cache[key] = cached
+                else:
+                    self.env_cache_hits += 1
                 env = cached
             return env
 
@@ -346,6 +414,7 @@ class MPSState(SimulationState):
         norm_sq = self.norm_squared()
         if norm_sq <= 0:
             raise ValueError("Cannot renormalize the zero state")
+        self._invalidate_envs(0, 0)
         self.tensors[0] = Tensor(
             self.tensors[0].data / math.sqrt(norm_sq), self.tensors[0].inds
         )
@@ -364,12 +433,13 @@ class MPSState(SimulationState):
         return result.data.reshape(-1)
 
     def copy(self, seed=None) -> "MPSState":
-        out = MPSState.__new__(MPSState)
+        out = type(self).__new__(type(self))  # preserve subclasses
         SimulationState.__init__(out, self.qubits, seed)
         out.options = self.options
         out.tensors = [Tensor(t.data.copy(), t.inds) for t in self.tensors]
         out._bond_counter = self._bond_counter
         out.estimated_fidelity = self.estimated_fidelity
+        out._init_env_caches()
         return out
 
     def __repr__(self) -> str:

@@ -1,7 +1,8 @@
 """The BGLS sampler: gate-by-gate sampling, baselines, sum-over-Cliffords,
-process-parallel trajectories."""
+cached Programs, pluggable executors, process-parallel trajectories."""
 
 from .baseline import ExactDistributionSampler, QubitByQubitSimulator
+from .executors import Executor, ProcessPoolExecutor, SerialExecutor
 from .near_clifford import (
     act_on_near_clifford,
     count_non_clifford_gates,
@@ -11,6 +12,13 @@ from .near_clifford import (
 )
 from .parallel import run_parallel, sample_trajectories_parallel
 from .plan import ExecutionPlan, OpRecord, compile_plan
+from .program import (
+    Program,
+    circuit_fingerprint,
+    clear_program_cache,
+    compiled_program,
+    program_cache_info,
+)
 from .results import Result, plot_state_histogram
 from .simulator import Simulator
 from .stabilizer_noise import (
@@ -23,6 +31,14 @@ __all__ = [
     "ExecutionPlan",
     "OpRecord",
     "compile_plan",
+    "Program",
+    "circuit_fingerprint",
+    "compiled_program",
+    "program_cache_info",
+    "clear_program_cache",
+    "Executor",
+    "SerialExecutor",
+    "ProcessPoolExecutor",
     "Result",
     "plot_state_histogram",
     "QubitByQubitSimulator",

@@ -1,0 +1,368 @@
+"""Pluggable execution strategies: serial, chunked, and process-pooled.
+
+The :class:`~repro.sampler.simulator.Simulator` owns the *algorithm*
+(parallel-front evolution or quantum trajectories over a compiled
+:class:`~repro.sampler.plan.ExecutionPlan`); an :class:`Executor` owns the
+*strategy* — where and in how many pieces that algorithm runs:
+
+* :class:`SerialExecutor` — in-process.  With ``chunks > 1`` the
+  repetitions split into deterministic chunks whose RNGs derive from
+  ``SeedSequence([base_seed, chunk_index])`` (the PR-2 worker-seed
+  scheme), which makes its output bit-for-bit identical to a pooled run
+  with the same chunk count — the executor-parity contract the test suite
+  pins.
+* :class:`ProcessPoolExecutor` — the same chunk geometry fanned out over
+  a process pool.  The compiled plan, a packed snapshot of the initial
+  state, and the simulator configuration ship to each worker exactly once
+  through the pool *initializer* (with the ``fork`` start method they are
+  inherited copy-on-write and not pickled at all); each task then carries
+  only ``(chunk_size, chunk_seed)`` — two integers — so trajectory
+  workers start in O(1) instead of re-pickling the circuit and state per
+  task, closing the ROADMAP "process-pool shared-state startup" item.
+
+Chunk seeding is deterministic: with an integer simulator seed, chunk
+``i`` always receives ``SeedSequence([seed, i])`` regardless of pool
+geometry or scheduling, so identically-seeded runs reproduce bit-for-bit
+(and repeated ``run`` calls on one simulator return identical samples —
+the same contract as :func:`repro.sampler.parallel.sample_trajectories_parallel`).
+
+Pooled execution requires picklable components: a module-level
+``apply_op`` and ``compute_probability`` (the shipped ``act_on`` and
+``born`` functions qualify) and a state whose registry descriptor either
+pickles directly or provides ``snapshot``/``restore`` hooks.
+"""
+
+from __future__ import annotations
+
+import abc
+import multiprocessing
+import os
+from concurrent import futures as _cf
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..states.registry import capabilities_for
+from .plan import ExecutionPlan
+
+RunParts = Tuple[Dict[str, np.ndarray], np.ndarray]
+
+
+# ----------------------------------------------------------------------
+# chunk geometry and deterministic seeding (shared by every strategy)
+# ----------------------------------------------------------------------
+
+def _chunk_sizes(repetitions: int, num_chunks: int) -> List[int]:
+    """Split ``repetitions`` into at most ``num_chunks`` near-equal parts."""
+    num_chunks = min(num_chunks, repetitions)
+    base, extra = divmod(repetitions, num_chunks)
+    return [base + (1 if i < extra else 0) for i in range(num_chunks)]
+
+
+def _chunk_seeds(
+    seed: Union[int, np.random.Generator, None], num_chunks: int
+) -> List[int]:
+    """Per-chunk seeds derived deterministically from the user seed.
+
+    Chunk ``i`` receives the first word of ``SeedSequence([base, i])`` —
+    a stable function of the user seed and the chunk *index* alone, so
+    identically seeded runs hand every chunk the same stream, streams of
+    different chunks are statistically independent, and chunk ``i``'s
+    seed does not shift when the total chunk count changes.  ``None``
+    draws a fresh entropy base; passing a Generator consumes one draw
+    from it for the base.
+    """
+    base = _base_seed(seed)
+    return [
+        int(np.random.SeedSequence([base, i]).generate_state(1, np.uint64)[0])
+        >> 2
+        for i in range(num_chunks)
+    ]
+
+
+def _base_seed(seed: Union[int, np.random.Generator, None]) -> int:
+    """Collapse a user seed argument to one non-negative integer base."""
+    if isinstance(seed, np.random.Generator):
+        return int(seed.integers(2**62))
+    if seed is None:
+        return int(np.random.SeedSequence().entropy) % 2**62
+    return int(seed)
+
+
+def _merge_parts(parts: List[RunParts]) -> RunParts:
+    """Concatenate per-chunk (records, bits) outputs in chunk order."""
+    if len(parts) == 1:
+        return parts[0]
+    all_bits = np.concatenate([bits for _, bits in parts], axis=0)
+    keys = parts[0][0].keys()
+    records = {
+        key: np.concatenate([rec[key] for rec, _ in parts], axis=0)
+        for key in keys
+    }
+    return records, all_bits
+
+
+def _dispatch(simulator, plan: ExecutionPlan, repetitions: int, rng) -> RunParts:
+    """Run one chunk through the plan's required mode."""
+    if plan.needs_trajectories:
+        return simulator._run_trajectories(plan, repetitions, rng=rng)
+    return simulator._run_parallel(plan, repetitions, rng=rng)
+
+
+def _main_is_importable() -> bool:
+    """Whether ``__main__`` can be re-imported by a forkserver/spawn child.
+
+    Both start methods replay the parent's ``__main__`` from its file
+    path; interactive sessions and stdin scripts have none (or a
+    placeholder like ``<stdin>``), which kills the worker at startup.
+    """
+    import sys
+
+    main = sys.modules.get("__main__")
+    path = getattr(main, "__file__", None)
+    return path is not None and os.path.exists(path)
+
+
+def _pool_context(start_method: Optional[str]):
+    """A multiprocessing context, preferring the requested start method.
+
+    Falls back to ``fork`` (when available) if the requested method is
+    unavailable on the platform, or if it would need to re-import an
+    un-importable ``__main__`` (REPL / stdin parents).
+    """
+    available = multiprocessing.get_all_start_methods()
+    if (
+        start_method in ("forkserver", "spawn")
+        and "fork" in available
+        and not _main_is_importable()
+    ):
+        return multiprocessing.get_context("fork")
+    if start_method is not None and start_method in available:
+        return multiprocessing.get_context(start_method)
+    if "fork" in available:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+# ----------------------------------------------------------------------
+# the executor interface
+# ----------------------------------------------------------------------
+
+class Executor(abc.ABC):
+    """Strategy object deciding where a compiled plan's repetitions run."""
+
+    @abc.abstractmethod
+    def execute(
+        self,
+        simulator,
+        plan: ExecutionPlan,
+        repetitions: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> RunParts:
+        """Produce ``(records, bits)`` for ``repetitions`` of ``plan``."""
+
+
+class SerialExecutor(Executor):
+    """In-process execution, optionally in deterministic seeded chunks.
+
+    ``chunks=1`` (default) runs exactly like a bare simulator — one
+    stream off the simulator's own RNG.  ``chunks=k`` reproduces the
+    pooled executor's chunk geometry in-process: the output for a given
+    (seed, chunk count) is bit-for-bit identical to
+    :class:`ProcessPoolExecutor` with the same total chunk count.
+    """
+
+    def __init__(self, chunks: int = 1):
+        if chunks < 1:
+            raise ValueError(f"chunks must be >= 1, got {chunks}")
+        self.chunks = chunks
+
+    def execute(self, simulator, plan, repetitions, rng=None):
+        if self.chunks == 1:
+            return _dispatch(
+                simulator, plan, repetitions, rng if rng is not None else simulator._rng
+            )
+        sizes = _chunk_sizes(repetitions, self.chunks)
+        seeds = _chunk_seeds(simulator.seed if rng is None else rng, len(sizes))
+        parts = [
+            _dispatch(simulator, plan, size, np.random.default_rng(seed))
+            for size, seed in zip(sizes, seeds)
+        ]
+        return _merge_parts(parts)
+
+
+# ----------------------------------------------------------------------
+# pooled execution with one-time worker initialization
+# ----------------------------------------------------------------------
+
+class _WorkerPayload:
+    """Everything a pool worker needs, shipped once per worker.
+
+    The initial state travels as its registry ``snapshot`` payload when
+    the backend declares one (restored via the matching ``restore``
+    hook), else as the state object itself; either way it is pickled once
+    per *worker* by the pool initializer — never per task.
+    """
+
+    __slots__ = (
+        "plan",
+        "state_payload",
+        "restore",
+        "apply_op",
+        "compute_probability",
+        "user_candidates",
+        "skip_diagonal_updates",
+        "fuse_moments",
+    )
+
+    def __init__(self, simulator, plan: ExecutionPlan):
+        caps = capabilities_for(type(simulator.initial_state))
+        if caps.snapshot is not None:
+            self.state_payload = caps.snapshot(simulator.initial_state)
+            self.restore = caps.restore
+        else:
+            self.state_payload = simulator.initial_state
+            self.restore = None
+        self.plan = plan
+        self.apply_op = simulator.apply_op
+        self.compute_probability = simulator.compute_probability
+        self.user_candidates = simulator.user_candidate_function
+        self.skip_diagonal_updates = simulator.skip_diagonal_updates
+        self.fuse_moments = simulator.fuse_moments
+
+    def build_simulator(self):
+        from .simulator import Simulator
+
+        state = (
+            self.restore(self.state_payload)
+            if self.restore is not None
+            else self.state_payload
+        )
+        return Simulator(
+            state,
+            self.apply_op,
+            self.compute_probability,
+            compute_candidate_probabilities=self.user_candidates,
+            skip_diagonal_updates=self.skip_diagonal_updates,
+            fuse_moments=self.fuse_moments,
+        )
+
+
+_WORKER: Optional[Tuple[object, ExecutionPlan]] = None
+
+
+def _init_pool_worker(payload: _WorkerPayload) -> None:
+    """Pool initializer: build the worker-local simulator + shared plan."""
+    global _WORKER
+    _WORKER = (payload.build_simulator(), payload.plan)
+
+
+def _run_pool_chunk(size: int, seed: int) -> RunParts:
+    """Worker task body: two integers in, one chunk of samples out."""
+    simulator, plan = _WORKER
+    return _dispatch(simulator, plan, size, np.random.default_rng(seed))
+
+
+class ProcessPoolExecutor(Executor):
+    """Fan a plan's repetitions over a process pool with O(1) task payloads.
+
+    Args:
+        num_workers: Pool size; defaults to ``os.cpu_count()``.
+        chunks_per_worker: >1 gives smaller tasks (better load balance).
+        start_method: ``"forkserver"`` (default), ``"fork"``, or
+            ``"spawn"``; falls back to the platform default when the
+            requested method is unavailable.  With ``fork`` the shared
+            plan and packed state are inherited copy-on-write; with
+            ``forkserver``/``spawn`` they are pickled once per worker by
+            the initializer.
+
+    The total chunk count is ``num_workers * chunks_per_worker``; given
+    the same simulator seed and total chunk count,
+    :class:`SerialExecutor` produces bit-for-bit identical output.
+    """
+
+    def __init__(
+        self,
+        num_workers: Optional[int] = None,
+        chunks_per_worker: int = 1,
+        start_method: Optional[str] = "forkserver",
+    ):
+        self.num_workers = max(1, int(num_workers or (os.cpu_count() or 1)))
+        self.chunks_per_worker = max(1, int(chunks_per_worker))
+        self.start_method = start_method
+
+    def execute(self, simulator, plan, repetitions, rng=None):
+        num_chunks = self.num_workers * self.chunks_per_worker
+        sizes = _chunk_sizes(repetitions, num_chunks)
+        seeds = _chunk_seeds(simulator.seed if rng is None else rng, len(sizes))
+        if self.num_workers == 1 or len(sizes) == 1:
+            # In-process fallback with identical chunk geometry/seeding.
+            parts = [
+                _dispatch(simulator, plan, size, np.random.default_rng(seed))
+                for size, seed in zip(sizes, seeds)
+            ]
+            return _merge_parts(parts)
+        payload = _WorkerPayload(simulator, plan)
+        workers = min(self.num_workers, len(sizes))
+        with _cf.ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=_pool_context(self.start_method),
+            initializer=_init_pool_worker,
+            initargs=(payload,),
+        ) as pool:
+            pending = [
+                pool.submit(_run_pool_chunk, size, seed)
+                for size, seed in zip(sizes, seeds)
+            ]
+            parts = [f.result() for f in pending]
+        return _merge_parts(parts)
+
+
+# ----------------------------------------------------------------------
+# legacy factory-based fan-out (sampler/parallel.py compatibility)
+# ----------------------------------------------------------------------
+
+def run_factory_chunks(
+    factory: Callable,
+    circuit,
+    sizes: List[int],
+    seeds: List[int],
+    num_workers: int,
+    start_method: Optional[str] = None,
+) -> List[RunParts]:
+    """The pre-executor cost model: one (factory, circuit) pickle per task.
+
+    Each task rebuilds its simulator via ``factory(seed)`` and recompiles
+    the circuit in the worker.  Kept as the engine behind the legacy
+    :func:`repro.sampler.parallel.sample_trajectories_parallel` API (whose
+    factories may close over unpicklable pieces and rely on ``fork``);
+    new code should prefer :class:`ProcessPoolExecutor`, which ships the
+    compiled plan and packed state once per worker instead of per task.
+    """
+    if num_workers == 1 or len(sizes) == 1:
+        return [
+            _run_factory_chunk(factory, circuit, size, seed)
+            for size, seed in zip(sizes, seeds)
+        ]
+    with _cf.ProcessPoolExecutor(
+        max_workers=num_workers, mp_context=_pool_context(start_method)
+    ) as pool:
+        pending = [
+            pool.submit(_run_factory_chunk, factory, circuit, size, seed)
+            for size, seed in zip(sizes, seeds)
+        ]
+        return [f.result() for f in pending]
+
+
+def _run_factory_chunk(factory, circuit, repetitions: int, seed: int) -> RunParts:
+    """Worker body: build a simulator and run one chunk of repetitions."""
+    simulator = factory(seed)
+    return simulator._execute(circuit, repetitions, None)
+
+
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "ProcessPoolExecutor",
+    "run_factory_chunks",
+]

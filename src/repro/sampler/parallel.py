@@ -1,87 +1,43 @@
-"""Process-parallel trajectory sampling.
+"""Process-parallel trajectory sampling (legacy factory-based API).
 
 Quantum-trajectory mode (noisy circuits, mid-circuit measurement,
 sum-over-Cliffords) runs one independent walk per repetition — an
 embarrassingly parallel loop.  This module fans those walks out over a
-process pool, the standard Python answer to CPU-bound parallelism (the
-GIL rules out threads for the NumPy-light per-gate bookkeeping).
+process pool through the shared machinery in
+:mod:`repro.sampler.executors`.
 
-The cost model matters: each task ships the circuit and re-builds the
-simulator in the worker, so parallelism pays off when per-trajectory work
-is substantial (many gates, stabilizer branching) and loses below that.
-``chunk`` sizing amortizes the dispatch overhead; the ablation benchmark
-``bench_ablations.py`` quantifies the crossover.
-
-Factories must be importable (module-level) callables: workers receive
-them by pickling.  Closures and lambdas work only with the ``fork`` start
-method, which is the default used here when the platform provides it.
-
-Seeding is deterministic: chunk ``i``'s worker seed is derived from
-``SeedSequence([user_seed, i])`` (see :func:`_chunk_seeds`), never from
-ambient entropy or sequential draws whose position depends on pool
-geometry, so identically seeded runs with the same worker/chunk
-configuration reproduce bit-for-bit on any platform.
+This is the *factory* cost model: each task ships ``(factory, circuit)``
+and re-builds the simulator (and recompiles the plan) in the worker, so
+factories may close over unpicklable pieces only under the ``fork`` start
+method.  New code should prefer
+``Simulator(..., executor=ProcessPoolExecutor(...))``, which compiles the
+plan once, ships it with a packed initial-state snapshot per *worker*
+(not per task), and hands each task just ``(chunk_size, chunk_seed)``.
+This wrapper is kept because its seeding contract is pinned: chunk ``i``'s
+worker seed is ``SeedSequence([user_seed, i])`` — a pure function of the
+user seed and chunk index — so identically seeded runs with the same
+worker/chunk configuration reproduce bit-for-bit on any platform.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Dict, List, Optional, Tuple, Union
+from typing import Callable, Dict, Optional, Tuple, Union
 
 import numpy as np
 
 from ..circuits.circuit import Circuit
+from .executors import (
+    _chunk_seeds,
+    _chunk_sizes,
+    _merge_parts,
+    run_factory_chunks,
+)
 from .results import Result
 from .simulator import Simulator
 
 SimulatorFactory = Callable[[int], Simulator]
 """``(seed) -> Simulator``; called once per worker chunk."""
-
-
-def _run_chunk(
-    factory: SimulatorFactory,
-    circuit: Circuit,
-    repetitions: int,
-    seed: int,
-) -> Tuple[Dict[str, np.ndarray], np.ndarray]:
-    """Worker body: build a simulator and run one chunk of repetitions."""
-    simulator = factory(seed)
-    records, bits = simulator._execute(circuit, repetitions, None)
-    return records, bits
-
-
-def _chunk_sizes(repetitions: int, num_chunks: int) -> List[int]:
-    num_chunks = min(num_chunks, repetitions)
-    base, extra = divmod(repetitions, num_chunks)
-    return [base + (1 if i < extra else 0) for i in range(num_chunks)]
-
-
-def _chunk_seeds(
-    seed: Union[int, np.random.Generator, None], num_chunks: int
-) -> List[int]:
-    """Per-chunk worker seeds derived deterministically from the user seed.
-
-    Chunk ``i`` receives the first word of ``SeedSequence([base, i])`` —
-    a stable function of the user seed and the chunk *index* alone, so
-    identically seeded runs hand every worker the same stream, streams of
-    different chunks are statistically independent (unlike raw sequential
-    ``integers()`` draws), and chunk ``i``'s seed does not shift when the
-    total chunk count changes.  ``None`` draws a fresh entropy base;
-    passing a Generator consumes one draw from it for the base.
-    """
-    if isinstance(seed, np.random.Generator):
-        base = int(seed.integers(2**62))
-    elif seed is None:
-        base = int(np.random.SeedSequence().entropy) % 2**62
-    else:
-        base = int(seed)
-    return [
-        int(np.random.SeedSequence([base, i]).generate_state(1, np.uint64)[0])
-        >> 2
-        for i in range(num_chunks)
-    ]
 
 
 def sample_trajectories_parallel(
@@ -120,34 +76,8 @@ def sample_trajectories_parallel(
 
     sizes = _chunk_sizes(repetitions, num_workers * max(1, chunks_per_worker))
     seeds = _chunk_seeds(seed, len(sizes))
-
-    if num_workers == 1 or len(sizes) == 1:
-        parts = [
-            _run_chunk(factory, circuit, size, s)
-            for size, s in zip(sizes, seeds)
-        ]
-    else:
-        context = (
-            multiprocessing.get_context("fork")
-            if "fork" in multiprocessing.get_all_start_methods()
-            else multiprocessing.get_context()
-        )
-        with ProcessPoolExecutor(
-            max_workers=num_workers, mp_context=context
-        ) as pool:
-            futures = [
-                pool.submit(_run_chunk, factory, circuit, size, s)
-                for size, s in zip(sizes, seeds)
-            ]
-            parts = [f.result() for f in futures]
-
-    all_bits = np.concatenate([bits for _, bits in parts], axis=0)
-    keys = parts[0][0].keys()
-    records = {
-        key: np.concatenate([rec[key] for rec, _ in parts], axis=0)
-        for key in keys
-    }
-    return records, all_bits
+    parts = run_factory_chunks(factory, circuit, sizes, seeds, num_workers)
+    return _merge_parts(parts)
 
 
 def run_parallel(

@@ -48,8 +48,6 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..circuits.circuit import Circuit
-from ..protocols.act_on import act_on
-from ..states.base import SimulationState
 
 
 class OpRecord:
@@ -217,72 +215,16 @@ def compile_plan(
     each moment's disjoint single-qubit Clifford gates compile into
     :class:`FusedOpRecord` groups of at most :data:`MAX_FUSED_SUPPORT`
     qubits; groups of one stay plain records.
+
+    All backend-shape questions (stabilizer-sequence dispatch, fused
+    moments, base unitary dispatch, exact channels) are answered by the
+    capability registry — the planner never probes the state object.  The
+    compilation walk itself lives in :class:`repro.sampler.program.Program`;
+    this function is the one-shot convenience for an already-resolved
+    circuit (uncached, one specialization).
     """
-    qubit_index = state.qubit_index
-    missing = [q for q in circuit.all_qubits() if q not in qubit_index]
-    if missing:
-        raise ValueError(f"Circuit qubits not in state register: {missing}")
+    from .program import Program
 
-    records: List[OpRecord] = []
-    key_axes: Dict[str, Tuple[int, ...]] = {}
-    handles_channels = getattr(apply_op, "_bgls_handles_channels_", False)
-    exact_channels = getattr(state, "_exact_channels_", False)
-    default_apply = apply_op is act_on
-    fast_stab = default_apply and hasattr(state, "apply_stabilizer_sequence")
-    fast_unitary = (
-        default_apply
-        and getattr(type(state), "_act_on_", None) is SimulationState._act_on_
-    )
-    can_fuse = fuse_moments and (
-        (fast_stab and hasattr(state, "apply_single_qubit_moment"))
-        or (not fast_stab and fast_unitary)
-    )
-    measured = set()
-    all_unitary = True
-    all_terminal = True
-    for moment in circuit.moments:
-        fusible: List[OpRecord] = []
-        rest: List[OpRecord] = []
-        for op in moment.operations:
-            rec = OpRecord(op, tuple(qubit_index[q] for q in op.qubits))
-            if any(q in measured for q in op.qubits):
-                all_terminal = False
-            if rec.is_measurement:
-                key = rec.measurement_key
-                if key in key_axes:
-                    raise ValueError(f"Duplicate measurement key {key!r}")
-                key_axes[key] = rec.support
-                measured.update(op.qubits)
-            else:
-                if rec.unitary is None:
-                    all_unitary = False
-                rec.needs_branching = (
-                    not handles_channels
-                    and not exact_channels
-                    and rec.unitary is None
-                    and rec.kraus is not None
-                )
-            if can_fuse and _is_fusible(rec):
-                fusible.append(rec)
-            else:
-                rest.append(rec)
-        # Operations within a moment are disjoint, so emitting the fused
-        # groups ahead of the remaining records preserves semantics.
-        for start in range(0, len(fusible), MAX_FUSED_SUPPORT):
-            group = fusible[start : start + MAX_FUSED_SUPPORT]
-            records.append(group[0] if len(group) == 1 else FusedOpRecord(group))
-        records.extend(rest)
-
-    needs_trajectories = (
-        getattr(apply_op, "_bgls_stochastic_", False)
-        or not all_unitary
-        or not all_terminal
-    )
-    return ExecutionPlan(
-        records,
-        key_axes,
-        len(state.qubits),
-        needs_trajectories,
-        fast_stab,
-        fast_unitary,
-    )
+    return Program(
+        circuit, state, apply_op, fuse_moments=fuse_moments
+    ).specialize(None)

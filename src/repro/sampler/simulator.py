@@ -22,18 +22,24 @@ Implemented features from the paper:
   fall back to one independent walk per repetition.
 * **Pluggable states** (Sec. 3.1): any object with ``copy``/``qubit_index``
   works; ``apply_op`` and ``compute_probability`` are user-supplied
-  functions, exactly like the reference API.
+  functions, exactly like the reference API.  Backends registered through
+  :func:`repro.states.registry.register_backend` additionally get the
+  batched candidate fast paths, exactly like the shipped states.
 
-Execution is driven by a compiled :class:`~repro.sampler.plan.ExecutionPlan`:
-each ``_execute`` resolves the circuit once into flat per-op records
-(support axes, cached unitary/stabilizer-sequence/Kraus forms, lazily
-cached diagonal flag, measurement key) so the run loops perform no per-op
-protocol dispatch — a large win in trajectory mode, where the old loop
-re-derived everything per repetition.  Moments of disjoint single-qubit
-Clifford gates compile into fused records (one batched state update, one
-union-support resampling round; see :mod:`repro.sampler.plan`), and every
-shipped backend answers parallel mode's whole bitstring front through the
-batched ``born.many_candidate_function_for`` oracle.
+Execution is layered:
+
+* the **backend registry** answers every capability question (batched
+  oracles, stabilizer fast paths, renormalization, snapshots) once per
+  backend type;
+* :meth:`Simulator.compile` returns a process-wide cached
+  :class:`~repro.sampler.program.Program` — the circuit's structure
+  compiled once; per-resolver :meth:`~repro.sampler.program.Program.specialize`
+  rebuilds only resolver-dependent records, which is what makes
+  :meth:`run_sweep` and :meth:`run_batch` cheap parameter-scan APIs;
+* an optional **executor** (:mod:`repro.sampler.executors`) decides where
+  the specialized plan's repetitions run — in-process (default), in
+  deterministic seeded chunks, or across a process pool that receives the
+  compiled plan and a packed initial-state snapshot once per worker.
 """
 
 from __future__ import annotations
@@ -45,7 +51,9 @@ import numpy as np
 from ..born import candidate_function_for, many_candidate_function_for
 from ..circuits.circuit import Circuit
 from ..circuits.parameters import ParamResolver
-from .plan import ExecutionPlan, OpRecord, compile_plan
+from ..states.registry import capabilities_for
+from .plan import ExecutionPlan, OpRecord
+from .program import Program, compiled_program
 from .results import Result
 
 BitTuple = Tuple[int, ...]
@@ -65,9 +73,11 @@ class Simulator:
             functions in :mod:`repro.born`.
         compute_candidate_probabilities: Optional batched version
             ``(state, bitstring, support) -> ndarray`` of all ``2^k``
-            candidate probabilities.  Defaults to the vectorized sibling of
+            candidate probabilities.  Defaults to the registered sibling of
             a known ``compute_probability``, else a per-candidate loop.
-        seed: RNG seed/generator for all sampling decisions.
+        seed: RNG seed/generator for all sampling decisions.  An integer
+            seed also anchors the deterministic per-point streams of
+            :meth:`run_sweep`/:meth:`run_batch` and chunked executors.
         skip_diagonal_updates: When True, candidate resampling is skipped
             for gates whose unitary is diagonal (their conditional output
             distribution is unchanged); an optimization ablation.
@@ -76,6 +86,9 @@ class Simulator:
             update and one union-support resampling round per group.  The
             sampled distribution is identical; the RNG draw sequence is
             not, so pass False to reproduce historical per-gate streams.
+        executor: Optional :class:`~repro.sampler.executors.Executor`
+            deciding where repetitions run (serial chunks, process pool).
+            None (default) runs in-process off this simulator's RNG.
     """
 
     def __init__(
@@ -88,11 +101,12 @@ class Simulator:
         seed: Union[int, np.random.Generator, None] = None,
         skip_diagonal_updates: bool = False,
         fuse_moments: bool = True,
+        executor=None,
     ):
         self.initial_state = initial_state
         self.apply_op = apply_op
         self.compute_probability = compute_probability
-        user_candidates = compute_candidate_probabilities is not None
+        self.user_candidate_function = compute_candidate_probabilities
         if compute_candidate_probabilities is None:
             compute_candidate_probabilities = candidate_function_for(
                 compute_probability
@@ -106,10 +120,13 @@ class Simulator:
         )
         # Cross-bitstring batching: one call per gate answers the whole
         # {bitstring: multiplicity} front of parallel mode.  Only used for
-        # known backends, and never overrides a user-supplied candidate fn.
+        # registered backends, and never overrides a user candidate fn.
         self._candidates_many = (
-            None if user_candidates else many_candidate_function_for(compute_probability)
+            None
+            if self.user_candidate_function is not None
+            else many_candidate_function_for(compute_probability)
         )
+        self.seed = seed
         self._rng = (
             seed
             if isinstance(seed, np.random.Generator)
@@ -117,6 +134,7 @@ class Simulator:
         )
         self.skip_diagonal_updates = skip_diagonal_updates
         self.fuse_moments = fuse_moments
+        self.executor = executor
 
     # ------------------------------------------------------------------
     # public API
@@ -143,21 +161,105 @@ class Simulator:
         """Alias of :meth:`run`."""
         return self.run(circuit, repetitions, **kw)
 
+    def compile(self, circuit: Circuit) -> Program:
+        """The cached :class:`Program` for ``circuit`` on this backend.
+
+        Keyed by (circuit fingerprint, qubit register, backend type,
+        ``apply_op``, fuse flag) in a process-wide LRU cache
+        (:func:`repro.sampler.program.program_cache_info` exposes the
+        counters).  Mutating the circuit, switching backend type, or
+        toggling ``fuse_moments`` misses and recompiles; repeated runs and
+        sweeps of an identical circuit hit and share all
+        resolver-independent op records.
+        """
+        return compiled_program(
+            circuit, self.initial_state, self.apply_op, self.fuse_moments
+        )
+
     def run_sweep(
         self,
         circuit: Circuit,
-        params: Sequence[Union[ParamResolver, dict]],
+        params: Sequence[Union[ParamResolver, dict, None]],
         repetitions: int = 1,
     ) -> List["Result"]:
         """Run the circuit once per parameter resolver (Cirq-style sweep).
 
         The QAOA example (paper Sec. 4.4) is exactly this pattern: one
-        parameterized template, many (gamma, beta) assignments.
+        parameterized template, many (gamma, beta) assignments.  The
+        template compiles **once**; each sweep point re-specializes only
+        the resolver-dependent records (cost: a few small matrix builds)
+        instead of recompiling the whole circuit.
+
+        Seeding is deterministic: point ``i`` draws from a fresh generator
+        seeded with ``SeedSequence([user_seed, i])`` — the PR-2 worker-seed
+        scheme — so two identically seeded simulators produce bit-for-bit
+        identical sweeps, a point's stream does not depend on how many
+        points precede it, and repeated ``run_sweep`` calls on one
+        integer-seeded simulator return identical results (matching
+        :func:`repro.sampler.parallel.sample_trajectories_parallel`).
         """
+        program = self.compile(circuit)
+        results = []
+        for plan, rng in self._sweep_plans(program, params):
+            records, _ = self._execute_plan(plan, repetitions, rng)
+            if not records:
+                raise ValueError(
+                    "Circuit has no measurements; add measure(...) "
+                    "operations before run_sweep."
+                )
+            results.append(Result(records))
+        return results
+
+    def sample_bitstrings_sweep(
+        self,
+        circuit: Circuit,
+        params: Sequence[Union[ParamResolver, dict, None]],
+        repetitions: int = 1,
+    ) -> List[np.ndarray]:
+        """Per-point final full-register bitstrings for a parameter sweep.
+
+        The raw-bitstring sibling of :meth:`run_sweep` (same shared
+        compiled Program, same deterministic per-point seeding); returns
+        one ``(repetitions, n)`` array per resolver.
+        """
+        program = self.compile(circuit)
         return [
-            self.run(circuit, repetitions=repetitions, param_resolver=p)
-            for p in params
+            self._execute_plan(plan, repetitions, rng)[1]
+            for plan, rng in self._sweep_plans(program, params)
         ]
+
+    def run_batch(
+        self,
+        circuits: Sequence[Circuit],
+        params: Optional[Sequence[Union[ParamResolver, dict, None]]] = None,
+        repetitions: int = 1,
+    ) -> List["Result"]:
+        """Run many circuits, one :class:`Result` each.
+
+        ``params`` optionally gives one resolver per circuit.  Circuits
+        share the process-wide Program cache, so a batch containing
+        repeated (or structurally identical) circuits compiles each
+        distinct one once.  Per-circuit seeds derive from
+        ``SeedSequence([user_seed, index])`` exactly like :meth:`run_sweep`.
+        """
+        if params is not None and len(params) != len(circuits):
+            raise ValueError(
+                f"Got {len(circuits)} circuits but {len(params)} resolvers"
+            )
+        base = self._sweep_base_seed()
+        results = []
+        for index, circuit in enumerate(circuits):
+            resolver = params[index] if params is not None else None
+            plan = self.compile(circuit).specialize(resolver)
+            rng = np.random.default_rng(np.random.SeedSequence([base, index]))
+            records, _ = self._execute_plan(plan, repetitions, rng)
+            if not records:
+                raise ValueError(
+                    "Circuit has no measurements; add measure(...) "
+                    "operations before run_batch."
+                )
+            results.append(Result(records))
+        return results
 
     def sample_bitstrings(
         self,
@@ -184,18 +286,39 @@ class Simulator:
     ) -> Tuple[Dict[str, np.ndarray], np.ndarray]:
         if repetitions < 1:
             raise ValueError(f"repetitions must be >= 1, got {repetitions}")
-        resolved = circuit.resolve_parameters(param_resolver)
-        if resolved._is_parameterized_():
-            raise ValueError("Circuit still has unresolved parameters")
-        plan = compile_plan(
-            resolved,
-            self.initial_state,
-            self.apply_op,
-            fuse_moments=self.fuse_moments,
-        )
+        plan = self.compile(circuit).specialize(param_resolver)
+        return self._execute_plan(plan, repetitions, None)
+
+    def _execute_plan(
+        self,
+        plan: ExecutionPlan,
+        repetitions: int,
+        rng: Optional[np.random.Generator],
+    ) -> Tuple[Dict[str, np.ndarray], np.ndarray]:
+        """Hand a specialized plan to the configured execution strategy."""
+        if self.executor is not None:
+            return self.executor.execute(self, plan, repetitions, rng=rng)
         if plan.needs_trajectories:
-            return self._run_trajectories(plan, repetitions)
-        return self._run_parallel(plan, repetitions)
+            return self._run_trajectories(plan, repetitions, rng=rng)
+        return self._run_parallel(plan, repetitions, rng=rng)
+
+    def _sweep_base_seed(self) -> int:
+        """The integer base anchoring per-point/per-circuit seed streams.
+
+        Shares the executor layer's derivation so sweep seeding and chunk
+        seeding stay one contract (serial-vs-pooled parity depends on it).
+        """
+        from .executors import _base_seed
+
+        return _base_seed(self.seed)
+
+    def _sweep_plans(self, program: Program, params):
+        """Yield (plan, per-point rng) pairs for a sweep over ``params``."""
+        base = self._sweep_base_seed()
+        for index, resolver in enumerate(params):
+            plan = program.specialize(resolver)
+            rng = np.random.default_rng(np.random.SeedSequence([base, index]))
+            yield plan, rng
 
     def _candidate_loop(
         self, state, bits: Sequence[int], support: Sequence[int]
@@ -241,19 +364,15 @@ class Simulator:
             )
         return probs / totals
 
-    def _resample_support(
-        self, probs: np.ndarray, draws: int
-    ) -> np.ndarray:
-        """Multinomial draw of candidate indices; returns counts per index."""
-        return self._rng.multinomial(draws, self._normalize_probs(probs))
-
     # -- parallel (dict-of-bitstrings) mode --------------------------------
     def _run_parallel(
-        self, plan: ExecutionPlan, repetitions: int
+        self,
+        plan: ExecutionPlan,
+        repetitions: int,
+        rng: Optional[np.random.Generator] = None,
     ) -> Tuple[Dict[str, np.ndarray], np.ndarray]:
-        state = self.initial_state.copy(
-            seed=int(self._rng.integers(2**62))
-        )
+        rng = rng if rng is not None else self._rng
+        state = self.initial_state.copy(seed=int(rng.integers(2**62)))
         n = plan.num_qubits
         counts: Dict[BitTuple, int] = {(0,) * n: repetitions}
         candidates = self._candidates
@@ -279,7 +398,7 @@ class Simulator:
                 (counts[bits] for bits in bit_keys), dtype=np.int64
             )
             # One vectorized multinomial resamples every tracked bitstring.
-            draws = self._rng.multinomial(mults, prob_rows)
+            draws = rng.multinomial(mults, prob_rows)
             new_counts: Dict[BitTuple, int] = {}
             for row, idx in zip(*np.nonzero(draws)):
                 candidate = list(bit_keys[row])
@@ -294,7 +413,7 @@ class Simulator:
         for bits, mult in counts.items():
             all_bits[row : row + mult] = bits
             row += mult
-        self._rng.shuffle(all_bits, axis=0)
+        rng.shuffle(all_bits, axis=0)
 
         records = {}
         for key, axes in plan.key_axes.items():
@@ -303,8 +422,12 @@ class Simulator:
 
     # -- trajectory mode -----------------------------------------------------
     def _run_trajectories(
-        self, plan: ExecutionPlan, repetitions: int
+        self,
+        plan: ExecutionPlan,
+        repetitions: int,
+        rng: Optional[np.random.Generator] = None,
     ) -> Tuple[Dict[str, np.ndarray], np.ndarray]:
+        rng = rng if rng is not None else self._rng
         n = plan.num_qubits
         per_key: Dict[str, List[List[int]]] = {}
         all_bits = np.empty((repetitions, n), dtype=np.int8)
@@ -313,9 +436,7 @@ class Simulator:
         skip_diagonal = self.skip_diagonal_updates
 
         for rep in range(repetitions):
-            state = self.initial_state.copy(
-                seed=int(self._rng.integers(2**62))
-            )
+            state = self.initial_state.copy(seed=int(rng.integers(2**62)))
             bits = [0] * n
             for rec in plan.records:
                 support = rec.support
@@ -326,14 +447,14 @@ class Simulator:
                     continue
                 if rec.needs_branching:
                     state, probs = self._apply_channel_branch(
-                        rec, state, bits, support
+                        rec, state, bits, support, rng
                     )
                 else:
                     plan.apply(rec, state, apply_op)
                     if skip_diagonal and rec.is_diagonal():
                         continue
                     probs = candidates(state, bits, support)
-                self._assign_support(bits, support, probs)
+                self._assign_support(bits, support, probs, rng)
             all_bits[rep] = bits
 
         records = {
@@ -342,16 +463,25 @@ class Simulator:
         return records, all_bits
 
     def _assign_support(
-        self, bits: List[int], support: Sequence[int], probs: np.ndarray
+        self,
+        bits: List[int],
+        support: Sequence[int],
+        probs: np.ndarray,
+        rng: np.random.Generator,
     ) -> None:
         """Resample the support bits of ``bits`` from candidate ``probs``."""
-        draws = self._resample_support(probs, 1)
+        draws = rng.multinomial(1, self._normalize_probs(probs))
         idx = int(np.flatnonzero(draws)[0])
         for pos, axis in enumerate(support):
             bits[axis] = (idx >> (len(support) - 1 - pos)) & 1
 
     def _apply_channel_branch(
-        self, rec: OpRecord, state, bits: Sequence[int], support: Sequence[int]
+        self,
+        rec: OpRecord,
+        state,
+        bits: Sequence[int],
+        support: Sequence[int],
+        rng: np.random.Generator,
     ):
         """Conditional Kraus-branch selection (quantum trajectories).
 
@@ -374,7 +504,7 @@ class Simulator:
         probses = []
         weights = []
         for k_op in kraus:
-            trial = state.copy(seed=int(self._rng.integers(2**62)))
+            trial = state.copy(seed=int(rng.integers(2**62)))
             trial.apply_unitary(np.asarray(k_op), support)  # linear map
             probs = self._candidate_probabilities(trial, bits, support)
             trials.append(trial)
@@ -387,8 +517,10 @@ class Simulator:
                 "Channel branches all annihilated the tracked bitstring; "
                 "the state and bitstring are inconsistent."
             ) from exc
-        choice = int(self._rng.choice(len(kraus), p=branch_probs))
+        choice = int(rng.choice(len(kraus), p=branch_probs))
         chosen = trials[choice]
-        if hasattr(chosen, "renormalize"):
+        # Registry capability, not a hasattr probe: backends declare
+        # renormalization support once.
+        if capabilities_for(type(chosen)).renormalize:
             chosen.renormalize()
         return chosen, probses[choice]

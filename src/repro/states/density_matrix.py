@@ -164,7 +164,7 @@ class DensityMatrixSimulationState(SimulationState):
         return np.real(rho[idx, idx])
 
     def copy(self, seed=None) -> "DensityMatrixSimulationState":
-        out = DensityMatrixSimulationState.__new__(DensityMatrixSimulationState)
+        out = type(self).__new__(type(self))  # preserve subclasses
         SimulationState.__init__(out, self.qubits, seed)
         out.tensor = self.tensor.copy()
         return out

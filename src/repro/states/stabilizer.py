@@ -158,9 +158,7 @@ class StabilizerChFormSimulationState(SimulationState):
         return self.ch_form.state_vector()
 
     def copy(self, seed=None) -> "StabilizerChFormSimulationState":
-        out = StabilizerChFormSimulationState.__new__(
-            StabilizerChFormSimulationState
-        )
+        out = type(self).__new__(type(self))  # preserve subclasses
         SimulationState.__init__(out, self.qubits, seed)
         out.ch_form = self.ch_form.copy()
         return out

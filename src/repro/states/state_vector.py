@@ -158,7 +158,10 @@ class StateVectorSimulationState(SimulationState):
         return np.abs(self.tensor.reshape(-1)[idx]) ** 2
 
     def copy(self, seed=None) -> "StateVectorSimulationState":
-        out = StateVectorSimulationState.__new__(StateVectorSimulationState)
+        # type(self), not the literal class: subclasses (registered user
+        # backends, method overrides) must survive the copy chain the
+        # sampler's run loops depend on.
+        out = type(self).__new__(type(self))
         SimulationState.__init__(out, self.qubits, seed)
         out.tensor = self.tensor.copy()
         return out

@@ -703,9 +703,7 @@ class CliffordTableauSimulationState(SimulationState):
         return self.tableau.stabilizer_strings()
 
     def copy(self, seed=None) -> "CliffordTableauSimulationState":
-        out = CliffordTableauSimulationState.__new__(
-            CliffordTableauSimulationState
-        )
+        out = type(self).__new__(type(self))  # preserve subclasses
         SimulationState.__init__(out, self.qubits, seed)
         out.tableau = self.tableau.copy()
         return out

@@ -204,3 +204,47 @@ class TestQAOAEndToEnd:
         assert 0 < result.best_cut <= optimum
         # QAOA p=1 + sampling should land near the optimum on tiny graphs.
         assert result.best_cut >= max(1, optimum - 1)
+
+
+class TestQAOASimulatorSweepPath:
+    """Passing a BGLS Simulator routes the grid through run_sweep's cached
+    Program: one compilation for the whole (gamma, beta) grid."""
+
+    def _sv_simulator(self, qubits, seed=0):
+        return bgls.Simulator(
+            StateVectorSimulationState(qubits),
+            bgls.act_on,
+            born.compute_probability_state_vector,
+            seed=seed,
+        )
+
+    def test_sweep_accepts_simulator_and_compiles_once(self):
+        from repro.sampler import clear_program_cache, program_cache_info
+
+        g = nx.Graph([(0, 1), (1, 2)])
+        qs = cirq.LineQubit.range(3)
+        clear_program_cache()
+        grid = sweep_parameters(
+            g,
+            self._sv_simulator(qs),
+            gammas=[0.1, 0.5],
+            betas=[0.2, 0.4, 0.6],
+            repetitions=30,
+        )
+        assert grid.shape == (2, 3)
+        assert np.all(grid >= 0)
+        assert program_cache_info()["misses"] == 1  # whole grid, one compile
+        clear_program_cache()
+
+    def test_solve_with_simulator_finds_optimum(self):
+        g = nx.Graph([(0, 1), (1, 2), (0, 2), (2, 3)])
+        qs = cirq.LineQubit.range(4)
+        result = solve_maxcut(
+            g,
+            self._sv_simulator(qs),
+            grid_size=6,
+            sweep_repetitions=60,
+            final_repetitions=300,
+        )
+        optimum, _ = brute_force_maxcut(g)
+        assert result.best_cut == optimum

@@ -224,6 +224,24 @@ class TestVQE:
         )
         assert abs(result.best_energy - exact_at_params) < 0.25
 
+    def test_simulator_accepted_as_sampler(self):
+        problem = apps.TFIMProblem(num_sites=3)
+        qs = cirq.LineQubit.range(3)
+        sim = Simulator(
+            StateVectorSimulationState(qs),
+            act_on,
+            born.compute_probability_state_vector,
+            seed=5,
+        )
+        result = apps.optimize_tfim(
+            problem, layers=1, grid_size=5, refinements=1,
+            sampler=sim, repetitions=2000,
+        )
+        exact_at_params = apps.exact_energy_of_parameters(
+            problem, result.best_params, layers=1
+        )
+        assert abs(result.best_energy - exact_at_params) < 0.25
+
     def test_rejects_single_site(self):
         with pytest.raises(ValueError):
             apps.TFIMProblem(num_sites=1)

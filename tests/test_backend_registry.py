@@ -1,0 +1,302 @@
+"""Tests for the backend capability registry (states/registry.py)."""
+
+import numpy as np
+import pytest
+
+import repro as bgls
+from repro import born
+from repro import circuits as cirq
+from repro.mps import MPSState
+from repro.protocols import act_on
+from repro.sampler.plan import compile_plan
+from repro.states import (
+    CliffordTableauSimulationState,
+    DensityMatrixSimulationState,
+    StabilizerChFormSimulationState,
+    StateVectorSimulationState,
+)
+from repro.states.registry import (
+    capabilities_for,
+    capabilities_for_probability_fn,
+    register_backend,
+    registered_backends,
+    unregister_backend,
+)
+
+
+@pytest.fixture
+def qubits():
+    return cirq.LineQubit.range(3)
+
+
+class TestShippedRegistrations:
+    def test_all_five_backends_registered(self):
+        names = {caps.name for caps in registered_backends()}
+        assert {
+            "state_vector",
+            "density_matrix",
+            "stabilizer_ch_form",
+            "clifford_tableau",
+            "mps",
+        } <= names
+
+    @pytest.mark.parametrize(
+        "cls,stab_seq,fused,base_unitary,renorm,exact_ch",
+        [
+            (StateVectorSimulationState, False, False, True, True, False),
+            (DensityMatrixSimulationState, False, False, True, False, True),
+            (StabilizerChFormSimulationState, True, True, False, False, False),
+            (CliffordTableauSimulationState, True, True, False, False, False),
+            (MPSState, False, False, True, True, False),
+        ],
+    )
+    def test_capability_flags(
+        self, cls, stab_seq, fused, base_unitary, renorm, exact_ch
+    ):
+        caps = capabilities_for(cls)
+        assert caps.stabilizer_sequences == stab_seq
+        assert caps.fused_moments == fused
+        assert caps.base_unitary_dispatch == base_unitary
+        assert caps.renormalize == renorm
+        assert caps.exact_channels == exact_ch
+        assert caps.candidates is not None
+        assert caps.candidates_many is not None
+
+    def test_instance_and_type_resolve_identically(self, qubits):
+        state = StateVectorSimulationState(qubits)
+        assert capabilities_for(state) is capabilities_for(
+            StateVectorSimulationState
+        )
+
+    def test_scalar_function_lookup_matches_born(self):
+        caps = capabilities_for_probability_fn(
+            born.compute_probability_state_vector
+        )
+        assert caps is capabilities_for(StateVectorSimulationState)
+        assert caps.candidates is born.candidates_state_vector
+        assert caps.candidates_many is born.candidates_state_vector_many
+
+    def test_mps_alias_resolves_to_same_descriptor(self):
+        assert capabilities_for_probability_fn(
+            born.mps_bitstring_probability
+        ) is capabilities_for(MPSState)
+
+    def test_unknown_function_resolves_to_none(self):
+        assert capabilities_for_probability_fn(lambda s, b: 0.0) is None
+
+
+class TestDerivedCapabilities:
+    def test_subclass_inherits_parent_registration(self, qubits):
+        class Child(StateVectorSimulationState):
+            pass
+
+        assert capabilities_for(Child) is capabilities_for(
+            StateVectorSimulationState
+        )
+
+    def test_unregistered_state_is_introspected_once(self):
+        class Bare:
+            def candidate_probabilities(self, bits, support):
+                return np.ones(2)
+
+        caps = capabilities_for(Bare)
+        assert caps.candidates is not None
+        assert caps.candidates_many is None
+        assert not caps.stabilizer_sequences
+        assert not caps.base_unitary_dispatch  # no SimulationState._act_on_
+        # Cached: second lookup returns the identical derived descriptor.
+        assert capabilities_for(Bare) is caps
+
+    def test_act_on_override_disables_fast_unitary(self, qubits):
+        """Regression: a subclass of a registered backend overriding
+        _act_on_ must not be fast-pathed around its own dispatch."""
+        calls = []
+
+        class Intercepting(StateVectorSimulationState):
+            def _act_on_(self, op):
+                calls.append(op)
+                super()._act_on_(op)
+
+        caps = capabilities_for(Intercepting)
+        assert not caps.base_unitary_dispatch
+        # Oracle functions still inherit from the parent registration.
+        assert caps.candidates is born.candidates_state_vector
+        assert capabilities_for(Intercepting) is caps  # cached copy
+        circuit = cirq.Circuit(
+            cirq.H(qubits[0]), cirq.CNOT(qubits[0], qubits[1])
+        )
+        plan = compile_plan(circuit, Intercepting(qubits), act_on)
+        assert not plan.fast_unitary
+        state = Intercepting(qubits)
+        for rec in plan.records:
+            plan.apply(rec, state, act_on)
+        assert len(calls) == 2  # every op went through the override
+
+    def test_act_on_override_runs_end_to_end(self, qubits):
+        """copy() preserves the subclass, so the override sees every op
+        of an actual Simulator.run, not just the template state."""
+        calls = []
+
+        class Logging(StateVectorSimulationState):
+            def _act_on_(self, op):
+                calls.append(op)
+                super()._act_on_(op)
+
+        circuit = cirq.Circuit(
+            cirq.H(qubits[0]),
+            cirq.CNOT(qubits[0], qubits[1]),
+            cirq.CNOT(qubits[1], qubits[2]),
+            cirq.measure(*qubits, key="z"),
+        )
+        sim = bgls.Simulator(
+            Logging(qubits),
+            act_on,
+            born.compute_probability_state_vector,
+            seed=1,
+        )
+        rows = sim.run(circuit, repetitions=100).measurements["z"]
+        assert len(calls) == 3  # H + 2 CNOTs, all through the override
+        as_ints = rows @ np.array([4, 2, 1])
+        assert set(np.unique(as_ints)) == {0, 7}
+
+    def test_plan_fast_paths_flow_from_registry(self, qubits):
+        """compile_plan's flags equal the registry's — no hasattr probing."""
+        circuit = cirq.Circuit(cirq.H(qubits[0]))
+        for cls in (
+            StateVectorSimulationState,
+            StabilizerChFormSimulationState,
+            CliffordTableauSimulationState,
+        ):
+            caps = capabilities_for(cls)
+            plan = compile_plan(circuit, cls(qubits), act_on)
+            assert plan.fast_stab == caps.stabilizer_sequences
+            assert plan.fast_unitary == caps.base_unitary_dispatch
+
+
+# -- custom user backend through the public hook ---------------------------
+
+CALLS = {"single": 0, "many": 0}
+
+
+class UserVectorState(StateVectorSimulationState):
+    """A 'user' backend: distinct type, registered via the public hook."""
+
+
+def user_probability(state, bits):
+    return state.probability_of(bits)
+
+
+def user_candidates(state, bits, support):
+    CALLS["single"] += 1
+    return state.candidate_probabilities(bits, support)
+
+
+def user_candidates_many(state, bits_list, support):
+    CALLS["many"] += 1
+    return state.candidate_probabilities_many(bits_list, support)
+
+
+@pytest.fixture
+def user_backend():
+    caps = register_backend(
+        UserVectorState,
+        name="user_vector",
+        compute_probability=user_probability,
+        candidates=user_candidates,
+        candidates_many=user_candidates_many,
+    )
+    CALLS["single"] = CALLS["many"] = 0
+    yield caps
+    unregister_backend(UserVectorState)
+
+
+class TestUserBackendRegistration:
+    def test_registration_beats_parent_descriptor(self, qubits, user_backend):
+        assert capabilities_for(UserVectorState) is user_backend
+        assert capabilities_for(UserVectorState).name == "user_vector"
+
+    def test_born_lookups_resolve_user_functions(self, user_backend):
+        assert born.candidate_function_for(user_probability) is user_candidates
+        assert (
+            born.many_candidate_function_for(user_probability)
+            is user_candidates_many
+        )
+
+    def test_simulator_reaches_batched_many_candidate_path(
+        self, qubits, user_backend
+    ):
+        """The acceptance-criterion test: a custom backend registered via
+        the public hook is served by the cross-bitstring batched oracle in
+        parallel mode, exactly like a shipped backend."""
+        circuit = cirq.Circuit(
+            cirq.H(qubits[0]),
+            cirq.CNOT(qubits[0], qubits[1]),
+            cirq.CNOT(qubits[1], qubits[2]),
+            cirq.measure(*qubits, key="z"),
+        )
+        sim = bgls.Simulator(
+            UserVectorState(qubits), bgls.act_on, user_probability, seed=7
+        )
+        result = sim.run(circuit, repetitions=400)
+        assert CALLS["many"] > 0  # every resampling round was batched
+        rows = result.measurements["z"]
+        as_ints = rows @ np.array([4, 2, 1])
+        assert set(np.unique(as_ints)) == {0, 7}
+        frac = float(np.mean(as_ints == 0))
+        assert 0.35 < frac < 0.65
+
+    def test_introspected_capability_defaults(self, qubits, user_backend):
+        # Unspecified flags were derived from the class surface.
+        assert user_backend.base_unitary_dispatch
+        assert user_backend.renormalize
+        assert not user_backend.stabilizer_sequences
+
+    def test_reregistration_purges_previous_aliases(self, qubits):
+        def alias_fn(state, bits):
+            return state.probability_of(bits)
+
+        register_backend(
+            UserVectorState,
+            compute_probability=user_probability,
+            scalar_aliases=(alias_fn,),
+        )
+        # Re-register without the alias, then unregister: no mapping may
+        # survive from either registration.
+        register_backend(UserVectorState, compute_probability=user_probability)
+        assert capabilities_for_probability_fn(alias_fn) is None
+        unregister_backend(UserVectorState)
+        assert capabilities_for_probability_fn(user_probability) is None
+
+    def test_snapshot_requires_restore(self):
+        with pytest.raises(ValueError, match="snapshot and restore"):
+            register_backend(UserVectorState, snapshot=lambda s: s)
+
+
+class TestRegistryConformance:
+    """All five backends sample correctly through the registry path."""
+
+    @pytest.mark.parametrize(
+        "make_state,prob_fn",
+        [
+            (StateVectorSimulationState, born.compute_probability_state_vector),
+            (DensityMatrixSimulationState, born.compute_probability_density_matrix),
+            (
+                StabilizerChFormSimulationState,
+                born.compute_probability_stabilizer_state,
+            ),
+            (CliffordTableauSimulationState, born.compute_probability_tableau),
+            (MPSState, born.compute_probability_mps),
+        ],
+    )
+    def test_ghz_through_registry_dispatch(self, qubits, make_state, prob_fn):
+        circuit = cirq.Circuit(
+            cirq.H(qubits[0]),
+            cirq.CNOT(qubits[0], qubits[1]),
+            cirq.CNOT(qubits[1], qubits[2]),
+            cirq.measure(*qubits, key="z"),
+        )
+        sim = bgls.Simulator(make_state(qubits), bgls.act_on, prob_fn, seed=5)
+        rows = sim.run(circuit, repetitions=300).measurements["z"]
+        as_ints = rows @ np.array([4, 2, 1])
+        assert set(np.unique(as_ints)) == {0, 7}
+        assert 0.35 < float(np.mean(as_ints == 0)) < 0.65

@@ -1,0 +1,199 @@
+"""Tests for the executor layer: serial/pooled parity, shared-plan pool."""
+
+import multiprocessing
+
+import numpy as np
+import pytest
+
+import repro as bgls
+from repro import born
+from repro import circuits as cirq
+from repro.circuits import channels
+from repro.sampler.executors import (
+    ProcessPoolExecutor,
+    SerialExecutor,
+    _chunk_seeds,
+    _chunk_sizes,
+    _WorkerPayload,
+)
+from repro.states import StateVectorSimulationState
+
+QUBITS = cirq.LineQubit.range(2)
+
+
+def make_sim(seed, executor=None):
+    """Module-level builder: every component is picklable (pool-safe)."""
+    return bgls.Simulator(
+        StateVectorSimulationState(QUBITS),
+        bgls.act_on,
+        born.compute_probability_state_vector,
+        seed=seed,
+        executor=executor,
+    )
+
+
+def noisy_bell_circuit():
+    return cirq.Circuit(
+        cirq.H.on(QUBITS[0]),
+        channels.depolarize(0.1).on(QUBITS[0]),
+        cirq.CNOT.on(QUBITS[0], QUBITS[1]),
+        cirq.measure(*QUBITS, key="z"),
+    )
+
+
+def bell_circuit():
+    return cirq.Circuit(
+        cirq.H.on(QUBITS[0]),
+        cirq.CNOT.on(QUBITS[0], QUBITS[1]),
+        cirq.measure(*QUBITS, key="z"),
+    )
+
+
+def available_start_methods():
+    methods = multiprocessing.get_all_start_methods()
+    return [m for m in ("fork", "forkserver") if m in methods]
+
+
+class TestSerialExecutor:
+    def test_default_serial_equals_no_executor(self):
+        """chunks=1 runs off the simulator RNG — bit-for-bit the bare path."""
+        circuit = noisy_bell_circuit()
+        bare = make_sim(seed=3).sample_bitstrings(circuit, repetitions=30)
+        via_exec = make_sim(seed=3, executor=SerialExecutor()).sample_bitstrings(
+            circuit, repetitions=30
+        )
+        np.testing.assert_array_equal(bare, via_exec)
+
+    def test_chunked_serial_reproducible(self):
+        circuit = noisy_bell_circuit()
+        a = make_sim(seed=5, executor=SerialExecutor(chunks=4)).sample_bitstrings(
+            circuit, repetitions=30
+        )
+        b = make_sim(seed=5, executor=SerialExecutor(chunks=4)).sample_bitstrings(
+            circuit, repetitions=30
+        )
+        np.testing.assert_array_equal(a, b)
+
+    def test_rejects_bad_chunks(self):
+        with pytest.raises(ValueError, match="chunks"):
+            SerialExecutor(chunks=0)
+
+    def test_parallel_mode_also_chunks(self):
+        """Unitary circuits run the parallel front once per chunk."""
+        sim = make_sim(seed=7, executor=SerialExecutor(chunks=3))
+        result = sim.run(bell_circuit(), repetitions=900)
+        rows = result.measurements["z"]
+        assert rows.shape == (900, 2)
+        as_ints = rows @ np.array([2, 1])
+        assert set(np.unique(as_ints)) == {0, 3}
+        assert 0.4 < float(np.mean(as_ints == 0)) < 0.6
+
+
+class TestPooledExecutor:
+    def test_serial_vs_pooled_identical_histograms(self):
+        """The parity contract: same seed + same total chunk count means
+        bit-for-bit identical output, in-process or pooled."""
+        circuit = noisy_bell_circuit()
+        serial = make_sim(seed=11, executor=SerialExecutor(chunks=4))
+        pooled = make_sim(
+            seed=11,
+            executor=ProcessPoolExecutor(
+                num_workers=2, chunks_per_worker=2, start_method="fork"
+            ),
+        )
+        records_s, bits_s = serial._execute(circuit, 40, None)
+        records_p, bits_p = pooled._execute(circuit, 40, None)
+        np.testing.assert_array_equal(bits_s, bits_p)
+        np.testing.assert_array_equal(records_s["z"], records_p["z"])
+
+    @pytest.mark.parametrize("start_method", available_start_methods())
+    def test_pooled_reproducible_per_start_method(self, start_method):
+        circuit = noisy_bell_circuit()
+        runs = []
+        for _ in range(2):
+            sim = make_sim(
+                seed=13,
+                executor=ProcessPoolExecutor(
+                    num_workers=2, start_method=start_method
+                ),
+            )
+            runs.append(sim.sample_bitstrings(circuit, repetitions=24))
+        np.testing.assert_array_equal(runs[0], runs[1])
+
+    def test_single_worker_fallback_matches_pool(self):
+        """workers=1 runs in-process with identical chunk geometry."""
+        circuit = noisy_bell_circuit()
+        one = make_sim(
+            seed=17,
+            executor=ProcessPoolExecutor(num_workers=1, chunks_per_worker=4),
+        ).sample_bitstrings(circuit, repetitions=32)
+        four = make_sim(
+            seed=17,
+            executor=ProcessPoolExecutor(
+                num_workers=4, chunks_per_worker=1, start_method="fork"
+            ),
+        ).sample_bitstrings(circuit, repetitions=32)
+        np.testing.assert_array_equal(one, four)
+
+    def test_pooled_unitary_circuit(self):
+        sim = make_sim(
+            seed=19,
+            executor=ProcessPoolExecutor(num_workers=2, start_method="fork"),
+        )
+        result = sim.run(bell_circuit(), repetitions=800)
+        rows = result.measurements["z"]
+        assert rows.shape == (800, 2)
+        as_ints = rows @ np.array([2, 1])
+        assert set(np.unique(as_ints)) == {0, 3}
+        assert 0.4 < float(np.mean(as_ints == 0)) < 0.6
+
+    def test_distribution_matches_bare_simulator(self):
+        circuit = noisy_bell_circuit()
+        reps = 1200
+        pooled = make_sim(
+            seed=23,
+            executor=ProcessPoolExecutor(num_workers=2, start_method="fork"),
+        ).sample_bitstrings(circuit, repetitions=reps)
+        bare = make_sim(seed=29).sample_bitstrings(circuit, repetitions=reps)
+
+        def hist(bits):
+            h = np.zeros(4)
+            for row in bits:
+                h[2 * row[0] + row[1]] += 1
+            return h / len(bits)
+
+        tv = 0.5 * np.abs(hist(pooled) - hist(bare)).sum()
+        assert tv < 0.08
+
+    def test_task_payload_is_two_integers(self):
+        """The O(1)-startup contract: the per-task payload carries no
+        circuit, no plan, and no state — just (chunk_size, chunk_seed)."""
+        from repro.sampler.executors import _run_pool_chunk
+        import inspect
+
+        params = list(inspect.signature(_run_pool_chunk).parameters)
+        assert params == ["size", "seed"]
+
+    def test_worker_payload_ships_plan_and_state_once(self):
+        sim = make_sim(seed=31)
+        plan = sim.compile(noisy_bell_circuit()).specialize(None)
+        payload = _WorkerPayload(sim, plan)
+        assert payload.plan is plan
+        rebuilt = payload.build_simulator()
+        assert type(rebuilt.initial_state) is StateVectorSimulationState
+        # The rebuilt simulator runs the shared plan without recompiling.
+        records, bits = rebuilt._run_trajectories(
+            plan, 5, rng=np.random.default_rng(0)
+        )
+        assert bits.shape == (5, 2)
+        assert records["z"].shape == (5, 2)
+
+
+class TestChunkHelpers:
+    def test_chunk_sizes_preserved(self):
+        for reps in (1, 7, 100, 1001):
+            for chunks in (1, 3, 8):
+                assert sum(_chunk_sizes(reps, chunks)) == reps
+
+    def test_chunk_seeds_are_prefix_stable(self):
+        assert _chunk_seeds(123, 3) == _chunk_seeds(123, 5)[:3]

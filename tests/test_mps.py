@@ -217,3 +217,78 @@ def test_i_str_naming():
     mps = MPSState(qs)
     assert mps.i_str(0) == "i0"
     assert mps.i_str(2) == "i2"
+
+
+class TestCrossGateEnvironmentCache:
+    """Environment caches persist across gates with bond-range invalidation."""
+
+    @staticmethod
+    def _evolved(n_qubits, depth, seed=0):
+        qs = cirq.LineQubit.range(n_qubits)
+        mps = MPSState(qs)
+        circuit = cirq.random_clifford_circuit(qs, depth, random_state=seed)
+        for op in circuit.all_operations():
+            act_on(op, mps)
+        return qs, mps
+
+    def test_caches_survive_untouched_gates(self):
+        qs, mps = self._evolved(6, 12)
+        front = [[0] * 6, [1, 0, 1, 0, 1, 0], [1] * 6]
+        mps.candidate_probabilities_many(front, [4, 5])
+        populated_left = set(mps._left_env_cache)
+        assert populated_left  # prefixes over sites 0..3 were cached
+        # A gate at the right end of the chain keeps every left prefix.
+        act_on(cirq.X(qs[5]), mps)
+        assert set(mps._left_env_cache) == populated_left
+        # A gate at site 1 keeps only the length-1 prefixes.
+        act_on(cirq.X(qs[1]), mps)
+        assert all(len(key) <= 1 for key in mps._left_env_cache)
+
+    def test_right_cache_invalidation_mirrors_left(self):
+        qs, mps = self._evolved(6, 12)
+        front = [[0] * 6, [1, 1, 0, 0, 1, 1]]
+        mps.candidate_probabilities_many(front, [0, 1])
+        assert mps._right_env_cache  # suffixes over sites 2..5
+        act_on(cirq.X(qs[4]), mps)
+        # Entries covering site 4 (length >= n - 4 = 2) are gone.
+        assert all(len(key) < 2 for key in mps._right_env_cache)
+
+    def test_second_call_reuses_environments(self):
+        _, mps = self._evolved(8, 16)
+        front = [[int(b) for b in f"{i:08b}"] for i in (0, 5, 37, 255)]
+        mps.candidate_probabilities_many(front, [3, 4])
+        misses_first = mps.env_cache_misses
+        mps.env_cache_hits = 0
+        mps.candidate_probabilities_many(front, [3, 4])
+        # Identical call: every environment lookup is now a hit.
+        assert mps.env_cache_misses == misses_first
+        assert mps.env_cache_hits > 0
+
+    def test_results_match_fresh_state_after_gates(self):
+        """Correctness under invalidation: cached answers equal cold ones."""
+        qs, mps = self._evolved(6, 10, seed=3)
+        rng = np.random.default_rng(0)
+        front = [list(rng.integers(0, 2, 6)) for _ in range(5)]
+        for step in range(4):
+            support = [int(rng.integers(0, 5))]
+            support.append(support[0] + 1)
+            warm = mps.candidate_probabilities_many(front, support)
+            cold = mps.copy().candidate_probabilities_many(front, support)
+            np.testing.assert_allclose(warm, cold, atol=1e-12)
+            # Mutate somewhere and keep going.
+            act_on(cirq.H(qs[step % 6]), mps)
+
+    def test_copy_starts_with_empty_caches(self):
+        _, mps = self._evolved(5, 8)
+        mps.candidate_probabilities_many([[0] * 5], [2])
+        assert mps._left_env_cache or mps._right_env_cache
+        clone = mps.copy()
+        assert not clone._left_env_cache and not clone._right_env_cache
+
+    def test_channel_clears_caches(self):
+        qs, mps = self._evolved(4, 6)
+        mps.candidate_probabilities_many([[0] * 4], [1])
+        mps.apply_channel(
+            [np.sqrt(0.5) * np.eye(2), np.sqrt(0.5) * np.eye(2)], [2]
+        )
+        assert not mps._left_env_cache and not mps._right_env_cache
