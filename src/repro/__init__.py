@@ -44,6 +44,7 @@ from .mps import MPSOptions, MPSState
 from .protocols import act_on, has_stabilizer_effect
 from .sampler import (
     ExactDistributionSampler,
+    PoolManager,
     ProcessPoolExecutor,
     Program,
     QubitByQubitSimulator,
@@ -53,6 +54,8 @@ from .sampler import (
     act_on_near_clifford,
     plot_state_histogram,
     program_cache_info,
+    shared_pool_manager,
+    shutdown_shared_pool,
 )
 from .states import (
     CliffordTableau,

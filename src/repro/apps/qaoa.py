@@ -41,7 +41,14 @@ Everywhere a ``SamplerFn`` is accepted, a
 :class:`repro.sampler.Simulator` works too: sweeps then go through its
 ``sample_bitstrings_sweep`` API, which compiles the parameterized
 template once and re-specializes only the resolver-dependent gates per
-grid point instead of recompiling the whole circuit per point.
+grid point (memoized per resolved parameter tuple, so refinement passes
+revisiting a point skip even that) instead of recompiling the whole
+circuit per point.  A Simulator carrying a
+:class:`repro.sampler.ProcessPoolExecutor` additionally fans whole grid
+points across its warm process pool (``scope="auto"`` resolves to point
+scope): the workers are initialized once for the template and reused
+across every sweep and refinement call, bit-for-bit identical to the
+serial sweep.
 """
 
 
@@ -144,7 +151,11 @@ def sweep_parameters(
     With a :class:`repro.sampler.Simulator` as ``sampler`` the whole grid
     runs through ``sample_bitstrings_sweep``: the template compiles once
     and every (gamma, beta) point re-specializes just its Rz/Rx records —
-    the parameter-scan fast path the Program cache exists for.
+    the parameter-scan fast path the Program cache exists for.  If that
+    Simulator carries a pooled executor, the grid points themselves fan
+    across the warm worker pool (one single-seeded stream per point,
+    bit-for-bit identical to the serial sweep), and repeated calls —
+    optimizer refinements — reuse the same initialized workers.
     """
     gamma_s, beta_s = Symbol("gamma"), Symbol("beta")
     template = qaoa_maxcut_circuit(graph, gamma_s, beta_s, layers=layers)

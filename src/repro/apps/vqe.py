@@ -39,7 +39,11 @@ SamplerFn = Callable[[Circuit, int], np.ndarray]
 """``(resolved_circuit, repetitions) -> (reps, n) bit array``.
 
 A :class:`repro.sampler.Simulator` is accepted anywhere a ``SamplerFn``
-is (drawn through its ``sample_bitstrings`` API)."""
+is (drawn through its ``sample_bitstrings`` API).  A Simulator with a
+pooled executor keeps its worker pool warm across calls — the memoized
+``Program.specialize`` cache hands the pool the same compiled plan for
+repeated circuits, so the final sampled re-estimation in
+:func:`optimize_tfim` pays worker startup at most once per basis."""
 
 
 @dataclass(frozen=True)

@@ -24,6 +24,8 @@ import numpy as np
 
 from ..mps.state import MPSState
 from ..states import registry
+from ..states import stabilizer as _stabilizer
+from ..states import tableau as _tableau
 from ..states.density_matrix import DensityMatrixSimulationState
 from ..states.stabilizer import StabilizerChFormSimulationState
 from ..states.state_vector import StateVectorSimulationState
@@ -159,6 +161,11 @@ registry.register_backend(
     compute_probability=compute_probability_stabilizer_state,
     candidates=candidates_stabilizer_state,
     candidates_many=candidates_stabilizer_state_many,
+    # Warm-pool workers receive the CH form as raw uint64 words instead
+    # of a pickled state object (see the snapshot-hook contract in the
+    # README); the payload is also the pool's re-initialization key.
+    snapshot=_stabilizer.snapshot_chform_state,
+    restore=_stabilizer.restore_chform_state,
 )
 registry.register_backend(
     CliffordTableauSimulationState,
@@ -166,6 +173,8 @@ registry.register_backend(
     compute_probability=compute_probability_tableau,
     candidates=candidates_tableau,
     candidates_many=candidates_tableau_many,
+    snapshot=_tableau.snapshot_tableau_state,
+    restore=_tableau.restore_tableau_state,
 )
 registry.register_backend(
     MPSState,

@@ -3,6 +3,7 @@ cached Programs, pluggable executors, process-parallel trajectories."""
 
 from .baseline import ExactDistributionSampler, QubitByQubitSimulator
 from .executors import Executor, ProcessPoolExecutor, SerialExecutor
+from .service import PoolManager, shared_pool_manager, shutdown_shared_pool
 from .near_clifford import (
     act_on_near_clifford,
     count_non_clifford_gates,
@@ -39,6 +40,9 @@ __all__ = [
     "Executor",
     "SerialExecutor",
     "ProcessPoolExecutor",
+    "PoolManager",
+    "shared_pool_manager",
+    "shutdown_shared_pool",
     "Result",
     "plot_state_histogram",
     "QubitByQubitSimulator",

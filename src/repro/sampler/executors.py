@@ -12,13 +12,26 @@ The :class:`~repro.sampler.simulator.Simulator` owns the *algorithm*
   with the same chunk count — the executor-parity contract the test suite
   pins.
 * :class:`ProcessPoolExecutor` — the same chunk geometry fanned out over
-  a process pool.  The compiled plan, a packed snapshot of the initial
-  state, and the simulator configuration ship to each worker exactly once
-  through the pool *initializer* (with the ``fork`` start method they are
-  inherited copy-on-write and not pickled at all); each task then carries
-  only ``(chunk_size, chunk_seed)`` — two integers — so trajectory
-  workers start in O(1) instead of re-pickling the circuit and state per
-  task, closing the ROADMAP "process-pool shared-state startup" item.
+  a process pool.  The compiled plan (or, for point-scope sweeps, the
+  whole parameterized Program), a packed snapshot of the initial state,
+  and the simulator configuration ship to each worker exactly once
+  through the pool *initializer*; each repetition-chunk task then carries
+  only ``(chunk_size, chunk_seed)`` — two integers — and each sweep-point
+  task only ``(index, resolver, repetitions, base)``.  By default
+  (``reuse_pool=True``) the pool itself is **warm**: a
+  :class:`~repro.sampler.service.PoolManager` keeps the workers alive
+  across ``execute``/``run_sweep``/``run_batch`` calls and re-initializes
+  them only when the execution key — compiled unit, initial-state
+  payload, simulator config, pool geometry — changes.  ``reuse_pool=False``
+  restores the PR-3 cold behavior (one pool per call).
+
+Point-scope sweeps: ``ProcessPoolExecutor.execute_sweep`` fans whole
+sweep points (not repetition chunks) across the warm pool; each point is
+one stream seeded from ``SeedSequence([seed, index])``, making pooled
+point-scope output bit-for-bit identical to a serial ``run_sweep``.  The
+base :class:`Executor` ``execute_sweep`` preserves each executor's own
+repetition geometry per point, which is what ``run_sweep`` used before
+point scope existed.
 
 Chunk seeding is deterministic: with an integer simulator seed, chunk
 ``i`` always receives ``SeedSequence([seed, i])`` regardless of pool
@@ -29,7 +42,8 @@ the same contract as :func:`repro.sampler.parallel.sample_trajectories_parallel`
 Pooled execution requires picklable components: a module-level
 ``apply_op`` and ``compute_probability`` (the shipped ``act_on`` and
 ``born`` functions qualify) and a state whose registry descriptor either
-pickles directly or provides ``snapshot``/``restore`` hooks.
+pickles directly or provides ``snapshot``/``restore`` hooks (the packed
+tableau/CH backends ship raw ``uint64`` words this way).
 """
 
 from __future__ import annotations
@@ -38,110 +52,27 @@ import abc
 import multiprocessing
 import os
 from concurrent import futures as _cf
-from typing import Callable, Dict, List, Optional, Tuple, Union
+from typing import Callable, List, Optional
 
 import numpy as np
 
-from ..states.registry import capabilities_for
-from .plan import ExecutionPlan
-
-RunParts = Tuple[Dict[str, np.ndarray], np.ndarray]
-
-
-# ----------------------------------------------------------------------
-# chunk geometry and deterministic seeding (shared by every strategy)
-# ----------------------------------------------------------------------
-
-def _chunk_sizes(repetitions: int, num_chunks: int) -> List[int]:
-    """Split ``repetitions`` into at most ``num_chunks`` near-equal parts."""
-    num_chunks = min(num_chunks, repetitions)
-    base, extra = divmod(repetitions, num_chunks)
-    return [base + (1 if i < extra else 0) for i in range(num_chunks)]
-
-
-def _chunk_seeds(
-    seed: Union[int, np.random.Generator, None], num_chunks: int
-) -> List[int]:
-    """Per-chunk seeds derived deterministically from the user seed.
-
-    Chunk ``i`` receives the first word of ``SeedSequence([base, i])`` —
-    a stable function of the user seed and the chunk *index* alone, so
-    identically seeded runs hand every chunk the same stream, streams of
-    different chunks are statistically independent, and chunk ``i``'s
-    seed does not shift when the total chunk count changes.  ``None``
-    draws a fresh entropy base; passing a Generator consumes one draw
-    from it for the base.
-    """
-    base = _base_seed(seed)
-    return [
-        int(np.random.SeedSequence([base, i]).generate_state(1, np.uint64)[0])
-        >> 2
-        for i in range(num_chunks)
-    ]
-
-
-def _base_seed(seed: Union[int, np.random.Generator, None]) -> int:
-    """Collapse a user seed argument to one non-negative integer base."""
-    if isinstance(seed, np.random.Generator):
-        return int(seed.integers(2**62))
-    if seed is None:
-        return int(np.random.SeedSequence().entropy) % 2**62
-    return int(seed)
-
-
-def _merge_parts(parts: List[RunParts]) -> RunParts:
-    """Concatenate per-chunk (records, bits) outputs in chunk order."""
-    if len(parts) == 1:
-        return parts[0]
-    all_bits = np.concatenate([bits for _, bits in parts], axis=0)
-    keys = parts[0][0].keys()
-    records = {
-        key: np.concatenate([rec[key] for rec, _ in parts], axis=0)
-        for key in keys
-    }
-    return records, all_bits
-
-
-def _dispatch(simulator, plan: ExecutionPlan, repetitions: int, rng) -> RunParts:
-    """Run one chunk through the plan's required mode."""
-    if plan.needs_trajectories:
-        return simulator._run_trajectories(plan, repetitions, rng=rng)
-    return simulator._run_parallel(plan, repetitions, rng=rng)
-
-
-def _main_is_importable() -> bool:
-    """Whether ``__main__`` can be re-imported by a forkserver/spawn child.
-
-    Both start methods replay the parent's ``__main__`` from its file
-    path; interactive sessions and stdin scripts have none (or a
-    placeholder like ``<stdin>``), which kills the worker at startup.
-    """
-    import sys
-
-    main = sys.modules.get("__main__")
-    path = getattr(main, "__file__", None)
-    return path is not None and os.path.exists(path)
-
-
-def _pool_context(start_method: Optional[str]):
-    """A multiprocessing context, preferring the requested start method.
-
-    Falls back to ``fork`` (when available) if the requested method is
-    unavailable on the platform, or if it would need to re-import an
-    un-importable ``__main__`` (REPL / stdin parents).
-    """
-    available = multiprocessing.get_all_start_methods()
-    if (
-        start_method in ("forkserver", "spawn")
-        and "fork" in available
-        and not _main_is_importable()
-    ):
-        return multiprocessing.get_context("fork")
-    if start_method is not None and start_method in available:
-        return multiprocessing.get_context(start_method)
-    if "fork" in available:
-        return multiprocessing.get_context("fork")
-    return multiprocessing.get_context()
+from .service import (
+    PoolManager,
+    RunParts,
+    _WorkerPayload,
+    _base_seed,
+    _chunk_seeds,
+    _chunk_sizes,
+    _dispatch,
+    _init_pool_worker,
+    _main_is_importable,
+    _merge_parts,
+    _pool_context,
+    _run_pool_chunk,
+    _run_pool_point,
+    execution_key,
+    shared_pool_manager,
+)
 
 
 # ----------------------------------------------------------------------
@@ -151,15 +82,39 @@ def _pool_context(start_method: Optional[str]):
 class Executor(abc.ABC):
     """Strategy object deciding where a compiled plan's repetitions run."""
 
+    #: Whether :meth:`execute_sweep` fans whole sweep points across
+    #: parallel workers (single stream per point).  Executors that leave
+    #: this False run sweeps point-by-point with their own repetition
+    #: geometry, exactly like ``run_sweep`` before point scope existed.
+    supports_point_scope = False
+
     @abc.abstractmethod
     def execute(
         self,
         simulator,
-        plan: ExecutionPlan,
+        plan,
         repetitions: int,
         rng: Optional[np.random.Generator] = None,
     ) -> RunParts:
         """Produce ``(records, bits)`` for ``repetitions`` of ``plan``."""
+
+    def execute_sweep(
+        self, simulator, program, resolvers, repetitions: int
+    ) -> List[RunParts]:
+        """One ``(records, bits)`` per resolver of a parameter sweep.
+
+        Default: specialize and :meth:`execute` each point in order with
+        this executor's own repetition geometry, point ``i`` seeded from
+        ``SeedSequence([seed, i])`` — identical to the pre-point-scope
+        ``run_sweep`` loop.
+        """
+        base = _base_seed(simulator.seed)
+        parts = []
+        for index, resolver in enumerate(resolvers):
+            plan = program.specialize(resolver)
+            rng = np.random.default_rng(np.random.SeedSequence([base, index]))
+            parts.append(self.execute(simulator, plan, repetitions, rng=rng))
+        return parts
 
 
 class SerialExecutor(Executor):
@@ -192,104 +147,68 @@ class SerialExecutor(Executor):
 
 
 # ----------------------------------------------------------------------
-# pooled execution with one-time worker initialization
+# pooled execution with one-time worker initialization and warm reuse
 # ----------------------------------------------------------------------
 
-class _WorkerPayload:
-    """Everything a pool worker needs, shipped once per worker.
-
-    The initial state travels as its registry ``snapshot`` payload when
-    the backend declares one (restored via the matching ``restore``
-    hook), else as the state object itself; either way it is pickled once
-    per *worker* by the pool initializer — never per task.
-    """
-
-    __slots__ = (
-        "plan",
-        "state_payload",
-        "restore",
-        "apply_op",
-        "compute_probability",
-        "user_candidates",
-        "skip_diagonal_updates",
-        "fuse_moments",
-    )
-
-    def __init__(self, simulator, plan: ExecutionPlan):
-        caps = capabilities_for(type(simulator.initial_state))
-        if caps.snapshot is not None:
-            self.state_payload = caps.snapshot(simulator.initial_state)
-            self.restore = caps.restore
-        else:
-            self.state_payload = simulator.initial_state
-            self.restore = None
-        self.plan = plan
-        self.apply_op = simulator.apply_op
-        self.compute_probability = simulator.compute_probability
-        self.user_candidates = simulator.user_candidate_function
-        self.skip_diagonal_updates = simulator.skip_diagonal_updates
-        self.fuse_moments = simulator.fuse_moments
-
-    def build_simulator(self):
-        from .simulator import Simulator
-
-        state = (
-            self.restore(self.state_payload)
-            if self.restore is not None
-            else self.state_payload
-        )
-        return Simulator(
-            state,
-            self.apply_op,
-            self.compute_probability,
-            compute_candidate_probabilities=self.user_candidates,
-            skip_diagonal_updates=self.skip_diagonal_updates,
-            fuse_moments=self.fuse_moments,
-        )
-
-
-_WORKER: Optional[Tuple[object, ExecutionPlan]] = None
-
-
-def _init_pool_worker(payload: _WorkerPayload) -> None:
-    """Pool initializer: build the worker-local simulator + shared plan."""
-    global _WORKER
-    _WORKER = (payload.build_simulator(), payload.plan)
-
-
-def _run_pool_chunk(size: int, seed: int) -> RunParts:
-    """Worker task body: two integers in, one chunk of samples out."""
-    simulator, plan = _WORKER
-    return _dispatch(simulator, plan, size, np.random.default_rng(seed))
-
-
 class ProcessPoolExecutor(Executor):
-    """Fan a plan's repetitions over a process pool with O(1) task payloads.
+    """Fan repetition chunks or whole sweep points over a process pool.
 
     Args:
         num_workers: Pool size; defaults to ``os.cpu_count()``.
         chunks_per_worker: >1 gives smaller tasks (better load balance).
-        start_method: ``"forkserver"`` (default), ``"fork"``, or
-            ``"spawn"``; falls back to the platform default when the
-            requested method is unavailable.  With ``fork`` the shared
-            plan and packed state are inherited copy-on-write; with
+        start_method: ``"fork"``, ``"forkserver"``, or ``"spawn"``.  An
+            *explicitly requested* method the platform does not provide
+            raises at pool construction (no silent substitution; see
+            :func:`repro.sampler.service._pool_context`).  The default
+            sentinel ``"auto"`` resolves to ``forkserver`` where
+            available and the platform default elsewhere (Windows has
+            only ``spawn``), so default-configured executors work on
+            every platform.  With ``fork`` the shared plan and packed
+            state are inherited copy-on-write; with
             ``forkserver``/``spawn`` they are pickled once per worker by
             the initializer.
+        reuse_pool: True (default) keeps the pool **warm** through a
+            :class:`~repro.sampler.service.PoolManager`: consecutive
+            calls with an unchanged execution key submit straight to the
+            already-initialized workers.  False rebuilds a pool per call
+            (the PR-3 cold behavior) — same output, more startup cost.
+        pool_manager: The manager owning the warm pool.  None (default)
+            uses the process-wide shared manager; pass a dedicated
+            :class:`~repro.sampler.service.PoolManager` for scoped
+            lifetimes or isolated init counters.
 
     The total chunk count is ``num_workers * chunks_per_worker``; given
     the same simulator seed and total chunk count,
-    :class:`SerialExecutor` produces bit-for-bit identical output.
+    :class:`SerialExecutor` produces bit-for-bit identical output.  Warm
+    and cold pools are bit-for-bit identical too — reuse changes only
+    where the startup cost is paid.
     """
+
+    supports_point_scope = True
 
     def __init__(
         self,
         num_workers: Optional[int] = None,
         chunks_per_worker: int = 1,
-        start_method: Optional[str] = "forkserver",
+        start_method: Optional[str] = "auto",
+        reuse_pool: bool = True,
+        pool_manager: Optional[PoolManager] = None,
     ):
         self.num_workers = max(1, int(num_workers or (os.cpu_count() or 1)))
         self.chunks_per_worker = max(1, int(chunks_per_worker))
+        if start_method == "auto":
+            available = multiprocessing.get_all_start_methods()
+            start_method = "forkserver" if "forkserver" in available else None
         self.start_method = start_method
+        self.reuse_pool = reuse_pool
+        self._pool_manager = pool_manager
+
+    @property
+    def pool_manager(self) -> PoolManager:
+        """The manager owning this executor's warm pool."""
+        if self._pool_manager is None:
+            self._pool_manager = shared_pool_manager()
+        return self._pool_manager
 
     def execute(self, simulator, plan, repetitions, rng=None):
         num_chunks = self.num_workers * self.chunks_per_worker
@@ -302,20 +221,84 @@ class ProcessPoolExecutor(Executor):
                 for size, seed in zip(sizes, seeds)
             ]
             return _merge_parts(parts)
-        payload = _WorkerPayload(simulator, plan)
         workers = min(self.num_workers, len(sizes))
+        argses = list(zip(sizes, seeds))
+        if self.reuse_pool:
+            parts = self.pool_manager.run(
+                execution_key(simulator, plan=plan),
+                workers,
+                self.start_method,
+                lambda: _WorkerPayload(simulator, plan=plan),
+                _run_pool_chunk,
+                argses,
+            )
+        else:
+            parts = self._run_cold(
+                _WorkerPayload(simulator, plan=plan),
+                workers,
+                _run_pool_chunk,
+                argses,
+            )
+        return _merge_parts(parts)
+
+    def execute_sweep(self, simulator, program, resolvers, repetitions):
+        """Fan whole sweep points across the (warm) pool.
+
+        Each point runs as one stream seeded from
+        ``SeedSequence([seed, index])`` — bit-for-bit identical to a
+        serial ``run_sweep`` — and specializes the shared Program inside
+        the worker (memoized, so optimizer loops revisiting a point skip
+        the param-slot rebuild).  Consecutive sweeps over the same
+        compiled Program and initial-state payload reuse the warm workers
+        with zero re-initializations.
+        """
+        resolvers = list(resolvers)
+        base = _base_seed(simulator.seed)
+        if self.num_workers == 1 or len(resolvers) <= 1:
+            # In-process fallback with the *point-scope* recipe (one
+            # stream per point off SeedSequence([base, i])), not the
+            # chunked execute() path: point-scope output must not depend
+            # on worker count or sweep length.
+            return [
+                _dispatch(
+                    simulator,
+                    program.specialize(resolver),
+                    repetitions,
+                    np.random.default_rng(np.random.SeedSequence([base, index])),
+                )
+                for index, resolver in enumerate(resolvers)
+            ]
+        workers = min(self.num_workers, len(resolvers))
+        argses = [
+            (index, resolver, repetitions, base)
+            for index, resolver in enumerate(resolvers)
+        ]
+        if self.reuse_pool:
+            return self.pool_manager.run(
+                execution_key(simulator, program=program),
+                workers,
+                self.start_method,
+                lambda: _WorkerPayload(simulator, program=program),
+                _run_pool_point,
+                argses,
+            )
+        return self._run_cold(
+            _WorkerPayload(simulator, program=program),
+            workers,
+            _run_pool_point,
+            argses,
+        )
+
+    def _run_cold(self, payload, workers, fn, argses):
+        """One fresh pool for this call only (the pre-warm cost model)."""
         with _cf.ProcessPoolExecutor(
             max_workers=workers,
             mp_context=_pool_context(self.start_method),
             initializer=_init_pool_worker,
             initargs=(payload,),
         ) as pool:
-            pending = [
-                pool.submit(_run_pool_chunk, size, seed)
-                for size, seed in zip(sizes, seeds)
-            ]
-            parts = [f.result() for f in pending]
-        return _merge_parts(parts)
+            pending = [pool.submit(fn, *args) for args in argses]
+            return [f.result() for f in pending]
 
 
 # ----------------------------------------------------------------------
@@ -364,5 +347,7 @@ __all__ = [
     "Executor",
     "SerialExecutor",
     "ProcessPoolExecutor",
+    "PoolManager",
     "run_factory_chunks",
+    "shared_pool_manager",
 ]

@@ -72,6 +72,32 @@ def circuit_fingerprint(circuit: Circuit) -> Tuple:
     )
 
 
+# Bounded size of each Program's per-resolver specialization cache.
+_SPECIALIZE_CACHE_MAX = 128
+_CACHE_STATS_ZERO = {"hits": 0, "misses": 0, "evictions": 0, "uncachable": 0}
+
+
+def _resolver_cache_key(resolver) -> Optional[Tuple]:
+    """A hashable key for one resolver's assignments, or None.
+
+    :class:`~repro.circuits.parameters.ParamResolver` exposes its
+    (name -> float) assignments, which key exactly.  Anything that cannot
+    be keyed — a custom resolver object without ``_assignments``, or
+    assignments holding unhashable values such as arrays — returns None,
+    and ``specialize`` falls back to an uncached rebuild instead of
+    guessing at equality.
+    """
+    assignments = getattr(resolver, "_assignments", None)
+    if not isinstance(assignments, dict):
+        return None
+    try:
+        key = tuple(sorted(assignments.items()))
+        hash(key)
+    except TypeError:
+        return None
+    return key
+
+
 class _ParamSlot:
     """A parameterized operation's placeholder in a compiled Program."""
 
@@ -95,9 +121,20 @@ class Program:
     grouping of the moments that contain them, so the record stream is
     identical to compiling the resolved circuit directly.
 
+    Specializations are memoized per resolved parameter tuple in a
+    bounded LRU (``_SPECIALIZE_CACHE_MAX`` entries): an optimizer loop or
+    grid refinement revisiting a point gets the *same* plan object back
+    without touching the param slots — which also makes that plan a
+    stable identity key for the warm process pool
+    (:mod:`repro.sampler.service`).  Resolvers whose assignments cannot
+    be keyed (custom resolver objects, array-valued assignments) fall
+    back to an uncached rebuild — always correct, never cached.
+
     Counters: ``specializations`` increments per specialize call;
     ``shared_record_count``/``param_slot_count`` say how much of the
-    circuit is compiled once versus per point.
+    circuit is compiled once versus per point;
+    :meth:`specialize_cache_info` exposes the memoization traffic
+    (hits/misses/evictions/uncachable) for the benchmarks and tests.
     """
 
     __slots__ = (
@@ -118,6 +155,8 @@ class Program:
         "_nonparam_all_unitary",
         "_segments",
         "_base_plan",
+        "_plan_cache",
+        "_plan_cache_stats",
     )
 
     def __init__(self, circuit: Circuit, state, apply_op, *, fuse_moments: bool = True):
@@ -195,6 +234,28 @@ class Program:
         self.param_slot_count = param_slots
         self.specializations = 0
         self._base_plan: Optional[ExecutionPlan] = None
+        self._plan_cache: "OrderedDict[Tuple, ExecutionPlan]" = OrderedDict()
+        self._plan_cache_stats = dict(_CACHE_STATS_ZERO)
+
+    def __getstate__(self):
+        """Pickle everything except the per-process specialize cache.
+
+        Programs ship to pool workers inside the warm-pool payload; the
+        worker rebuilds its own (initially empty) memoization state
+        rather than inheriting — and re-shipping — the parent's cached
+        plans.
+        """
+        return {
+            slot: getattr(self, slot)
+            for slot in self.__slots__
+            if slot not in ("_plan_cache", "_plan_cache_stats")
+        }
+
+    def __setstate__(self, state):
+        for slot, value in state.items():
+            setattr(self, slot, value)
+        self._plan_cache = OrderedDict()
+        self._plan_cache_stats = dict(_CACHE_STATS_ZERO)
 
     # ------------------------------------------------------------------
     def _finish_record(self, rec: OpRecord) -> OpRecord:
@@ -242,7 +303,10 @@ class Program:
         resolver (resolution cannot change them).  Parameterized programs
         rebuild only their ``_ParamSlot`` records — everything else,
         including whole pre-fused parameter-free moments, is shared with
-        every other specialization of this Program.
+        every other specialization of this Program — and the result is
+        memoized per resolved parameter tuple, so re-specializing an
+        already-seen assignment returns the identical plan object without
+        rebuilding anything.
         """
         resolver = (
             ParamResolver(param_resolver)
@@ -266,6 +330,34 @@ class Program:
             return self._base_plan
         if resolver is None:
             raise ValueError("Circuit still has unresolved parameters")
+        key = _resolver_cache_key(resolver)
+        if key is None:
+            self._plan_cache_stats["uncachable"] += 1
+            return self._build_plan(resolver)
+        cached = self._plan_cache.get(key)
+        if cached is not None:
+            self._plan_cache_stats["hits"] += 1
+            self._plan_cache.move_to_end(key)
+            return cached
+        self._plan_cache_stats["misses"] += 1
+        plan = self._build_plan(resolver)
+        self._plan_cache[key] = plan
+        if len(self._plan_cache) > _SPECIALIZE_CACHE_MAX:
+            self._plan_cache.popitem(last=False)
+            self._plan_cache_stats["evictions"] += 1
+        return plan
+
+    def specialize_cache_info(self) -> Dict[str, int]:
+        """Memoization counters: hits, misses, evictions, uncachable, size."""
+        return {**self._plan_cache_stats, "size": len(self._plan_cache)}
+
+    def clear_specialize_cache(self) -> None:
+        """Drop the memoized plans and reset the counters (tests)."""
+        self._plan_cache.clear()
+        self._plan_cache_stats = dict(_CACHE_STATS_ZERO)
+
+    def _build_plan(self, resolver) -> ExecutionPlan:
+        """Rebuild the ``_ParamSlot`` records for one resolver (uncached)."""
         all_unitary = self._nonparam_all_unitary
         records = []
         for kind, entries in self._segments:

@@ -1,0 +1,495 @@
+"""Warm-pool execution service: persistent workers across sampling calls.
+
+PR 3's :class:`~repro.sampler.executors.ProcessPoolExecutor` already shipped
+the compiled plan and packed initial state to each worker exactly once —
+but once per *pool*, and it built a fresh pool (and re-initialized every
+worker) on every ``execute`` call.  A parameter sweep therefore paid the
+full worker-startup cost at every sweep point, which is exactly the
+overhead the paper's gate-by-gate scaling argument says should be paid
+once.
+
+This module is the missing lifecycle layer:
+
+* :class:`PoolManager` owns one process pool and keeps it — workers,
+  shipped plan/Program, restored initial state and all — alive across
+  ``execute`` / ``run_sweep`` / ``run_batch`` calls.  Workers are
+  re-initialized **only when the execution key changes**: the key combines
+  the identity of the compiled unit (a specialized
+  :class:`~repro.sampler.plan.ExecutionPlan` or a parameterized
+  :class:`~repro.sampler.program.Program`), the initial-state payload (the
+  registry ``snapshot`` payload for backends that declare one, object
+  identity otherwise), the simulator configuration, and the pool geometry.
+  Because :meth:`Program.specialize` memoizes per resolved parameter tuple
+  and the Program cache is process-wide, repeated runs of the same circuit
+  reach the manager with the *same* unit object and reuse the warm pool
+  with zero re-initializations.
+* Module-level worker plumbing (:func:`_init_pool_worker`,
+  :func:`_run_pool_chunk`, :func:`_run_pool_point`) gives pooled tasks two
+  shapes: repetition *chunks* — two integers ``(size, seed)`` against the
+  worker's shared plan — and whole sweep *points* —
+  ``(index, resolver, repetitions, base)`` against the worker's shared
+  Program, with the per-point generator rebuilt from
+  ``SeedSequence([base, index])`` so pooled point-scope output is
+  bit-for-bit identical to a serial ``run_sweep``.
+* :func:`shared_pool_manager` is the default process-wide manager used by
+  ``ProcessPoolExecutor(reuse_pool=True)``; it is shut down automatically
+  at interpreter exit (``atexit``), and :class:`PoolManager` doubles as a
+  context manager for scoped lifetimes.  ``shutdown()`` joins every
+  worker, so no child processes outlive the manager.
+
+Determinism contracts (pinned by ``tests/test_pool_service.py``):
+
+* chunk ``i`` always receives ``SeedSequence([seed, i])`` — warm, cold,
+  and serial chunked runs of equal geometry are bit-for-bit identical;
+* sweep point ``i`` always receives ``SeedSequence([seed, i])`` and runs
+  as one stream — pooled point scope reproduces a serial ``run_sweep``
+  exactly, on every backend;
+* the initial state is treated as immutable (the sampler only ever copies
+  it); mutating it in place between calls is outside the contract.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+import threading
+import weakref
+from concurrent import futures as _cf
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..states.registry import capabilities_for
+
+RunParts = Tuple[Dict[str, np.ndarray], np.ndarray]
+
+
+# ----------------------------------------------------------------------
+# chunk geometry and deterministic seeding (shared by every strategy)
+# ----------------------------------------------------------------------
+
+def _chunk_sizes(repetitions: int, num_chunks: int) -> List[int]:
+    """Split ``repetitions`` into at most ``num_chunks`` near-equal parts."""
+    num_chunks = min(num_chunks, repetitions)
+    base, extra = divmod(repetitions, num_chunks)
+    return [base + (1 if i < extra else 0) for i in range(num_chunks)]
+
+
+def _chunk_seeds(
+    seed: Union[int, np.random.Generator, None], num_chunks: int
+) -> List[int]:
+    """Per-chunk seeds derived deterministically from the user seed.
+
+    Chunk ``i`` receives the first word of ``SeedSequence([base, i])`` —
+    a stable function of the user seed and the chunk *index* alone, so
+    identically seeded runs hand every chunk the same stream, streams of
+    different chunks are statistically independent, and chunk ``i``'s
+    seed does not shift when the total chunk count changes.  ``None``
+    draws a fresh entropy base; passing a Generator consumes one draw
+    from it for the base.
+    """
+    base = _base_seed(seed)
+    return [
+        int(np.random.SeedSequence([base, i]).generate_state(1, np.uint64)[0])
+        >> 2
+        for i in range(num_chunks)
+    ]
+
+
+def _base_seed(seed: Union[int, np.random.Generator, None]) -> int:
+    """Collapse a user seed argument to one non-negative integer base."""
+    if isinstance(seed, np.random.Generator):
+        return int(seed.integers(2**62))
+    if seed is None:
+        return int(np.random.SeedSequence().entropy) % 2**62
+    return int(seed)
+
+
+def _merge_parts(parts: List[RunParts]) -> RunParts:
+    """Concatenate per-chunk (records, bits) outputs in chunk order."""
+    if len(parts) == 1:
+        return parts[0]
+    all_bits = np.concatenate([bits for _, bits in parts], axis=0)
+    keys = parts[0][0].keys()
+    records = {
+        key: np.concatenate([rec[key] for rec, _ in parts], axis=0)
+        for key in keys
+    }
+    return records, all_bits
+
+
+def _dispatch(simulator, plan, repetitions: int, rng) -> RunParts:
+    """Run one chunk through the plan's required mode."""
+    if plan.needs_trajectories:
+        return simulator._run_trajectories(plan, repetitions, rng=rng)
+    return simulator._run_parallel(plan, repetitions, rng=rng)
+
+
+def _main_is_importable() -> bool:
+    """Whether ``__main__`` can be re-imported by a forkserver/spawn child.
+
+    Both start methods replay the parent's ``__main__`` from its file
+    path; interactive sessions and stdin scripts have none (or a
+    placeholder like ``<stdin>``), which kills the worker at startup.
+    """
+    import sys
+
+    main = sys.modules.get("__main__")
+    path = getattr(main, "__file__", None)
+    return path is not None and os.path.exists(path)
+
+
+def _pool_context(start_method: Optional[str]):
+    """A multiprocessing context for the requested start method.
+
+    A requested method that the platform does not provide raises a
+    ``ValueError`` naming it and the available alternatives — silently
+    substituting a different method would mask platform differences (a
+    ``forkserver`` config "passing" on a fork-only box tests nothing).
+    The one deliberate substitution that remains: ``forkserver``/``spawn``
+    fall back to ``fork`` (when available) if ``__main__`` cannot be
+    re-imported (REPL / stdin parents), because those methods *cannot*
+    work there at all.  ``None`` selects ``fork`` when available, else the
+    platform default.
+    """
+    available = multiprocessing.get_all_start_methods()
+    if start_method is not None and start_method not in available:
+        raise ValueError(
+            f"Start method {start_method!r} is not available on this "
+            f"platform (available: {', '.join(available)}); pass one of "
+            "those or start_method=None for the platform default."
+        )
+    if (
+        start_method in ("forkserver", "spawn")
+        and "fork" in available
+        and not _main_is_importable()
+    ):
+        return multiprocessing.get_context("fork")
+    if start_method is not None:
+        return multiprocessing.get_context(start_method)
+    if "fork" in available:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+# ----------------------------------------------------------------------
+# worker-side plumbing: payload shipped once, O(1) task bodies
+# ----------------------------------------------------------------------
+
+class _WorkerPayload:
+    """Everything a pool worker needs, shipped once per worker.
+
+    The initial state travels as its registry ``snapshot`` payload when
+    the backend declares one *for exactly this type* (restored via the
+    matching ``restore`` hook; a subclass inheriting its parent's
+    descriptor falls back to object pickling so the worker state keeps
+    the subclass type), else as the state object itself; either way it is
+    pickled once per *worker* by the pool initializer — never per task.
+    ``plan`` fuels repetition-chunk tasks; ``program`` fuels sweep-point
+    tasks, which specialize per resolver inside the worker (memoized, so
+    revisited grid points skip even the param-slot rebuild).
+    """
+
+    __slots__ = (
+        "plan",
+        "program",
+        "state_payload",
+        "restore",
+        "apply_op",
+        "compute_probability",
+        "user_candidates",
+        "skip_diagonal_updates",
+        "fuse_moments",
+    )
+
+    def __init__(self, simulator, plan=None, *, program=None):
+        caps = capabilities_for(type(simulator.initial_state))
+        if (
+            caps.snapshot is not None
+            and caps.state_type is type(simulator.initial_state)
+        ):
+            self.state_payload = _snapshot_payload(
+                simulator.initial_state, caps
+            )
+            self.restore = caps.restore
+        else:
+            self.state_payload = simulator.initial_state
+            self.restore = None
+        self.plan = plan
+        self.program = program
+        self.apply_op = simulator.apply_op
+        self.compute_probability = simulator.compute_probability
+        self.user_candidates = simulator.user_candidate_function
+        self.skip_diagonal_updates = simulator.skip_diagonal_updates
+        self.fuse_moments = simulator.fuse_moments
+
+    def build_simulator(self):
+        from .simulator import Simulator
+
+        state = (
+            self.restore(self.state_payload)
+            if self.restore is not None
+            else self.state_payload
+        )
+        return Simulator(
+            state,
+            self.apply_op,
+            self.compute_probability,
+            compute_candidate_probabilities=self.user_candidates,
+            skip_diagonal_updates=self.skip_diagonal_updates,
+            fuse_moments=self.fuse_moments,
+        )
+
+
+_WORKER: Optional[Tuple[object, object, object]] = None
+
+
+def _init_pool_worker(payload: _WorkerPayload) -> None:
+    """Pool initializer: build the worker-local simulator + shared unit."""
+    global _WORKER
+    _WORKER = (payload.build_simulator(), payload.plan, payload.program)
+
+
+def _run_pool_chunk(size: int, seed: int) -> RunParts:
+    """Worker task body: two integers in, one chunk of samples out."""
+    simulator, plan, _ = _WORKER
+    return _dispatch(simulator, plan, size, np.random.default_rng(seed))
+
+
+def _run_pool_point(
+    index: int, resolver, repetitions: int, base: int
+) -> RunParts:
+    """Worker task body for one whole sweep point.
+
+    Specializes the worker's shared Program for ``resolver`` (memoized —
+    revisited points skip the rebuild) and runs ``repetitions`` as one
+    stream seeded from ``SeedSequence([base, index])``: exactly the
+    serial ``run_sweep`` recipe, so pooled point scope is bit-for-bit
+    identical to it.
+    """
+    simulator, _, program = _WORKER
+    plan = program.specialize(resolver)
+    rng = np.random.default_rng(np.random.SeedSequence([base, index]))
+    return _dispatch(simulator, plan, repetitions, rng)
+
+
+# ----------------------------------------------------------------------
+# execution keys: when may a warm pool be reused?
+# ----------------------------------------------------------------------
+
+# Snapshot payloads memoized per state object: building the execution key
+# on every pooled call must not re-serialize the state each time.  Keyed
+# weakly — a collected state drops its entry — and sound because the
+# initial state is immutable by contract while in sampler hands (the
+# sampler only ever copies it).
+_SNAPSHOT_CACHE: "weakref.WeakKeyDictionary[object, Tuple]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _snapshot_payload(state, caps) -> Tuple:
+    """``caps.snapshot(state)``, computed once per state object."""
+    try:
+        payload = _SNAPSHOT_CACHE.get(state)
+    except TypeError:  # unhashable/unweakrefable state: just recompute
+        return caps.snapshot(state)
+    if payload is None:
+        payload = caps.snapshot(state)
+        try:
+            _SNAPSHOT_CACHE[state] = payload
+        except TypeError:  # pragma: no cover - unweakrefable state
+            pass
+    return payload
+
+
+def _state_token(state) -> Tuple:
+    """The initial-state component of an execution key.
+
+    Backends with registry ``snapshot`` hooks key on the payload *content*
+    (two equal-content states share a warm pool); everything else keys on
+    object identity.  Identity is safe from id-reuse aliasing because the
+    manager holds the keyed payload — and therefore the state — alive for
+    as long as the key is current.
+    """
+    caps = capabilities_for(type(state))
+    if caps.snapshot is not None and caps.state_type is type(state):
+        return ("payload", type(state), _snapshot_payload(state, caps))
+    return ("object", id(state))
+
+
+def execution_key(simulator, *, plan=None, program=None) -> Tuple:
+    """The warm-pool reuse key for one simulator + compiled unit.
+
+    Combines the compiled unit's identity (the memoized ``specialize`` /
+    Program caches make repeated identical work arrive as the *same*
+    object), the initial-state payload token, and every simulator knob
+    the worker payload ships.  Any change re-initializes workers; equal
+    keys reuse them untouched.
+    """
+    if (plan is None) == (program is None):
+        raise ValueError("Provide exactly one of plan or program")
+    unit = plan if plan is not None else program
+    kind = "chunks" if plan is not None else "points"
+    return (
+        kind,
+        id(unit),
+        _state_token(simulator.initial_state),
+        simulator.apply_op,
+        simulator.compute_probability,
+        simulator.user_candidate_function,
+        simulator.skip_diagonal_updates,
+        simulator.fuse_moments,
+    )
+
+
+# ----------------------------------------------------------------------
+# the warm pool itself
+# ----------------------------------------------------------------------
+
+class PoolManager:
+    """Owns one process pool and reuses its initialized workers.
+
+    The manager lazily builds a pool for the first execution key it sees
+    and keeps it warm: subsequent calls with an equal key submit straight
+    to the live workers (``stats["reuses"]``), while a different key —
+    new compiled unit, new initial-state payload, changed simulator
+    config or pool geometry — shuts the old pool down cleanly and builds
+    a fresh one (``stats["key_changes"]`` + ``stats["inits"]``).  The
+    worker-initialization counter the lifecycle tests pin is
+    ``stats["inits"]``: two consecutive ``run_sweep`` calls over one
+    compiled Program must leave it at 1.
+
+    Lifecycle: use as a context manager for scoped pools, call
+    :meth:`shutdown` explicitly, or rely on the shared manager's
+    ``atexit`` hook.  ``shutdown`` joins every worker (no leaked
+    processes) and is idempotent; the manager is reusable afterwards (the
+    next call simply builds a new pool).  Any task failure — including a
+    broken pool — shuts the pool down before the exception propagates, so
+    a poisoned pool is never reused.
+    """
+
+    def __init__(self):
+        self._pool: Optional[_cf.ProcessPoolExecutor] = None
+        self._key: Optional[Tuple] = None
+        self._payload: Optional[_WorkerPayload] = None
+        self._last_pids: List[int] = []
+        # One batch at a time: without the lock, a second thread's key
+        # change could shut the pool down between another thread's
+        # _ensure and submit.  Concurrent different-key callers therefore
+        # serialize (and alternate keys still thrash pool rebuilds —
+        # give such threads their own managers).
+        self._lock = threading.RLock()
+        self.stats = {"inits": 0, "reuses": 0, "key_changes": 0}
+
+    # -- lifecycle ---------------------------------------------------------
+    @property
+    def init_count(self) -> int:
+        """How many times a pool (and its workers) was initialized."""
+        return self.stats["inits"]
+
+    def worker_pids(self) -> List[int]:
+        """PIDs of the current pool's workers (last pool's if shut down)."""
+        if self._pool is not None and getattr(self._pool, "_processes", None):
+            return sorted(self._pool._processes)
+        return list(self._last_pids)
+
+    def shutdown(self) -> None:
+        """Join all workers and drop the pool; idempotent, reusable after."""
+        with self._lock:
+            pool, self._pool = self._pool, None
+            self._key = None
+            self._payload = None
+            if pool is not None:
+                if getattr(pool, "_processes", None):
+                    self._last_pids = sorted(pool._processes)
+                pool.shutdown(wait=True)
+
+    def __enter__(self) -> "PoolManager":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # -- execution ---------------------------------------------------------
+    def run(
+        self,
+        key: Tuple,
+        num_workers: int,
+        start_method: Optional[str],
+        payload_factory: Callable[[], _WorkerPayload],
+        fn: Callable,
+        argses: Sequence[Tuple],
+    ) -> List:
+        """Run ``fn(*args)`` for every args tuple on the (warm) pool.
+
+        Results come back in submission order.  On any failure the pool
+        is shut down before the exception propagates (fail-safe against
+        broken/poisoned pools); the next call rebuilds it.
+        """
+        with self._lock:
+            pool = self._ensure(key, num_workers, start_method, payload_factory)
+            try:
+                pending = [pool.submit(fn, *args) for args in argses]
+                results = [f.result() for f in pending]
+            except BaseException:
+                self.shutdown()
+                raise
+            if getattr(pool, "_processes", None):
+                self._last_pids = sorted(pool._processes)
+            return results
+
+    def _ensure(
+        self, key, num_workers, start_method, payload_factory
+    ) -> _cf.ProcessPoolExecutor:
+        full_key = (key, num_workers, start_method)
+        if self._pool is not None:
+            if full_key == self._key:
+                self.stats["reuses"] += 1
+                return self._pool
+            self.stats["key_changes"] += 1
+            self.shutdown()
+        payload = payload_factory()
+        self._pool = _cf.ProcessPoolExecutor(
+            max_workers=num_workers,
+            mp_context=_pool_context(start_method),
+            initializer=_init_pool_worker,
+            initargs=(payload,),
+        )
+        # The payload ref keeps every id()-keyed object (plan/Program,
+        # initial state) alive while the key is current, so ids in the
+        # key cannot alias recycled addresses.
+        self._payload = payload
+        self._key = full_key
+        self.stats["inits"] += 1
+        return self._pool
+
+
+_SHARED: Optional[PoolManager] = None
+
+
+def shared_pool_manager() -> PoolManager:
+    """The process-wide default :class:`PoolManager`.
+
+    Created on first use and registered with ``atexit`` so its workers
+    are joined at interpreter exit even when no one calls ``shutdown``.
+    """
+    global _SHARED
+    if _SHARED is None:
+        _SHARED = PoolManager()
+        atexit.register(_SHARED.shutdown)
+    return _SHARED
+
+
+def shutdown_shared_pool() -> None:
+    """Shut the shared manager's pool down now (tests, session teardown)."""
+    if _SHARED is not None:
+        _SHARED.shutdown()
+
+
+__all__ = [
+    "PoolManager",
+    "execution_key",
+    "shared_pool_manager",
+    "shutdown_shared_pool",
+]

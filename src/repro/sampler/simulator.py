@@ -38,8 +38,12 @@ Execution is layered:
   :meth:`run_sweep` and :meth:`run_batch` cheap parameter-scan APIs;
 * an optional **executor** (:mod:`repro.sampler.executors`) decides where
   the specialized plan's repetitions run — in-process (default), in
-  deterministic seeded chunks, or across a process pool that receives the
-  compiled plan and a packed initial-state snapshot once per worker.
+  deterministic seeded chunks, or across a **warm** process pool
+  (:mod:`repro.sampler.service`) whose workers receive the compiled
+  plan/Program and a packed initial-state snapshot once and stay alive
+  across calls; :meth:`Simulator.run_sweep` can additionally fan whole
+  sweep points (``scope="points"``) across those workers, bit-for-bit
+  identical to the serial sweep.
 """
 
 from __future__ import annotations
@@ -181,27 +185,42 @@ class Simulator:
         circuit: Circuit,
         params: Sequence[Union[ParamResolver, dict, None]],
         repetitions: int = 1,
+        scope: str = "auto",
     ) -> List["Result"]:
         """Run the circuit once per parameter resolver (Cirq-style sweep).
 
         The QAOA example (paper Sec. 4.4) is exactly this pattern: one
         parameterized template, many (gamma, beta) assignments.  The
         template compiles **once**; each sweep point re-specializes only
-        the resolver-dependent records (cost: a few small matrix builds)
-        instead of recompiling the whole circuit.
+        the resolver-dependent records (cost: a few small matrix builds,
+        memoized per resolved parameter tuple) instead of recompiling the
+        whole circuit.
 
-        Seeding is deterministic: point ``i`` draws from a fresh generator
-        seeded with ``SeedSequence([user_seed, i])`` — the PR-2 worker-seed
-        scheme — so two identically seeded simulators produce bit-for-bit
-        identical sweeps, a point's stream does not depend on how many
-        points precede it, and repeated ``run_sweep`` calls on one
-        integer-seeded simulator return identical results (matching
-        :func:`repro.sampler.parallel.sample_trajectories_parallel`).
+        ``scope`` chooses the unit of parallelism:
+
+        * ``"points"`` — fan whole sweep points across the executor's
+          (warm) process pool, one single-seeded stream per point.  Sweep
+          points are independent, so this parallelizes the sweep itself —
+          not just each point's repetitions — while staying bit-for-bit
+          identical to a serial executor-free ``run_sweep``.  Without a
+          point-capable executor it degrades to that serial loop.
+        * ``"repetitions"`` — the pre-point-scope behavior: each point
+          runs through :meth:`the executor's execute <Executor.execute>`
+          with its own repetition-chunk geometry.
+        * ``"auto"`` (default) — ``"points"`` when the executor fans
+          points (:class:`~repro.sampler.executors.ProcessPoolExecutor`),
+          else ``"repetitions"``.
+
+        Seeding is deterministic in every scope: point ``i`` draws from a
+        fresh generator seeded with ``SeedSequence([user_seed, i])`` — the
+        PR-2 worker-seed scheme — so two identically seeded simulators
+        produce bit-for-bit identical sweeps, a point's stream does not
+        depend on how many points precede it, and repeated ``run_sweep``
+        calls on one integer-seeded simulator return identical results
+        (matching :func:`repro.sampler.parallel.sample_trajectories_parallel`).
         """
-        program = self.compile(circuit)
         results = []
-        for plan, rng in self._sweep_plans(program, params):
-            records, _ = self._execute_plan(plan, repetitions, rng)
+        for records, _ in self._sweep_parts(circuit, params, repetitions, scope):
             if not records:
                 raise ValueError(
                     "Circuit has no measurements; add measure(...) "
@@ -215,16 +234,53 @@ class Simulator:
         circuit: Circuit,
         params: Sequence[Union[ParamResolver, dict, None]],
         repetitions: int = 1,
+        scope: str = "auto",
     ) -> List[np.ndarray]:
         """Per-point final full-register bitstrings for a parameter sweep.
 
         The raw-bitstring sibling of :meth:`run_sweep` (same shared
-        compiled Program, same deterministic per-point seeding); returns
-        one ``(repetitions, n)`` array per resolver.
+        compiled Program, same deterministic per-point seeding, same
+        ``scope`` semantics); returns one ``(repetitions, n)`` array per
+        resolver.
         """
-        program = self.compile(circuit)
         return [
-            self._execute_plan(plan, repetitions, rng)[1]
+            bits
+            for _, bits in self._sweep_parts(circuit, params, repetitions, scope)
+        ]
+
+    def _sweep_parts(
+        self,
+        circuit: Circuit,
+        params: Sequence[Union[ParamResolver, dict, None]],
+        repetitions: int,
+        scope: str,
+    ) -> List[Tuple[Dict[str, np.ndarray], np.ndarray]]:
+        """Shared sweep engine: one ``(records, bits)`` pair per resolver."""
+        if scope not in ("auto", "points", "repetitions"):
+            raise ValueError(
+                f"scope must be 'auto', 'points', or 'repetitions', got {scope!r}"
+            )
+        params = list(params)
+        program = self.compile(circuit)
+        point_capable = self.executor is not None and getattr(
+            self.executor, "supports_point_scope", False
+        )
+        if scope in ("auto", "points") and point_capable:
+            return self.executor.execute_sweep(
+                self, program, params, repetitions
+            )
+        if scope == "points":
+            # Explicit point scope without a point-fanning executor: one
+            # in-process stream per point — the serial contract pooled
+            # point scope reproduces bit-for-bit.
+            from .executors import _dispatch
+
+            return [
+                _dispatch(self, plan, repetitions, rng)
+                for plan, rng in self._sweep_plans(program, params)
+            ]
+        return [
+            self._execute_plan(plan, repetitions, rng)
             for plan, rng in self._sweep_plans(program, params)
         ]
 

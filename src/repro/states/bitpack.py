@@ -139,3 +139,20 @@ def xor_col(mat: np.ndarray, col: int, bits01: np.ndarray) -> None:
 def bit_positions(vec: np.ndarray, n: int) -> np.ndarray:
     """Indices of set bits of a packed vector (like ``np.flatnonzero``)."""
     return np.flatnonzero(unpack_rows(vec, n))
+
+
+def words_to_bytes(arr: np.ndarray) -> bytes:
+    """Raw little-endian wire bytes of a packed ``uint64`` word array.
+
+    The snapshot payloads of the stabilizer backends ship their GF(2)
+    matrices to pool workers as these bytes instead of pickled ndarray
+    objects: no dtype/strides/class envelope per array, and the resulting
+    payload tuples are hashable/equality-comparable, which is what lets
+    the warm-pool execution key compare initial-state payloads directly.
+    """
+    return np.ascontiguousarray(arr, dtype="<u8").tobytes()
+
+
+def words_from_bytes(buf: bytes, shape: Tuple[int, ...]) -> np.ndarray:
+    """Inverse of :func:`words_to_bytes`: a fresh writable word array."""
+    return np.frombuffer(buf, dtype="<u8").reshape(shape).astype(np.uint64)

@@ -514,5 +514,54 @@ class StabilizerChForm:
         out.omega = self.omega
         return out
 
+    # -- packed snapshot payloads (warm-pool worker shipping) ---------------
+    def to_words(self) -> Tuple:
+        """``(n, F, G, M, gamma, v, s, omega)`` with matrices as raw bytes.
+
+        The whole CH form as hashable wire values: the three conjugation
+        matrices and the ``v``/``s`` vectors ship as packed little-endian
+        words, ``gamma`` as its mod-4 ``int64`` bytes, ``omega`` as a
+        plain complex.  ``_mask`` is derived from ``n`` and is not
+        shipped.
+        """
+        return (
+            self.n,
+            bp.words_to_bytes(self.Fw),
+            bp.words_to_bytes(self.Gw),
+            bp.words_to_bytes(self.Mw),
+            self.gamma.astype("<i8").tobytes(),
+            bp.words_to_bytes(self.vw),
+            bp.words_to_bytes(self.sw),
+            complex(self.omega),
+        )
+
+    @classmethod
+    def from_words(
+        cls,
+        n: int,
+        f_bytes: bytes,
+        g_bytes: bytes,
+        m_bytes: bytes,
+        gamma_bytes: bytes,
+        v_bytes: bytes,
+        s_bytes: bytes,
+        omega: complex,
+    ) -> "StabilizerChForm":
+        """Rebuild a CH form from :meth:`to_words` without re-deriving it."""
+        n = int(n)
+        w = bp.num_words(n)
+        out = cls.__new__(cls)
+        out.n = n
+        out._w = w
+        out._mask = bp.mask(n)
+        out.Fw = bp.words_from_bytes(f_bytes, (n, w))
+        out.Gw = bp.words_from_bytes(g_bytes, (n, w))
+        out.Mw = bp.words_from_bytes(m_bytes, (n, w))
+        out.gamma = np.frombuffer(gamma_bytes, dtype="<i8").astype(np.int64)
+        out.vw = bp.words_from_bytes(v_bytes, (w,))
+        out.sw = bp.words_from_bytes(s_bytes, (w,))
+        out.omega = complex(omega)
+        return out
+
     def __repr__(self) -> str:
         return f"StabilizerChForm(n={self.n}, |v|={bp.count_bits(self.vw)})"

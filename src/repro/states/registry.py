@@ -20,7 +20,12 @@ This registry is the single seam.  Each backend registers one
 * bookkeeping flags (``renormalize`` support, exact channel
   application), and
 * optional ``snapshot``/``restore`` hooks the process-pool executor uses
-  to ship the initial state to workers in packed form.
+  to ship the initial state to workers in packed form.  Payloads must be
+  picklable and ``==``-comparable (prefer plain tuples of bytes/ints):
+  the warm-pool service (:mod:`repro.sampler.service`) compares them to
+  decide whether already-initialized workers can be reused.  The shipped
+  bit-packed tableau and CH-form backends implement the hooks with raw
+  ``uint64`` word payloads; see the README "snapshot-hook contract".
 
 Shipped backends register at import time (see :mod:`repro.born`); user
 backends call :func:`register_backend` and immediately get the same fast
@@ -131,6 +136,7 @@ class BackendCapabilities:
                 ("renormalize", self.renormalize),
                 ("exact_channels", self.exact_channels),
                 ("many_front", self.candidates_many is not None),
+                ("snapshot", self.snapshot is not None),
             ]
             if on
         ]

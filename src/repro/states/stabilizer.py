@@ -10,7 +10,7 @@ expands ``Rz(theta)`` gates stochastically (paper Sec. 4.2).
 
 from __future__ import annotations
 
-from typing import List, Sequence, Union
+from typing import List, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -167,3 +167,28 @@ class StabilizerChFormSimulationState(SimulationState):
         return (
             f"StabilizerChFormSimulationState(num_qubits={self.num_qubits})"
         )
+
+
+def snapshot_chform_state(state: StabilizerChFormSimulationState) -> Tuple:
+    """Registry ``snapshot`` hook: the CH form as raw ``uint64`` words.
+
+    ``("stabilizer_ch_form", qubits, n, F, G, M, gamma, v, s, omega)``
+    with the binary matrices as plain bytes — smaller than pickling the
+    state object and directly ``==``-comparable, so the warm pool can key
+    worker initialization on the payload content.  Restored states get a
+    fresh RNG (the sampler re-seeds every copy it takes).
+    """
+    return ("stabilizer_ch_form", tuple(state.qubits)) + state.ch_form.to_words()
+
+
+def restore_chform_state(payload: Tuple) -> StabilizerChFormSimulationState:
+    """Registry ``restore`` hook, inverse of :func:`snapshot_chform_state`."""
+    tag, qubits = payload[0], payload[1]
+    if tag != "stabilizer_ch_form":  # pragma: no cover - defensive
+        raise ValueError(f"Not a CH-form snapshot payload: {tag!r}")
+    state = StabilizerChFormSimulationState.__new__(
+        StabilizerChFormSimulationState
+    )
+    SimulationState.__init__(state, qubits, None)
+    state.ch_form = StabilizerChForm.from_words(*payload[2:])
+    return state

@@ -39,7 +39,7 @@ assert bit-exact agreement gate-for-gate.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -566,6 +566,46 @@ class CliffordTableau:
         out.r = self.r.copy()
         return out
 
+    # -- packed snapshot payloads (warm-pool worker shipping) ---------------
+    def to_words(self) -> Tuple[int, bytes, bytes, bytes]:
+        """``(n, x_bytes, z_bytes, r_bytes)`` — the tableau as raw words.
+
+        Only the ``2n`` destabilizer/stabilizer rows ship; the scratch
+        row carries no state (every reader overwrites it first) and is
+        reallocated on restore.  The byte strings are plain hashable
+        values, so whole payloads compare with ``==`` — the property the
+        warm-pool execution key relies on.
+        """
+        n = self.n
+        return (
+            n,
+            bp.words_to_bytes(self.xw[: 2 * n]),
+            bp.words_to_bytes(self.zw[: 2 * n]),
+            self.r[: 2 * n].tobytes(),
+        )
+
+    @classmethod
+    def from_words(
+        cls, n: int, x_bytes: bytes, z_bytes: bytes, r_bytes: bytes
+    ) -> "CliffordTableau":
+        """Rebuild a tableau from :meth:`to_words` without re-deriving it."""
+        n = int(n)
+        w = bp.num_words(n)
+        out = cls.__new__(cls)
+        out.n = n
+        out._w = w
+        scratch = np.zeros((1, w), dtype=np.uint64)
+        out.xw = np.concatenate(
+            [bp.words_from_bytes(x_bytes, (2 * n, w)), scratch]
+        )
+        out.zw = np.concatenate(
+            [bp.words_from_bytes(z_bytes, (2 * n, w)), scratch]
+        )
+        out.r = np.concatenate(
+            [np.frombuffer(r_bytes, dtype=np.uint8), np.zeros(1, np.uint8)]
+        )
+        return out
+
     def __eq__(self, other) -> bool:
         if not isinstance(other, CliffordTableau):
             return NotImplemented
@@ -710,3 +750,28 @@ class CliffordTableauSimulationState(SimulationState):
 
     def __repr__(self) -> str:
         return f"CliffordTableauSimulationState(num_qubits={self.num_qubits})"
+
+
+def snapshot_tableau_state(state: CliffordTableauSimulationState) -> Tuple:
+    """Registry ``snapshot`` hook: the state as raw ``uint64`` words.
+
+    The payload is ``("clifford_tableau", qubits, n, x, z, r)`` with the
+    matrices as plain bytes — smaller than pickling the state object
+    (which drags along the RNG state, the qubit-index dict, and one
+    ndarray envelope per block) and directly ``==``-comparable, which is
+    how the warm pool decides whether workers need re-initialization.
+    Restored states get a fresh RNG; the sampler's determinism never
+    depends on the initial state's own generator (copies are re-seeded).
+    """
+    return ("clifford_tableau", tuple(state.qubits)) + state.tableau.to_words()
+
+
+def restore_tableau_state(payload: Tuple) -> CliffordTableauSimulationState:
+    """Registry ``restore`` hook, inverse of :func:`snapshot_tableau_state`."""
+    tag, qubits, n, x_bytes, z_bytes, r_bytes = payload
+    if tag != "clifford_tableau":  # pragma: no cover - defensive
+        raise ValueError(f"Not a tableau snapshot payload: {tag!r}")
+    state = CliffordTableauSimulationState.__new__(CliffordTableauSimulationState)
+    SimulationState.__init__(state, qubits, None)
+    state.tableau = CliffordTableau.from_words(n, x_bytes, z_bytes, r_bytes)
+    return state

@@ -197,3 +197,85 @@ class TestChunkHelpers:
 
     def test_chunk_seeds_are_prefix_stable(self):
         assert _chunk_seeds(123, 3) == _chunk_seeds(123, 5)[:3]
+
+
+class TestPoolContext:
+    """_pool_context: honor the requested method or fail loudly.
+
+    A requested-but-unavailable start method must raise instead of
+    silently substituting another one — a silent swap masks platform
+    differences (a forkserver config "passing" on a fork-only platform
+    tests nothing).  The deliberate exception stays: forkserver/spawn
+    fall back to fork when ``__main__`` cannot be re-imported, because
+    those methods cannot work there at all.
+    """
+
+    def test_requested_available_method_is_honored(self):
+        from repro.sampler.service import _pool_context
+
+        for method in multiprocessing.get_all_start_methods():
+            assert _pool_context(method).get_start_method() == method
+
+    def test_unavailable_method_raises_clear_error(self, monkeypatch):
+        from repro.sampler import service
+
+        monkeypatch.setattr(
+            service.multiprocessing,
+            "get_all_start_methods",
+            lambda: ["spawn"],
+        )
+        with pytest.raises(ValueError, match="forkserver.*not available"):
+            service._pool_context("forkserver")
+        with pytest.raises(ValueError, match="available: spawn"):
+            service._pool_context("fork")
+
+    def test_unavailable_method_raises_from_executor(self, monkeypatch):
+        """The error surfaces through the public executor path too."""
+        from repro.sampler import service
+
+        monkeypatch.setattr(
+            service.multiprocessing,
+            "get_all_start_methods",
+            lambda: ["spawn"],
+        )
+        sim = make_sim(
+            seed=1,
+            executor=ProcessPoolExecutor(num_workers=2, start_method="forkserver"),
+        )
+        with pytest.raises(ValueError, match="forkserver"):
+            sim.sample_bitstrings(noisy_bell_circuit(), repetitions=8)
+
+    def test_unimportable_main_falls_back_to_fork(self, monkeypatch):
+        from repro.sampler import service
+
+        monkeypatch.setattr(service, "_main_is_importable", lambda: False)
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("no fork on this platform")
+        assert service._pool_context("forkserver").get_start_method() == "fork"
+        assert service._pool_context("spawn").get_start_method() == "fork"
+
+    def test_none_prefers_fork_when_available(self):
+        from repro.sampler.service import _pool_context
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("no fork on this platform")
+        assert _pool_context(None).get_start_method() == "fork"
+
+    def test_auto_default_resolves_to_available_method(self, monkeypatch):
+        """The constructor default works on every platform: 'auto' picks
+        forkserver where available, the platform default elsewhere."""
+        from repro.sampler import executors
+
+        available = multiprocessing.get_all_start_methods()
+        default = ProcessPoolExecutor(num_workers=2)
+        if "forkserver" in available:
+            assert default.start_method == "forkserver"
+        else:  # pragma: no cover - platform-dependent
+            assert default.start_method is None
+        # Simulated spawn-only platform (Windows): no error, no forkserver.
+        monkeypatch.setattr(
+            executors.multiprocessing,
+            "get_all_start_methods",
+            lambda: ["spawn"],
+        )
+        assert ProcessPoolExecutor(num_workers=2).start_method is None

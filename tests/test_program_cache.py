@@ -311,6 +311,129 @@ class TestRunSweep:
             assert bits.shape == (17, 3)
 
 
+class TestSpecializeMemoization:
+    """Per-resolver plan memoization: bounded LRU, graceful fallbacks."""
+
+    def test_same_resolver_returns_identical_plan_object(self, qubits):
+        program = sv_simulator(qubits).compile(parameterized_circuit(qubits))
+        a = program.specialize({"theta": 0.5})
+        b = program.specialize({"theta": 0.5})
+        assert a is b
+        info = program.specialize_cache_info()
+        assert info["misses"] == 1 and info["hits"] == 1 and info["size"] == 1
+
+    def test_dict_and_resolver_share_one_entry(self, qubits):
+        program = sv_simulator(qubits).compile(parameterized_circuit(qubits))
+        via_dict = program.specialize({"theta": 0.25})
+        via_resolver = program.specialize(cirq.ParamResolver({"theta": 0.25}))
+        assert via_dict is via_resolver
+
+    def test_lru_eviction_is_bounded(self, qubits, monkeypatch):
+        from repro.sampler import program as program_module
+
+        monkeypatch.setattr(program_module, "_SPECIALIZE_CACHE_MAX", 2)
+        program = sv_simulator(qubits).compile(parameterized_circuit(qubits))
+        first = program.specialize({"theta": 0.1})
+        program.specialize({"theta": 0.2})
+        program.specialize({"theta": 0.3})  # evicts theta=0.1
+        info = program.specialize_cache_info()
+        assert info["size"] == 2
+        assert info["evictions"] == 1
+        # The evicted entry rebuilds (a new object), recently-used survive.
+        assert program.specialize({"theta": 0.3}) is not None
+        assert program.specialize_cache_info()["hits"] == 1
+        rebuilt = program.specialize({"theta": 0.1})
+        assert rebuilt is not first
+
+    def test_lru_recency_order(self, qubits, monkeypatch):
+        from repro.sampler import program as program_module
+
+        monkeypatch.setattr(program_module, "_SPECIALIZE_CACHE_MAX", 2)
+        program = sv_simulator(qubits).compile(parameterized_circuit(qubits))
+        a = program.specialize({"theta": 0.1})
+        program.specialize({"theta": 0.2})
+        a_again = program.specialize({"theta": 0.1})  # refresh a
+        program.specialize({"theta": 0.3})  # evicts 0.2, not 0.1
+        assert a_again is a
+        assert program.specialize({"theta": 0.1}) is a
+
+    def test_custom_resolver_object_falls_back_uncached(self, qubits):
+        """Resolvers without inspectable assignments stay correct, uncached."""
+
+        class OpaqueResolver:
+            def value_of(self, value):
+                return value.value(0.5)
+
+        program = sv_simulator(qubits).compile(parameterized_circuit(qubits))
+        a = program.specialize(OpaqueResolver())
+        b = program.specialize(OpaqueResolver())
+        assert a is not b
+        info = program.specialize_cache_info()
+        assert info["uncachable"] == 2 and info["size"] == 0
+        reference = program.specialize({"theta": 0.5})
+        rx_a = [r for r in a.records if r.support == (2,)][0]
+        rx_ref = [r for r in reference.records if r.support == (2,)][0]
+        np.testing.assert_allclose(rx_a.unitary, rx_ref.unitary, atol=1e-12)
+
+    def test_array_valued_assignments_fall_back_uncached(self, qubits):
+        """Unhashable assignment values cannot key the cache; still correct."""
+
+        class VectorResolver(cirq.ParamResolver):
+            def __init__(self, values):
+                self._assignments = {"theta": values}  # ndarray: unhashable
+
+            def value_of(self, value):
+                return value.value(float(self._assignments["theta"][0]))
+
+        program = sv_simulator(qubits).compile(parameterized_circuit(qubits))
+        plan = program.specialize(VectorResolver(np.array([0.3, 9.9])))
+        assert program.specialize_cache_info()["uncachable"] == 1
+        reference = program.specialize({"theta": 0.3})
+        rx = [r for r in plan.records if r.support == (2,)][0]
+        rx_ref = [r for r in reference.records if r.support == (2,)][0]
+        np.testing.assert_allclose(rx.unitary, rx_ref.unitary, atol=1e-12)
+
+    def test_counters_exposed_and_clearable(self, qubits):
+        program = sv_simulator(qubits).compile(parameterized_circuit(qubits))
+        program.specialize({"theta": 0.1})
+        program.specialize({"theta": 0.1})
+        info = program.specialize_cache_info()
+        assert set(info) == {"hits", "misses", "evictions", "uncachable", "size"}
+        program.clear_specialize_cache()
+        cleared = program.specialize_cache_info()
+        assert cleared == {
+            "hits": 0, "misses": 0, "evictions": 0, "uncachable": 0, "size": 0,
+        }
+
+    def test_param_free_program_bypasses_resolver_cache(self, qubits):
+        sim = sv_simulator(qubits)
+        circuit = cirq.Circuit(cirq.H(qubits[0]), cirq.measure(*qubits, key="m"))
+        program = sim.compile(circuit)
+        assert program.specialize(None) is program.specialize({"x": 1.0})
+        assert program.specialize_cache_info()["size"] == 0
+
+    def test_pickled_program_resets_cache(self, qubits):
+        """Programs ship to pool workers without their cached plans."""
+        import pickle
+
+        program = sv_simulator(qubits).compile(parameterized_circuit(qubits))
+        program.specialize({"theta": 0.4})
+        clone = pickle.loads(pickle.dumps(program))
+        assert clone.specialize_cache_info()["size"] == 0
+        plan = clone.specialize({"theta": 0.4})
+        reference = program.specialize({"theta": 0.4})
+        assert len(plan.records) == len(reference.records)
+
+    def test_sweep_revisit_hits_cache(self, qubits):
+        """Grid-refinement pattern: revisited points skip the rebuild."""
+        sim = sv_simulator(qubits, seed=3)
+        circuit = parameterized_circuit(qubits)
+        params = [{"theta": 0.1}, {"theta": 0.2}, {"theta": 0.1}]
+        sim.run_sweep(circuit, params, repetitions=5)
+        info = sim.compile(circuit).specialize_cache_info()
+        assert info["misses"] == 2 and info["hits"] == 1
+
+
 class TestRunBatch:
     def test_batch_returns_one_result_per_circuit(self, qubits):
         sim = sv_simulator(qubits, seed=5)

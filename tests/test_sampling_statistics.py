@@ -14,6 +14,7 @@ With fixed seeds these are exact regression tests, not flaky monitors:
 any run-to-run difference would come from a behavior change, not luck.
 """
 
+import networkx as nx
 import numpy as np
 import pytest
 
@@ -22,6 +23,8 @@ from repro import born
 from repro import circuits as cirq
 from repro.apps.bernstein_vazirani import bernstein_vazirani_circuit
 from repro.apps.ghz import ghz_circuit
+from repro.apps.qaoa import qaoa_maxcut_circuit
+from repro.sampler import PoolManager, ProcessPoolExecutor
 from repro.states import (
     CliffordTableauSimulationState,
     StabilizerChFormSimulationState,
@@ -158,6 +161,57 @@ class TestSeededRandomCircuit:
         )
         bits = sim.sample_bitstrings(circuit, repetitions=reps)
         assert_matches_exact(bits, probs, n, reps)
+
+    def test_qaoa_grid_pooled_point_scope_matches_exact(self):
+        """Pooled point-scope run_sweep vs exact Born, per grid point.
+
+        The statistical regression for the warm-pool sweep path: a
+        parameterized QAOA MaxCut template swept over a (gamma, beta)
+        grid, every point fanned across the warm process pool as one
+        stream, every point's histogram checked against the exact Born
+        distribution of its resolved circuit (TVD + chi-square) — and
+        bit-for-bit against the serial sweep, so the goodness-of-fit
+        verdicts cover the pooled samples themselves.
+        """
+        reps = 2500
+        graph = nx.Graph([(0, 1), (1, 2), (2, 3), (0, 2)])
+        n = graph.number_of_nodes()
+        qubits = cirq.LineQubit.range(n)
+        template = qaoa_maxcut_circuit(
+            graph, cirq.Symbol("gamma"), cirq.Symbol("beta"), qubits=qubits
+        )
+        resolvers = [
+            cirq.ParamResolver({"gamma": g, "beta": b})
+            for g in (0.4, 0.9)
+            for b in (0.25, 0.7)
+        ]
+
+        def make_sim(executor=None):
+            return bgls.Simulator(
+                StateVectorSimulationState(qubits),
+                bgls.act_on,
+                born.compute_probability_state_vector,
+                seed=37,
+                executor=executor,
+            )
+
+        with PoolManager() as manager:
+            pooled = make_sim(
+                ProcessPoolExecutor(
+                    num_workers=2, start_method="fork", pool_manager=manager
+                )
+            ).sample_bitstrings_sweep(
+                template, resolvers, repetitions=reps, scope="points"
+            )
+        serial = make_sim().sample_bitstrings_sweep(
+            template, resolvers, repetitions=reps
+        )
+        assert len(pooled) == len(resolvers)
+        for resolver, bits, serial_bits in zip(resolvers, pooled, serial):
+            np.testing.assert_array_equal(bits, serial_bits)
+            resolved = template.resolve_parameters(resolver)
+            probs = exact_distribution(resolved, qubits)
+            assert_matches_exact(bits, probs, n, reps)
 
     def test_8q_random_clifford_on_tableau_matches_exact(self):
         n, reps = 8, 4000
