@@ -14,7 +14,6 @@ The width-24 point of the tableau series is the same ablation point as
 """
 
 import numpy as np
-import pytest
 
 import repro as bgls
 from repro import born

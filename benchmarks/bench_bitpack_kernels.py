@@ -17,7 +17,6 @@ trajectory is tracked across PRs.
 """
 
 import numpy as np
-import pytest
 
 from repro.states import bitpack as bp
 from repro.states.chform import StabilizerChForm

@@ -5,8 +5,6 @@ bitstring probability costs O(n^2) *independent of depth*, so sampling
 runtime grows ~linearly with depth (a) and polynomially with width (b).
 """
 
-import numpy as np
-import pytest
 
 from repro import circuits as cirq
 

@@ -7,7 +7,6 @@ non-Clifford (the 2^#T branch explosion).
 """
 
 import numpy as np
-import pytest
 
 from repro import circuits as cirq
 from repro.analysis import empirical_distribution, fractional_overlap

@@ -5,8 +5,6 @@ GHZ circuit with randomly sequenced CNOTs gives exponential runtime for
 *both* the MPS and the state-vector representations.
 """
 
-import numpy as np
-import pytest
 
 from repro import circuits as cirq
 from repro.apps import random_ghz_circuit

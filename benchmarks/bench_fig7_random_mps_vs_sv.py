@@ -7,8 +7,6 @@
     constant, and MPS sampling runtime scales ~linearly with width.
 """
 
-import numpy as np
-import pytest
 
 from repro import circuits as cirq
 from repro.apps import random_fixed_cnot_circuit, random_shallow_circuit

@@ -7,8 +7,6 @@ We print the sweep grid (Fig. 9a) and the final cut vs the brute-force
 optimum (Fig. 9b's coloring).
 """
 
-import numpy as np
-import pytest
 
 import repro as bgls
 from repro import born

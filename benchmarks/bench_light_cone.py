@@ -9,7 +9,6 @@ measured register, and verifies the sampled marginals agree.
 """
 
 import numpy as np
-import pytest
 
 from repro import circuits as cirq
 from repro.transpile import default_pipeline, reduce_to_light_cone

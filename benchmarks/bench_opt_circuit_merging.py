@@ -6,7 +6,6 @@ layers by 1.5-2x.  We sweep layer counts and print the speedup series.
 """
 
 import numpy as np
-import pytest
 
 from repro import circuits as cirq
 

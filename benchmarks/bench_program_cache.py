@@ -18,7 +18,6 @@ Two claims, two series:
 import pickle
 
 import numpy as np
-import pytest
 
 import repro as bgls
 from repro import born

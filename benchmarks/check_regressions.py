@@ -1,0 +1,214 @@
+"""Benchmark-regression gate: re-run headline series, compare to baselines.
+
+The committed ``benchmarks/results/BENCH_*.json`` files are the perf
+record of every PR's headline win.  This script keeps them honest: it
+re-runs the warm-pool, multi-program-batch, adaptive-scheduling,
+program-cache, and batched-oracle series and compares each fresh
+``speedup`` against the committed baseline with a *generous* tolerance —
+the fresh ratio must stay at or above ``tolerance`` (default 0.5) times
+the recorded win, so shared-runner noise passes but a genuinely lost
+optimization (a speedup collapsing toward 1x) fails the gate.
+Correctness columns (widths, point counts, variant labels) must match
+exactly: a benchmark silently changing shape is a regression too.
+
+Flow:
+
+1. read the committed baselines into memory,
+2. re-run the owning benchmark modules (``--skip-run`` reuses existing
+   JSON, e.g. right after a manual benchmark run),
+3. copy the fresh JSON into ``benchmarks/results/fresh/`` (CI uploads
+   this directory as a workflow artifact),
+4. restore the committed baselines in place (the working tree stays
+   clean), and
+5. compare, printing one verdict row per (file, row, column).
+
+Exit status 0 iff every gated ratio holds.  Run from the repository
+root::
+
+    PYTHONPATH=src python benchmarks/check_regressions.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import subprocess
+import sys
+
+BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+RESULTS_DIR = os.path.join(BENCH_DIR, "results")
+REPO_ROOT = os.path.dirname(BENCH_DIR)
+
+# Each gated series: the module that regenerates it, the columns whose
+# fresh/baseline ratio is gated, and the columns that must match exactly
+# (they identify rows and pin the benchmark's shape).
+SERIES = {
+    "BENCH_warm_pool_vs_cold_pool_sweep.json": {
+        "module": "bench_pool_service.py",
+        "speedup_columns": ("speedup",),
+        "exact_columns": ("points", "reps"),
+    },
+    "BENCH_multi_program_batch_vs_per_circuit_reinit.json": {
+        "module": "bench_scheduler.py",
+        "speedup_columns": ("speedup",),
+        "exact_columns": ("circuits", "reps", "warm_inits", "reinit_inits"),
+    },
+    "BENCH_adaptive_vs_fifo_mixed_depth_sweep.json": {
+        "module": "bench_scheduler.py",
+        "speedup_columns": ("speedup",),
+        "exact_columns": ("points", "reps", "workers"),
+    },
+    "BENCH_run_sweep_cached_program_vs_per_point_compile_24_points_10_qubit.json": {
+        "module": "bench_program_cache.py",
+        "speedup_columns": ("speedup",),
+        "exact_columns": ("variant",),
+    },
+    "BENCH_batched_vs_per_candidate_tableau_oracle_depth_20_8_reps.json": {
+        "module": "bench_batched_oracles.py",
+        "speedup_columns": ("speedup",),
+        "exact_columns": ("width",),
+    },
+}
+
+
+def load_series(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def row_key(payload, row, exact_columns):
+    index = {name: i for i, name in enumerate(payload["columns"])}
+    missing = [c for c in exact_columns if c not in index]
+    if missing:
+        raise SystemExit(
+            f"{payload['title']!r}: exact columns {missing} not in "
+            f"{payload['columns']}"
+        )
+    return tuple(row[index[c]] for c in exact_columns)
+
+
+def column_value(payload, row, column):
+    return row[payload["columns"].index(column)]
+
+
+def run_benchmarks(modules):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [os.path.join(REPO_ROOT, "src"), env.get("PYTHONPATH")])
+    )
+    # The modules' own timing asserts are advisory here — this gate owns
+    # the ratio comparison, with the committed baseline as the yardstick.
+    env["BGLS_RELAX_TIMING"] = "1"
+    command = [
+        sys.executable,
+        "-m",
+        "pytest",
+        "-q",
+        "-s",
+        "--benchmark-disable",
+    ] + [os.path.join(BENCH_DIR, module) for module in modules]
+    print("$", " ".join(command), flush=True)
+    result = subprocess.run(command, cwd=REPO_ROOT, env=env)
+    if result.returncode != 0:
+        raise SystemExit(
+            f"Benchmark rerun failed with exit code {result.returncode}"
+        )
+
+
+def compare(name, baseline, fresh, spec, tolerance):
+    """Yield (ok, message) verdicts for one series."""
+    exact = spec["exact_columns"]
+    base_rows = {row_key(baseline, row, exact): row for row in baseline["rows"]}
+    fresh_rows = {row_key(fresh, row, exact): row for row in fresh["rows"]}
+    if set(base_rows) != set(fresh_rows):
+        yield False, (
+            f"{name}: row set changed — baseline {sorted(base_rows)} vs "
+            f"fresh {sorted(fresh_rows)}"
+        )
+        return
+    for key, base_row in base_rows.items():
+        fresh_row = fresh_rows[key]
+        for column in spec["speedup_columns"]:
+            base_value = float(column_value(baseline, base_row, column))
+            fresh_value = float(column_value(fresh, fresh_row, column))
+            floor = tolerance * base_value
+            ok = fresh_value >= floor
+            yield ok, (
+                f"{name} {key} {column}: fresh {fresh_value:.3f}x vs "
+                f"baseline {base_value:.3f}x (floor {floor:.3f}x) "
+                f"{'ok' if ok else 'REGRESSION'}"
+            )
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.5,
+        help="Fresh speedup must be >= tolerance x baseline (default 0.5)",
+    )
+    parser.add_argument(
+        "--skip-run",
+        action="store_true",
+        help="Compare existing results JSON instead of re-running",
+    )
+    parser.add_argument(
+        "--fresh-dir",
+        default=os.path.join(RESULTS_DIR, "fresh"),
+        help="Where fresh JSON is copied for artifact upload",
+    )
+    args = parser.parse_args(argv)
+
+    # Snapshot every committed series, not just the gated ones: the
+    # benchmark modules regenerate sibling series too, and this gate must
+    # leave the whole results directory as it found it.
+    originals = {}
+    for name in sorted(os.listdir(RESULTS_DIR)):
+        if name.startswith("BENCH_") and name.endswith(".json"):
+            with open(os.path.join(RESULTS_DIR, name)) as f:
+                originals[name] = f.read()
+    baselines = {}
+    for name in SERIES:
+        if name not in originals:
+            raise SystemExit(
+                f"Missing committed baseline: {os.path.join(RESULTS_DIR, name)}"
+            )
+        baselines[name] = json.loads(originals[name])
+
+    fresh = {}
+    try:
+        if not args.skip_run:
+            modules = sorted({spec["module"] for spec in SERIES.values()})
+            run_benchmarks(modules)
+        os.makedirs(args.fresh_dir, exist_ok=True)
+        for name in SERIES:
+            path = os.path.join(RESULTS_DIR, name)
+            fresh[name] = load_series(path)
+            shutil.copy(path, os.path.join(args.fresh_dir, name))
+    finally:
+        if not args.skip_run:
+            # Leave the committed baselines untouched in the working tree
+            # even when the rerun fails or is interrupted mid-way.
+            for name, content in originals.items():
+                with open(os.path.join(RESULTS_DIR, name), "w") as f:
+                    f.write(content)
+
+    failures = 0
+    for name, spec in SERIES.items():
+        for ok, message in compare(
+            name, baselines[name], fresh[name], spec, args.tolerance
+        ):
+            print(("PASS " if ok else "FAIL ") + message)
+            failures += 0 if ok else 1
+    if failures:
+        print(f"\n{failures} benchmark regression(s) detected")
+        return 1
+    print("\nAll benchmark series within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,7 +24,6 @@ import pytest
 
 import repro as bgls
 from repro import born
-from repro import circuits as cirq
 
 
 def make_sv_simulator(qubits, seed=0, **kw):

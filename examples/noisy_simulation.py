@@ -13,7 +13,6 @@ channel output.
 Run:  python examples/noisy_simulation.py
 """
 
-import numpy as np
 
 import repro as bgls
 from repro import born

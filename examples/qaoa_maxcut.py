@@ -12,7 +12,6 @@ Reproduces the paper's pipeline end to end:
 Run:  python examples/qaoa_maxcut.py
 """
 
-import numpy as np
 
 import repro as bgls
 from repro import born

@@ -8,7 +8,6 @@ sampler converges to HOP ~ 0.85 >> 2/3; a uniform sampler scores ~1/2.
 Run:  python examples/quantum_volume.py
 """
 
-import numpy as np
 
 import repro as bgls
 from repro import apps, born

@@ -9,7 +9,6 @@ stochastic sum-over-Cliffords branches.
 
 from __future__ import annotations
 
-from typing import Sequence
 
 import numpy as np
 

@@ -7,11 +7,11 @@ backend: a single BGLS sample must equal the secret exactly.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..circuits import CNOT, Circuit, H, LineQubit, Qid, X, Z, measure
+from ..circuits import CNOT, Circuit, H, LineQubit, Qid, X, measure
 
 
 def parse_secret(secret: Union[str, Sequence[int]]) -> Tuple[int, ...]:

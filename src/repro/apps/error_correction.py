@@ -14,7 +14,7 @@ noise, one that scales far beyond dense simulation.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 import numpy as np
 

@@ -8,7 +8,7 @@ candidate-resampling path on near-deterministic distributions.
 from __future__ import annotations
 
 import math
-from typing import Iterable, List, Optional, Sequence, Set, Tuple, Union
+from typing import Iterable, Optional, Sequence, Set, Union
 
 import numpy as np
 

@@ -11,7 +11,7 @@ peaked output distributions, not just uniform ones.
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 

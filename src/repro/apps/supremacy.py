@@ -10,17 +10,15 @@ cross-entropy (XEB) scoring used to certify samples.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
 from ..circuits import (
-    CZ,
     Circuit,
     GridQubit,
     ISWAP,
     PhasedXPowGate,
-    Qid,
     XPowGate,
     YPowGate,
     measure,

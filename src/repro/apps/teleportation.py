@@ -10,7 +10,7 @@ so the teleported qubit is exact while the records still show all four
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
 import numpy as np
 

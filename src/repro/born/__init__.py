@@ -22,6 +22,7 @@ from typing import Callable, Optional, Sequence
 
 import numpy as np
 
+from ..mps import state as _mps
 from ..mps.state import MPSState
 from ..states import registry
 from ..states import stabilizer as _stabilizer
@@ -183,6 +184,12 @@ registry.register_backend(
     scalar_aliases=(mps_bitstring_probability,),
     candidates=candidates_mps,
     candidates_many=candidates_mps_many,
+    # Wide MPS sweeps ship the network as raw tensor bytes + bond
+    # metadata instead of a pickled state object (no RNG, no qubit-index
+    # dict, no per-tensor ndarray envelopes); the payload doubles as the
+    # warm pool's content-comparable re-initialization key.
+    snapshot=_mps.snapshot_mps_state,
+    restore=_mps.restore_mps_state,
 )
 
 

@@ -8,12 +8,11 @@ parameter resolution, composition, and small-circuit unitaries.
 
 from __future__ import annotations
 
-import math
 from typing import Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
-from .gates import Gate, MeasurementGate
+from .gates import Gate
 from .moment import Moment
 from .operations import GateOperation
 from .parameters import ParamResolver

@@ -21,7 +21,7 @@ from __future__ import annotations
 import abc
 import cmath
 import math
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import List, Optional, Tuple
 
 import numpy as np
 

@@ -8,7 +8,7 @@ on random 8-qubit circuits with up to 50 layers.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List
 
 import numpy as np
 

@@ -10,13 +10,11 @@ every variational algorithm.
 
 from __future__ import annotations
 
-import cmath
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from . import gates
-from .circuit import Circuit
 from .operations import GateOperation
 from .qubits import Qid
 

@@ -13,7 +13,6 @@ from typing import Callable, Dict, List, Tuple
 
 from . import gates
 from .circuit import Circuit
-from .operations import GateOperation
 from .qubits import NamedQubit, Qid
 
 _HEADER_RE = re.compile(r"OPENQASM\s+2.0\s*;")

@@ -16,7 +16,6 @@ import numpy as np
 from . import gates
 from .circuit import Circuit
 from .gates import Gate
-from .moment import Moment
 from .qubits import LineQubit, Qid
 
 # Default domain: each gate mapped to its arity, mirroring cirq.testing.

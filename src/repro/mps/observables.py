@@ -9,7 +9,7 @@ the package-wide convention for anything exponential.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Mapping, Tuple
+from typing import Dict, List, Mapping
 
 import numpy as np
 

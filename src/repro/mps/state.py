@@ -432,6 +432,48 @@ class MPSState(SimulationState):
             return np.asarray([result])
         return result.data.reshape(-1)
 
+    # -- packed snapshot payloads (warm-pool worker shipping) ----------------
+    def to_payload(self) -> Tuple:
+        """``(bond_counter, fidelity, tensors)`` — the network as raw bytes.
+
+        The tensor-network equivalent of the stabilizer backends'
+        ``to_words``: each site tensor ships as ``(index names, shape,
+        complex128 bytes)`` plus the bond metadata needed to keep
+        evolving the restored state (the bond-name counter, so new bonds
+        never collide with shipped ones, and the truncation-fidelity
+        estimate).  Every component is a plain hashable value, so whole
+        payloads compare with ``==`` — the property the warm-pool
+        execution key relies on.  Environment caches are per-run scratch
+        and intentionally do not ship.
+        """
+        tensors = tuple(
+            (
+                t.inds,
+                t.shape,
+                np.ascontiguousarray(t.data, dtype=np.complex128).tobytes(),
+            )
+            for t in self.tensors
+        )
+        return (self._bond_counter, float(self.estimated_fidelity), tensors)
+
+    def restore_payload(self, payload: Tuple) -> None:
+        """Inverse of :meth:`to_payload`: adopt a packed network in place.
+
+        The restored tensors are writable copies (``frombuffer`` views
+        are read-only), and the environment caches restart empty.
+        """
+        bond_counter, fidelity, tensors = payload
+        self.tensors = [
+            Tensor(
+                np.frombuffer(raw, dtype=np.complex128).reshape(shape).copy(),
+                inds,
+            )
+            for inds, shape, raw in tensors
+        ]
+        self._bond_counter = int(bond_counter)
+        self.estimated_fidelity = float(fidelity)
+        self._init_env_caches()
+
     def copy(self, seed=None) -> "MPSState":
         out = type(self).__new__(type(self))  # preserve subclasses
         SimulationState.__init__(out, self.qubits, seed)
@@ -447,3 +489,36 @@ class MPSState(SimulationState):
             f"MPSState(num_qubits={self.num_qubits}, "
             f"max_bond_dim={self.max_bond_dimension()})"
         )
+
+
+def snapshot_mps_state(state: MPSState) -> Tuple:
+    """Registry ``snapshot`` hook: the MPS as raw tensor bytes.
+
+    ``("mps", qubits, (max_bond, cutoff, renormalize), *to_payload())`` —
+    smaller than pickling the state object (which drags along the RNG
+    state, the qubit-index dict, and one ndarray envelope per tensor)
+    and directly ``==``-comparable, which is how the warm pool decides
+    whether already-initialized workers can be reused.  Restored states
+    get a fresh RNG; the sampler's determinism never depends on the
+    initial state's own generator (copies are re-seeded).
+    """
+    opts = state.options
+    return (
+        "mps",
+        tuple(state.qubits),
+        (opts.max_bond, opts.cutoff, opts.renormalize),
+    ) + state.to_payload()
+
+
+def restore_mps_state(payload: Tuple) -> MPSState:
+    """Registry ``restore`` hook, inverse of :func:`snapshot_mps_state`."""
+    tag, qubits, (max_bond, cutoff, renormalize) = payload[:3]
+    if tag != "mps":  # pragma: no cover - defensive
+        raise ValueError(f"Not an MPS snapshot payload: {tag!r}")
+    state = MPSState.__new__(MPSState)
+    SimulationState.__init__(state, qubits, None)
+    state.options = MPSOptions(
+        max_bond=max_bond, cutoff=cutoff, renormalize=renormalize
+    )
+    state.restore_payload(payload[3:])
+    return state

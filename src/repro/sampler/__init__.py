@@ -3,6 +3,13 @@ cached Programs, pluggable executors, process-parallel trajectories."""
 
 from .baseline import ExactDistributionSampler, QubitByQubitSimulator
 from .executors import Executor, ProcessPoolExecutor, SerialExecutor
+from .schedule import (
+    AdaptiveScheduler,
+    FifoScheduler,
+    ScheduledTask,
+    Scheduler,
+    estimate_cost,
+)
 from .service import PoolManager, shared_pool_manager, shutdown_shared_pool
 from .near_clifford import (
     act_on_near_clifford,
@@ -40,6 +47,11 @@ __all__ = [
     "Executor",
     "SerialExecutor",
     "ProcessPoolExecutor",
+    "Scheduler",
+    "FifoScheduler",
+    "AdaptiveScheduler",
+    "ScheduledTask",
+    "estimate_cost",
     "PoolManager",
     "shared_pool_manager",
     "shutdown_shared_pool",

@@ -12,26 +12,33 @@ The :class:`~repro.sampler.simulator.Simulator` owns the *algorithm*
   with the same chunk count — the executor-parity contract the test suite
   pins.
 * :class:`ProcessPoolExecutor` — the same chunk geometry fanned out over
-  a process pool.  The compiled plan (or, for point-scope sweeps, the
-  whole parameterized Program), a packed snapshot of the initial state,
-  and the simulator configuration ship to each worker exactly once
-  through the pool *initializer*; each repetition-chunk task then carries
-  only ``(chunk_size, chunk_seed)`` — two integers — and each sweep-point
-  task only ``(index, resolver, repetitions, base)``.  By default
-  (``reuse_pool=True``) the pool itself is **warm**: a
-  :class:`~repro.sampler.service.PoolManager` keeps the workers alive
-  across ``execute``/``run_sweep``/``run_batch`` calls and re-initializes
-  them only when the execution key — compiled unit, initial-state
-  payload, simulator config, pool geometry — changes.  ``reuse_pool=False``
-  restores the PR-3 cold behavior (one pool per call).
+  a process pool.  The compiled plan (or, for point/batch scope, the
+  whole **program table** — every distinct compiled Program of a
+  heterogeneous batch), a packed snapshot of the initial state, and the
+  simulator configuration ship to each worker exactly once through the
+  pool *initializer*; each repetition-chunk task then carries only
+  ``(chunk_size, chunk_seed)`` — two integers — and each scheduled batch
+  task only ``(program_index, point_index, resolver, reps, chunk info,
+  base)``.  By default (``reuse_pool=True``) the pool itself is
+  **warm**: a :class:`~repro.sampler.service.PoolManager` keeps the
+  workers alive across ``execute``/``run_sweep``/``run_batch`` calls and
+  re-initializes them only when the execution key — compiled unit(s),
+  initial-state payload, simulator config, pool geometry — changes.
+  ``reuse_pool=False`` restores the PR-3 cold behavior (one pool per
+  call).
 
-Point-scope sweeps: ``ProcessPoolExecutor.execute_sweep`` fans whole
-sweep points (not repetition chunks) across the warm pool; each point is
-one stream seeded from ``SeedSequence([seed, index])``, making pooled
-point-scope output bit-for-bit identical to a serial ``run_sweep``.  The
-base :class:`Executor` ``execute_sweep`` preserves each executor's own
-repetition geometry per point, which is what ``run_sweep`` used before
-point scope existed.
+Point/batch scope: ``ProcessPoolExecutor.execute_sweep`` and
+``execute_batch`` fan whole sweep/batch points (not repetition chunks)
+across the warm pool through the configured scheduler
+(:mod:`repro.sampler.schedule`).  Under the default FIFO scheduler each
+point is one stream seeded from ``SeedSequence([seed, index])``, making
+pooled output bit-for-bit identical to a serial
+``run_sweep``/``run_batch``; an
+:class:`~repro.sampler.schedule.AdaptiveScheduler` reorders the queue
+largest-first and splits oversized points into deterministic repetition
+sub-chunks.  The base :class:`Executor` ``execute_sweep`` preserves each
+executor's own repetition geometry per point, which is what ``run_sweep``
+used before point scope existed.
 
 Chunk seeding is deterministic: with an integer simulator seed, chunk
 ``i`` always receives ``SeedSequence([seed, i])`` regardless of pool
@@ -51,11 +58,13 @@ from __future__ import annotations
 import abc
 import multiprocessing
 import os
+import time
 from concurrent import futures as _cf
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
+from .schedule import BatchEntry, FifoScheduler, Scheduler, estimate_cost
 from .service import (
     PoolManager,
     RunParts,
@@ -65,11 +74,12 @@ from .service import (
     _chunk_sizes,
     _dispatch,
     _init_pool_worker,
-    _main_is_importable,
     _merge_parts,
     _pool_context,
     _run_pool_chunk,
-    _run_pool_point,
+    _run_pool_task,
+    _task_rng,
+    _warm_worker,
     execution_key,
     shared_pool_manager,
 )
@@ -111,6 +121,28 @@ class Executor(abc.ABC):
         base = _base_seed(simulator.seed)
         parts = []
         for index, resolver in enumerate(resolvers):
+            plan = program.specialize(resolver)
+            rng = np.random.default_rng(np.random.SeedSequence([base, index]))
+            parts.append(self.execute(simulator, plan, repetitions, rng=rng))
+        return parts
+
+    def execute_batch(
+        self,
+        simulator,
+        programs: Sequence,
+        resolvers: Sequence,
+        repetitions: int,
+    ) -> List[RunParts]:
+        """One ``(records, bits)`` per (program, resolver) batch entry.
+
+        Default: specialize and :meth:`execute` each entry in order with
+        this executor's own repetition geometry, entry ``i`` seeded from
+        ``SeedSequence([seed, i])`` — identical to the serial
+        ``run_batch`` loop.
+        """
+        base = _base_seed(simulator.seed)
+        parts = []
+        for index, (program, resolver) in enumerate(zip(programs, resolvers)):
             plan = program.specialize(resolver)
             rng = np.random.default_rng(np.random.SeedSequence([base, index]))
             parts.append(self.execute(simulator, plan, repetitions, rng=rng))
@@ -176,6 +208,14 @@ class ProcessPoolExecutor(Executor):
             uses the process-wide shared manager; pass a dedicated
             :class:`~repro.sampler.service.PoolManager` for scoped
             lifetimes or isolated init counters.
+        scheduler: How batch/sweep points map to pool tasks.  None
+            (default) is FIFO — one task per point, submission order,
+            bit-for-bit identical to the serial path.  Pass an
+            :class:`~repro.sampler.schedule.AdaptiveScheduler` to order
+            tasks largest-first by the static cost model and split
+            oversized points into repetition sub-chunks (seeds
+            ``SeedSequence([seed, point, chunk])``, merged in chunk
+            order) so mixed-depth batches keep every worker busy.
 
     The total chunk count is ``num_workers * chunks_per_worker``; given
     the same simulator seed and total chunk count,
@@ -193,6 +233,7 @@ class ProcessPoolExecutor(Executor):
         start_method: Optional[str] = "auto",
         reuse_pool: bool = True,
         pool_manager: Optional[PoolManager] = None,
+        scheduler: Optional[Scheduler] = None,
     ):
         self.num_workers = max(1, int(num_workers or (os.cpu_count() or 1)))
         self.chunks_per_worker = max(1, int(chunks_per_worker))
@@ -202,6 +243,7 @@ class ProcessPoolExecutor(Executor):
         self.start_method = start_method
         self.reuse_pool = reuse_pool
         self._pool_manager = pool_manager
+        self.scheduler = scheduler if scheduler is not None else FifoScheduler()
 
     @property
     def pool_manager(self) -> PoolManager:
@@ -244,50 +286,135 @@ class ProcessPoolExecutor(Executor):
     def execute_sweep(self, simulator, program, resolvers, repetitions):
         """Fan whole sweep points across the (warm) pool.
 
-        Each point runs as one stream seeded from
-        ``SeedSequence([seed, index])`` — bit-for-bit identical to a
-        serial ``run_sweep`` — and specializes the shared Program inside
-        the worker (memoized, so optimizer loops revisiting a point skip
-        the param-slot rebuild).  Consecutive sweeps over the same
-        compiled Program and initial-state payload reuse the warm workers
-        with zero re-initializations.
+        A sweep is a one-program batch: each point runs as one stream
+        seeded from ``SeedSequence([seed, index])`` — bit-for-bit
+        identical to a serial ``run_sweep`` — and specializes the shared
+        Program inside the worker (memoized, so optimizer loops
+        revisiting a point skip the param-slot rebuild).  Consecutive
+        sweeps over the same compiled Program and initial-state payload
+        reuse the warm workers with zero re-initializations.  An
+        :class:`~repro.sampler.schedule.AdaptiveScheduler` additionally
+        splits points across workers when the sweep has fewer points
+        than the pool has workers.
         """
         resolvers = list(resolvers)
-        base = _base_seed(simulator.seed)
-        if self.num_workers == 1 or len(resolvers) <= 1:
-            # In-process fallback with the *point-scope* recipe (one
-            # stream per point off SeedSequence([base, i])), not the
-            # chunked execute() path: point-scope output must not depend
-            # on worker count or sweep length.
-            return [
-                _dispatch(
-                    simulator,
-                    program.specialize(resolver),
-                    repetitions,
-                    np.random.default_rng(np.random.SeedSequence([base, index])),
-                )
-                for index, resolver in enumerate(resolvers)
-            ]
-        workers = min(self.num_workers, len(resolvers))
-        argses = [
-            (index, resolver, repetitions, base)
-            for index, resolver in enumerate(resolvers)
-        ]
-        if self.reuse_pool:
-            return self.pool_manager.run(
-                execution_key(simulator, program=program),
-                workers,
-                self.start_method,
-                lambda: _WorkerPayload(simulator, program=program),
-                _run_pool_point,
-                argses,
-            )
-        return self._run_cold(
-            _WorkerPayload(simulator, program=program),
-            workers,
-            _run_pool_point,
-            argses,
+        return self.execute_batch(
+            simulator, [program] * len(resolvers), resolvers, repetitions
         )
+
+    def execute_batch(self, simulator, programs, resolvers, repetitions):
+        """Fan a (possibly heterogeneous) batch across the (warm) pool.
+
+        The batch's distinct compiled Programs form one **program
+        table** shipped to every worker by the pool initializer — the
+        execution key covers the whole table, so ``run_batch`` over N
+        different circuits performs **one** pool initialization instead
+        of N, and repeated identical batches reuse the warm workers with
+        zero re-initializations (the process-wide Program cache hands
+        the manager the same table objects).  The configured scheduler
+        maps entries to tasks: FIFO (default) is one task per point in
+        order, bit-for-bit identical to the serial ``run_batch``;
+        adaptive scheduling reorders largest-first and splits oversized
+        points into deterministic repetition sub-chunks.
+        """
+        resolvers = list(resolvers)
+        programs = list(programs)
+        if len(programs) != len(resolvers):
+            raise ValueError(
+                f"Got {len(programs)} programs but {len(resolvers)} resolvers"
+            )
+        base = _base_seed(simulator.seed)
+        # Dedupe by identity: a batch repeating a circuit (the Program
+        # cache returns the same object) ships each distinct Program once.
+        table: List = []
+        table_index = {}
+        entries = []
+        for point, (program, resolver) in enumerate(zip(programs, resolvers)):
+            index = table_index.get(id(program))
+            if index is None:
+                index = len(table)
+                table.append(program)
+                table_index[id(program)] = index
+            entries.append(
+                BatchEntry(
+                    index, point, resolver, estimate_cost(program, repetitions)
+                )
+            )
+        tasks = self.scheduler.schedule(entries, repetitions, self.num_workers)
+        argses = [
+            (
+                t.program_index,
+                t.point_index,
+                t.resolver,
+                t.repetitions,
+                t.num_chunks,
+                t.chunk_index,
+                base,
+            )
+            for t in tasks
+        ]
+        if self.num_workers == 1 or len(argses) <= 1:
+            # In-process fallback with the exact scheduled-task recipe
+            # (same specialization, same per-task seed streams): batch
+            # output must not depend on worker count or batch length.
+            parts = [_run_task_in_process(simulator, table, args) for args in argses]
+        else:
+            parts = self._run_pool_argses(simulator, table, argses)
+        return self.scheduler.merge(tasks, parts, len(entries))
+
+    def _run_pool_argses(self, simulator, table, argses):
+        """Submit scheduled task args to the warm (or cold) pool.
+
+        When the scheduler asks for a timing probe, every worker is
+        spawned and initialized *before* the timing window opens (no-op
+        warm tasks), then the first (largest) task runs alone and its
+        wall time calibrates the scheduler's cost model before the rest
+        of the queue is submitted — so the probe measures the task, not
+        pool startup.  The probe never changes task geometry or seeds,
+        so output is unaffected.
+        """
+        workers = min(self.num_workers, len(argses))
+        probe = getattr(self.scheduler, "probe", False) and len(argses) > 1
+
+        def payload_factory():
+            return _WorkerPayload(simulator, programs=tuple(table))
+
+        if self.reuse_pool:
+            key = execution_key(simulator, programs=tuple(table))
+
+            def submit(fn, batch):
+                return self.pool_manager.run(
+                    key, workers, self.start_method, payload_factory, fn, batch
+                )
+
+            return self._submit_scheduled(submit, table, argses, probe)
+        pool = _cf.ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=_pool_context(self.start_method),
+            initializer=_init_pool_worker,
+            initargs=(payload_factory(),),
+        )
+        try:
+
+            def submit(fn, batch):
+                pending = [pool.submit(fn, *args) for args in batch]
+                return [f.result() for f in pending]
+
+            return self._submit_scheduled(submit, table, argses, probe)
+        finally:
+            pool.shutdown(wait=True)
+
+    def _submit_scheduled(self, submit, table, argses, probe):
+        workers = min(self.num_workers, len(argses))
+        if probe:
+            submit(_warm_worker, [()] * workers)
+            start = time.perf_counter()
+            first = submit(_run_pool_task, argses[:1])
+            self.scheduler.calibrate(
+                _args_cost(argses[0], table), time.perf_counter() - start
+            )
+            return first + submit(_run_pool_task, argses[1:])
+        return submit(_run_pool_task, argses)
 
     def _run_cold(self, payload, workers, fn, argses):
         """One fresh pool for this call only (the pre-warm cost model)."""
@@ -299,6 +426,26 @@ class ProcessPoolExecutor(Executor):
         ) as pool:
             pending = [pool.submit(fn, *args) for args in argses]
             return [f.result() for f in pending]
+
+
+def _run_task_in_process(simulator, table, args) -> RunParts:
+    """The scheduled-task body run in the parent process (fallbacks).
+
+    Mirrors :func:`repro.sampler.service._run_pool_task` exactly — same
+    program selection, memoized specialization, and per-task seed stream
+    — so single-worker and single-task fallbacks are bit-for-bit
+    identical to the pooled fan-out.
+    """
+    program_index, point_index, resolver, size, num_chunks, chunk_index, base = args
+    plan = table[program_index].specialize(resolver)
+    rng = _task_rng(base, point_index, num_chunks, chunk_index)
+    return _dispatch(simulator, plan, size, rng)
+
+
+def _args_cost(args, table) -> int:
+    """The static cost of one scheduled-task args tuple (probe input)."""
+    program_index, _, _, size, _, _, _ = args
+    return estimate_cost(table[program_index], size)
 
 
 # ----------------------------------------------------------------------

@@ -19,7 +19,6 @@ from __future__ import annotations
 import math
 from typing import Tuple
 
-import numpy as np
 
 from ..circuits.gates import ZPowGate
 from ..circuits.operations import GateOperation

@@ -1,0 +1,321 @@
+"""Cost-weighted adaptive scheduling for warm-pool batches and sweeps.
+
+Point-scope execution (PR 4) fans whole sweep points across the warm pool
+— one task per point, submitted in point order.  That is optimal when
+every point costs the same, and pathological when it does not: a
+heterogeneous ``run_batch`` whose one deep circuit sits at the end of the
+queue leaves ``workers - 1`` processes idle while the last task grinds,
+and a 2-point sweep on an 8-worker pool uses a quarter of the machine.
+
+This module is the scheduling seam between the executor and the pool:
+
+* :func:`estimate_cost` gives every batch entry a static cost —
+  ``qubits x resolved-op count x repetitions`` — computable from the
+  compiled :class:`~repro.sampler.program.Program` alone (no
+  specialization, no timing).  It is a *relative* model: doubling the
+  depth doubles the cost, which is all ordering and splitting need.
+* :class:`FifoScheduler` reproduces the PR-4 geometry exactly: one task
+  per point, submission order, one stream seeded
+  ``SeedSequence([seed, point])`` — the bit-for-bit serial contract.
+* :class:`AdaptiveScheduler` orders the task queue **largest-first**
+  (classic LPT list scheduling) and **splits oversized points** — those
+  whose cost exceeds a worker's fair share of the batch — into
+  repetition sub-chunks so one deep circuit spreads across every worker
+  instead of serializing the tail.  Chunk ``c`` of split point ``i`` is
+  seeded ``SeedSequence([seed, i, c])`` and chunks merge back in chunk
+  order, so the output is a deterministic function of (batch, seed,
+  scheduler config) alone — never of worker count, submission order, or
+  timing.  Unsplit points keep the exact FIFO/serial seed recipe, so a
+  batch with no oversized point is bit-for-bit identical to the serial
+  path.
+* An optional **first-task timing probe** (``probe=True``) measures the
+  largest task alone before the rest of the queue is submitted and
+  calibrates the cost model's scale (``seconds_per_cost``), turning the
+  static costs into wall-clock estimates (``estimated_seconds`` in
+  :attr:`AdaptiveScheduler.last_schedule`).  Calibration never changes
+  the chunk geometry — only the *reporting* — because geometry must stay
+  a deterministic function of the static model for reproducibility.
+
+Determinism contract (pinned by ``tests/test_schedule.py``): for a fixed
+scheduler configuration, the task set (point, chunk, size, seed recipe)
+depends only on the batch's static costs — two runs of the same batch
+produce identical samples on every backend, pooled or in-process.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+def estimate_cost(program, repetitions: int) -> int:
+    """Static relative cost of one batch entry: qubits x ops x reps.
+
+    Reads only the compiled Program's structure counters (parameter slots
+    count as one op each — their resolved records exist in every
+    specialization), so costing a 24-point batch touches no plan builds.
+    The unit is arbitrary; only ratios matter to the scheduler.  A timing
+    probe (:meth:`AdaptiveScheduler.calibrate`) can anchor it to seconds.
+    """
+    ops = program.shared_record_count + program.param_slot_count
+    return max(1, program.num_qubits) * max(1, ops) * max(1, int(repetitions))
+
+
+class ScheduledTask:
+    """One pool task of a scheduled batch: a point, or one chunk of it.
+
+    ``num_chunks == 1`` means the whole point runs as one stream with the
+    serial seed recipe ``SeedSequence([seed, point_index])``; split points
+    carry ``chunk_index`` and use ``SeedSequence([seed, point_index,
+    chunk_index])``.  ``repetitions`` is this task's share of the point's
+    repetitions (chunk sizes follow the near-equal split of
+    :func:`repro.sampler.service._chunk_sizes`).
+    """
+
+    __slots__ = (
+        "program_index",
+        "point_index",
+        "resolver",
+        "chunk_index",
+        "num_chunks",
+        "repetitions",
+        "cost",
+    )
+
+    def __init__(
+        self,
+        program_index: int,
+        point_index: int,
+        resolver,
+        chunk_index: int,
+        num_chunks: int,
+        repetitions: int,
+        cost: float,
+    ):
+        self.program_index = program_index
+        self.point_index = point_index
+        self.resolver = resolver
+        self.chunk_index = chunk_index
+        self.num_chunks = num_chunks
+        self.repetitions = repetitions
+        self.cost = cost
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        chunk = (
+            f", chunk {self.chunk_index}/{self.num_chunks}"
+            if self.num_chunks > 1
+            else ""
+        )
+        return (
+            f"ScheduledTask(point {self.point_index}{chunk}, "
+            f"reps={self.repetitions}, cost={self.cost:g})"
+        )
+
+
+class BatchEntry:
+    """One (program, resolver) pair of a heterogeneous batch, pre-costed."""
+
+    __slots__ = ("program_index", "point_index", "resolver", "cost")
+
+    def __init__(self, program_index: int, point_index: int, resolver, cost: float):
+        self.program_index = program_index
+        self.point_index = point_index
+        self.resolver = resolver
+        self.cost = cost
+
+
+class Scheduler:
+    """Maps a costed batch to an ordered list of pool tasks."""
+
+    def schedule(
+        self,
+        entries: Sequence[BatchEntry],
+        repetitions: int,
+        num_workers: int,
+    ) -> List[ScheduledTask]:
+        raise NotImplementedError
+
+    def calibrate(self, cost: float, seconds: float) -> None:
+        """Record a measured (cost, seconds) sample; default: ignore."""
+
+    @staticmethod
+    def merge(
+        tasks: Sequence[ScheduledTask], parts: Sequence, num_points: int
+    ) -> List:
+        """Reassemble per-task results into one result per point.
+
+        ``parts[j]`` is the ``(records, bits)`` output of ``tasks[j]``.
+        Split points merge their chunks in **chunk order** regardless of
+        the order tasks ran in, so scheduling (and worker racing) can
+        never change the output.
+        """
+        from .service import _merge_parts
+
+        by_point: Dict[int, List[Tuple[int, object]]] = {}
+        for task, part in zip(tasks, parts):
+            by_point.setdefault(task.point_index, []).append(
+                (task.chunk_index, part)
+            )
+        out = []
+        for point in range(num_points):
+            chunks = sorted(by_point[point], key=lambda item: item[0])
+            out.append(_merge_parts([part for _, part in chunks]))
+        return out
+
+
+class FifoScheduler(Scheduler):
+    """One task per point, submission order — the PR-4 point-scope shape.
+
+    This is the default: it preserves the serial bit-for-bit contract
+    (every point is one stream seeded ``SeedSequence([seed, point])``)
+    and adds no scheduling assumptions.  Use
+    :class:`AdaptiveScheduler` when per-point costs are uneven.
+    """
+
+    def schedule(self, entries, repetitions, num_workers):
+        return [
+            ScheduledTask(
+                e.program_index,
+                e.point_index,
+                e.resolver,
+                0,
+                1,
+                repetitions,
+                e.cost,
+            )
+            for e in entries
+        ]
+
+
+class AdaptiveScheduler(Scheduler):
+    """Largest-first ordering + repetition-splitting of oversized points.
+
+    Args:
+        oversubscribe: How many chunks a worker's fair share of the batch
+            is divided into when splitting (default 4).  Higher values
+            give smaller chunks — better load balance, more merge/seed
+            overhead.
+        min_chunk_repetitions: Never create chunks smaller than this many
+            repetitions (default 4); a point also never splits unless it
+            can yield at least two such chunks.
+        probe: When True, the executor runs the first (largest) task
+            alone, times it, and calls :meth:`calibrate` before
+            submitting the rest — anchoring the relative cost model to
+            wall-clock seconds for the ``estimated_seconds`` report.
+            Never affects the chunk geometry (determinism).
+
+    Splitting rule (deterministic, static): with ``total`` the summed
+    batch cost and ``fair = total / num_workers``, a point of cost ``c >
+    fair`` is split into ``ceil(c / (fair / oversubscribe))`` repetition
+    chunks (bounded by ``repetitions // min_chunk_repetitions`` and by
+    ``num_workers * oversubscribe``); every other point stays whole and
+    keeps the serial seed recipe.  Tasks are then ordered by descending
+    per-task cost, ties broken by (point, chunk) for stability.
+    """
+
+    def __init__(
+        self,
+        oversubscribe: int = 4,
+        min_chunk_repetitions: int = 4,
+        probe: bool = False,
+    ):
+        if oversubscribe < 1:
+            raise ValueError(f"oversubscribe must be >= 1, got {oversubscribe}")
+        if min_chunk_repetitions < 1:
+            raise ValueError(
+                "min_chunk_repetitions must be >= 1, got "
+                f"{min_chunk_repetitions}"
+            )
+        self.oversubscribe = int(oversubscribe)
+        self.min_chunk_repetitions = int(min_chunk_repetitions)
+        self.probe = bool(probe)
+        self.seconds_per_cost: Optional[float] = None
+        self.last_schedule: Dict[str, object] = {}
+
+    def chunk_count(
+        self, cost: float, total: float, repetitions: int, num_workers: int
+    ) -> int:
+        """How many chunks one point splits into (1 = stays whole)."""
+        if num_workers <= 1 or total <= 0:
+            return 1
+        fair = total / num_workers
+        if cost <= fair:
+            return 1
+        by_reps = int(repetitions) // self.min_chunk_repetitions
+        if by_reps < 2:
+            return 1
+        target = fair / self.oversubscribe
+        wanted = math.ceil(cost / target) if target > 0 else 1
+        return max(1, min(wanted, by_reps, num_workers * self.oversubscribe))
+
+    def schedule(self, entries, repetitions, num_workers):
+        from .service import _chunk_sizes
+
+        total = float(sum(e.cost for e in entries))
+        tasks: List[ScheduledTask] = []
+        split_points = 0
+        for e in entries:
+            chunks = self.chunk_count(e.cost, total, repetitions, num_workers)
+            if chunks == 1:
+                tasks.append(
+                    ScheduledTask(
+                        e.program_index,
+                        e.point_index,
+                        e.resolver,
+                        0,
+                        1,
+                        repetitions,
+                        e.cost,
+                    )
+                )
+                continue
+            split_points += 1
+            sizes = _chunk_sizes(repetitions, chunks)
+            for chunk, size in enumerate(sizes):
+                tasks.append(
+                    ScheduledTask(
+                        e.program_index,
+                        e.point_index,
+                        e.resolver,
+                        chunk,
+                        len(sizes),
+                        size,
+                        e.cost * size / repetitions,
+                    )
+                )
+        tasks.sort(key=lambda t: (-t.cost, t.point_index, t.chunk_index))
+        self.last_schedule = {
+            "points": len(entries),
+            "tasks": len(tasks),
+            "split_points": split_points,
+            "total_cost": total,
+            "order": [(t.point_index, t.chunk_index) for t in tasks],
+            "seconds_per_cost": self.seconds_per_cost,
+            "_tasks": list(tasks),
+        }
+        self.last_schedule["estimated_seconds"] = self._estimates(tasks)
+        return tasks
+
+    def calibrate(self, cost: float, seconds: float) -> None:
+        """Anchor the relative cost model to a measured task timing."""
+        if cost > 0 and seconds >= 0:
+            self.seconds_per_cost = seconds / cost
+            self.last_schedule["seconds_per_cost"] = self.seconds_per_cost
+            tasks = self.last_schedule.get("_tasks")
+            if tasks is not None:
+                self.last_schedule["estimated_seconds"] = self._estimates(tasks)
+
+    def _estimates(self, tasks) -> Optional[List[float]]:
+        if self.seconds_per_cost is None:
+            return None
+        return [t.cost * self.seconds_per_cost for t in tasks]
+
+
+__all__ = [
+    "AdaptiveScheduler",
+    "BatchEntry",
+    "FifoScheduler",
+    "ScheduledTask",
+    "Scheduler",
+    "estimate_cost",
+]

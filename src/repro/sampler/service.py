@@ -24,13 +24,18 @@ This module is the missing lifecycle layer:
   reach the manager with the *same* unit object and reuse the warm pool
   with zero re-initializations.
 * Module-level worker plumbing (:func:`_init_pool_worker`,
-  :func:`_run_pool_chunk`, :func:`_run_pool_point`) gives pooled tasks two
+  :func:`_run_pool_chunk`, :func:`_run_pool_task`) gives pooled tasks two
   shapes: repetition *chunks* — two integers ``(size, seed)`` against the
-  worker's shared plan — and whole sweep *points* —
-  ``(index, resolver, repetitions, base)`` against the worker's shared
-  Program, with the per-point generator rebuilt from
-  ``SeedSequence([base, index])`` so pooled point-scope output is
-  bit-for-bit identical to a serial ``run_sweep``.
+  worker's shared plan — and scheduled *batch tasks* —
+  ``(program_index, point_index, resolver, size, num_chunks, chunk_index,
+  base)`` against the worker's shared **program table** (the compiled
+  Programs of a whole heterogeneous batch, shipped once by the
+  initializer).  Whole points rebuild their generator from
+  ``SeedSequence([base, point])`` so pooled point/batch output is
+  bit-for-bit identical to a serial ``run_sweep``/``run_batch``; chunks
+  of a point split by the adaptive scheduler use ``SeedSequence([base,
+  point, chunk])`` and merge back in chunk order
+  (:mod:`repro.sampler.schedule`).
 * :func:`shared_pool_manager` is the default process-wide manager used by
   ``ProcessPoolExecutor(reuse_pool=True)``; it is shut down automatically
   at interpreter exit (``atexit``), and :class:`PoolManager` doubles as a
@@ -186,14 +191,17 @@ class _WorkerPayload:
     descriptor falls back to object pickling so the worker state keeps
     the subclass type), else as the state object itself; either way it is
     pickled once per *worker* by the pool initializer — never per task.
-    ``plan`` fuels repetition-chunk tasks; ``program`` fuels sweep-point
-    tasks, which specialize per resolver inside the worker (memoized, so
+    ``plan`` fuels repetition-chunk tasks; ``programs`` is the worker's
+    *program table* — the compiled Programs of a whole (possibly
+    heterogeneous) batch, shipped once so tasks can select a program by
+    index in-worker.  A single-program sweep is just a one-entry table.
+    Tasks specialize per resolver inside the worker (memoized, so
     revisited grid points skip even the param-slot rebuild).
     """
 
     __slots__ = (
         "plan",
-        "program",
+        "programs",
         "state_payload",
         "restore",
         "apply_op",
@@ -203,7 +211,7 @@ class _WorkerPayload:
         "fuse_moments",
     )
 
-    def __init__(self, simulator, plan=None, *, program=None):
+    def __init__(self, simulator, plan=None, *, program=None, programs=None):
         caps = capabilities_for(type(simulator.initial_state))
         if (
             caps.snapshot is not None
@@ -216,8 +224,14 @@ class _WorkerPayload:
         else:
             self.state_payload = simulator.initial_state
             self.restore = None
+        if program is not None and programs is not None:
+            raise ValueError("Pass either program or programs, not both")
         self.plan = plan
-        self.program = program
+        self.programs = (
+            tuple(programs)
+            if programs is not None
+            else ((program,) if program is not None else None)
+        )
         self.apply_op = simulator.apply_op
         self.compute_probability = simulator.compute_probability
         self.user_candidates = simulator.user_candidate_function
@@ -248,7 +262,7 @@ _WORKER: Optional[Tuple[object, object, object]] = None
 def _init_pool_worker(payload: _WorkerPayload) -> None:
     """Pool initializer: build the worker-local simulator + shared unit."""
     global _WORKER
-    _WORKER = (payload.build_simulator(), payload.plan, payload.program)
+    _WORKER = (payload.build_simulator(), payload.plan, payload.programs)
 
 
 def _run_pool_chunk(size: int, seed: int) -> RunParts:
@@ -257,21 +271,49 @@ def _run_pool_chunk(size: int, seed: int) -> RunParts:
     return _dispatch(simulator, plan, size, np.random.default_rng(seed))
 
 
-def _run_pool_point(
-    index: int, resolver, repetitions: int, base: int
-) -> RunParts:
-    """Worker task body for one whole sweep point.
+def _warm_worker() -> bool:
+    """No-op task forcing worker spawn + initialization (timing probes)."""
+    return _WORKER is not None
 
-    Specializes the worker's shared Program for ``resolver`` (memoized —
-    revisited points skip the rebuild) and runs ``repetitions`` as one
-    stream seeded from ``SeedSequence([base, index])``: exactly the
-    serial ``run_sweep`` recipe, so pooled point scope is bit-for-bit
-    identical to it.
+
+def _task_rng(
+    base: int, point_index: int, num_chunks: int, chunk_index: int
+) -> np.random.Generator:
+    """The deterministic generator of one scheduled task.
+
+    Whole points (``num_chunks == 1``) keep the serial ``run_sweep`` /
+    ``run_batch`` recipe — one stream off ``SeedSequence([base, point])``
+    — so unsplit scheduling is bit-for-bit identical to the serial path.
+    Chunks of a split point draw from ``SeedSequence([base, point,
+    chunk])``: a stable function of the indices alone, so the output
+    never depends on worker count, submission order, or timing.
     """
-    simulator, _, program = _WORKER
-    plan = program.specialize(resolver)
-    rng = np.random.default_rng(np.random.SeedSequence([base, index]))
-    return _dispatch(simulator, plan, repetitions, rng)
+    if num_chunks == 1:
+        seq = np.random.SeedSequence([base, point_index])
+    else:
+        seq = np.random.SeedSequence([base, point_index, chunk_index])
+    return np.random.default_rng(seq)
+
+
+def _run_pool_task(
+    program_index: int,
+    point_index: int,
+    resolver,
+    size: int,
+    num_chunks: int,
+    chunk_index: int,
+    base: int,
+) -> RunParts:
+    """Worker task body for one scheduled task of a (possibly
+    heterogeneous) batch: select the program from the worker's table,
+    specialize for the task's resolver (memoized — revisited grid points
+    skip the rebuild), and run this task's repetitions off the
+    deterministic :func:`_task_rng` stream.
+    """
+    simulator, _, programs = _WORKER
+    plan = programs[program_index].specialize(resolver)
+    rng = _task_rng(base, point_index, num_chunks, chunk_index)
+    return _dispatch(simulator, plan, size, rng)
 
 
 # ----------------------------------------------------------------------
@@ -318,22 +360,30 @@ def _state_token(state) -> Tuple:
     return ("object", id(state))
 
 
-def execution_key(simulator, *, plan=None, program=None) -> Tuple:
-    """The warm-pool reuse key for one simulator + compiled unit.
+def execution_key(simulator, *, plan=None, program=None, programs=None) -> Tuple:
+    """The warm-pool reuse key for one simulator + compiled unit(s).
 
     Combines the compiled unit's identity (the memoized ``specialize`` /
     Program caches make repeated identical work arrive as the *same*
     object), the initial-state payload token, and every simulator knob
-    the worker payload ships.  Any change re-initializes workers; equal
-    keys reuse them untouched.
+    the worker payload ships.  ``programs`` keys a whole *program table*
+    — the execution key of a heterogeneous batch covers every compiled
+    Program in it, so ``run_batch`` over N circuits is one key (one pool
+    init) and re-initializes only when the table's content changes.  Any
+    change re-initializes workers; equal keys reuse them untouched.
     """
-    if (plan is None) == (program is None):
-        raise ValueError("Provide exactly one of plan or program")
-    unit = plan if plan is not None else program
-    kind = "chunks" if plan is not None else "points"
+    units = [u for u in (plan, program, programs) if u is not None]
+    if len(units) != 1:
+        raise ValueError("Provide exactly one of plan, program, or programs")
+    if programs is not None:
+        kind = "batch"
+        identity: Union[int, Tuple[int, ...]] = tuple(id(p) for p in programs)
+    else:
+        kind = "chunks" if plan is not None else "points"
+        identity = id(units[0])
     return (
         kind,
-        id(unit),
+        identity,
         _state_token(simulator.initial_state),
         simulator.apply_op,
         simulator.compute_probability,
@@ -456,9 +506,9 @@ class PoolManager:
             initializer=_init_pool_worker,
             initargs=(payload,),
         )
-        # The payload ref keeps every id()-keyed object (plan/Program,
-        # initial state) alive while the key is current, so ids in the
-        # key cannot alias recycled addresses.
+        # The payload ref keeps every id()-keyed object (plan, every
+        # Program of the table, initial state) alive while the key is
+        # current, so ids in the key cannot alias recycled addresses.
         self._payload = payload
         self._key = full_key
         self.stats["inits"] += 1

@@ -289,6 +289,7 @@ class Simulator:
         circuits: Sequence[Circuit],
         params: Optional[Sequence[Union[ParamResolver, dict, None]]] = None,
         repetitions: int = 1,
+        scope: str = "auto",
     ) -> List["Result"]:
         """Run many circuits, one :class:`Result` each.
 
@@ -297,25 +298,65 @@ class Simulator:
         repeated (or structurally identical) circuits compiles each
         distinct one once.  Per-circuit seeds derive from
         ``SeedSequence([user_seed, index])`` exactly like :meth:`run_sweep`.
+
+        ``scope`` mirrors :meth:`run_sweep`: with a point-capable
+        executor, ``"points"``/``"auto"`` treat the whole heterogeneous
+        batch as **one schedulable unit** — every distinct compiled
+        Program ships to the warm pool's workers in a single program
+        table, so N different circuits cost one worker initialization
+        instead of N, tasks select their program in-worker, and the
+        executor's scheduler may reorder or split points
+        (:mod:`repro.sampler.schedule`).  With the default FIFO
+        scheduler the output is bit-for-bit identical to the serial
+        (executor-free) ``run_batch``.  ``"repetitions"`` runs each
+        circuit through the executor's own repetition geometry — the
+        pre-multi-program behavior, one execution key per circuit.
         """
         if params is not None and len(params) != len(circuits):
             raise ValueError(
                 f"Got {len(circuits)} circuits but {len(params)} resolvers"
             )
+        if scope not in ("auto", "points", "repetitions"):
+            raise ValueError(
+                f"scope must be 'auto', 'points', or 'repetitions', got {scope!r}"
+            )
+        resolvers = list(params) if params is not None else [None] * len(circuits)
+        point_capable = self.executor is not None and getattr(
+            self.executor, "supports_point_scope", False
+        )
+        if scope in ("auto", "points") and point_capable and circuits:
+            programs = [self.compile(circuit) for circuit in circuits]
+            parts = self.executor.execute_batch(
+                self, programs, resolvers, repetitions
+            )
+            return [self._batch_result(records) for records, _ in parts]
         base = self._sweep_base_seed()
         results = []
         for index, circuit in enumerate(circuits):
-            resolver = params[index] if params is not None else None
-            plan = self.compile(circuit).specialize(resolver)
+            plan = self.compile(circuit).specialize(resolvers[index])
             rng = np.random.default_rng(np.random.SeedSequence([base, index]))
-            records, _ = self._execute_plan(plan, repetitions, rng)
-            if not records:
-                raise ValueError(
-                    "Circuit has no measurements; add measure(...) "
-                    "operations before run_batch."
-                )
-            results.append(Result(records))
+            if scope == "points":
+                # Explicit point scope without a point-fanning executor:
+                # one in-process stream per circuit — the serial contract
+                # pooled batches reproduce bit-for-bit (mirrors the same
+                # branch in _sweep_parts), never the executor's own
+                # repetition-chunk geometry.
+                from .executors import _dispatch
+
+                records, _ = _dispatch(self, plan, repetitions, rng)
+            else:
+                records, _ = self._execute_plan(plan, repetitions, rng)
+            results.append(self._batch_result(records))
         return results
+
+    @staticmethod
+    def _batch_result(records: Dict[str, np.ndarray]) -> "Result":
+        if not records:
+            raise ValueError(
+                "Circuit has no measurements; add measure(...) "
+                "operations before run_batch."
+            )
+        return Result(records)
 
     def sample_bitstrings(
         self,

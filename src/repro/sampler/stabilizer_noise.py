@@ -17,7 +17,7 @@ circuits via :func:`act_on_near_clifford_with_pauli_noise`.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 

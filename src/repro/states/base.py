@@ -14,7 +14,7 @@ sampler owns measurement bookkeeping).
 from __future__ import annotations
 
 import abc
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Sequence, Tuple, Union
 
 import numpy as np
 

@@ -38,7 +38,7 @@ membership test and the shared magnitude ``|omega|^2 2^{-|v|}``.
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Sequence, Tuple
 
 import numpy as np
 

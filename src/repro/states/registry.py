@@ -25,7 +25,8 @@ This registry is the single seam.  Each backend registers one
   the warm-pool service (:mod:`repro.sampler.service`) compares them to
   decide whether already-initialized workers can be reused.  The shipped
   bit-packed tableau and CH-form backends implement the hooks with raw
-  ``uint64`` word payloads; see the README "snapshot-hook contract".
+  ``uint64`` word payloads, and the MPS backend with raw tensor bytes
+  plus bond metadata; see the README "snapshot-hook contract".
 
 Shipped backends register at import time (see :mod:`repro.born`); user
 backends call :func:`register_backend` and immediately get the same fast
@@ -37,7 +38,7 @@ the old ``hasattr`` behavior without re-probing per compile.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Type
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from .base import SimulationState
 

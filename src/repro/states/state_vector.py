@@ -9,12 +9,12 @@ over amplitudes.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple, Union
+from typing import List, Sequence, Union
 
 import numpy as np
 
 from ..circuits.qubits import Qid
-from .base import SimulationState, bits_to_index, candidate_index_matrix
+from .base import SimulationState, candidate_index_matrix
 
 
 class StateVectorSimulationState(SimulationState):

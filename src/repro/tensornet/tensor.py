@@ -8,7 +8,7 @@ almost identically to the quimb-based reference.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Sequence, Tuple
+from typing import Mapping, Sequence, Tuple
 
 import numpy as np
 

@@ -22,7 +22,6 @@ from __future__ import annotations
 from typing import List, Set
 
 from ..circuits.circuit import Circuit
-from ..circuits.moment import Moment
 from ..circuits.qubits import Qid
 
 

@@ -11,7 +11,7 @@ that invariant is what the test suite checks for each of them.
 from __future__ import annotations
 
 import abc
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional
 
 import numpy as np
 

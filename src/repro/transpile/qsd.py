@@ -22,13 +22,11 @@ state supports.  Global phase is tracked and returned, so tests can verify
 
 from __future__ import annotations
 
-import cmath
 from typing import List, Sequence, Tuple
 
 import numpy as np
 import scipy.linalg
 
-from ..circuits import gates
 from ..circuits.circuit import Circuit
 from ..circuits.operations import GateOperation
 from ..circuits.qubits import Qid

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro import analysis, apps
-from repro import circuits as cirq
 from repro.analysis import (
     bootstrap_confidence_interval,
     collision_probability,

@@ -1,6 +1,5 @@
 """Tests for the born module: scalar/batched probability functions."""
 
-import numpy as np
 import pytest
 
 import repro as bgls

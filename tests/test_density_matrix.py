@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro import circuits as cirq
-from repro.protocols import act_on, kraus, unitary
+from repro.protocols import act_on, kraus
 from repro.states import DensityMatrixSimulationState, StateVectorSimulationState
 
 

@@ -7,7 +7,6 @@ noise model -> trajectories -> analysis, apps -> parallel sampling, etc.
 import numpy as np
 import pytest
 
-import repro as bgls
 from repro import apps, born
 from repro import circuits as cirq
 from repro.analysis import (
@@ -28,11 +27,7 @@ from repro.states import (
     StabilizerChFormSimulationState,
     StateVectorSimulationState,
 )
-from repro.transpile import (
-    DecomposeMultiQubitGates,
-    default_pipeline,
-    t_count,
-)
+from repro.transpile import DecomposeMultiQubitGates, t_count
 
 
 def sv_simulator(qubits, seed=0):

@@ -1,14 +1,13 @@
 """Tests for the MPS simulation state."""
 
 import itertools
-import math
 
 import numpy as np
 import pytest
 
 from repro import circuits as cirq
 from repro.mps import MPSOptions, MPSState
-from repro.protocols import act_on, unitary
+from repro.protocols import act_on
 from repro.states import StateVectorSimulationState
 
 

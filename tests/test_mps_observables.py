@@ -15,7 +15,6 @@ from repro.mps import (
     truncation_infidelity,
 )
 from repro.protocols import act_on
-from repro.states import StateVectorSimulationState
 
 
 def evolve(circuit, qubits, options=None):

@@ -14,7 +14,6 @@ from repro.noise import (
     NoNoise,
     PerQubitNoiseModel,
     ReadoutErrorModel,
-    ThermalRelaxationChannel,
     apply_noise,
     thermal_relaxation,
 )

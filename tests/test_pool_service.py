@@ -32,6 +32,7 @@ import pytest
 import repro as bgls
 from repro import born
 from repro import circuits as cirq
+from repro.mps import MPSState
 from repro.sampler import PoolManager, ProcessPoolExecutor, SerialExecutor
 from repro.sampler.service import execution_key
 from repro.states import (
@@ -40,7 +41,6 @@ from repro.states import (
     StabilizerChFormSimulationState,
     StateVectorSimulationState,
 )
-from repro.mps import MPSState
 
 
 def pool_start_methods():
@@ -415,6 +415,173 @@ class TestWarmReuse:
             execution_key(sim)
         with pytest.raises(ValueError, match="exactly one"):
             execution_key(sim, plan=object(), program=object())
+
+
+def distinct_clifford_circuits(count):
+    """``count`` structurally distinct Clifford circuits on QUBITS."""
+    circuits = []
+    for extra in range(count):
+        circuit = cirq.Circuit(
+            cirq.H(QUBITS[0]), cirq.CNOT(QUBITS[0], QUBITS[1])
+        )
+        for _ in range(extra):
+            circuit.append(cirq.CNOT(QUBITS[1], QUBITS[2]))
+            circuit.append(cirq.S(QUBITS[2]))
+        circuit.append(cirq.measure(*QUBITS, key="m"))
+        circuits.append(circuit)
+    return circuits
+
+
+class TestHeterogeneousBatch:
+    """run_batch as one schedulable unit: one program table, one init."""
+
+    @pytest.mark.parametrize("start_method", START_METHODS)
+    def test_eight_circuit_batch_single_init_and_serial_parity(
+        self, manager, start_method
+    ):
+        """Acceptance criterion: N distinct circuits, exactly 1 pool init,
+        bit-for-bit equal to the per-circuit serial runs."""
+        circuits = distinct_clifford_circuits(8)
+        serial = sv_sim(19).run_batch(circuits, repetitions=14)
+        pooled = sv_sim(
+            19,
+            executor=ProcessPoolExecutor(
+                num_workers=2, start_method=start_method, pool_manager=manager
+            ),
+        ).run_batch(circuits, repetitions=14)
+        assert manager.stats["inits"] == 1
+        assert_sweeps_equal(serial, pooled)
+
+    def test_repetition_scope_reinitializes_per_circuit(self, manager):
+        """The pre-multi-program cost model for contrast: each circuit is
+        its own execution key, so N circuits pay N pool inits."""
+        circuits = distinct_clifford_circuits(4)
+        sim = sv_sim(
+            19,
+            executor=ProcessPoolExecutor(
+                num_workers=2, start_method=START_METHODS[0], pool_manager=manager
+            ),
+        )
+        sim.run_batch(circuits, repetitions=16, scope="repetitions")
+        assert manager.stats["inits"] == len(circuits)
+
+    def test_repeated_batch_reuses_pool(self, manager):
+        """The Program cache hands the manager the same table objects, so
+        an identical batch re-submits to the warm workers."""
+        circuits = distinct_clifford_circuits(5)
+        sim = sv_sim(
+            23,
+            executor=ProcessPoolExecutor(
+                num_workers=2, start_method=START_METHODS[0], pool_manager=manager
+            ),
+        )
+        first = sim.run_batch(circuits, repetitions=10)
+        second = sim.run_batch(circuits, repetitions=10)
+        assert manager.stats["inits"] == 1
+        assert manager.stats["reuses"] == 1
+        assert_sweeps_equal(first, second)
+
+    def test_program_table_content_change_reinitializes(self, manager):
+        """Any change to the batch's program table is a new execution key."""
+        sim = sv_sim(
+            29,
+            executor=ProcessPoolExecutor(
+                num_workers=2, start_method=START_METHODS[0], pool_manager=manager
+            ),
+        )
+        sim.run_batch(distinct_clifford_circuits(4), repetitions=8)
+        sim.run_batch(distinct_clifford_circuits(5), repetitions=8)
+        assert manager.stats["inits"] == 2
+        assert manager.stats["key_changes"] == 1
+
+    def test_batch_key_covers_table_order_and_content(self):
+        """execution_key(programs=...) keys the whole table, in order."""
+        sim = sv_sim(0)
+        programs = [
+            sim.compile(circuit) for circuit in distinct_clifford_circuits(3)
+        ]
+        key_all = execution_key(sim, programs=tuple(programs))
+        assert key_all == execution_key(sim, programs=tuple(programs))
+        assert key_all != execution_key(sim, programs=tuple(programs[:2]))
+        assert key_all != execution_key(
+            sim, programs=tuple(reversed(programs))
+        )
+        with pytest.raises(ValueError, match="exactly one"):
+            execution_key(sim, plan=object(), programs=(object(),))
+
+    def test_batch_with_repeated_circuits_matches_serial(self, manager):
+        """Duplicate circuits dedupe to one table entry (same Program
+        object) and still reproduce the serial per-index seed streams."""
+        circuits = distinct_clifford_circuits(3)
+        batch = [circuits[0], circuits[1], circuits[0], circuits[2], circuits[0]]
+        serial = sv_sim(31).run_batch(batch, repetitions=12)
+        pooled = sv_sim(
+            31,
+            executor=ProcessPoolExecutor(
+                num_workers=2, start_method=START_METHODS[0], pool_manager=manager
+            ),
+        ).run_batch(batch, repetitions=12)
+        assert manager.stats["inits"] == 1
+        assert_sweeps_equal(serial, pooled)
+
+    def test_batch_with_resolvers_matches_serial(self, manager):
+        theta = cirq.Symbol("theta")
+        circuits = [parameterized_circuit() for _ in range(3)]
+        circuits.append(
+            cirq.Circuit(
+                cirq.H(QUBITS[1]),
+                cirq.Rx(theta).on(QUBITS[0]),
+                cirq.measure(*QUBITS, key="m"),
+            )
+        )
+        params = [{"theta": 0.2 * i} for i in range(4)]
+        serial = sv_sim(37).run_batch(circuits, params=params, repetitions=9)
+        pooled = sv_sim(
+            37,
+            executor=ProcessPoolExecutor(
+                num_workers=2, start_method=START_METHODS[0], pool_manager=manager
+            ),
+        ).run_batch(circuits, params=params, repetitions=9)
+        assert manager.stats["inits"] == 1
+        assert_sweeps_equal(serial, pooled)
+
+    @pytest.mark.parametrize(
+        "make_state, prob_fn, make_circuit, points", BACKENDS
+    )
+    def test_batch_parity_on_all_backends(
+        self, manager, make_state, prob_fn, make_circuit, points
+    ):
+        circuits = [make_circuit() for _ in range(3)]
+        params = [p for p in points[:3]]
+        serial = make_sim(make_state, prob_fn, seed=41).run_batch(
+            circuits, params=params, repetitions=10
+        )
+        pooled = make_sim(
+            make_state,
+            prob_fn,
+            seed=41,
+            executor=ProcessPoolExecutor(
+                num_workers=2, start_method=START_METHODS[0], pool_manager=manager
+            ),
+        ).run_batch(circuits, params=params, repetitions=10)
+        assert_sweeps_equal(serial, pooled)
+
+    def test_invalid_scope_raises(self):
+        with pytest.raises(ValueError, match="scope"):
+            sv_sim(1).run_batch(
+                distinct_clifford_circuits(2), repetitions=2, scope="bogus"
+            )
+
+    def test_points_scope_without_point_executor_is_serial(self):
+        """Regression: explicit point scope must keep the one-stream-per-
+        point serial contract even when the executor cannot fan points —
+        never the executor's own repetition-chunk geometry."""
+        circuits = distinct_clifford_circuits(3)
+        serial = sv_sim(43).run_batch(circuits, repetitions=16)
+        chunked = sv_sim(43, executor=SerialExecutor(chunks=4)).run_batch(
+            circuits, repetitions=16, scope="points"
+        )
+        assert_sweeps_equal(serial, chunked)
 
 
 class TestWarmColdEquality:

@@ -1,6 +1,5 @@
 """Tests for random-circuit generators and gate substitution."""
 
-import numpy as np
 import pytest
 
 from repro import circuits as cirq

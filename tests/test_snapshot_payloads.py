@@ -2,7 +2,8 @@
 
 The warm-pool executor ships the initial state to workers as the registry
 ``snapshot`` payload — raw ``uint64`` words for the bit-packed tableau and
-CH-form backends.  These tests pin the hook contract:
+CH-form backends, raw tensor bytes plus bond metadata for the MPS backend.
+These tests pin the hook contract:
 
 * **Round-trip fidelity** — after a random Clifford prefix, restoring the
   payload reproduces the exact engine state, validated against the
@@ -167,6 +168,126 @@ class TestChFormRoundTrip:
             StabilizerChForm.from_words(*packed.to_words()).F, packed.F
         )
         assert packed.to_words() == words
+
+
+class TestMPSRoundTrip:
+    """The MPS packed payload: raw tensor bytes + bond metadata."""
+
+    @staticmethod
+    def entangled_mps(n, seed=0, options=None):
+        from repro.mps import MPSOptions, MPSState
+
+        qubits = cirq.LineQubit.range(n)
+        state = MPSState(qubits, options=options)
+        rng = np.random.default_rng(seed)
+        for k in range(n):
+            bgls.act_on(cirq.H.on(qubits[k]), state)
+        for _ in range(2 * n):
+            a = int(rng.integers(n - 1))
+            bgls.act_on(cirq.CNOT(qubits[a], qubits[a + 1]), state)
+            bgls.act_on(
+                cirq.Rx(float(rng.random())).on(qubits[int(rng.integers(n))]),
+                state,
+            )
+        return state
+
+    @pytest.mark.parametrize("n", (2, 5, 9))
+    def test_roundtrip_preserves_amplitudes(self, n):
+        from repro.mps import MPSState
+
+        state = self.entangled_mps(n, seed=n)
+        caps = capabilities_for(MPSState)
+        assert caps.snapshot is not None and caps.restore is not None
+        restored = caps.restore(caps.snapshot(state))
+        assert type(restored) is MPSState
+        assert restored.qubits == state.qubits
+        assert restored.options == state.options
+        np.testing.assert_allclose(
+            restored.state_vector(), state.state_vector(), atol=1e-12
+        )
+        assert restored.estimated_fidelity == state.estimated_fidelity
+
+    def test_restored_state_keeps_evolving_without_bond_collisions(self):
+        """Bond metadata must ship: the restored network's new bonds must
+        not collide with the shipped ones (the bond-name counter)."""
+        from repro.mps import MPSState
+
+        state = self.entangled_mps(6, seed=1)
+        caps = capabilities_for(MPSState)
+        restored = caps.restore(caps.snapshot(state))
+        reference = state.copy(seed=0)
+        qubits = state.qubits
+        for a, b in ((0, 1), (2, 3), (1, 2), (4, 5)):
+            bgls.act_on(cirq.CNOT(qubits[a], qubits[b]), restored)
+            bgls.act_on(cirq.CNOT(qubits[a], qubits[b]), reference)
+        np.testing.assert_allclose(
+            restored.state_vector(), reference.state_vector(), atol=1e-10
+        )
+
+    def test_truncation_options_round_trip(self):
+        from repro.mps import MPSOptions, MPSState
+
+        options = MPSOptions(max_bond=2, cutoff=1e-6, renormalize=False)
+        state = self.entangled_mps(6, seed=2, options=options)
+        caps = capabilities_for(MPSState)
+        restored = caps.restore(caps.snapshot(state))
+        assert restored.options == options
+        assert restored.estimated_fidelity == state.estimated_fidelity
+
+    def test_restored_tensors_are_independent_and_writable(self):
+        from repro.mps import MPSState
+
+        state = self.entangled_mps(4, seed=3)
+        caps = capabilities_for(MPSState)
+        payload = caps.snapshot(state)
+        restored = caps.restore(payload)
+        before = state.state_vector().copy()
+        bgls.act_on(cirq.X.on(state.qubits[0]), restored)
+        restored.renormalize()
+        np.testing.assert_allclose(state.state_vector(), before, atol=1e-14)
+        assert caps.snapshot(state) == payload
+
+    @pytest.mark.parametrize("n", (4, 8, 16))
+    def test_payload_pickles_smaller_than_state(self, n):
+        from repro.mps import MPSState
+
+        state = self.entangled_mps(n, seed=n)
+        caps = capabilities_for(MPSState)
+        payload_bytes = len(pickle.dumps(caps.snapshot(state)))
+        object_bytes = len(pickle.dumps(state))
+        assert payload_bytes < object_bytes, (
+            f"MPS n={n}: payload {payload_bytes}B should beat pickled "
+            f"object {object_bytes}B"
+        )
+
+    def test_payload_is_hashable_and_content_keyed(self):
+        from repro.mps import MPSState
+
+        qubits = cirq.LineQubit.range(5)
+        a, b = MPSState(qubits), MPSState(qubits)
+        caps = capabilities_for(MPSState)
+        pa, pb = caps.snapshot(a), caps.snapshot(b)
+        assert pa == pb
+        assert hash(pa) == hash(pb)
+        bgls.act_on(cirq.H.on(qubits[2]), b)
+        assert caps.snapshot(b) != pa
+
+    def test_subclass_falls_back_to_object_pickling(self):
+        from repro import born
+        from repro.mps import MPSState
+
+        class TaggedMPSState(MPSState):
+            pass
+
+        qubits = cirq.LineQubit.range(3)
+        sim = bgls.Simulator(
+            TaggedMPSState(qubits),
+            bgls.act_on,
+            born.compute_probability_mps,
+        )
+        payload = _WorkerPayload(sim, plan=object())
+        assert payload.restore is None
+        assert type(payload.state_payload) is TaggedMPSState
 
 
 class TestRegistryHooks:

@@ -1,7 +1,6 @@
 """Tests for the dense state-vector simulation state."""
 
 import itertools
-import math
 
 import numpy as np
 import pytest

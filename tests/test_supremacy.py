@@ -1,7 +1,6 @@
 """Tests for the random-circuit-sampling (supremacy) workload."""
 
 import numpy as np
-import pytest
 
 import repro as bgls
 from repro import born

@@ -6,7 +6,6 @@ final-state probabilities, and statistically through the BGLS sampler).
 """
 
 import numpy as np
-import pytest
 
 from repro import born
 from repro import circuits as cirq
@@ -18,8 +17,6 @@ from repro.transpile import (
     DecomposeMultiQubitGates,
     DropEmptyMoments,
     DropNegligibleGates,
-    LightConeReduction,
-    MergeSingleQubitGates,
     PassManager,
     default_pipeline,
     light_cone_qubits,
