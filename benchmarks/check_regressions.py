@@ -3,8 +3,9 @@
 The committed ``benchmarks/results/BENCH_*.json`` files are the perf
 record of every PR's headline win.  This script keeps them honest: it
 re-runs the warm-pool, multi-program-batch, adaptive-scheduling,
-program-cache, and batched-oracle series and compares each fresh
-``speedup`` against the committed baseline with a *generous* tolerance —
+program-cache, batched-oracle, result-plane-transport, and
+streaming-latency series and compares each fresh
+``speedup`` (or byte-reduction ratio) against the committed baseline with a *generous* tolerance —
 the fresh ratio must stay at or above ``tolerance`` (default 0.5) times
 the recorded win, so shared-runner noise passes but a genuinely lost
 optimization (a speedup collapsing toward 1x) fails the gate.
@@ -69,6 +70,20 @@ SERIES = {
         "module": "bench_batched_oracles.py",
         "speedup_columns": ("speedup",),
         "exact_columns": ("width",),
+    },
+    # The shm-transport gate rides on bytes_ratio (deterministic — the
+    # per-task result payload shrinking to one integer) rather than the
+    # wall speedup, which is a small margin on a box where simulation
+    # shares one core with the transport.
+    "BENCH_shm_result_planes_vs_pickled_results.json": {
+        "module": "bench_result_planes.py",
+        "speedup_columns": ("bytes_ratio",),
+        "exact_columns": ("points", "reps", "width", "equal"),
+    },
+    "BENCH_streaming_first_point_latency.json": {
+        "module": "bench_result_planes.py",
+        "speedup_columns": ("speedup",),
+        "exact_columns": ("points", "reps"),
     },
 }
 

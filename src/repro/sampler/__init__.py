@@ -20,6 +20,13 @@ from .near_clifford import (
 )
 from .parallel import run_parallel, sample_trajectories_parallel
 from .plan import ExecutionPlan, OpRecord, compile_plan
+from .result_planes import (
+    PointPlanes,
+    live_segment_names,
+    plane_layout,
+    release_leaked_segments,
+    shm_available,
+)
 from .program import (
     Program,
     circuit_fingerprint,
@@ -55,6 +62,11 @@ __all__ = [
     "PoolManager",
     "shared_pool_manager",
     "shutdown_shared_pool",
+    "PointPlanes",
+    "plane_layout",
+    "shm_available",
+    "live_segment_names",
+    "release_leaked_segments",
     "Result",
     "plot_state_histogram",
     "QubitByQubitSimulator",

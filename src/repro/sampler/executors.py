@@ -58,12 +58,14 @@ from __future__ import annotations
 import abc
 import multiprocessing
 import os
+import pickle
 import time
 from concurrent import futures as _cf
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .result_planes import PointPlanes, shm_available
 from .schedule import BatchEntry, FifoScheduler, Scheduler, estimate_cost
 from .service import (
     PoolManager,
@@ -77,7 +79,9 @@ from .service import (
     _merge_parts,
     _pool_context,
     _run_pool_chunk,
+    _run_pool_chunk_shm,
     _run_pool_task,
+    _run_pool_task_shm,
     _task_rng,
     _warm_worker,
     execution_key,
@@ -108,23 +112,68 @@ class Executor(abc.ABC):
     ) -> RunParts:
         """Produce ``(records, bits)`` for ``repetitions`` of ``plan``."""
 
+    def execute_sweep_iter(
+        self, simulator, program, resolvers, repetitions: int
+    ) -> Iterator[RunParts]:
+        """Lazily yield one ``(records, bits)`` per resolver, in order.
+
+        Default: specialize and :meth:`execute` each point with this
+        executor's own repetition geometry, point ``i`` seeded from
+        ``SeedSequence([seed, i])`` — identical to the pre-point-scope
+        ``run_sweep`` loop, but one point at a time, so a consumer sees
+        point 0 before point 1 has run.
+        """
+        base = _base_seed(simulator.seed)
+        resolvers = list(resolvers)
+
+        def stream():
+            for index, resolver in enumerate(resolvers):
+                plan = program.specialize(resolver)
+                rng = np.random.default_rng(
+                    np.random.SeedSequence([base, index])
+                )
+                yield self.execute(simulator, plan, repetitions, rng=rng)
+
+        return stream()
+
     def execute_sweep(
         self, simulator, program, resolvers, repetitions: int
     ) -> List[RunParts]:
         """One ``(records, bits)`` per resolver of a parameter sweep.
 
-        Default: specialize and :meth:`execute` each point in order with
-        this executor's own repetition geometry, point ``i`` seeded from
-        ``SeedSequence([seed, i])`` — identical to the pre-point-scope
-        ``run_sweep`` loop.
+        ``list(...)`` over :meth:`execute_sweep_iter` — same geometry,
+        same seeds, collected eagerly.
+        """
+        return list(
+            self.execute_sweep_iter(simulator, program, resolvers, repetitions)
+        )
+
+    def execute_batch_iter(
+        self,
+        simulator,
+        programs: Sequence,
+        resolvers: Sequence,
+        repetitions: int,
+    ) -> Iterator[RunParts]:
+        """Lazily yield one ``(records, bits)`` per batch entry, in order.
+
+        Default: specialize and :meth:`execute` each entry with this
+        executor's own repetition geometry, entry ``i`` seeded from
+        ``SeedSequence([seed, i])`` — identical to the serial
+        ``run_batch`` loop, streamed one entry at a time.
         """
         base = _base_seed(simulator.seed)
-        parts = []
-        for index, resolver in enumerate(resolvers):
-            plan = program.specialize(resolver)
-            rng = np.random.default_rng(np.random.SeedSequence([base, index]))
-            parts.append(self.execute(simulator, plan, repetitions, rng=rng))
-        return parts
+        pairs = list(zip(programs, resolvers))
+
+        def stream():
+            for index, (program, resolver) in enumerate(pairs):
+                plan = program.specialize(resolver)
+                rng = np.random.default_rng(
+                    np.random.SeedSequence([base, index])
+                )
+                yield self.execute(simulator, plan, repetitions, rng=rng)
+
+        return stream()
 
     def execute_batch(
         self,
@@ -135,18 +184,12 @@ class Executor(abc.ABC):
     ) -> List[RunParts]:
         """One ``(records, bits)`` per (program, resolver) batch entry.
 
-        Default: specialize and :meth:`execute` each entry in order with
-        this executor's own repetition geometry, entry ``i`` seeded from
-        ``SeedSequence([seed, i])`` — identical to the serial
-        ``run_batch`` loop.
+        ``list(...)`` over :meth:`execute_batch_iter` — same geometry,
+        same seeds, collected eagerly.
         """
-        base = _base_seed(simulator.seed)
-        parts = []
-        for index, (program, resolver) in enumerate(zip(programs, resolvers)):
-            plan = program.specialize(resolver)
-            rng = np.random.default_rng(np.random.SeedSequence([base, index]))
-            parts.append(self.execute(simulator, plan, repetitions, rng=rng))
-        return parts
+        return list(
+            self.execute_batch_iter(simulator, programs, resolvers, repetitions)
+        )
 
 
 class SerialExecutor(Executor):
@@ -216,12 +259,33 @@ class ProcessPoolExecutor(Executor):
             oversized points into repetition sub-chunks (seeds
             ``SeedSequence([seed, point, chunk])``, merged in chunk
             order) so mixed-depth batches keep every worker busy.
+        result_transport: How worker results travel back to the parent.
+            ``"shm"`` writes samples into pre-allocated
+            :mod:`~repro.sampler.result_planes` shared-memory segments —
+            each task returns only a row count, and the parent's results
+            are read-only zero-copy views over the filled planes.
+            ``"pickle"`` is the documented fallback: each task returns
+            its ``(records, bits)`` tuple through the pool's result
+            queue, exactly the pre-plane behavior.  ``"auto"``
+            (default) resolves to ``"shm"`` where
+            ``multiprocessing.shared_memory`` works, else ``"pickle"``;
+            requesting ``"shm"`` explicitly on a platform without it
+            raises.  The two transports are bit-for-bit identical —
+            only the number of bytes crossing the result queue changes.
 
     The total chunk count is ``num_workers * chunks_per_worker``; given
     the same simulator seed and total chunk count,
     :class:`SerialExecutor` produces bit-for-bit identical output.  Warm
     and cold pools are bit-for-bit identical too — reuse changes only
     where the startup cost is paid.
+
+    Attributes:
+        measure_result_bytes: When True, every parent↔worker result
+            payload is serialized once more in the parent and its size
+            accumulated into ``last_result_bytes`` — benchmark
+            instrumentation for the transport comparison, off by
+            default (it re-pickles results).  Reset
+            ``last_result_bytes`` to 0 between measured sections.
     """
 
     supports_point_scope = True
@@ -234,6 +298,7 @@ class ProcessPoolExecutor(Executor):
         reuse_pool: bool = True,
         pool_manager: Optional[PoolManager] = None,
         scheduler: Optional[Scheduler] = None,
+        result_transport: str = "auto",
     ):
         self.num_workers = max(1, int(num_workers or (os.cpu_count() or 1)))
         self.chunks_per_worker = max(1, int(chunks_per_worker))
@@ -244,6 +309,21 @@ class ProcessPoolExecutor(Executor):
         self.reuse_pool = reuse_pool
         self._pool_manager = pool_manager
         self.scheduler = scheduler if scheduler is not None else FifoScheduler()
+        if result_transport not in ("auto", "shm", "pickle"):
+            raise ValueError(
+                "result_transport must be 'auto', 'shm', or 'pickle', got "
+                f"{result_transport!r}"
+            )
+        if result_transport == "auto":
+            result_transport = "shm" if shm_available() else "pickle"
+        elif result_transport == "shm" and not shm_available():
+            raise ValueError(
+                "result_transport='shm' requested but shared memory is not "
+                "functional on this platform; use 'pickle' or 'auto'."
+            )
+        self.result_transport = result_transport
+        self.measure_result_bytes = False
+        self.last_result_bytes = 0
 
     @property
     def pool_manager(self) -> PoolManager:
@@ -251,6 +331,14 @@ class ProcessPoolExecutor(Executor):
         if self._pool_manager is None:
             self._pool_manager = shared_pool_manager()
         return self._pool_manager
+
+    def _record_result_bytes(self, payloads) -> None:
+        """Accumulate the pickled size of result payloads (bench probe)."""
+        if self.measure_result_bytes:
+            self.last_result_bytes += sum(
+                len(pickle.dumps(p, protocol=pickle.HIGHEST_PROTOCOL))
+                for p in payloads
+            )
 
     def execute(self, simulator, plan, repetitions, rng=None):
         num_chunks = self.num_workers * self.chunks_per_worker
@@ -264,27 +352,45 @@ class ProcessPoolExecutor(Executor):
             ]
             return _merge_parts(parts)
         workers = min(self.num_workers, len(sizes))
-        argses = list(zip(sizes, seeds))
-        if self.reuse_pool:
-            parts = self.pool_manager.run(
-                execution_key(simulator, plan=plan),
-                workers,
-                self.start_method,
-                lambda: _WorkerPayload(simulator, plan=plan),
-                _run_pool_chunk,
-                argses,
+
+        def run_pool(fn, argses, planes=()):
+            if self.reuse_pool:
+                return self.pool_manager.run(
+                    execution_key(simulator, plan=plan),
+                    workers,
+                    self.start_method,
+                    lambda: _WorkerPayload(simulator, plan=plan),
+                    fn,
+                    argses,
+                    planes=planes,
+                )
+            return self._run_cold(
+                _WorkerPayload(simulator, plan=plan), workers, fn, argses
             )
-        else:
-            parts = self._run_cold(
-                _WorkerPayload(simulator, plan=plan),
-                workers,
-                _run_pool_chunk,
-                argses,
-            )
+
+        if self.result_transport == "shm":
+            # Chunk row bands are prefix sums of the deterministic chunk
+            # sizes, so the whole plane is sized and sliced before any
+            # task runs; the views ARE the merged result — no
+            # concatenation, no copy.
+            planes = PointPlanes(plan.key_axes, plan.num_qubits, repetitions)
+            try:
+                argses, offset = [], 0
+                for size, seed in zip(sizes, seeds):
+                    argses.append((size, seed, planes.slot(offset)))
+                    offset += size
+                counts = run_pool(_run_pool_chunk_shm, argses, planes=(planes,))
+                self._record_result_bytes(counts)
+                return planes.views()
+            except BaseException:
+                planes.release()
+                raise
+        parts = run_pool(_run_pool_chunk, list(zip(sizes, seeds)))
+        self._record_result_bytes(parts)
         return _merge_parts(parts)
 
-    def execute_sweep(self, simulator, program, resolvers, repetitions):
-        """Fan whole sweep points across the (warm) pool.
+    def execute_sweep_iter(self, simulator, program, resolvers, repetitions):
+        """Fan whole sweep points across the (warm) pool, streaming.
 
         A sweep is a one-program batch: each point runs as one stream
         seeded from ``SeedSequence([seed, index])`` — bit-for-bit
@@ -296,13 +402,18 @@ class ProcessPoolExecutor(Executor):
         :class:`~repro.sampler.schedule.AdaptiveScheduler` additionally
         splits points across workers when the sweep has fewer points
         than the pool has workers.
+
+        Results stream strictly in point order: point ``i`` is yielded
+        as soon as its last chunk lands *and* every earlier point has
+        been yielded, so ``list(...)`` equals the blocking sweep and a
+        lazy consumer sees early points while later ones still run.
         """
         resolvers = list(resolvers)
-        return self.execute_batch(
+        return self.execute_batch_iter(
             simulator, [program] * len(resolvers), resolvers, repetitions
         )
 
-    def execute_batch(self, simulator, programs, resolvers, repetitions):
+    def execute_batch_iter(self, simulator, programs, resolvers, repetitions):
         """Fan a (possibly heterogeneous) batch across the (warm) pool.
 
         The batch's distinct compiled Programs form one **program
@@ -316,6 +427,13 @@ class ProcessPoolExecutor(Executor):
         order, bit-for-bit identical to the serial ``run_batch``;
         adaptive scheduling reorders largest-first and splits oversized
         points into deterministic repetition sub-chunks.
+
+        Collection is **completion-ordered** (out-of-order completion
+        is safe — chunks merge by chunk index, never by arrival) and
+        the yields are **point-ordered**: each point's ``(records,
+        bits)`` is released once its last chunk lands and all earlier
+        points are out.  Validation and scheduling happen eagerly, at
+        call time; only the execution is lazy.
         """
         resolvers = list(resolvers)
         programs = list(programs)
@@ -341,80 +459,180 @@ class ProcessPoolExecutor(Executor):
                 )
             )
         tasks = self.scheduler.schedule(entries, repetitions, self.num_workers)
-        argses = [
-            (
-                t.program_index,
-                t.point_index,
-                t.resolver,
-                t.repetitions,
-                t.num_chunks,
-                t.chunk_index,
-                base,
-            )
-            for t in tasks
-        ]
-        if self.num_workers == 1 or len(argses) <= 1:
-            # In-process fallback with the exact scheduled-task recipe
-            # (same specialization, same per-task seed streams): batch
-            # output must not depend on worker count or batch length.
-            parts = [_run_task_in_process(simulator, table, args) for args in argses]
-        else:
-            parts = self._run_pool_argses(simulator, table, argses)
-        return self.scheduler.merge(tasks, parts, len(entries))
+        if self.num_workers == 1 or len(tasks) <= 1:
+            return self._stream_in_process(simulator, table, tasks, entries, base)
+        return self._stream_pooled(
+            simulator, table, tasks, entries, repetitions, base
+        )
 
-    def _run_pool_argses(self, simulator, table, argses):
-        """Submit scheduled task args to the warm (or cold) pool.
+    def execute_batch(self, simulator, programs, resolvers, repetitions):
+        """Eager :meth:`execute_batch_iter`: one ``RunParts`` per entry."""
+        return list(
+            self.execute_batch_iter(simulator, programs, resolvers, repetitions)
+        )
+
+    def _stream_in_process(self, simulator, table, tasks, entries, base):
+        """Single-worker/single-task fallback, streamed lazily.
+
+        Runs the exact scheduled-task recipe in the parent (same
+        specialization, same per-task seed streams — batch output must
+        not depend on worker count), in schedule order, releasing each
+        point through the same order-preserving collector as the pooled
+        path.  No pool, no result queue: shared-memory transport would
+        only add copies here, so results stay direct in-process arrays.
+        """
+        collector = _PointCollector(tasks)
+
+        def finalize(point, chunks):
+            return _merge_parts([part for _, part in sorted(chunks)])
+
+        def stream():
+            for task in tasks:
+                part = _run_task_in_process(
+                    simulator, table, _task_args(task, base)
+                )
+                yield from collector.feed(task, part, finalize)
+
+        return stream()
+
+    def _stream_pooled(self, simulator, table, tasks, entries, repetitions, base):
+        """Pooled fan-out with completion-ordered collection.
+
+        Shared-memory transport allocates one
+        :class:`~repro.sampler.result_planes.PointPlanes` per point up
+        front (row bands from the scheduler's deterministic chunk
+        geometry) and turns each finished point into zero-copy views;
+        pickle transport accumulates chunk tuples and merges in chunk
+        order.  Either way the generator yields points in point order.
 
         When the scheduler asks for a timing probe, every worker is
         spawned and initialized *before* the timing window opens (no-op
         warm tasks), then the first (largest) task runs alone and its
         wall time calibrates the scheduler's cost model before the rest
         of the queue is submitted — so the probe measures the task, not
-        pool startup.  The probe never changes task geometry or seeds,
-        so output is unaffected.
+        pool startup.  Neither the probe nor the transport changes task
+        geometry or seeds, so output is unaffected.
+
+        Error paths: an abandoned iterator (``close()``) cancels what
+        it can and releases every unviewed plane; a task failure also
+        shuts the warm pool down (fail-safe against poisoned pools) —
+        and the manager's own shutdown backstop unlinks any plane it
+        adopted, so segments never outlive their pool.
         """
-        workers = min(self.num_workers, len(argses))
-        probe = getattr(self.scheduler, "probe", False) and len(argses) > 1
+        transport = self.result_transport
+        workers = min(self.num_workers, len(tasks))
+        probe = getattr(self.scheduler, "probe", False) and len(tasks) > 1
+        collector = _PointCollector(tasks)
+
+        planes: Dict[int, PointPlanes] = {}
+        if transport == "shm":
+            for e in entries:
+                program = table[e.program_index]
+                planes[e.point_index] = PointPlanes(
+                    program.key_axes, program.num_qubits, repetitions
+                )
+
+        def task_args(task):
+            args = _task_args(task, base)
+            if transport == "shm":
+                # A split point's chunk c starts after chunks 0..c-1 of
+                # the same deterministic near-equal split.
+                offset = (
+                    0
+                    if task.num_chunks == 1
+                    else sum(
+                        _chunk_sizes(repetitions, task.num_chunks)[
+                            : task.chunk_index
+                        ]
+                    )
+                )
+                args += (planes[task.point_index].slot(offset),)
+            return args
+
+        fn = _run_pool_task_shm if transport == "shm" else _run_pool_task
+        argses = [task_args(t) for t in tasks]
 
         def payload_factory():
             return _WorkerPayload(simulator, programs=tuple(table))
 
-        if self.reuse_pool:
-            key = execution_key(simulator, programs=tuple(table))
+        def finalize(point, chunks):
+            if transport == "shm":
+                return planes.pop(point).views()
+            return _merge_parts([part for _, part in sorted(chunks)])
 
-            def submit(fn, batch):
-                return self.pool_manager.run(
-                    key, workers, self.start_method, payload_factory, fn, batch
+        def stream():
+            cold_pool = None
+            if self.reuse_pool:
+                key = execution_key(simulator, programs=tuple(table))
+                # The first submission hands the manager every plane of
+                # this batch to backstop; later ones re-adopt no-ops.
+                adopt = tuple(planes.values())
+
+                def submit(task_fn, batch):
+                    return self.pool_manager.submit(
+                        key,
+                        workers,
+                        self.start_method,
+                        payload_factory,
+                        task_fn,
+                        batch,
+                        planes=adopt,
+                    )
+
+            else:
+                cold_pool = _cf.ProcessPoolExecutor(
+                    max_workers=workers,
+                    mp_context=_pool_context(self.start_method),
+                    initializer=_init_pool_worker,
+                    initargs=(payload_factory(),),
                 )
 
-            return self._submit_scheduled(submit, table, argses, probe)
-        pool = _cf.ProcessPoolExecutor(
-            max_workers=workers,
-            mp_context=_pool_context(self.start_method),
-            initializer=_init_pool_worker,
-            initargs=(payload_factory(),),
-        )
-        try:
+                def submit(task_fn, batch):
+                    return [cold_pool.submit(task_fn, *args) for args in batch]
 
-            def submit(fn, batch):
-                pending = [pool.submit(fn, *args) for args in batch]
-                return [f.result() for f in pending]
+            pending: Dict[_cf.Future, object] = {}
+            try:
+                if probe:
+                    for future in submit(_warm_worker, [()] * workers):
+                        future.result()
+                    start = time.perf_counter()
+                    payload = submit(fn, argses[:1])[0].result()
+                    self.scheduler.calibrate(
+                        _args_cost(argses[0], table),
+                        time.perf_counter() - start,
+                    )
+                    self._record_result_bytes([payload])
+                    yield from collector.feed(tasks[0], payload, finalize)
+                    pending = dict(zip(submit(fn, argses[1:]), tasks[1:]))
+                else:
+                    pending = dict(zip(submit(fn, argses), tasks))
+                for future in _cf.as_completed(pending):
+                    payload = future.result()
+                    self._record_result_bytes([payload])
+                    yield from collector.feed(pending[future], payload, finalize)
+            except GeneratorExit:
+                # Abandoned mid-iteration: drop what never started; the
+                # finally block unlinks the planes (in-flight writers
+                # keep their already-attached mappings, harmlessly).
+                for future in pending:
+                    future.cancel()
+                raise
+            except BaseException:
+                for future in pending:
+                    future.cancel()
+                if self.reuse_pool:
+                    # Fail-safe parity with PoolManager.run: a task
+                    # failure poisons the pool; shut it down (which also
+                    # releases its adopted planes) before propagating.
+                    self.pool_manager.shutdown()
+                raise
+            finally:
+                if cold_pool is not None:
+                    cold_pool.shutdown(wait=True)
+                for plane in planes.values():
+                    plane.release()
 
-            return self._submit_scheduled(submit, table, argses, probe)
-        finally:
-            pool.shutdown(wait=True)
-
-    def _submit_scheduled(self, submit, table, argses, probe):
-        workers = min(self.num_workers, len(argses))
-        if probe:
-            submit(_warm_worker, [()] * workers)
-            start = time.perf_counter()
-            first = submit(_run_pool_task, argses[:1])
-            self.scheduler.calibrate(
-                _args_cost(argses[0], table), time.perf_counter() - start
-            )
-            return first + submit(_run_pool_task, argses[1:])
-        return submit(_run_pool_task, argses)
+        return stream()
 
     def _run_cold(self, payload, workers, fn, argses):
         """One fresh pool for this call only (the pre-warm cost model)."""
@@ -426,6 +644,58 @@ class ProcessPoolExecutor(Executor):
         ) as pool:
             pending = [pool.submit(fn, *args) for args in argses]
             return [f.result() for f in pending]
+
+
+def _task_args(task, base: int) -> Tuple:
+    """The picklable args tuple of one scheduled task (sans transport)."""
+    return (
+        task.program_index,
+        task.point_index,
+        task.resolver,
+        task.repetitions,
+        task.num_chunks,
+        task.chunk_index,
+        base,
+    )
+
+
+class _PointCollector:
+    """Completion-ordered input, point-ordered output.
+
+    Tasks finish in any order; :meth:`feed` banks each task's payload
+    under its point, finalizes a point the moment its last chunk lands,
+    and releases finished points **strictly in point order** — so a
+    streaming consumer sees exactly the list API's sequence, one point
+    early instead of all points late.
+    """
+
+    def __init__(self, tasks):
+        self._remaining: Dict[int, int] = {}
+        for task in tasks:
+            self._remaining[task.point_index] = (
+                self._remaining.get(task.point_index, 0) + 1
+            )
+        self._chunks: Dict[int, List[Tuple[int, object]]] = {}
+        self._ready: Dict[int, object] = {}
+        self._next = 0
+
+    def feed(self, task, payload, finalize) -> List:
+        """Bank one task's payload; return the newly releasable points.
+
+        ``finalize(point_index, [(chunk_index, payload), ...])`` turns a
+        completed point's banked payloads into its ``(records, bits)``
+        (merge for pickled chunks, zero-copy views for planes).
+        """
+        point = task.point_index
+        self._chunks.setdefault(point, []).append((task.chunk_index, payload))
+        self._remaining[point] -= 1
+        if self._remaining[point] == 0:
+            self._ready[point] = finalize(point, self._chunks.pop(point))
+        out = []
+        while self._next in self._ready:
+            out.append(self._ready.pop(self._next))
+            self._next += 1
+        return out
 
 
 def _run_task_in_process(simulator, table, args) -> RunParts:
@@ -443,8 +713,12 @@ def _run_task_in_process(simulator, table, args) -> RunParts:
 
 
 def _args_cost(args, table) -> int:
-    """The static cost of one scheduled-task args tuple (probe input)."""
-    program_index, _, _, size, _, _, _ = args
+    """The static cost of one scheduled-task args tuple (probe input).
+
+    Works for both transports: the shm variant appends a slot descriptor
+    after the seven scheduling fields it shares with the pickle variant.
+    """
+    program_index, _, _, size = args[:4]
     return estimate_cost(table[program_index], size)
 
 

@@ -15,6 +15,16 @@ class Result:
         measurements: Mapping from measurement key to an int8 array of shape
             ``(repetitions, num_measured_qubits)``; bit order follows the
             qubit order given to ``measure(...)``.
+
+    Zero-copy contract: construction *adopts* int8 arrays as-is
+    (``np.asarray`` on a matching dtype is the identity) — the
+    shared-memory result planes of pooled execution hand ``Result``
+    read-only views over an unlinked segment, and those views, their
+    non-writeable flag, and the buffer lifetime they pin all survive
+    construction untouched.  Every helper (:meth:`histogram`,
+    :meth:`probabilities`, :meth:`merged_with`, :meth:`to_json`) only
+    *reads* the stored arrays, so view-backed results behave identically
+    to owned-array results; none makes a defensive copy of them.
     """
 
     def __init__(self, measurements: Dict[str, np.ndarray]):

@@ -66,6 +66,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..states.registry import capabilities_for
+from .result_planes import SlotDescriptor, write_chunk_to_slot
 
 RunParts = Tuple[Dict[str, np.ndarray], np.ndarray]
 
@@ -271,6 +272,21 @@ def _run_pool_chunk(size: int, seed: int) -> RunParts:
     return _dispatch(simulator, plan, size, np.random.default_rng(seed))
 
 
+def _run_pool_chunk_shm(size: int, seed: int, slot: SlotDescriptor) -> int:
+    """Shm-transport sibling of :func:`_run_pool_chunk`.
+
+    Identical simulation (same plan, same seed, same stream) — the only
+    difference is where the samples go: into the parent's shared-memory
+    result plane at this chunk's row band, with just the row count
+    returned through the queue.
+    """
+    simulator, plan, _ = _WORKER
+    records, bits = _dispatch(
+        simulator, plan, size, np.random.default_rng(seed)
+    )
+    return write_chunk_to_slot(plan, slot, records, bits)
+
+
 def _warm_worker() -> bool:
     """No-op task forcing worker spawn + initialization (timing probes)."""
     return _WORKER is not None
@@ -314,6 +330,29 @@ def _run_pool_task(
     plan = programs[program_index].specialize(resolver)
     rng = _task_rng(base, point_index, num_chunks, chunk_index)
     return _dispatch(simulator, plan, size, rng)
+
+
+def _run_pool_task_shm(
+    program_index: int,
+    point_index: int,
+    resolver,
+    size: int,
+    num_chunks: int,
+    chunk_index: int,
+    base: int,
+    slot: SlotDescriptor,
+) -> int:
+    """Shm-transport sibling of :func:`_run_pool_task`.
+
+    Same program selection, specialization, and deterministic stream —
+    the samples land in the point's shared result plane instead of the
+    result queue, and only the row count travels back.
+    """
+    simulator, _, programs = _WORKER
+    plan = programs[program_index].specialize(resolver)
+    rng = _task_rng(base, point_index, num_chunks, chunk_index)
+    records, bits = _dispatch(simulator, plan, size, rng)
+    return write_chunk_to_slot(plan, slot, records, bits)
 
 
 # ----------------------------------------------------------------------
@@ -430,6 +469,13 @@ class PoolManager:
         # serialize (and alternate keys still thrash pool rebuilds —
         # give such threads their own managers).
         self._lock = threading.RLock()
+        # Shared-memory result planes currently in flight on this pool.
+        # The manager is the lifecycle backstop the executor's own
+        # try/finally cannot cover: a poisoned pool shuts down through
+        # here, and any plane not yet retired (viewed or released) is
+        # unlinked with it — no segment survives a pool reset.  WeakSet:
+        # retired planes just fall out.
+        self._planes: "weakref.WeakSet" = weakref.WeakSet()
         self.stats = {"inits": 0, "reuses": 0, "key_changes": 0}
 
     # -- lifecycle ---------------------------------------------------------
@@ -445,7 +491,12 @@ class PoolManager:
         return list(self._last_pids)
 
     def shutdown(self) -> None:
-        """Join all workers and drop the pool; idempotent, reusable after."""
+        """Join all workers and drop the pool; idempotent, reusable after.
+
+        Also the segment backstop: any adopted, still-live shared-memory
+        result plane is released once the workers are gone (after the
+        join, so no in-flight task writes to an already-unlinked name).
+        """
         with self._lock:
             pool, self._pool = self._pool, None
             self._key = None
@@ -454,6 +505,9 @@ class PoolManager:
                 if getattr(pool, "_processes", None):
                     self._last_pids = sorted(pool._processes)
                 pool.shutdown(wait=True)
+            planes, self._planes = list(self._planes), weakref.WeakSet()
+            for plane in planes:
+                plane.release()
 
     def __enter__(self) -> "PoolManager":
         return self
@@ -470,15 +524,26 @@ class PoolManager:
         payload_factory: Callable[[], _WorkerPayload],
         fn: Callable,
         argses: Sequence[Tuple],
+        planes: Sequence = (),
     ) -> List:
         """Run ``fn(*args)`` for every args tuple on the (warm) pool.
 
         Results come back in submission order.  On any failure the pool
         is shut down before the exception propagates (fail-safe against
         broken/poisoned pools); the next call rebuilds it.
+
+        ``planes`` are this call's shared-memory result planes: the
+        manager **adopts** them — becomes their lifecycle backstop — so
+        that if this pool is ever shut down (poisoned pool, key change,
+        explicit reset) before a plane is retired, :meth:`shutdown`
+        releases it and no segment outlives the pool filling it.
+        Adoption happens after :meth:`_ensure` (still under the lock):
+        a key change tears the *previous* pool and its leftovers down
+        without touching this call's fresh planes.
         """
         with self._lock:
             pool = self._ensure(key, num_workers, start_method, payload_factory)
+            self._planes.update(planes)
             try:
                 pending = [pool.submit(fn, *args) for args in argses]
                 results = [f.result() for f in pending]
@@ -488,6 +553,41 @@ class PoolManager:
             if getattr(pool, "_processes", None):
                 self._last_pids = sorted(pool._processes)
             return results
+
+    def submit(
+        self,
+        key: Tuple,
+        num_workers: int,
+        start_method: Optional[str],
+        payload_factory: Callable[[], _WorkerPayload],
+        fn: Callable,
+        argses: Sequence[Tuple],
+        planes: Sequence = (),
+    ) -> List[_cf.Future]:
+        """Submit ``fn(*args)`` tasks to the (warm) pool, returning futures.
+
+        The completion-ordered sibling of :meth:`run`: the caller
+        collects with ``concurrent.futures.as_completed`` (streaming
+        results as they land) instead of blocking for submission order.
+        The lock covers only ensure + submit — collection happens outside
+        it, which is safe because a later key change's ``shutdown``
+        waits for every queued future before tearing the pool down.  A
+        submission failure still shuts the pool down fail-safe; result
+        failures are the caller's to handle (shut the manager down
+        before propagating, as :meth:`run` does).  ``planes`` are
+        adopted exactly as in :meth:`run`.
+        """
+        with self._lock:
+            pool = self._ensure(key, num_workers, start_method, payload_factory)
+            self._planes.update(planes)
+            try:
+                pending = [pool.submit(fn, *args) for args in argses]
+            except BaseException:
+                self.shutdown()
+                raise
+            if getattr(pool, "_processes", None):
+                self._last_pids = sorted(pool._processes)
+            return pending
 
     def _ensure(
         self, key, num_workers, start_method, payload_factory

@@ -219,15 +219,44 @@ class Simulator:
         calls on one integer-seeded simulator return identical results
         (matching :func:`repro.sampler.parallel.sample_trajectories_parallel`).
         """
-        results = []
-        for records, _ in self._sweep_parts(circuit, params, repetitions, scope):
-            if not records:
-                raise ValueError(
-                    "Circuit has no measurements; add measure(...) "
-                    "operations before run_sweep."
-                )
-            results.append(Result(records))
-        return results
+        return list(self.run_sweep_iter(circuit, params, repetitions, scope))
+
+    def run_sweep_iter(
+        self,
+        circuit: Circuit,
+        params: Sequence[Union[ParamResolver, dict, None]],
+        repetitions: int = 1,
+        scope: str = "auto",
+    ):
+        """Streaming :meth:`run_sweep`: yield each point's :class:`Result`
+        as soon as it completes.
+
+        Same compiled Program, same deterministic per-point seeding, same
+        ``scope`` semantics — ``list(run_sweep_iter(...))`` equals
+        ``run_sweep(...)`` bit-for-bit.  The difference is *when* results
+        surface: with a point-capable pooled executor, point ``i`` is
+        yielded the moment its last chunk lands (and all earlier points
+        are out) while later points are still running in the workers;
+        serially, each point is yielded before the next one starts.
+        Argument validation and compilation happen eagerly at call time;
+        only the execution is lazy.
+
+        An abandoned iterator (``close()``, early ``break``) cancels
+        what it can and releases every shared-memory result plane —
+        streaming never leaks segments.
+        """
+        parts = self._sweep_parts(circuit, params, repetitions, scope)
+
+        def stream():
+            for records, _ in parts:
+                if not records:
+                    raise ValueError(
+                        "Circuit has no measurements; add measure(...) "
+                        "operations before run_sweep."
+                    )
+                yield Result(records)
+
+        return stream()
 
     def sample_bitstrings_sweep(
         self,
@@ -254,8 +283,13 @@ class Simulator:
         params: Sequence[Union[ParamResolver, dict, None]],
         repetitions: int,
         scope: str,
-    ) -> List[Tuple[Dict[str, np.ndarray], np.ndarray]]:
-        """Shared sweep engine: one ``(records, bits)`` pair per resolver."""
+    ):
+        """Shared sweep engine: one ``(records, bits)`` pair per resolver.
+
+        Returns an *iterator* that yields points lazily in point order
+        (the streaming substrate of :meth:`run_sweep_iter`); validation
+        and compilation are eager.
+        """
         if scope not in ("auto", "points", "repetitions"):
             raise ValueError(
                 f"scope must be 'auto', 'points', or 'repetitions', got {scope!r}"
@@ -266,7 +300,7 @@ class Simulator:
             self.executor, "supports_point_scope", False
         )
         if scope in ("auto", "points") and point_capable:
-            return self.executor.execute_sweep(
+            return self.executor.execute_sweep_iter(
                 self, program, params, repetitions
             )
         if scope == "points":
@@ -275,14 +309,14 @@ class Simulator:
             # point scope reproduces bit-for-bit.
             from .executors import _dispatch
 
-            return [
+            return (
                 _dispatch(self, plan, repetitions, rng)
                 for plan, rng in self._sweep_plans(program, params)
-            ]
-        return [
+            )
+        return (
             self._execute_plan(plan, repetitions, rng)
             for plan, rng in self._sweep_plans(program, params)
-        ]
+        )
 
     def run_batch(
         self,
@@ -312,6 +346,25 @@ class Simulator:
         circuit through the executor's own repetition geometry — the
         pre-multi-program behavior, one execution key per circuit.
         """
+        return list(self.run_batch_iter(circuits, params, repetitions, scope))
+
+    def run_batch_iter(
+        self,
+        circuits: Sequence[Circuit],
+        params: Optional[Sequence[Union[ParamResolver, dict, None]]] = None,
+        repetitions: int = 1,
+        scope: str = "auto",
+    ):
+        """Streaming :meth:`run_batch`: yield each circuit's
+        :class:`Result` as soon as it completes.
+
+        Same compiled Programs, deterministic seeding, and ``scope``
+        semantics as :meth:`run_batch` — ``list(run_batch_iter(...))``
+        equals ``run_batch(...)`` bit-for-bit; results stream strictly
+        in batch order as points finish (see :meth:`run_sweep_iter` for
+        the streaming and cleanup contract).  Validation and compilation
+        are eager; execution is lazy.
+        """
         if params is not None and len(params) != len(circuits):
             raise ValueError(
                 f"Got {len(circuits)} circuits but {len(params)} resolvers"
@@ -326,28 +379,33 @@ class Simulator:
         )
         if scope in ("auto", "points") and point_capable and circuits:
             programs = [self.compile(circuit) for circuit in circuits]
-            parts = self.executor.execute_batch(
+            parts = self.executor.execute_batch_iter(
                 self, programs, resolvers, repetitions
             )
-            return [self._batch_result(records) for records, _ in parts]
+            return (self._batch_result(records) for records, _ in parts)
         base = self._sweep_base_seed()
-        results = []
-        for index, circuit in enumerate(circuits):
-            plan = self.compile(circuit).specialize(resolvers[index])
-            rng = np.random.default_rng(np.random.SeedSequence([base, index]))
-            if scope == "points":
-                # Explicit point scope without a point-fanning executor:
-                # one in-process stream per circuit — the serial contract
-                # pooled batches reproduce bit-for-bit (mirrors the same
-                # branch in _sweep_parts), never the executor's own
-                # repetition-chunk geometry.
-                from .executors import _dispatch
 
-                records, _ = _dispatch(self, plan, repetitions, rng)
-            else:
-                records, _ = self._execute_plan(plan, repetitions, rng)
-            results.append(self._batch_result(records))
-        return results
+        def stream():
+            for index, circuit in enumerate(circuits):
+                plan = self.compile(circuit).specialize(resolvers[index])
+                rng = np.random.default_rng(
+                    np.random.SeedSequence([base, index])
+                )
+                if scope == "points":
+                    # Explicit point scope without a point-fanning
+                    # executor: one in-process stream per circuit — the
+                    # serial contract pooled batches reproduce
+                    # bit-for-bit (mirrors the same branch in
+                    # _sweep_parts), never the executor's own
+                    # repetition-chunk geometry.
+                    from .executors import _dispatch
+
+                    records, _ = _dispatch(self, plan, repetitions, rng)
+                else:
+                    records, _ = self._execute_plan(plan, repetitions, rng)
+                yield self._batch_result(records)
+
+        return stream()
 
     @staticmethod
     def _batch_result(records: Dict[str, np.ndarray]) -> "Result":

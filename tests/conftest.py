@@ -6,6 +6,11 @@ pool-lifecycle job) — the session performs a leaked-process audit after
 that teardown: any still-alive worker process is a lifecycle bug, not a
 flake, and fails the run loudly.
 
+``BGLS_SHM_AUDIT=1`` (same CI job) adds the shared-memory sibling: an
+autouse per-test audit asserting that no result-plane segment allocated
+by a test survives it, plus a session-finish sweep after the shared pool
+goes down.
+
 The audit has two layers:
 
 * ``multiprocessing.active_children()`` — the authoritative worker
@@ -25,6 +30,34 @@ The audit has two layers:
 
 import multiprocessing
 import os
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _shm_segment_audit(request):
+    """Per-test shared-memory leak audit, gated by ``BGLS_SHM_AUDIT=1``.
+
+    Every result-plane segment must be unlinked by the time the test
+    that allocated it finishes — including the poisoned-pool and
+    abandoned-iterator (mid-iteration ``close()``) paths.  A segment
+    still registered after a test is a lifecycle bug; it fails that test
+    by name, and is force-unlinked so one leak cannot cascade into
+    every later test.
+    """
+    if os.environ.get("BGLS_SHM_AUDIT") != "1":
+        yield
+        return
+    from repro.sampler import result_planes
+
+    leaked_before = result_planes.live_segment_names()
+    yield
+    leaked = result_planes.release_leaked_segments()
+    if leaked and leaked != leaked_before:
+        raise AssertionError(
+            f"Test {request.node.nodeid} leaked shared-memory result "
+            f"segments: {leaked}"
+        )
 
 
 def _audit_leaked_children():
@@ -56,6 +89,15 @@ def pytest_sessionfinish(session, exitstatus):
     except ImportError:  # pragma: no cover - collection-time failures
         return
     shutdown_shared_pool()
+    if os.environ.get("BGLS_SHM_AUDIT") == "1":
+        from repro.sampler import result_planes
+
+        leaked = result_planes.release_leaked_segments()
+        if leaked:
+            raise RuntimeError(
+                "Leaked shared-memory result segments survived session "
+                f"teardown: {leaked}"
+            )
     if os.environ.get("BGLS_CHILD_AUDIT") != "1":
         return
     leaks = _audit_leaked_children()
