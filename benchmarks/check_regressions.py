@@ -85,6 +85,16 @@ SERIES = {
         "speedup_columns": ("speedup",),
         "exact_columns": ("points", "reps"),
     },
+    # The straggler makespan is computed from measured durations over a
+    # deterministic placement model, so it also carries an absolute
+    # floor: the stealing win must never drop below 1.3x regardless of
+    # how large the committed baseline is.
+    "BENCH_work_stealing_vs_adaptive_straggler.json": {
+        "module": "bench_work_stealing.py",
+        "speedup_columns": ("speedup",),
+        "exact_columns": ("points", "reps", "workers", "granularity"),
+        "min_ratio": 1.3,
+    },
 }
 
 
@@ -148,7 +158,12 @@ def compare(name, baseline, fresh, spec, tolerance):
         for column in spec["speedup_columns"]:
             base_value = float(column_value(baseline, base_row, column))
             fresh_value = float(column_value(fresh, fresh_row, column))
-            floor = tolerance * base_value
+            # A series may also pin an absolute floor (``min_ratio``) —
+            # an acceptance bar the fresh ratio must clear even when the
+            # committed baseline is far above it.
+            floor = max(
+                tolerance * base_value, float(spec.get("min_ratio", 0.0))
+            )
             ok = fresh_value >= floor
             yield ok, (
                 f"{name} {key} {column}: fresh {fresh_value:.3f}x vs "

@@ -2,12 +2,23 @@
 cached Programs, pluggable executors, process-parallel trajectories."""
 
 from .baseline import ExactDistributionSampler, QubitByQubitSimulator
-from .executors import Executor, ProcessPoolExecutor, SerialExecutor
+from .calibration import (
+    CalibrationTable,
+    shared_calibration_table,
+    width_bucket,
+)
+from .executors import (
+    Executor,
+    ProcessPoolExecutor,
+    SerialExecutor,
+    TaskTimeoutError,
+)
 from .schedule import (
     AdaptiveScheduler,
     FifoScheduler,
     ScheduledTask,
     Scheduler,
+    WorkStealingScheduler,
     estimate_cost,
 )
 from .service import PoolManager, shared_pool_manager, shutdown_shared_pool
@@ -54,11 +65,16 @@ __all__ = [
     "Executor",
     "SerialExecutor",
     "ProcessPoolExecutor",
+    "TaskTimeoutError",
     "Scheduler",
     "FifoScheduler",
     "AdaptiveScheduler",
+    "WorkStealingScheduler",
     "ScheduledTask",
     "estimate_cost",
+    "CalibrationTable",
+    "shared_calibration_table",
+    "width_bucket",
     "PoolManager",
     "shared_pool_manager",
     "shutdown_shared_pool",

@@ -59,6 +59,7 @@ import abc
 import multiprocessing
 import os
 import pickle
+import queue as _queue
 import time
 from concurrent import futures as _cf
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
@@ -82,11 +83,26 @@ from .service import (
     _run_pool_chunk_shm,
     _run_pool_task,
     _run_pool_task_shm,
+    _steal_task_loop,
     _task_rng,
     _warm_worker,
     execution_key,
     shared_pool_manager,
 )
+
+
+class TaskTimeoutError(RuntimeError):
+    """No pool task completed within the executor's ``task_timeout``.
+
+    Raised by the pooled batch/sweep paths when the completion *gap* —
+    the time since the last task finished (or since submission) —
+    exceeds ``ProcessPoolExecutor(task_timeout=...)``.  A wedged worker
+    cannot be cancelled (``Future.cancel`` only stops not-yet-started
+    tasks), so before raising, the executor **poisons the pool**: worker
+    processes are killed, the pool is torn down, and every in-flight
+    shared-memory result plane is released.  The next pooled call
+    rebuilds a fresh pool.
+    """
 
 
 # ----------------------------------------------------------------------
@@ -258,7 +274,21 @@ class ProcessPoolExecutor(Executor):
             tasks largest-first by the static cost model and split
             oversized points into repetition sub-chunks (seeds
             ``SeedSequence([seed, point, chunk])``, merged in chunk
-            order) so mixed-depth batches keep every worker busy.
+            order) so mixed-depth batches keep every worker busy.  A
+            :class:`~repro.sampler.schedule.WorkStealingScheduler`
+            additionally dispatches those tasks through the pool's
+            shared work queue: idle workers *pull* the next chunk at
+            runtime, absorbing cost-model error and stragglers, while
+            the task list itself (geometry + seeds, and therefore the
+            output) is exactly what the scheduler produced.
+        task_timeout: Optional liveness bound (seconds) for pooled
+            batch/sweep execution: if no task completes for this long,
+            the executor assumes a wedged worker, kills the pool
+            (running tasks cannot be cancelled), releases all in-flight
+            result planes, and raises :class:`TaskTimeoutError`.  It is
+            a completion-*gap* bound, not a per-task or total bound —
+            set it above the longest expected single task.  ``None``
+            (default) waits indefinitely, the pre-timeout behavior.
         result_transport: How worker results travel back to the parent.
             ``"shm"`` writes samples into pre-allocated
             :mod:`~repro.sampler.result_planes` shared-memory segments —
@@ -299,6 +329,7 @@ class ProcessPoolExecutor(Executor):
         pool_manager: Optional[PoolManager] = None,
         scheduler: Optional[Scheduler] = None,
         result_transport: str = "auto",
+        task_timeout: Optional[float] = None,
     ):
         self.num_workers = max(1, int(num_workers or (os.cpu_count() or 1)))
         self.chunks_per_worker = max(1, int(chunks_per_worker))
@@ -322,6 +353,11 @@ class ProcessPoolExecutor(Executor):
                 "functional on this platform; use 'pickle' or 'auto'."
             )
         self.result_transport = result_transport
+        if task_timeout is not None and task_timeout <= 0:
+            raise ValueError(
+                f"task_timeout must be positive or None, got {task_timeout}"
+            )
+        self.task_timeout = task_timeout
         self.measure_result_bytes = False
         self.last_result_bytes = 0
 
@@ -447,6 +483,7 @@ class ProcessPoolExecutor(Executor):
         table: List = []
         table_index = {}
         entries = []
+        backend = type(simulator.initial_state).__name__
         for point, (program, resolver) in enumerate(zip(programs, resolvers)):
             index = table_index.get(id(program))
             if index is None:
@@ -455,7 +492,12 @@ class ProcessPoolExecutor(Executor):
                 table_index[id(program)] = index
             entries.append(
                 BatchEntry(
-                    index, point, resolver, estimate_cost(program, repetitions)
+                    index,
+                    point,
+                    resolver,
+                    estimate_cost(program, repetitions),
+                    backend=backend,
+                    num_qubits=program.num_qubits,
                 )
             )
         tasks = self.scheduler.schedule(entries, repetitions, self.num_workers)
@@ -507,22 +549,39 @@ class ProcessPoolExecutor(Executor):
 
         When the scheduler asks for a timing probe, every worker is
         spawned and initialized *before* the timing window opens (no-op
-        warm tasks), then the first (largest) task runs alone and its
-        wall time calibrates the scheduler's cost model before the rest
-        of the queue is submitted — so the probe measures the task, not
-        pool startup.  Neither the probe nor the transport changes task
+        warm tasks), then **all** tasks are submitted together — probe
+        (largest task) first — and the probe's completion callback
+        calibrates the scheduler's cost model.  The probe never blocks
+        the queue: the other workers chew through the remaining tasks
+        while it runs.  Neither the probe nor the transport changes task
         geometry or seeds, so output is unaffected.
+
+        A ``work_stealing`` scheduler swaps future-per-task dispatch for
+        the pool's shared task queue: workers pull ``(task_id, use_shm,
+        args)`` items as they free up and report each result with a
+        worker-side duration, which feeds :meth:`Scheduler.calibrate`
+        (and, when attached, the persisted calibration table) for
+        *every* task instead of one probe.  Same task bodies, same
+        seeds, same output — only placement is dynamic.
 
         Error paths: an abandoned iterator (``close()``) cancels what
         it can and releases every unviewed plane; a task failure also
         shuts the warm pool down (fail-safe against poisoned pools) —
         and the manager's own shutdown backstop unlinks any plane it
-        adopted, so segments never outlive their pool.
+        adopted, so segments never outlive their pool.  A completion gap
+        exceeding ``task_timeout`` kills the (unresponsive) pool and
+        raises :class:`TaskTimeoutError`.
         """
         transport = self.result_transport
         workers = min(self.num_workers, len(tasks))
-        probe = getattr(self.scheduler, "probe", False) and len(tasks) > 1
+        stealing = getattr(self.scheduler, "work_stealing", False)
+        probe = (
+            not stealing
+            and getattr(self.scheduler, "probe", False)
+            and len(tasks) > 1
+        )
         collector = _PointCollector(tasks)
+        entry_by_point = {e.point_index: e for e in entries}
 
         planes: Dict[int, PointPlanes] = {}
         if transport == "shm":
@@ -560,6 +619,34 @@ class ProcessPoolExecutor(Executor):
                 return planes.pop(point).views()
             return _merge_parts([part for _, part in sorted(chunks)])
 
+        def calibrate_task(task, seconds):
+            entry = entry_by_point.get(task.point_index)
+            self.scheduler.calibrate(
+                task.cost,
+                seconds,
+                backend=getattr(entry, "backend", None),
+                num_qubits=getattr(entry, "num_qubits", None),
+            )
+
+        def flush_calibration():
+            calibration = getattr(self.scheduler, "calibration", None)
+            if calibration is not None:
+                calibration.flush()
+
+        def teardown_failed_pool(exc, cold_pool):
+            """Poison-path cleanup: timeout kills, anything else joins."""
+            wedged = isinstance(exc, TaskTimeoutError)
+            if self.reuse_pool:
+                if wedged:
+                    self.pool_manager.terminate()
+                else:
+                    # Fail-safe parity with PoolManager.run: a task
+                    # failure poisons the pool; shut it down (which also
+                    # releases its adopted planes) before propagating.
+                    self.pool_manager.shutdown()
+            elif wedged and cold_pool is not None:
+                _kill_pool_processes(cold_pool)
+
         def stream():
             cold_pool = None
             if self.reuse_pool:
@@ -593,23 +680,47 @@ class ProcessPoolExecutor(Executor):
             pending: Dict[_cf.Future, object] = {}
             try:
                 if probe:
+                    # Warm every worker before the timing window opens so
+                    # the probe measures the task, not pool startup.
                     for future in submit(_warm_worker, [()] * workers):
                         future.result()
-                    start = time.perf_counter()
-                    payload = submit(fn, argses[:1])[0].result()
-                    self.scheduler.calibrate(
-                        _args_cost(argses[0], table),
-                        time.perf_counter() - start,
+                start = time.perf_counter()
+                pending = dict(zip(submit(fn, argses), tasks))
+                if probe:
+                    # One submission covers the whole queue — the probe
+                    # (largest task, first in the queue) calibrates from
+                    # its completion callback while the other workers
+                    # are already busy with the remaining tasks.
+                    probe_task = tasks[0]
+
+                    def on_probe_done(future):
+                        if future.cancelled() or future.exception():
+                            return
+                        calibrate_task(
+                            probe_task, time.perf_counter() - start
+                        )
+
+                    next(iter(pending)).add_done_callback(on_probe_done)
+                while pending:
+                    done, _ = _cf.wait(
+                        list(pending),
+                        timeout=self.task_timeout,
+                        return_when=_cf.FIRST_COMPLETED,
                     )
-                    self._record_result_bytes([payload])
-                    yield from collector.feed(tasks[0], payload, finalize)
-                    pending = dict(zip(submit(fn, argses[1:]), tasks[1:]))
-                else:
-                    pending = dict(zip(submit(fn, argses), tasks))
-                for future in _cf.as_completed(pending):
-                    payload = future.result()
-                    self._record_result_bytes([payload])
-                    yield from collector.feed(pending[future], payload, finalize)
+                    if not done:
+                        raise TaskTimeoutError(
+                            f"no pool task completed within task_timeout="
+                            f"{self.task_timeout}s ({len(pending)} of "
+                            f"{len(tasks)} tasks outstanding); killing the "
+                            "worker pool"
+                        )
+                    for future in done:
+                        payload = future.result()
+                        self._record_result_bytes([payload])
+                        yield from collector.feed(
+                            pending.pop(future), payload, finalize
+                        )
+                flush_calibration()
             except GeneratorExit:
                 # Abandoned mid-iteration: drop what never started; the
                 # finally block unlinks the planes (in-flight writers
@@ -617,14 +728,10 @@ class ProcessPoolExecutor(Executor):
                 for future in pending:
                     future.cancel()
                 raise
-            except BaseException:
+            except BaseException as exc:
                 for future in pending:
                     future.cancel()
-                if self.reuse_pool:
-                    # Fail-safe parity with PoolManager.run: a task
-                    # failure poisons the pool; shut it down (which also
-                    # releases its adopted planes) before propagating.
-                    self.pool_manager.shutdown()
+                teardown_failed_pool(exc, cold_pool)
                 raise
             finally:
                 if cold_pool is not None:
@@ -632,7 +739,101 @@ class ProcessPoolExecutor(Executor):
                 for plane in planes.values():
                     plane.release()
 
-        return stream()
+        def steal_stream():
+            items = [
+                (task_id, transport == "shm", args)
+                for task_id, args in enumerate(argses)
+            ]
+            cold_pool = None
+            cold_queues = None
+            pullers: List[_cf.Future] = []
+            try:
+                if self.reuse_pool:
+                    key = execution_key(simulator, programs=tuple(table))
+                    pullers, result_queue = self.pool_manager.steal(
+                        key,
+                        workers,
+                        self.start_method,
+                        payload_factory,
+                        items,
+                        planes=tuple(planes.values()),
+                    )
+                else:
+                    ctx = _pool_context(self.start_method)
+                    cold_queues = (ctx.Queue(), ctx.Queue())
+                    cold_pool = _cf.ProcessPoolExecutor(
+                        max_workers=workers,
+                        mp_context=ctx,
+                        initializer=_init_pool_worker,
+                        initargs=(payload_factory(), cold_queues),
+                    )
+                    task_queue, result_queue = cold_queues
+                    for item in items:
+                        task_queue.put(item)
+                    for _ in range(workers):
+                        task_queue.put(None)
+                    pullers = [
+                        cold_pool.submit(_steal_task_loop)
+                        for _ in range(workers)
+                    ]
+                received = 0
+                last_completion = time.monotonic()
+                while received < len(tasks):
+                    try:
+                        task_id, seconds, error, payload = result_queue.get(
+                            timeout=_STEAL_POLL_SECONDS
+                        )
+                    except _queue.Empty:
+                        # No result yet: distinguish "still computing"
+                        # from "a worker died" (queue would starve
+                        # silently) and from "wedged past the timeout".
+                        for puller in pullers:
+                            if puller.done() and puller.exception():
+                                puller.result()  # raises (BrokenPool &c)
+                        gap = time.monotonic() - last_completion
+                        if (
+                            self.task_timeout is not None
+                            and gap > self.task_timeout
+                        ):
+                            raise TaskTimeoutError(
+                                "no stolen task completed within "
+                                f"task_timeout={self.task_timeout}s "
+                                f"({len(tasks) - received} of {len(tasks)} "
+                                "tasks outstanding); killing the worker "
+                                "pool"
+                            )
+                        continue
+                    last_completion = time.monotonic()
+                    if error is not None:
+                        raise error
+                    task = tasks[task_id]
+                    calibrate_task(task, seconds)
+                    self._record_result_bytes([payload])
+                    yield from collector.feed(task, payload, finalize)
+                    received += 1
+                for puller in pullers:
+                    puller.result()
+                flush_calibration()
+            except GeneratorExit:
+                # Abandoned mid-drain: the shared queues still hold this
+                # run's items/sentinels, so the pool cannot be reused —
+                # retire it (workers finish what they already pulled).
+                if self.reuse_pool:
+                    self.pool_manager.shutdown()
+                raise
+            except BaseException as exc:
+                teardown_failed_pool(exc, cold_pool)
+                raise
+            finally:
+                if cold_pool is not None:
+                    cold_pool.shutdown(wait=True)
+                    for q in cold_queues:
+                        q.close()
+                        q.cancel_join_thread()
+                for plane in planes.values():
+                    plane.release()
+
+        return steal_stream() if stealing else stream()
 
     def _run_cold(self, payload, workers, fn, argses):
         """One fresh pool for this call only (the pre-warm cost model)."""
@@ -644,6 +845,21 @@ class ProcessPoolExecutor(Executor):
         ) as pool:
             pending = [pool.submit(fn, *args) for args in argses]
             return [f.result() for f in pending]
+
+
+#: How often the stealing drain loop wakes to check for dead workers and
+#: the task_timeout gap while the result queue is empty.  Purely a
+#: liveness poll — results are picked up the moment they arrive.
+_STEAL_POLL_SECONDS = 0.05
+
+
+def _kill_pool_processes(pool) -> None:
+    """Kill a cold pool's workers (timeout escalation; cannot cancel)."""
+    processes = dict(getattr(pool, "_processes", None) or {})
+    for proc in processes.values():
+        proc.kill()
+    for proc in processes.values():
+        proc.join()
 
 
 def _task_args(task, base: int) -> Tuple:
@@ -712,16 +928,6 @@ def _run_task_in_process(simulator, table, args) -> RunParts:
     return _dispatch(simulator, plan, size, rng)
 
 
-def _args_cost(args, table) -> int:
-    """The static cost of one scheduled-task args tuple (probe input).
-
-    Works for both transports: the shm variant appends a slot descriptor
-    after the seven scheduling fields it shares with the pickle variant.
-    """
-    program_index, _, _, size = args[:4]
-    return estimate_cost(table[program_index], size)
-
-
 # ----------------------------------------------------------------------
 # legacy factory-based fan-out (sampler/parallel.py compatibility)
 # ----------------------------------------------------------------------
@@ -769,6 +975,7 @@ __all__ = [
     "SerialExecutor",
     "ProcessPoolExecutor",
     "PoolManager",
+    "TaskTimeoutError",
     "run_factory_chunks",
     "shared_pool_manager",
 ]

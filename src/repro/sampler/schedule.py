@@ -36,6 +36,19 @@ This module is the scheduling seam between the executor and the pool:
   the chunk geometry — only the *reporting* — because geometry must stay
   a deterministic function of the static model for reproducibility.
 
+* :class:`WorkStealingScheduler` keeps the adaptive geometry rules but
+  targets a **shared task queue**: every point is pre-split into a small
+  deterministic number of chunks (``granularity``) and idle workers pull
+  the next chunk at runtime, absorbing cost-model error and stragglers.
+  Placement becomes dynamic; geometry and seeds stay static, so output
+  is unchanged from running the same task list any other way.
+* A :class:`~repro.sampler.calibration.CalibrationTable` (``calibration=
+  "auto"`` or an explicit table) persists measured ``seconds_per_cost``
+  per backend x width bucket across processes, weighting split/order
+  decisions for mixed-backend batches and seeding ``estimated_seconds``
+  without an in-run probe.  Calibration is opt-in precisely because a
+  loaded table is an input to the (deterministic) geometry function.
+
 Determinism contract (pinned by ``tests/test_schedule.py``): for a fixed
 scheduler configuration, the task set (point, chunk, size, seed recipe)
 depends only on the batch's static costs — two runs of the same batch
@@ -46,6 +59,8 @@ from __future__ import annotations
 
 import math
 from typing import Dict, List, Optional, Sequence, Tuple
+
+from .calibration import MIN_CALIBRATION_SECONDS, resolve_calibration
 
 
 def estimate_cost(program, repetitions: int) -> int:
@@ -113,19 +128,48 @@ class ScheduledTask:
 
 
 class BatchEntry:
-    """One (program, resolver) pair of a heterogeneous batch, pre-costed."""
+    """One (program, resolver) pair of a heterogeneous batch, pre-costed.
 
-    __slots__ = ("program_index", "point_index", "resolver", "cost")
+    ``backend`` (simulation-state type name) and ``num_qubits`` identify
+    the calibration bucket this entry's timings belong to; both are
+    optional — an entry without them simply never matches a calibration
+    table and keeps its raw static cost.
+    """
 
-    def __init__(self, program_index: int, point_index: int, resolver, cost: float):
+    __slots__ = (
+        "program_index",
+        "point_index",
+        "resolver",
+        "cost",
+        "backend",
+        "num_qubits",
+    )
+
+    def __init__(
+        self,
+        program_index: int,
+        point_index: int,
+        resolver,
+        cost: float,
+        backend: Optional[str] = None,
+        num_qubits: Optional[int] = None,
+    ):
         self.program_index = program_index
         self.point_index = point_index
         self.resolver = resolver
         self.cost = cost
+        self.backend = backend
+        self.num_qubits = num_qubits
 
 
 class Scheduler:
     """Maps a costed batch to an ordered list of pool tasks."""
+
+    #: True for schedulers whose tasks should be dispatched through the
+    #: pool's shared work queue (idle workers pull the next task) instead
+    #: of one-future-per-task submission.  Placement-only: the task list
+    #: itself is identical either way.
+    work_stealing = False
 
     def schedule(
         self,
@@ -135,7 +179,13 @@ class Scheduler:
     ) -> List[ScheduledTask]:
         raise NotImplementedError
 
-    def calibrate(self, cost: float, seconds: float) -> None:
+    def calibrate(
+        self,
+        cost: float,
+        seconds: float,
+        backend: Optional[str] = None,
+        num_qubits: Optional[int] = None,
+    ) -> None:
         """Record a measured (cost, seconds) sample; default: ignore."""
 
     @staticmethod
@@ -198,11 +248,24 @@ class AdaptiveScheduler(Scheduler):
         min_chunk_repetitions: Never create chunks smaller than this many
             repetitions (default 4); a point also never splits unless it
             can yield at least two such chunks.
-        probe: When True, the executor runs the first (largest) task
-            alone, times it, and calls :meth:`calibrate` before
-            submitting the rest — anchoring the relative cost model to
-            wall-clock seconds for the ``estimated_seconds`` report.
-            Never affects the chunk geometry (determinism).
+        probe: When True, the executor times the first (largest) task
+            and calls :meth:`calibrate` on its completion — anchoring
+            the relative cost model to wall-clock seconds for the
+            ``estimated_seconds`` report (the remaining tasks are
+            submitted immediately; the probe no longer serializes the
+            pool).  Never affects the chunk geometry (determinism).
+        calibration: ``None`` (default — geometry depends on static
+            costs alone), ``"auto"`` (the process-wide persisted
+            :func:`~repro.sampler.calibration.shared_calibration_table`),
+            or an explicit
+            :class:`~repro.sampler.calibration.CalibrationTable`.  With
+            a table attached, entries whose (backend, width bucket) has
+            a stored ``seconds_per_cost`` are weighted by it for
+            ordering/splitting — correcting the static model's
+            cross-backend bias — and measured timings are recorded back
+            (keyed per backend x width) for future processes.  A
+            uniform rate (same backend, same bucket across the batch)
+            scales all weights equally and never changes geometry.
 
     Splitting rule (deterministic, static): with ``total`` the summed
     batch cost and ``fair = total / num_workers``, a point of cost ``c >
@@ -218,6 +281,7 @@ class AdaptiveScheduler(Scheduler):
         oversubscribe: int = 4,
         min_chunk_repetitions: int = 4,
         probe: bool = False,
+        calibration=None,
     ):
         if oversubscribe < 1:
             raise ValueError(f"oversubscribe must be >= 1, got {oversubscribe}")
@@ -229,6 +293,7 @@ class AdaptiveScheduler(Scheduler):
         self.oversubscribe = int(oversubscribe)
         self.min_chunk_repetitions = int(min_chunk_repetitions)
         self.probe = bool(probe)
+        self.calibration = resolve_calibration(calibration)
         self.seconds_per_cost: Optional[float] = None
         self.last_schedule: Dict[str, object] = {}
 
@@ -248,67 +313,189 @@ class AdaptiveScheduler(Scheduler):
         wanted = math.ceil(cost / target) if target > 0 else 1
         return max(1, min(wanted, by_reps, num_workers * self.oversubscribe))
 
+    def _weights(self, entries) -> Tuple[List[float], bool]:
+        """Per-entry scheduling weights, and whether they are calibrated.
+
+        With a calibration table whose buckets cover *every* entry the
+        weights are estimated seconds (``cost x stored rate``); otherwise
+        raw static costs — mixing the two unit systems within one batch
+        would rank miscalibrated entries arbitrarily, so coverage is
+        all-or-nothing.  A batch of one backend and one width bucket gets
+        one uniform rate, which scales every weight equally and leaves
+        the geometry bit-for-bit unchanged from the uncalibrated case.
+        """
+        costs = [float(e.cost) for e in entries]
+        if self.calibration is None or not entries:
+            return costs, False
+        weights = []
+        for e, cost in zip(entries, costs):
+            rate = self.calibration.seconds_per_cost_for(
+                getattr(e, "backend", None), getattr(e, "num_qubits", None)
+            )
+            if rate is None:
+                return costs, False
+            weights.append(cost * rate)
+        return weights, True
+
     def schedule(self, entries, repetitions, num_workers):
         from .service import _chunk_sizes
 
-        total = float(sum(e.cost for e in entries))
-        tasks: List[ScheduledTask] = []
+        weights, calibrated = self._weights(entries)
+        total = float(sum(weights))
+        keyed: List[Tuple[float, ScheduledTask]] = []
         split_points = 0
-        for e in entries:
-            chunks = self.chunk_count(e.cost, total, repetitions, num_workers)
+        for e, weight in zip(entries, weights):
+            chunks = self.chunk_count(weight, total, repetitions, num_workers)
             if chunks == 1:
-                tasks.append(
-                    ScheduledTask(
-                        e.program_index,
-                        e.point_index,
-                        e.resolver,
-                        0,
-                        1,
-                        repetitions,
-                        e.cost,
+                keyed.append(
+                    (
+                        weight,
+                        ScheduledTask(
+                            e.program_index,
+                            e.point_index,
+                            e.resolver,
+                            0,
+                            1,
+                            repetitions,
+                            e.cost,
+                        ),
                     )
                 )
                 continue
             split_points += 1
             sizes = _chunk_sizes(repetitions, chunks)
             for chunk, size in enumerate(sizes):
-                tasks.append(
-                    ScheduledTask(
-                        e.program_index,
-                        e.point_index,
-                        e.resolver,
-                        chunk,
-                        len(sizes),
-                        size,
-                        e.cost * size / repetitions,
+                keyed.append(
+                    (
+                        weight * size / repetitions,
+                        ScheduledTask(
+                            e.program_index,
+                            e.point_index,
+                            e.resolver,
+                            chunk,
+                            len(sizes),
+                            size,
+                            e.cost * size / repetitions,
+                        ),
                     )
                 )
-        tasks.sort(key=lambda t: (-t.cost, t.point_index, t.chunk_index))
+        keyed.sort(
+            key=lambda item: (-item[0], item[1].point_index, item[1].chunk_index)
+        )
+        tasks = [task for _, task in keyed]
         self.last_schedule = {
             "points": len(entries),
             "tasks": len(tasks),
             "split_points": split_points,
-            "total_cost": total,
+            "total_cost": float(sum(e.cost for e in entries)),
+            "calibrated": calibrated,
             "order": [(t.point_index, t.chunk_index) for t in tasks],
             "seconds_per_cost": self.seconds_per_cost,
             "_tasks": list(tasks),
         }
-        self.last_schedule["estimated_seconds"] = self._estimates(tasks)
+        if calibrated:
+            # Weights already are estimated seconds for each task.
+            self.last_schedule["estimated_seconds"] = [w for w, _ in keyed]
+        else:
+            self.last_schedule["estimated_seconds"] = self._estimates(tasks)
         return tasks
 
-    def calibrate(self, cost: float, seconds: float) -> None:
-        """Anchor the relative cost model to a measured task timing."""
-        if cost > 0 and seconds >= 0:
-            self.seconds_per_cost = seconds / cost
-            self.last_schedule["seconds_per_cost"] = self.seconds_per_cost
-            tasks = self.last_schedule.get("_tasks")
-            if tasks is not None:
-                self.last_schedule["estimated_seconds"] = self._estimates(tasks)
+    def calibrate(
+        self,
+        cost: float,
+        seconds: float,
+        backend: Optional[str] = None,
+        num_qubits: Optional[int] = None,
+    ) -> None:
+        """Anchor the relative cost model to a measured task timing.
+
+        Non-positive costs and negative durations are rejected outright;
+        a measured ``seconds == 0`` (a task faster than the
+        ``perf_counter`` resolution) is clamped to
+        :data:`~repro.sampler.calibration.MIN_CALIBRATION_SECONDS` so a
+        sub-resolution probe can never zero out ``seconds_per_cost`` and
+        report every ``estimated_seconds`` as 0.  When a calibration
+        table is attached and the sample names its (backend, width), the
+        rate is also recorded there for future processes.
+        """
+        if cost <= 0 or seconds < 0:
+            return
+        seconds = max(float(seconds), MIN_CALIBRATION_SECONDS)
+        self.seconds_per_cost = seconds / cost
+        self.last_schedule["seconds_per_cost"] = self.seconds_per_cost
+        tasks = self.last_schedule.get("_tasks")
+        if tasks is not None:
+            self.last_schedule["estimated_seconds"] = self._estimates(tasks)
+        if self.calibration is not None and backend is not None:
+            self.calibration.record(
+                backend, num_qubits or 1, self.seconds_per_cost
+            )
 
     def _estimates(self, tasks) -> Optional[List[float]]:
         if self.seconds_per_cost is None:
             return None
         return [t.cost * self.seconds_per_cost for t in tasks]
+
+
+class WorkStealingScheduler(AdaptiveScheduler):
+    """Adaptive geometry, dispatched through a shared pool work queue.
+
+    The task *list* follows the same deterministic rules as
+    :class:`AdaptiveScheduler` — largest-first order, fair-share
+    splitting, the ``SeedSequence([seed, point, chunk])`` recipe — with
+    one addition: every point is pre-split into at least ``granularity``
+    repetition chunks (where its repetitions allow), because fine,
+    uniform chunks are what lets an idle worker steal the tail of a
+    straggling point.  The ``work_stealing`` flag then routes dispatch
+    through the pool's shared queue: workers *pull* the next task when
+    they finish the last one, so placement adapts to measured reality
+    (cost-model error, co-tenant noise, one slow core) at runtime.
+
+    Placement-vs-geometry contract: which worker runs a chunk is decided
+    at runtime and may differ between runs; *what* the chunks are and
+    which seed each one uses never does.  Chunks merge in chunk order,
+    so stealing output is bit-for-bit identical to running the identical
+    task list serially, in-process, or through future-per-task dispatch.
+
+    Args:
+        granularity: Minimum chunks per point (default 4), capped by
+            ``repetitions // min_chunk_repetitions``.  ``granularity=1``
+            reproduces :class:`AdaptiveScheduler` geometry exactly —
+            only the dispatch mechanism differs.
+        oversubscribe / min_chunk_repetitions / probe / calibration:
+            As for :class:`AdaptiveScheduler`.
+    """
+
+    work_stealing = True
+
+    def __init__(
+        self,
+        oversubscribe: int = 4,
+        min_chunk_repetitions: int = 4,
+        probe: bool = False,
+        calibration=None,
+        granularity: int = 4,
+    ):
+        super().__init__(
+            oversubscribe=oversubscribe,
+            min_chunk_repetitions=min_chunk_repetitions,
+            probe=probe,
+            calibration=calibration,
+        )
+        if granularity < 1:
+            raise ValueError(f"granularity must be >= 1, got {granularity}")
+        self.granularity = int(granularity)
+
+    def chunk_count(
+        self, cost: float, total: float, repetitions: int, num_workers: int
+    ) -> int:
+        base = super().chunk_count(cost, total, repetitions, num_workers)
+        if num_workers <= 1 or self.granularity <= 1:
+            return base
+        by_reps = int(repetitions) // self.min_chunk_repetitions
+        if by_reps < 2:
+            return base
+        return max(base, min(self.granularity, by_reps))
 
 
 __all__ = [
@@ -317,5 +504,6 @@ __all__ = [
     "FifoScheduler",
     "ScheduledTask",
     "Scheduler",
+    "WorkStealingScheduler",
     "estimate_cost",
 ]

@@ -58,7 +58,9 @@ from __future__ import annotations
 import atexit
 import multiprocessing
 import os
+import pickle
 import threading
+import time
 import weakref
 from concurrent import futures as _cf
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
@@ -259,11 +261,19 @@ class _WorkerPayload:
 
 _WORKER: Optional[Tuple[object, object, object]] = None
 
+# The worker's end of the pool's shared work queues — ``(task_queue,
+# result_queue)`` — shipped by the initializer alongside the payload.
+# Queues ride the *process-creation* channel (Process args), which is the
+# one place multiprocessing.Queue is picklable, so this works identically
+# under fork, forkserver, and spawn.
+_WORKER_QUEUES: Optional[Tuple[object, object]] = None
 
-def _init_pool_worker(payload: _WorkerPayload) -> None:
+
+def _init_pool_worker(payload: _WorkerPayload, queues=None) -> None:
     """Pool initializer: build the worker-local simulator + shared unit."""
-    global _WORKER
+    global _WORKER, _WORKER_QUEUES
     _WORKER = (payload.build_simulator(), payload.plan, payload.programs)
+    _WORKER_QUEUES = queues
 
 
 def _run_pool_chunk(size: int, seed: int) -> RunParts:
@@ -353,6 +363,60 @@ def _run_pool_task_shm(
     rng = _task_rng(base, point_index, num_chunks, chunk_index)
     records, bits = _dispatch(simulator, plan, size, rng)
     return write_chunk_to_slot(plan, slot, records, bits)
+
+
+def _picklable_error(exc: BaseException) -> BaseException:
+    """An exception safe to send through a multiprocessing queue.
+
+    An unpicklable exception would kill the queue's feeder thread
+    silently and the parent would never hear about the failure, so probe
+    the pickle round-trip here and degrade to a RuntimeError carrying the
+    repr."""
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return RuntimeError(
+            f"work-stealing task failed with unpicklable "
+            f"{type(exc).__name__}: {exc!r}"
+        )
+
+
+def _steal_task_loop() -> int:
+    """Worker body of the work-stealing mode: pull tasks until poisoned.
+
+    Each pool worker runs exactly one of these.  It pulls ``(task_id,
+    use_shm, args)`` items off the shared task queue — *placement* is
+    whichever worker gets there first — runs the task body
+    (:func:`_run_pool_task` / :func:`_run_pool_task_shm`, so geometry,
+    seeds, and output are identical to future-per-task dispatch), and
+    reports ``(task_id, seconds, error, payload)`` on the result queue
+    with a worker-side ``perf_counter`` duration for calibration.  A
+    ``None`` sentinel (one per worker, enqueued after all tasks) ends the
+    loop; the return value is how many tasks this worker ran.  Task
+    errors are reported per-task, never raised — the parent decides
+    whether to abandon the run.
+    """
+    task_queue, result_queue = _WORKER_QUEUES
+    ran = 0
+    while True:
+        item = task_queue.get()
+        if item is None:
+            return ran
+        task_id, use_shm, args = item
+        start = time.perf_counter()
+        error = None
+        payload = None
+        try:
+            if use_shm:
+                payload = _run_pool_task_shm(*args)
+            else:
+                payload = _run_pool_task(*args)
+        except BaseException as exc:
+            error = _picklable_error(exc)
+        seconds = time.perf_counter() - start
+        result_queue.put((task_id, seconds, error, payload))
+        ran += 1
 
 
 # ----------------------------------------------------------------------
@@ -462,6 +526,7 @@ class PoolManager:
         self._pool: Optional[_cf.ProcessPoolExecutor] = None
         self._key: Optional[Tuple] = None
         self._payload: Optional[_WorkerPayload] = None
+        self._queues: Optional[Tuple] = None
         self._last_pids: List[int] = []
         # One batch at a time: without the lock, a second thread's key
         # change could shut the pool down between another thread's
@@ -499,15 +564,46 @@ class PoolManager:
         """
         with self._lock:
             pool, self._pool = self._pool, None
+            queues, self._queues = self._queues, None
             self._key = None
             self._payload = None
             if pool is not None:
                 if getattr(pool, "_processes", None):
                     self._last_pids = sorted(pool._processes)
                 pool.shutdown(wait=True)
+            if queues is not None:
+                # After the join: no worker is left to read or write them.
+                # cancel_join_thread so undelivered items (an abandoned
+                # stealing run) cannot block interpreter exit on the
+                # feeder thread.
+                for q in queues:
+                    q.close()
+                    q.cancel_join_thread()
             planes, self._planes = list(self._planes), weakref.WeakSet()
             for plane in planes:
                 plane.release()
+
+    def terminate(self) -> None:
+        """Kill the pool's workers, then clean up as :meth:`shutdown`.
+
+        The escalation path for a *wedged* pool: ``shutdown`` joins
+        workers, which blocks forever behind a hung task, so the
+        task-timeout path kills the worker processes first and then runs
+        the normal teardown (queue close, plane release) against the
+        already-dead pool.  Pending futures surface
+        ``BrokenProcessPool``.
+        """
+        with self._lock:
+            pool = self._pool
+            if pool is not None:
+                processes = dict(getattr(pool, "_processes", None) or {})
+                if processes:
+                    self._last_pids = sorted(processes)
+                for proc in processes.values():
+                    proc.kill()
+                for proc in processes.values():
+                    proc.join()
+            self.shutdown()
 
     def __enter__(self) -> "PoolManager":
         return self
@@ -589,6 +685,52 @@ class PoolManager:
                 self._last_pids = sorted(pool._processes)
             return pending
 
+    def steal(
+        self,
+        key: Tuple,
+        num_workers: int,
+        start_method: Optional[str],
+        payload_factory: Callable[[], _WorkerPayload],
+        items: Sequence[Tuple],
+        planes: Sequence = (),
+    ) -> Tuple[List[_cf.Future], object]:
+        """Dispatch ``(task_id, use_shm, args)`` items work-stealing style.
+
+        All items are enqueued on the pool's shared task queue, followed
+        by one ``None`` sentinel per worker, and every worker is handed
+        one :func:`_steal_task_loop` future — workers then *pull* tasks
+        as they free up, so placement adapts to measured runtime while
+        the task list (geometry + seeds) stays exactly what the caller
+        scheduled.  Returns ``(puller_futures, result_queue)``: the
+        caller drains ``len(items)`` results — ``(task_id, seconds,
+        error, payload)`` — off the queue in completion order.
+
+        Queue-hygiene contract: a clean run consumes every item and
+        every sentinel, leaving both queues empty for warm reuse.  A
+        caller abandoning a run mid-drain MUST :meth:`shutdown` (or
+        :meth:`terminate`) this manager — stale items on a reused queue
+        would corrupt the next run.  The executor's stealing path does
+        exactly that on every failure.
+        """
+        with self._lock:
+            pool = self._ensure(key, num_workers, start_method, payload_factory)
+            self._planes.update(planes)
+            try:
+                task_queue, result_queue = self._queues
+                for item in items:
+                    task_queue.put(item)
+                for _ in range(num_workers):
+                    task_queue.put(None)
+                pullers = [
+                    pool.submit(_steal_task_loop) for _ in range(num_workers)
+                ]
+            except BaseException:
+                self.shutdown()
+                raise
+            if getattr(pool, "_processes", None):
+                self._last_pids = sorted(pool._processes)
+            return pullers, result_queue
+
     def _ensure(
         self, key, num_workers, start_method, payload_factory
     ) -> _cf.ProcessPoolExecutor:
@@ -600,11 +742,18 @@ class PoolManager:
             self.stats["key_changes"] += 1
             self.shutdown()
         payload = payload_factory()
+        ctx = _pool_context(start_method)
+        # Work queues are born with the pool (same mp context, shipped
+        # through the initializer — the one channel Queues may travel)
+        # so a warm pool can serve future-per-task and stealing dispatch
+        # interchangeably without a rebuild.  Unused queues cost two fd
+        # pairs; feeder threads start only on first put.
+        self._queues = (ctx.Queue(), ctx.Queue())
         self._pool = _cf.ProcessPoolExecutor(
             max_workers=num_workers,
-            mp_context=_pool_context(start_method),
+            mp_context=ctx,
             initializer=_init_pool_worker,
-            initargs=(payload,),
+            initargs=(payload, self._queues),
         )
         # The payload ref keeps every id()-keyed object (plan, every
         # Program of the table, initial state) alive while the key is

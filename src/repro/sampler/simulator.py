@@ -243,7 +243,12 @@ class Simulator:
 
         An abandoned iterator (``close()``, early ``break``) cancels
         what it can and releases every shared-memory result plane —
-        streaming never leaks segments.
+        streaming never leaks segments.  A pooled executor configured
+        with ``task_timeout`` raises
+        :class:`~repro.sampler.executors.TaskTimeoutError` from the
+        iterator if no task completes within the bound (a wedged
+        worker); the pool is killed and its planes released before the
+        error surfaces, so the next call starts from a fresh pool.
         """
         parts = self._sweep_parts(circuit, params, repetitions, scope)
 
@@ -342,9 +347,15 @@ class Simulator:
         executor's scheduler may reorder or split points
         (:mod:`repro.sampler.schedule`).  With the default FIFO
         scheduler the output is bit-for-bit identical to the serial
-        (executor-free) ``run_batch``.  ``"repetitions"`` runs each
-        circuit through the executor's own repetition geometry — the
-        pre-multi-program behavior, one execution key per circuit.
+        (executor-free) ``run_batch``; an
+        :class:`~repro.sampler.schedule.AdaptiveScheduler` or
+        :class:`~repro.sampler.schedule.WorkStealingScheduler` changes
+        only *where* (and for split points, in how many deterministic
+        chunks) each entry runs — the output stays a pure function of
+        (batch, seed, scheduler config), never of placement or timing.
+        ``"repetitions"`` runs each circuit through the executor's own
+        repetition geometry — the pre-multi-program behavior, one
+        execution key per circuit.
         """
         return list(self.run_batch_iter(circuits, params, repetitions, scope))
 

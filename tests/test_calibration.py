@@ -1,0 +1,304 @@
+"""Persisted calibration table + the calibrate() bugfix regressions.
+
+Covers the three contracts the scheduler's timing loop depends on:
+
+* the table round-trips through its JSON file and degrades to an
+  in-memory store on any filesystem problem (missing, corrupt, or
+  unwritable file) — calibration may never break execution;
+* ``AdaptiveScheduler.calibrate`` rejects garbage and clamps
+  sub-resolution timings (the zero-seconds regression: a task faster
+  than ``perf_counter``'s tick used to set ``seconds_per_cost = 0.0``
+  and report every estimate as 0);
+* calibrated weights reweight scheduling geometry *only* when every
+  entry's (backend, width) bucket is covered, and a uniform rate never
+  changes geometry at all.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.sampler.calibration import (
+    MIN_CALIBRATION_SECONDS,
+    CalibrationTable,
+    default_calibration_path,
+    reset_shared_calibration_table,
+    resolve_calibration,
+    shared_calibration_table,
+    width_bucket,
+)
+from repro.sampler.schedule import AdaptiveScheduler, BatchEntry
+
+
+def entries(costs, backend=None, num_qubits=None):
+    return [
+        BatchEntry(i, i, None, cost, backend=backend, num_qubits=num_qubits)
+        for i, cost in enumerate(costs)
+    ]
+
+
+def geometry(tasks):
+    return [
+        (t.point_index, t.chunk_index, t.num_chunks, t.repetitions)
+        for t in tasks
+    ]
+
+
+class TestWidthBucket:
+    def test_powers_of_two(self):
+        assert width_bucket(1) == 1
+        assert width_bucket(2) == 2
+        assert width_bucket(3) == 4
+        assert width_bucket(13) == 16
+        assert width_bucket(16) == 16
+        assert width_bucket(17) == 32
+
+    def test_degenerate_widths_share_the_smallest_bucket(self):
+        assert width_bucket(0) == 1
+        assert width_bucket(-5) == 1
+
+
+class TestCalibrationTable:
+    def test_round_trip_through_json(self, tmp_path):
+        path = str(tmp_path / "calibration.json")
+        table = CalibrationTable(path=path)
+        table.record("StateVectorSimulationState", 13, 2.5e-6)
+        table.record("MPSState", 24, 4.0e-7)
+        assert table.flush() is True
+        assert os.path.exists(path)
+
+        reloaded = CalibrationTable(path=path)
+        assert reloaded.load_error is None
+        assert len(reloaded) == 2
+        assert reloaded.seconds_per_cost_for(
+            "StateVectorSimulationState", 13
+        ) == pytest.approx(2.5e-6)
+        # Same power-of-two bucket: width 16 reads the width-13 sample.
+        assert reloaded.seconds_per_cost_for(
+            "StateVectorSimulationState", 16
+        ) == pytest.approx(2.5e-6)
+        assert reloaded.sample_count("MPSState", 24) == 1
+
+    def test_missing_file_yields_empty_table(self, tmp_path):
+        table = CalibrationTable(path=str(tmp_path / "nope.json"))
+        assert len(table) == 0
+        assert table.load_error is None
+
+    @pytest.mark.parametrize(
+        "content",
+        [
+            "not json at all {",
+            '{"entries": "wrong shape"}',
+            '{"entries": {"B": {"8": {"seconds_per_cost": -1.0}}}}',
+            '{"entries": {"B": {"8": {"seconds_per_cost": "NaN?"}}}}',
+        ],
+        ids=["syntax", "shape", "negative-rate", "non-numeric"],
+    )
+    def test_corrupt_file_falls_back_to_memory(self, tmp_path, content):
+        path = tmp_path / "calibration.json"
+        path.write_text(content)
+        table = CalibrationTable(path=str(path))
+        assert len(table) == 0
+        assert table.load_error is not None
+        # Still fully usable, and flush repairs the file.
+        table.record("B", 8, 1e-6)
+        assert table.seconds_per_cost_for("B", 8) == pytest.approx(1e-6)
+        assert table.flush() is True
+        assert CalibrationTable(path=str(path)).load_error is None
+
+    def test_flush_is_atomic_and_only_writes_when_dirty(self, tmp_path):
+        path = str(tmp_path / "calibration.json")
+        table = CalibrationTable(path=path)
+        assert table.flush() is False  # nothing recorded, nothing written
+        assert not os.path.exists(path)
+        table.record("B", 4, 1e-6)
+        assert table.flush() is True
+        assert table.flush() is False  # clean again
+        data = json.load(open(path))
+        assert data["entries"]["B"]["4"]["samples"] == 1
+        assert not [
+            name for name in os.listdir(tmp_path) if name.endswith(".tmp")
+        ]
+
+    def test_flush_swallows_unwritable_directory(self, tmp_path):
+        # The "directory" component is a regular file, so makedirs/mkstemp
+        # fail with OSError no matter the uid (chmod tricks don't stop
+        # root, and CI runs as root).
+        obstacle = tmp_path / "obstacle"
+        obstacle.write_text("not a directory")
+        table = CalibrationTable(path=str(obstacle / "calibration.json"))
+        table.record("B", 4, 1e-6)
+        assert table.flush() is False  # swallowed, not raised
+        assert table.seconds_per_cost_for("B", 4) == pytest.approx(1e-6)
+
+    def test_persist_false_never_touches_disk(self, tmp_path):
+        path = str(tmp_path / "calibration.json")
+        table = CalibrationTable(path=path, persist=False)
+        table.record("B", 4, 1e-6)
+        assert table.flush() is False
+        assert not os.path.exists(path)
+
+    def test_ema_blends_samples(self):
+        table = CalibrationTable(persist=False)
+        table.record("B", 8, 1.0)
+        table.record("B", 8, 2.0)
+        # 0.7 * 1.0 + 0.3 * 2.0
+        assert table.seconds_per_cost_for("B", 8) == pytest.approx(1.3)
+        assert table.sample_count("B", 8) == 2
+
+    def test_non_positive_and_non_finite_samples_rejected(self):
+        table = CalibrationTable(persist=False)
+        for bad in (0.0, -1.0, float("nan"), float("inf")):
+            table.record("B", 8, bad)
+        assert len(table) == 0
+
+    def test_nearest_bucket_fallback_same_backend_only(self):
+        table = CalibrationTable(persist=False)
+        table.record("A", 4, 1e-6)
+        # Unseen width of a seen backend: nearest bucket answers.
+        assert table.seconds_per_cost_for("A", 32) == pytest.approx(1e-6)
+        # Never across backends.
+        assert table.seconds_per_cost_for("B", 4) is None
+        assert table.seconds_per_cost_for(None, 4) is None
+        assert table.seconds_per_cost_for("A", None) is None
+
+
+class TestDefaultPathAndSharedTable:
+    def test_env_dir_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("BGLS_CALIBRATION_DIR", str(tmp_path))
+        assert default_calibration_path() == str(
+            tmp_path / "calibration.json"
+        )
+
+    def test_xdg_fallback(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("BGLS_CALIBRATION_DIR", raising=False)
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path))
+        assert default_calibration_path() == str(
+            tmp_path / "bgls" / "calibration.json"
+        )
+
+    def test_shared_table_is_singleton_and_env_gated(
+        self, monkeypatch, tmp_path
+    ):
+        monkeypatch.setenv("BGLS_CALIBRATION_DIR", str(tmp_path))
+        monkeypatch.setenv("BGLS_CALIBRATION", "0")
+        reset_shared_calibration_table()
+        try:
+            table = shared_calibration_table()
+            assert table is shared_calibration_table()
+            assert table.persist is False  # BGLS_CALIBRATION=0: memory-only
+        finally:
+            reset_shared_calibration_table()
+
+    def test_resolve_calibration(self):
+        assert resolve_calibration(None) is None
+        table = CalibrationTable(persist=False)
+        assert resolve_calibration(table) is table
+        reset_shared_calibration_table()
+        try:
+            assert resolve_calibration("auto") is shared_calibration_table()
+        finally:
+            reset_shared_calibration_table()
+        with pytest.raises(ValueError, match="calibration"):
+            resolve_calibration(42)
+
+
+class TestCalibrateBugfixes:
+    def test_zero_seconds_is_clamped_not_zeroed(self):
+        """Regression: a sub-resolution perf_counter delta (seconds == 0)
+        used to set seconds_per_cost = 0.0, reporting every
+        estimated_seconds as 0."""
+        scheduler = AdaptiveScheduler()
+        scheduler.schedule(entries([4.0, 2.0]), repetitions=8, num_workers=1)
+        scheduler.calibrate(cost=4.0, seconds=0.0)
+        assert scheduler.seconds_per_cost == pytest.approx(
+            MIN_CALIBRATION_SECONDS / 4.0
+        )
+        estimates = scheduler.last_schedule["estimated_seconds"]
+        assert estimates is not None
+        assert all(value > 0 for value in estimates)
+
+    def test_non_positive_cost_and_negative_seconds_rejected(self):
+        scheduler = AdaptiveScheduler()
+        scheduler.calibrate(cost=0.0, seconds=1.0)
+        assert scheduler.seconds_per_cost is None
+        scheduler.calibrate(cost=-3.0, seconds=1.0)
+        assert scheduler.seconds_per_cost is None
+        scheduler.calibrate(cost=4.0, seconds=-0.1)
+        assert scheduler.seconds_per_cost is None
+
+    def test_calibrate_records_into_attached_table(self):
+        table = CalibrationTable(persist=False)
+        scheduler = AdaptiveScheduler(calibration=table)
+        scheduler.calibrate(
+            cost=10.0, seconds=2.0, backend="B", num_qubits=12
+        )
+        assert table.seconds_per_cost_for("B", 12) == pytest.approx(0.2)
+
+    def test_calibrate_without_backend_skips_table(self):
+        table = CalibrationTable(persist=False)
+        scheduler = AdaptiveScheduler(calibration=table)
+        scheduler.calibrate(cost=10.0, seconds=2.0)
+        assert scheduler.seconds_per_cost == pytest.approx(0.2)
+        assert len(table) == 0
+
+
+class TestCalibratedScheduling:
+    def test_uniform_rate_never_changes_geometry(self):
+        """One backend, one width bucket: the stored rate scales every
+        weight equally, so geometry is identical to the uncalibrated
+        schedule — the invariant that keeps parity tests valid."""
+        table = CalibrationTable(persist=False)
+        table.record("B", 8, 3.7e-5)
+        plain = AdaptiveScheduler().schedule(
+            entries([9.0, 1.0, 1.0], backend="B", num_qubits=8),
+            repetitions=32,
+            num_workers=2,
+        )
+        calibrated_sched = AdaptiveScheduler(calibration=table)
+        calibrated = calibrated_sched.schedule(
+            entries([9.0, 1.0, 1.0], backend="B", num_qubits=8),
+            repetitions=32,
+            num_workers=2,
+        )
+        assert geometry(plain) == geometry(calibrated)
+        assert calibrated_sched.last_schedule["calibrated"] is True
+        # Calibrated weights double as seconds estimates, pre-probe.
+        estimates = calibrated_sched.last_schedule["estimated_seconds"]
+        assert estimates is not None
+        assert all(value > 0 for value in estimates)
+
+    def test_partial_coverage_falls_back_to_raw_costs(self):
+        table = CalibrationTable(persist=False)
+        table.record("A", 8, 1.0)
+        mixed = [
+            BatchEntry(0, 0, None, 5.0, backend="A", num_qubits=8),
+            BatchEntry(1, 1, None, 5.0, backend="B", num_qubits=8),
+        ]
+        scheduler = AdaptiveScheduler(calibration=table)
+        scheduler.schedule(mixed, repetitions=8, num_workers=2)
+        assert scheduler.last_schedule["calibrated"] is False
+        assert scheduler.last_schedule["estimated_seconds"] is None
+
+    def test_cross_backend_rates_reweight_ordering(self):
+        """The point of persistence: a backend measured 100x slower per
+        cost unit schedules first even when raw costs say otherwise."""
+        table = CalibrationTable(persist=False)
+        table.record("slow", 8, 1e-3)
+        table.record("fast", 8, 1e-5)
+        mixed = [
+            BatchEntry(0, 0, None, 10.0, backend="fast", num_qubits=8),
+            BatchEntry(1, 1, None, 5.0, backend="slow", num_qubits=8),
+        ]
+        plain = AdaptiveScheduler(min_chunk_repetitions=8).schedule(
+            mixed, repetitions=8, num_workers=1
+        )
+        assert [t.point_index for t in plain] == [0, 1]  # raw: 10 > 5
+        calibrated = AdaptiveScheduler(
+            min_chunk_repetitions=8, calibration=table
+        ).schedule(mixed, repetitions=8, num_workers=1)
+        # weighted: 5 * 1e-3 >> 10 * 1e-5 — the slow backend leads.
+        assert [t.point_index for t in calibrated] == [1, 0]
+        # Raw task costs are preserved regardless of weighting.
+        assert {t.point_index: t.cost for t in calibrated} == {0: 10.0, 1: 5.0}

@@ -1,6 +1,8 @@
 """Tests for the executor layer: serial/pooled parity, shared-plan pool."""
 
 import multiprocessing
+import os
+import time
 
 import numpy as np
 import pytest
@@ -9,13 +11,16 @@ import repro as bgls
 from repro import born
 from repro import circuits as cirq
 from repro.circuits import channels
+from repro.sampler import AdaptiveScheduler, PoolManager, WorkStealingScheduler
 from repro.sampler.executors import (
     ProcessPoolExecutor,
     SerialExecutor,
+    TaskTimeoutError,
     _chunk_seeds,
     _chunk_sizes,
     _WorkerPayload,
 )
+from repro.sampler.result_planes import live_segment_names
 from repro.states import StateVectorSimulationState
 
 QUBITS = cirq.LineQubit.range(2)
@@ -52,6 +57,21 @@ def bell_circuit():
 def available_start_methods():
     methods = multiprocessing.get_all_start_methods()
     return [m for m in ("fork", "forkserver") if m in methods]
+
+
+def _sleepy_probability(state, bitstring):
+    """Worker-side hang injection for the task_timeout tests (fork-only:
+    module-level so the forked child resolves it without re-import)."""
+    time.sleep(600)
+    return 1.0  # pragma: no cover - the timeout always fires first
+
+
+def _pid_alive(pid):
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    return True
 
 
 class TestSerialExecutor:
@@ -279,3 +299,128 @@ class TestPoolContext:
             lambda: ["spawn"],
         )
         assert ProcessPoolExecutor(num_workers=2).start_method is None
+
+
+class TestProbeOverlap:
+    """Regression: the probe must overlap with the rest of the batch.
+
+    The old probe path submitted the probe task alone, blocked on its
+    result (idling every other worker), and only then submitted the
+    remaining tasks.  The fixed path makes ONE submission covering the
+    whole batch and calibrates from the probe future's completion
+    callback while the other workers are already busy.
+    """
+
+    def test_probe_submits_once_covering_all_tasks(self):
+        calls = []
+        with PoolManager() as manager:
+            original = manager.submit
+
+            def spying_submit(key, workers, sm, pf, fn, argses, planes=()):
+                calls.append((fn.__name__, len(argses)))
+                return original(key, workers, sm, pf, fn, argses, planes=planes)
+
+            manager.submit = spying_submit
+            scheduler = AdaptiveScheduler(probe=True)
+            sim = make_sim(
+                seed=37,
+                executor=ProcessPoolExecutor(
+                    num_workers=2,
+                    start_method="fork",
+                    pool_manager=manager,
+                    scheduler=scheduler,
+                ),
+            )
+            sim.run_batch([bell_circuit() for _ in range(3)], repetitions=8)
+        task_calls = [c for c in calls if c[0] != "_warm_worker"]
+        assert len(task_calls) == 1, calls
+        assert task_calls[0][1] == 3, calls
+        # The probe still calibrated, from its completion callback.
+        assert scheduler.seconds_per_cost is not None
+        assert scheduler.seconds_per_cost > 0
+
+    def test_probe_output_matches_probeless_run(self):
+        circuits = [bell_circuit() for _ in range(3)]
+
+        def run(scheduler, manager):
+            return make_sim(
+                seed=41,
+                executor=ProcessPoolExecutor(
+                    num_workers=2,
+                    start_method="fork",
+                    pool_manager=manager,
+                    scheduler=scheduler,
+                ),
+            ).run_batch(circuits, repetitions=12)
+
+        with PoolManager() as m1, PoolManager() as m2:
+            probed = run(AdaptiveScheduler(probe=True), m1)
+            plain = run(AdaptiveScheduler(probe=False), m2)
+        for ra, rb in zip(probed, plain):
+            for key in ra.measurements:
+                np.testing.assert_array_equal(
+                    ra.measurements[key], rb.measurements[key]
+                )
+
+
+class TestTaskTimeout:
+    """task_timeout: a wedged worker fails loudly instead of hanging."""
+
+    def test_rejects_non_positive_timeout(self):
+        with pytest.raises(ValueError, match="task_timeout"):
+            ProcessPoolExecutor(num_workers=2, task_timeout=0)
+        with pytest.raises(ValueError, match="task_timeout"):
+            ProcessPoolExecutor(num_workers=2, task_timeout=-1.5)
+
+    @pytest.mark.parametrize(
+        "make_scheduler",
+        [AdaptiveScheduler, WorkStealingScheduler],
+        ids=["futures", "stealing"],
+    )
+    def test_hung_worker_raises_and_kills_pool(self, make_scheduler):
+        """Both dispatch modes: a worker stuck in a 600 s sleep trips the
+        completion-gap bound promptly, the pool is *killed* (a wedged
+        worker never joins), every result plane is released, and the
+        manager is left reusable."""
+        manager = PoolManager()
+        try:
+            sim = bgls.Simulator(
+                StateVectorSimulationState(QUBITS),
+                bgls.act_on,
+                _sleepy_probability,
+                seed=43,
+                executor=ProcessPoolExecutor(
+                    num_workers=2,
+                    start_method="fork",
+                    pool_manager=manager,
+                    scheduler=make_scheduler(),
+                    task_timeout=0.5,
+                ),
+            )
+            start = time.monotonic()
+            with pytest.raises(TaskTimeoutError, match="task_timeout"):
+                sim.run_batch(
+                    [bell_circuit() for _ in range(3)], repetitions=8
+                )
+            assert time.monotonic() - start < 30
+            pids = manager.worker_pids()
+            assert pids, "expected the manager to have recorded worker pids"
+            deadline = time.monotonic() + 10
+            for pid in pids:
+                while _pid_alive(pid) and time.monotonic() < deadline:
+                    time.sleep(0.05)
+                assert not _pid_alive(pid), f"worker {pid} survived timeout"
+            assert live_segment_names() == []
+            # Reusable: a healthy run after the kill rebuilds cleanly.
+            healthy = make_sim(
+                seed=43,
+                executor=ProcessPoolExecutor(
+                    num_workers=2,
+                    start_method="fork",
+                    pool_manager=manager,
+                    scheduler=make_scheduler(),
+                ),
+            ).run_batch([bell_circuit()], repetitions=8)
+            assert len(healthy) == 1
+        finally:
+            manager.shutdown()
