@@ -1,0 +1,109 @@
+"""Batched vs serial trajectory engine on a noisy depolarizing workload.
+
+The workload the batched engine was built for: a shallow random circuit
+laced with depolarizing channels, so every repetition must replay the
+whole circuit as its own trajectory.  ``trajectory_mode="serial"`` runs
+the repetitions one at a time — one Python-level gate loop per
+trajectory — while ``trajectory_mode="batched"`` stacks the whole
+repetition block into ``(B, 2**n)`` NumPy tiles and runs each plan
+record once across the batch.
+
+Correctness stays pinned before any timing: the batched output is
+bit-for-bit invariant under the tile width (the engine's only internal
+geometry knob) and bit-for-bit reproducible for a fixed seed.
+
+Acceptance bar: batched beats serial by >= 3x on the headline wall time
+(``BENCH_batched_vs_serial_trajectories.json``; enforced with
+``min_ratio`` by ``check_regressions.py``).
+"""
+
+import numpy as np
+
+import repro as bgls
+from repro import born
+from repro import circuits as cirq
+from repro.circuits import channels
+from repro.states import StateVectorSimulationState
+
+from conftest import assert_timing_win, print_series, wall_time
+
+WIDTH = 6
+DEPTH = 10
+REPS = 512
+MIN_SPEEDUP = 3.0
+QUBITS = cirq.LineQubit.range(WIDTH)
+
+
+def noisy_circuit(seed=11):
+    """Random shallow circuit with one depolarizing channel per layer."""
+    rng = np.random.default_rng(seed)
+    circuit = cirq.Circuit(cirq.H(q) for q in QUBITS)
+    for layer in range(DEPTH):
+        a = layer % (WIDTH - 1)
+        circuit.append(cirq.CNOT(QUBITS[a], QUBITS[a + 1]))
+        circuit.append(
+            cirq.Rx(float(rng.uniform(0.2, 1.2))).on(
+                QUBITS[(3 * layer) % WIDTH]
+            )
+        )
+        circuit.append(channels.depolarize(0.02).on(QUBITS[(layer + 1) % WIDTH]))
+    circuit.append(cirq.measure(*QUBITS, key="m"))
+    return circuit
+
+
+def make_sim(mode, seed=19, tile=None):
+    return bgls.Simulator(
+        StateVectorSimulationState(QUBITS),
+        bgls.act_on,
+        born.compute_probability_state_vector,
+        seed=seed,
+        trajectory_mode=mode,
+        trajectory_tile=tile,
+    )
+
+
+def test_batched_vs_serial_trajectories():
+    circuit = noisy_circuit()
+
+    # Correctness before timing: the batched output is a pure function
+    # of (seed, repetition index) — the tile width must not show.
+    reference = make_sim("batched").run(circuit, repetitions=REPS)
+    for tile in (7, 64):
+        tiled = make_sim("batched", tile=tile).run(circuit, repetitions=REPS)
+        np.testing.assert_array_equal(
+            reference.measurements["m"],
+            tiled.measurements["m"],
+            err_msg=f"tile={tile} changed the batched output",
+        )
+    replay = make_sim("batched").run(circuit, repetitions=REPS)
+    np.testing.assert_array_equal(
+        reference.measurements["m"], replay.measurements["m"]
+    )
+
+    serial_sim = make_sim("serial")
+    batched_sim = make_sim("batched")
+    serial_s = wall_time(
+        lambda: serial_sim.run(circuit, repetitions=REPS), repeats=3
+    )
+    batched_s = wall_time(
+        lambda: batched_sim.run(circuit, repetitions=REPS), repeats=3
+    )
+    speedup = serial_s / batched_s
+
+    print_series(
+        "Batched vs serial trajectories",
+        [
+            "qubits",
+            "depth",
+            "reps",
+            "serial_s",
+            "batched_s",
+            "speedup",
+        ],
+        [(WIDTH, DEPTH, REPS, serial_s, batched_s, speedup)],
+    )
+    assert_timing_win(
+        MIN_SPEEDUP * batched_s,
+        serial_s,
+        f"batched trajectories >= {MIN_SPEEDUP}x over serial",
+    )

@@ -1,11 +1,14 @@
 """Work-stealing vs adaptive scheduling on an induced straggler.
 
 The scenario the static scheduler cannot win: 8 points whose
-*estimated* costs are identical — same qubit count, same op count, so
-``estimate_cost`` sees no reason to split or reorder anything — but one
-point is secretly heavy: it carries depolarizing channels, forcing
-per-trajectory simulation, while its 7 siblings are unitary circuits
-whose repetitions amortize one state pass.  The
+*estimated* costs are identical — same qubit count, same op count, all
+unitary, so ``estimate_cost`` sees no reason to split or reorder
+anything — but one point is secretly heavy: it opens with a Hadamard
+layer and branches on every ``Rx``, so its parallel-mode front grows
+to hundreds of distinct bitstrings, while its 7 siblings open with an
+``X`` layer and rotate only with diagonal ``Rz`` gates, keeping their
+front at a single bitstring.  Front entropy is invisible to the static
+cost model.  The
 :class:`~repro.sampler.schedule.AdaptiveScheduler` schedules 8 whole
 points and one worker grinds the straggler alone while the rest of the
 pool idles; the :class:`~repro.sampler.schedule.WorkStealingScheduler`
@@ -29,7 +32,6 @@ import numpy as np
 import repro as bgls
 from repro import born
 from repro import circuits as cirq
-from repro.circuits import channels
 from repro.sampler import (
     AdaptiveScheduler,
     PoolManager,
@@ -42,11 +44,11 @@ from repro.states import StateVectorSimulationState
 from bench_scheduler import list_schedule_makespan
 from conftest import assert_timing_win, print_series, wall_time
 
-WIDTH = 4
+WIDTH = 10
 QUBITS = cirq.LineQubit.range(WIDTH)
 POINTS = 8
-REPS = 32
-DEPTH = 40
+REPS = 1024
+DEPTH = 60
 NUM_WORKERS = 2
 GRANULARITY = 4
 MIN_SPEEDUP = 1.3
@@ -58,33 +60,31 @@ def _layers(rng):
         (
             int(rng.integers(WIDTH - 1)),
             int(rng.integers(WIDTH)),
-            float(rng.random()),
+            float(rng.uniform(1.0, 2.5)),
         )
         for _ in range(DEPTH)
     ]
 
 
-def cheap_circuit(rng):
-    """Unitary point: one state pass serves all repetitions."""
-    circuit = cirq.Circuit(cirq.H(q) for q in QUBITS)
-    for a, t, angle in _layers(rng):
+def _circuit(first, rotation, layers):
+    circuit = cirq.Circuit(first(q) for q in QUBITS)
+    for a, t, angle in layers:
         circuit.append(cirq.CNOT(QUBITS[a], QUBITS[a + 1]))
-        circuit.append(cirq.Rx(angle).on(QUBITS[t]))
-        circuit.append(cirq.Z(QUBITS[a]))
+        circuit.append(rotation(angle).on(QUBITS[t]))
     circuit.append(cirq.measure(*QUBITS, key="m"))
     return circuit
+
+
+def cheap_circuit(rng):
+    """Deterministic front: basis-state input, diagonal rotations — the
+    parallel-mode front never grows past one bitstring."""
+    return _circuit(cirq.X, cirq.Rz, _layers(rng))
 
 
 def heavy_circuit(rng):
-    """Straggler: same op count, but channels force one trajectory per
-    repetition — the Z placeholder becomes a depolarizing channel."""
-    circuit = cirq.Circuit(cirq.H(q) for q in QUBITS)
-    for a, t, angle in _layers(rng):
-        circuit.append(cirq.CNOT(QUBITS[a], QUBITS[a + 1]))
-        circuit.append(cirq.Rx(angle).on(QUBITS[t]))
-        circuit.append(channels.depolarize(0.02).on(QUBITS[a]))
-    circuit.append(cirq.measure(*QUBITS, key="m"))
-    return circuit
+    """Straggler: same op count, but the Hadamard opening and branching
+    ``Rx`` rotations blow the front up to ~min(2**WIDTH, REPS) strings."""
+    return _circuit(cirq.H, cirq.Rx, _layers(rng))
 
 
 def make_sim(executor=None, seed=19):

@@ -3,8 +3,8 @@
 The committed ``benchmarks/results/BENCH_*.json`` files are the perf
 record of every PR's headline win.  This script keeps them honest: it
 re-runs the warm-pool, multi-program-batch, adaptive-scheduling,
-program-cache, batched-oracle, result-plane-transport, and
-streaming-latency series and compares each fresh
+program-cache, batched-oracle, batched-trajectory,
+result-plane-transport, and streaming-latency series and compares each fresh
 ``speedup`` (or byte-reduction ratio) against the committed baseline with a *generous* tolerance —
 the fresh ratio must stay at or above ``tolerance`` (default 0.5) times
 the recorded win, so shared-runner noise passes but a genuinely lost
@@ -84,6 +84,15 @@ SERIES = {
         "module": "bench_result_planes.py",
         "speedup_columns": ("speedup",),
         "exact_columns": ("points", "reps"),
+    },
+    # The batched trajectory engine's headline win is an order of
+    # magnitude, so its absolute floor sits well above the noise: the
+    # batched-over-serial ratio must never drop below 3x.
+    "BENCH_batched_vs_serial_trajectories.json": {
+        "module": "bench_trajectory_batch.py",
+        "speedup_columns": ("speedup",),
+        "exact_columns": ("qubits", "depth", "reps"),
+        "min_ratio": 3.0,
     },
     # The straggler makespan is computed from measured durations over a
     # deterministic placement model, so it also carries an absolute

@@ -137,6 +137,35 @@ def candidates_mps_many(state, bits_list, support) -> np.ndarray:
     return state.candidate_probabilities_many(bits_list, support)
 
 
+# -- batched-trajectory adapters ----------------------------------------------
+#
+# Zero-argument factories, not classes: the adapters live in
+# ``repro.sampler.trajectory_batch``, and importing the sampler package
+# from here would close an import cycle (born -> sampler -> born).  The
+# engine resolves the capability value lazily — a class is used directly,
+# anything else is called to produce one.
+
+def batched_trajectories_state_vector():
+    """Adapter factory: dense ``(B, 2^n)`` amplitude tiles."""
+    from ..sampler.trajectory_batch import BatchedStateVector
+
+    return BatchedStateVector
+
+
+def batched_trajectories_stabilizer_state():
+    """Adapter factory: stacked ``(B, n, W)`` CH-form word arrays."""
+    from ..sampler.trajectory_batch import BatchedChForms
+
+    return BatchedChForms
+
+
+def batched_trajectories_tableau():
+    """Adapter factory: stacked ``(B, 2n+1, W)`` tableau word arrays."""
+    from ..sampler.trajectory_batch import BatchedTableaus
+
+    return BatchedTableaus
+
+
 # Shipped-backend registrations: one descriptor per backend, declaring the
 # scalar oracle, both batched siblings, and (by introspection) the
 # application fast paths.  Every later lookup — the Simulator's candidate
@@ -148,6 +177,7 @@ registry.register_backend(
     compute_probability=compute_probability_state_vector,
     candidates=candidates_state_vector,
     candidates_many=candidates_state_vector_many,
+    batched_trajectories=batched_trajectories_state_vector,
 )
 registry.register_backend(
     DensityMatrixSimulationState,
@@ -167,6 +197,7 @@ registry.register_backend(
     # README); the payload is also the pool's re-initialization key.
     snapshot=_stabilizer.snapshot_chform_state,
     restore=_stabilizer.restore_chform_state,
+    batched_trajectories=batched_trajectories_stabilizer_state,
 )
 registry.register_backend(
     CliffordTableauSimulationState,
@@ -176,6 +207,7 @@ registry.register_backend(
     candidates_many=candidates_tableau_many,
     snapshot=_tableau.snapshot_tableau_state,
     restore=_tableau.restore_tableau_state,
+    batched_trajectories=batched_trajectories_tableau,
 )
 registry.register_backend(
     MPSState,
@@ -239,4 +271,7 @@ __all__ = [
     "candidates_mps_many",
     "candidate_function_for",
     "many_candidate_function_for",
+    "batched_trajectories_state_vector",
+    "batched_trajectories_stabilizer_state",
+    "batched_trajectories_tableau",
 ]

@@ -74,6 +74,7 @@ from .service import (
     _WorkerPayload,
     _base_seed,
     _chunk_seeds,
+    _chunk_seeds_from_base,
     _chunk_sizes,
     _dispatch,
     _init_pool_worker,
@@ -125,8 +126,16 @@ class Executor(abc.ABC):
         plan,
         repetitions: int,
         rng: Optional[np.random.Generator] = None,
+        ctx: Optional[Tuple[int, int, int]] = None,
     ) -> RunParts:
-        """Produce ``(records, bits)`` for ``repetitions`` of ``plan``."""
+        """Produce ``(records, bits)`` for ``repetitions`` of ``plan``.
+
+        ``ctx = (base_seed, point_index, rep_base)`` is the batched
+        trajectory engine's seeding anchor (see
+        :mod:`repro.sampler.trajectory_batch`); executors offset
+        ``rep_base`` per repetition chunk so batched output never
+        depends on chunk geometry.  Serial mode ignores it.
+        """
 
     def execute_sweep_iter(
         self, simulator, program, resolvers, repetitions: int
@@ -148,7 +157,10 @@ class Executor(abc.ABC):
                 rng = np.random.default_rng(
                     np.random.SeedSequence([base, index])
                 )
-                yield self.execute(simulator, plan, repetitions, rng=rng)
+                yield self.execute(
+                    simulator, plan, repetitions, rng=rng,
+                    ctx=(base, index, 0),
+                )
 
         return stream()
 
@@ -187,7 +199,10 @@ class Executor(abc.ABC):
                 rng = np.random.default_rng(
                     np.random.SeedSequence([base, index])
                 )
-                yield self.execute(simulator, plan, repetitions, rng=rng)
+                yield self.execute(
+                    simulator, plan, repetitions, rng=rng,
+                    ctx=(base, index, 0),
+                )
 
         return stream()
 
@@ -223,17 +238,32 @@ class SerialExecutor(Executor):
             raise ValueError(f"chunks must be >= 1, got {chunks}")
         self.chunks = chunks
 
-    def execute(self, simulator, plan, repetitions, rng=None):
+    def execute(self, simulator, plan, repetitions, rng=None, ctx=None):
         if self.chunks == 1:
             return _dispatch(
-                simulator, plan, repetitions, rng if rng is not None else simulator._rng
+                simulator,
+                plan,
+                repetitions,
+                rng if rng is not None else simulator._rng,
+                ctx,
             )
         sizes = _chunk_sizes(repetitions, self.chunks)
-        seeds = _chunk_seeds(simulator.seed if rng is None else rng, len(sizes))
-        parts = [
-            _dispatch(simulator, plan, size, np.random.default_rng(seed))
-            for size, seed in zip(sizes, seeds)
-        ]
+        base = _base_seed(simulator.seed if rng is None else rng)
+        seeds = _chunk_seeds_from_base(base, len(sizes))
+        if ctx is None:
+            ctx = (base, 0, 0)
+        parts, offset = [], 0
+        for size, seed in zip(sizes, seeds):
+            parts.append(
+                _dispatch(
+                    simulator,
+                    plan,
+                    size,
+                    np.random.default_rng(seed),
+                    (ctx[0], ctx[1], ctx[2] + offset),
+                )
+            )
+            offset += size
         return _merge_parts(parts)
 
 
@@ -376,15 +406,28 @@ class ProcessPoolExecutor(Executor):
                 for p in payloads
             )
 
-    def execute(self, simulator, plan, repetitions, rng=None):
+    def execute(self, simulator, plan, repetitions, rng=None, ctx=None):
         num_chunks = self.num_workers * self.chunks_per_worker
         sizes = _chunk_sizes(repetitions, num_chunks)
-        seeds = _chunk_seeds(simulator.seed if rng is None else rng, len(sizes))
+        base = _base_seed(simulator.seed if rng is None else rng)
+        seeds = _chunk_seeds_from_base(base, len(sizes))
+        if ctx is None:
+            ctx = (base, 0, 0)
+        # Each chunk's batched-engine anchor offsets rep_base by the
+        # chunk's global starting row, so batched output is a pure
+        # function of (base, point, global repetition index) — invariant
+        # under worker count and chunk geometry.
+        ctxs, offset = [], 0
+        for size in sizes:
+            ctxs.append((ctx[0], ctx[1], ctx[2] + offset))
+            offset += size
         if self.num_workers == 1 or len(sizes) == 1:
             # In-process fallback with identical chunk geometry/seeding.
             parts = [
-                _dispatch(simulator, plan, size, np.random.default_rng(seed))
-                for size, seed in zip(sizes, seeds)
+                _dispatch(
+                    simulator, plan, size, np.random.default_rng(seed), c
+                )
+                for size, seed, c in zip(sizes, seeds, ctxs)
             ]
             return _merge_parts(parts)
         workers = min(self.num_workers, len(sizes))
@@ -412,8 +455,8 @@ class ProcessPoolExecutor(Executor):
             planes = PointPlanes(plan.key_axes, plan.num_qubits, repetitions)
             try:
                 argses, offset = [], 0
-                for size, seed in zip(sizes, seeds):
-                    argses.append((size, seed, planes.slot(offset)))
+                for size, seed, c in zip(sizes, seeds, ctxs):
+                    argses.append((size, seed, planes.slot(offset), c))
                     offset += size
                 counts = run_pool(_run_pool_chunk_shm, argses, planes=(planes,))
                 self._record_result_bytes(counts)
@@ -421,7 +464,7 @@ class ProcessPoolExecutor(Executor):
             except BaseException:
                 planes.release()
                 raise
-        parts = run_pool(_run_pool_chunk, list(zip(sizes, seeds)))
+        parts = run_pool(_run_pool_chunk, list(zip(sizes, seeds, ctxs)))
         self._record_result_bytes(parts)
         return _merge_parts(parts)
 
@@ -502,7 +545,9 @@ class ProcessPoolExecutor(Executor):
             )
         tasks = self.scheduler.schedule(entries, repetitions, self.num_workers)
         if self.num_workers == 1 or len(tasks) <= 1:
-            return self._stream_in_process(simulator, table, tasks, entries, base)
+            return self._stream_in_process(
+                simulator, table, tasks, entries, repetitions, base
+            )
         return self._stream_pooled(
             simulator, table, tasks, entries, repetitions, base
         )
@@ -513,7 +558,9 @@ class ProcessPoolExecutor(Executor):
             self.execute_batch_iter(simulator, programs, resolvers, repetitions)
         )
 
-    def _stream_in_process(self, simulator, table, tasks, entries, base):
+    def _stream_in_process(
+        self, simulator, table, tasks, entries, repetitions, base
+    ):
         """Single-worker/single-task fallback, streamed lazily.
 
         Runs the exact scheduled-task recipe in the parent (same
@@ -531,7 +578,7 @@ class ProcessPoolExecutor(Executor):
         def stream():
             for task in tasks:
                 part = _run_task_in_process(
-                    simulator, table, _task_args(task, base)
+                    simulator, table, _task_args(task, base, repetitions)
                 )
                 yield from collector.feed(task, part, finalize)
 
@@ -592,20 +639,12 @@ class ProcessPoolExecutor(Executor):
                 )
 
         def task_args(task):
-            args = _task_args(task, base)
+            args = _task_args(task, base, repetitions)
             if transport == "shm":
                 # A split point's chunk c starts after chunks 0..c-1 of
-                # the same deterministic near-equal split.
-                offset = (
-                    0
-                    if task.num_chunks == 1
-                    else sum(
-                        _chunk_sizes(repetitions, task.num_chunks)[
-                            : task.chunk_index
-                        ]
-                    )
-                )
-                args += (planes[task.point_index].slot(offset),)
+                # the same deterministic near-equal split — the same
+                # offset _task_args shipped as the task's rep_base.
+                args += (planes[task.point_index].slot(args[-1]),)
             return args
 
         fn = _run_pool_task_shm if transport == "shm" else _run_pool_task
@@ -862,8 +901,21 @@ def _kill_pool_processes(pool) -> None:
         proc.join()
 
 
-def _task_args(task, base: int) -> Tuple:
-    """The picklable args tuple of one scheduled task (sans transport)."""
+def _task_args(task, base: int, repetitions: int) -> Tuple:
+    """The picklable args tuple of one scheduled task (sans transport).
+
+    The trailing ``rep_base`` is the task's global starting repetition
+    within its point — 0 for unsplit points, else the prefix sum of the
+    deterministic near-equal chunk split.  It anchors the batched
+    trajectory engine's per-repetition seed streams (and doubles as the
+    shm row offset), so split points produce the same batched output as
+    unsplit ones.
+    """
+    rep_base = (
+        0
+        if task.num_chunks == 1
+        else sum(_chunk_sizes(repetitions, task.num_chunks)[: task.chunk_index])
+    )
     return (
         task.program_index,
         task.point_index,
@@ -872,6 +924,7 @@ def _task_args(task, base: int) -> Tuple:
         task.num_chunks,
         task.chunk_index,
         base,
+        rep_base,
     )
 
 
@@ -922,10 +975,22 @@ def _run_task_in_process(simulator, table, args) -> RunParts:
     — so single-worker and single-task fallbacks are bit-for-bit
     identical to the pooled fan-out.
     """
-    program_index, point_index, resolver, size, num_chunks, chunk_index, base = args
+    (
+        program_index,
+        point_index,
+        resolver,
+        size,
+        num_chunks,
+        chunk_index,
+        base,
+        *rest,
+    ) = args
+    rep_base = rest[0] if rest else 0
     plan = table[program_index].specialize(resolver)
     rng = _task_rng(base, point_index, num_chunks, chunk_index)
-    return _dispatch(simulator, plan, size, rng)
+    return _dispatch(
+        simulator, plan, size, rng, (base, point_index, rep_base)
+    )
 
 
 # ----------------------------------------------------------------------

@@ -294,6 +294,18 @@ class Program:
     def is_parameterized(self) -> bool:
         return self.param_slot_count > 0
 
+    @property
+    def needs_trajectories(self) -> bool:
+        """Whether specializations of this Program run in trajectory mode.
+
+        Computed from compile-time structure alone (no plan build): a
+        stochastic ``apply_op``, a mid-circuit measurement, or any
+        non-unitary fixed record forces trajectories.  Parameter slots
+        resolve to eigen-gate unitaries, so they never flip this after
+        specialization; the cost model reads it without specializing.
+        """
+        return self._structural_traj or not self._nonparam_all_unitary
+
     def specialize(
         self, param_resolver: Union[ParamResolver, dict, None] = None
     ) -> ExecutionPlan:

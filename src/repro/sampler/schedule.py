@@ -63,17 +63,33 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from .calibration import MIN_CALIBRATION_SECONDS, resolve_calibration
 
 
+#: Relative cost of one trajectory-mode repetition versus one
+#: measurement-only resample of the same record.  Trajectory mode runs
+#: every repetition through the full gate-by-gate loop (state mutation +
+#: candidate resampling per record) where measurement-only mode evolves
+#: the state once and resamples bits; 16x matches the measured order of
+#: magnitude and, being uniform per entry, only matters for batches
+#: mixing trajectory and non-trajectory entries.
+TRAJECTORY_COST_MULTIPLIER = 16
+
+
 def estimate_cost(program, repetitions: int) -> int:
     """Static relative cost of one batch entry: qubits x ops x reps.
 
     Reads only the compiled Program's structure counters (parameter slots
     count as one op each — their resolved records exist in every
     specialization), so costing a 24-point batch touches no plan builds.
+    Trajectory-mode entries (``Program.needs_trajectories``) are weighted
+    by :data:`TRAJECTORY_COST_MULTIPLIER`, since each repetition replays
+    the whole circuit instead of resampling a single evolved state.
     The unit is arbitrary; only ratios matter to the scheduler.  A timing
     probe (:meth:`AdaptiveScheduler.calibrate`) can anchor it to seconds.
     """
     ops = program.shared_record_count + program.param_slot_count
-    return max(1, program.num_qubits) * max(1, ops) * max(1, int(repetitions))
+    cost = max(1, program.num_qubits) * max(1, ops) * max(1, int(repetitions))
+    if getattr(program, "needs_trajectories", False):
+        cost *= TRAJECTORY_COST_MULTIPLIER
+    return cost
 
 
 class ScheduledTask:

@@ -28,7 +28,7 @@ This module is the missing lifecycle layer:
   shapes: repetition *chunks* — two integers ``(size, seed)`` against the
   worker's shared plan — and scheduled *batch tasks* —
   ``(program_index, point_index, resolver, size, num_chunks, chunk_index,
-  base)`` against the worker's shared **program table** (the compiled
+  base, rep_base)`` against the worker's shared **program table** (the compiled
   Programs of a whole heterogeneous batch, shipped once by the
   initializer).  Whole points rebuild their generator from
   ``SeedSequence([base, point])`` so pooled point/batch output is
@@ -49,6 +49,12 @@ Determinism contracts (pinned by ``tests/test_pool_service.py``):
 * sweep point ``i`` always receives ``SeedSequence([seed, i])`` and runs
   as one stream — pooled point scope reproduces a serial ``run_sweep``
   exactly, on every backend;
+* batched trajectory mode (``trajectory_mode="batched"``) anchors
+  trajectory ``r`` of point ``p`` to ``SeedSequence([base, p, rep_base +
+  r])``, where ``rep_base`` is the task's global repetition offset (the
+  prefix sum of earlier chunks) — pooled batched output is a pure
+  function of the global repetition index, invariant to worker count and
+  chunk geometry (``tests/test_trajectory_batch.py``);
 * the initial state is treated as immutable (the sampler only ever copies
   it); mutating it in place between calls is outside the contract.
 """
@@ -97,7 +103,16 @@ def _chunk_seeds(
     draws a fresh entropy base; passing a Generator consumes one draw
     from it for the base.
     """
-    base = _base_seed(seed)
+    return _chunk_seeds_from_base(_base_seed(seed), num_chunks)
+
+
+def _chunk_seeds_from_base(base: int, num_chunks: int) -> List[int]:
+    """:func:`_chunk_seeds` with the integer base already collapsed.
+
+    Split out so callers that also need ``base`` itself (the batched
+    engine's ctx anchor) derive seeds and ctx from one draw instead of
+    consuming the source generator twice.
+    """
     return [
         int(np.random.SeedSequence([base, i]).generate_state(1, np.uint64)[0])
         >> 2
@@ -127,11 +142,15 @@ def _merge_parts(parts: List[RunParts]) -> RunParts:
     return records, all_bits
 
 
-def _dispatch(simulator, plan, repetitions: int, rng) -> RunParts:
-    """Run one chunk through the plan's required mode."""
-    if plan.needs_trajectories:
-        return simulator._run_trajectories(plan, repetitions, rng=rng)
-    return simulator._run_parallel(plan, repetitions, rng=rng)
+def _dispatch(simulator, plan, repetitions: int, rng, ctx=None) -> RunParts:
+    """Run one chunk through the plan's required mode.
+
+    ``ctx = (base_seed, point_index, rep_base)`` anchors the batched
+    trajectory engine's per-repetition seed streams (ignored in serial
+    mode); threading it here keeps pooled chunks of one point on the
+    same global repetition indices regardless of chunk geometry.
+    """
+    return simulator._run_plan(plan, repetitions, rng, ctx)
 
 
 def _main_is_importable() -> bool:
@@ -212,6 +231,8 @@ class _WorkerPayload:
         "user_candidates",
         "skip_diagonal_updates",
         "fuse_moments",
+        "trajectory_mode",
+        "trajectory_tile",
     )
 
     def __init__(self, simulator, plan=None, *, program=None, programs=None):
@@ -240,6 +261,8 @@ class _WorkerPayload:
         self.user_candidates = simulator.user_candidate_function
         self.skip_diagonal_updates = simulator.skip_diagonal_updates
         self.fuse_moments = simulator.fuse_moments
+        self.trajectory_mode = simulator.trajectory_mode
+        self.trajectory_tile = simulator.trajectory_tile
 
     def build_simulator(self):
         from .simulator import Simulator
@@ -256,6 +279,8 @@ class _WorkerPayload:
             compute_candidate_probabilities=self.user_candidates,
             skip_diagonal_updates=self.skip_diagonal_updates,
             fuse_moments=self.fuse_moments,
+            trajectory_mode=self.trajectory_mode,
+            trajectory_tile=self.trajectory_tile,
         )
 
 
@@ -276,13 +301,20 @@ def _init_pool_worker(payload: _WorkerPayload, queues=None) -> None:
     _WORKER_QUEUES = queues
 
 
-def _run_pool_chunk(size: int, seed: int) -> RunParts:
-    """Worker task body: two integers in, one chunk of samples out."""
+def _run_pool_chunk(size: int, seed: int, ctx=None) -> RunParts:
+    """Worker task body: two integers in, one chunk of samples out.
+
+    ``ctx`` is the batched engine's ``(base, point, rep_base)`` anchor —
+    ``None`` outside batched trajectory mode, so the classic contract
+    (two integers in) is unchanged where it applies.
+    """
     simulator, plan, _ = _WORKER
-    return _dispatch(simulator, plan, size, np.random.default_rng(seed))
+    return _dispatch(simulator, plan, size, np.random.default_rng(seed), ctx)
 
 
-def _run_pool_chunk_shm(size: int, seed: int, slot: SlotDescriptor) -> int:
+def _run_pool_chunk_shm(
+    size: int, seed: int, slot: SlotDescriptor, ctx=None
+) -> int:
     """Shm-transport sibling of :func:`_run_pool_chunk`.
 
     Identical simulation (same plan, same seed, same stream) — the only
@@ -292,7 +324,7 @@ def _run_pool_chunk_shm(size: int, seed: int, slot: SlotDescriptor) -> int:
     """
     simulator, plan, _ = _WORKER
     records, bits = _dispatch(
-        simulator, plan, size, np.random.default_rng(seed)
+        simulator, plan, size, np.random.default_rng(seed), ctx
     )
     return write_chunk_to_slot(plan, slot, records, bits)
 
@@ -329,17 +361,26 @@ def _run_pool_task(
     num_chunks: int,
     chunk_index: int,
     base: int,
+    rep_base: int = 0,
 ) -> RunParts:
     """Worker task body for one scheduled task of a (possibly
     heterogeneous) batch: select the program from the worker's table,
     specialize for the task's resolver (memoized — revisited grid points
     skip the rebuild), and run this task's repetitions off the
     deterministic :func:`_task_rng` stream.
+
+    ``rep_base`` is the task's global repetition offset within its point
+    (0 for unsplit points) — the batched trajectory engine seeds
+    repetition ``r`` from ``SeedSequence([base, point, rep_base + r])``,
+    which is what makes batched output independent of how the scheduler
+    split the point.
     """
     simulator, _, programs = _WORKER
     plan = programs[program_index].specialize(resolver)
     rng = _task_rng(base, point_index, num_chunks, chunk_index)
-    return _dispatch(simulator, plan, size, rng)
+    return _dispatch(
+        simulator, plan, size, rng, (base, point_index, rep_base)
+    )
 
 
 def _run_pool_task_shm(
@@ -350,6 +391,7 @@ def _run_pool_task_shm(
     num_chunks: int,
     chunk_index: int,
     base: int,
+    rep_base: int,
     slot: SlotDescriptor,
 ) -> int:
     """Shm-transport sibling of :func:`_run_pool_task`.
@@ -361,7 +403,9 @@ def _run_pool_task_shm(
     simulator, _, programs = _WORKER
     plan = programs[program_index].specialize(resolver)
     rng = _task_rng(base, point_index, num_chunks, chunk_index)
-    records, bits = _dispatch(simulator, plan, size, rng)
+    records, bits = _dispatch(
+        simulator, plan, size, rng, (base, point_index, rep_base)
+    )
     return write_chunk_to_slot(plan, slot, records, bits)
 
 
@@ -493,6 +537,8 @@ def execution_key(simulator, *, plan=None, program=None, programs=None) -> Tuple
         simulator.user_candidate_function,
         simulator.skip_diagonal_updates,
         simulator.fuse_moments,
+        simulator.trajectory_mode,
+        simulator.trajectory_tile,
     )
 
 

@@ -93,6 +93,23 @@ class Simulator:
         executor: Optional :class:`~repro.sampler.executors.Executor`
             deciding where repetitions run (serial chunks, process pool).
             None (default) runs in-process off this simulator's RNG.
+        trajectory_mode: How trajectory-mode plans (channels, mid-circuit
+            measurement) execute their repetitions.  ``"serial"`` (the
+            default) walks the plan once per repetition — the historical
+            loop with its pinned RNG draw order.  ``"batched"``/``"auto"``
+            run repetition stacks through the vectorized engine
+            (:mod:`repro.sampler.trajectory_batch`) when the backend
+            advertises the ``batched_trajectories`` capability and the
+            plan qualifies, falling back to the serial loop otherwise.
+            Batched mode is a separately-pinned deterministic contract:
+            trajectory ``r`` of point ``p`` draws from
+            ``SeedSequence([base_seed, p, rep_base + r])``, so output is
+            bit-for-bit reproducible and independent of tile size and
+            worker count — but (by construction) not bit-for-bit equal to
+            serial mode's interleaved draw order.
+        trajectory_tile: Optional cap on the batched engine's tile width
+            (trajectories simulated per stacked pass).  None uses the
+            built-in memory budget; output never depends on the tile.
     """
 
     def __init__(
@@ -106,6 +123,8 @@ class Simulator:
         skip_diagonal_updates: bool = False,
         fuse_moments: bool = True,
         executor=None,
+        trajectory_mode: str = "serial",
+        trajectory_tile: Optional[int] = None,
     ):
         self.initial_state = initial_state
         self.apply_op = apply_op
@@ -139,6 +158,19 @@ class Simulator:
         self.skip_diagonal_updates = skip_diagonal_updates
         self.fuse_moments = fuse_moments
         self.executor = executor
+        if trajectory_mode not in ("serial", "batched", "auto"):
+            raise ValueError(
+                "trajectory_mode must be 'serial', 'batched', or 'auto', "
+                f"got {trajectory_mode!r}"
+            )
+        self.trajectory_mode = trajectory_mode
+        if trajectory_tile is not None and int(trajectory_tile) < 1:
+            raise ValueError(
+                f"trajectory_tile must be >= 1, got {trajectory_tile}"
+            )
+        self.trajectory_tile = (
+            None if trajectory_tile is None else int(trajectory_tile)
+        )
 
     # ------------------------------------------------------------------
     # public API
@@ -315,12 +347,12 @@ class Simulator:
             from .executors import _dispatch
 
             return (
-                _dispatch(self, plan, repetitions, rng)
-                for plan, rng in self._sweep_plans(program, params)
+                _dispatch(self, plan, repetitions, rng, ctx)
+                for plan, rng, ctx in self._sweep_plans(program, params)
             )
         return (
-            self._execute_plan(plan, repetitions, rng)
-            for plan, rng in self._sweep_plans(program, params)
+            self._execute_plan(plan, repetitions, rng, ctx)
+            for plan, rng, ctx in self._sweep_plans(program, params)
         )
 
     def run_batch(
@@ -402,6 +434,7 @@ class Simulator:
                 rng = np.random.default_rng(
                     np.random.SeedSequence([base, index])
                 )
+                ctx = (base, index, 0)
                 if scope == "points":
                     # Explicit point scope without a point-fanning
                     # executor: one in-process stream per circuit — the
@@ -411,9 +444,11 @@ class Simulator:
                     # repetition-chunk geometry.
                     from .executors import _dispatch
 
-                    records, _ = _dispatch(self, plan, repetitions, rng)
+                    records, _ = _dispatch(self, plan, repetitions, rng, ctx)
                 else:
-                    records, _ = self._execute_plan(plan, repetitions, rng)
+                    records, _ = self._execute_plan(
+                        plan, repetitions, rng, ctx
+                    )
                 yield self._batch_result(records)
 
         return stream()
@@ -460,13 +495,69 @@ class Simulator:
         plan: ExecutionPlan,
         repetitions: int,
         rng: Optional[np.random.Generator],
+        ctx: Optional[Tuple[int, int, int]] = None,
     ) -> Tuple[Dict[str, np.ndarray], np.ndarray]:
         """Hand a specialized plan to the configured execution strategy."""
         if self.executor is not None:
-            return self.executor.execute(self, plan, repetitions, rng=rng)
+            return self.executor.execute(
+                self, plan, repetitions, rng=rng, ctx=ctx
+            )
+        return self._run_plan(plan, repetitions, rng, ctx)
+
+    def _run_plan(
+        self,
+        plan: ExecutionPlan,
+        repetitions: int,
+        rng: Optional[np.random.Generator],
+        ctx: Optional[Tuple[int, int, int]] = None,
+    ) -> Tuple[Dict[str, np.ndarray], np.ndarray]:
+        """Run a plan in-process, routing trajectory plans by mode.
+
+        ``ctx = (base_seed, point_index, rep_base)`` is the batched
+        engine's seeding anchor, threaded down by executors so pooled
+        chunks of one point share ``base_seed`` and offset ``rep_base`` —
+        which is exactly what makes batched output independent of chunk
+        geometry and worker count.  When ``ctx`` is None (a plain
+        ``run()``), a base seed is drawn from ``rng`` — only on the
+        batched path, so serial mode's draw sequence is untouched.
+        """
         if plan.needs_trajectories:
+            if self.trajectory_mode != "serial":
+                adapter_cls = self._batched_adapter(plan)
+                if adapter_cls is not None:
+                    if ctx is None:
+                        source = rng if rng is not None else self._rng
+                        ctx = (int(source.integers(2**62)), 0, 0)
+                    from .trajectory_batch import run_batched_trajectories
+
+                    return run_batched_trajectories(
+                        self, plan, repetitions, ctx, adapter_cls
+                    )
             return self._run_trajectories(plan, repetitions, rng=rng)
         return self._run_parallel(plan, repetitions, rng=rng)
+
+    def _batched_adapter(self, plan: ExecutionPlan):
+        """The batched-trajectory adapter class, or None to run serially.
+
+        Eligibility is all-static: the default ``act_on`` dispatch (a
+        custom ``apply_op`` could observe per-repetition state), no user
+        candidate function, a backend advertising the
+        ``batched_trajectories`` capability, and a plan the adapter
+        declares supported.
+        """
+        from ..protocols.act_on import act_on
+
+        if self.apply_op is not act_on:
+            return None
+        if self.user_candidate_function is not None:
+            return None
+        cap = capabilities_for(type(self.initial_state)).batched_trajectories
+        if cap is None:
+            return None
+        adapter_cls = cap if hasattr(cap, "from_state") else cap()
+        if not adapter_cls.supports_plan(plan):
+            return None
+        return adapter_cls
 
     def _sweep_base_seed(self) -> int:
         """The integer base anchoring per-point/per-circuit seed streams.
@@ -479,12 +570,17 @@ class Simulator:
         return _base_seed(self.seed)
 
     def _sweep_plans(self, program: Program, params):
-        """Yield (plan, per-point rng) pairs for a sweep over ``params``."""
+        """Yield (plan, per-point rng, batched ctx) triples for a sweep.
+
+        ``ctx = (base, point, 0)`` matches the pooled point-scope recipe,
+        so serial and pooled sweeps agree bit-for-bit in batched mode
+        exactly as they do in serial mode.
+        """
         base = self._sweep_base_seed()
         for index, resolver in enumerate(params):
             plan = program.specialize(resolver)
             rng = np.random.default_rng(np.random.SeedSequence([base, index]))
-            yield plan, rng
+            yield plan, rng, (base, index, 0)
 
     def _candidate_loop(
         self, state, bits: Sequence[int], support: Sequence[int]

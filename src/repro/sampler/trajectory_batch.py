@@ -1,0 +1,455 @@
+"""Batched trajectory engine: a repetition stack as one NumPy computation.
+
+:meth:`Simulator._run_trajectories` walks the compiled plan once per
+repetition — a pure Python loop whose per-gate constants (state copy,
+candidate query, one scalar multinomial) dominate trajectory-mode cost.
+This module runs a whole chunk of repetitions as **one stacked
+computation** instead:
+
+* the state is a stack of ``B`` trajectory states — the dense backend as a
+  ``(B, 2, ..., 2)`` amplitude tile, the stabilizer backends as
+  ``(B, rows, words)`` packed GF(2) word stacks
+  (:class:`~repro.states.tableau.StackedCliffordTableaus`,
+  :class:`~repro.states.chform.StackedChForms`);
+* every plan record applies across the batch axis in one call: unitaries
+  broadcast via ``tensordot``, Clifford primitives as stacked column
+  passes, candidate probabilities as one batched gather;
+* bit resampling replaces ``B`` scalar multinomials with one vectorized
+  cumulative-sum/searchsorted pass over a ``(B, 2^k)`` probability matrix;
+* Kraus branching draws all ``B`` branch choices at once and applies each
+  Kraus operator to its boolean-masked sub-stack — one call per *branch*,
+  not per trajectory.
+
+**Determinism contract.**  A stacked engine cannot reproduce the serial
+loop's interleaved RNG draw order, so batched mode pins its own contract:
+trajectory ``r`` of sweep point ``p`` consumes uniforms drawn from
+``default_rng(SeedSequence([base_seed, p, rep_base + r]))``, and the
+number of uniforms each plan record consumes is a *static* function of
+the plan (branching records: 2; resampled records: 1; measurements and
+skipped diagonals: 0).  Output is therefore a pure function of
+``(base_seed, point, rep_base + r)`` per trajectory — bit-for-bit
+identical across tile sizes, chunk geometries, and worker counts.
+
+Backends advertise support through the ``batched_trajectories``
+capability (:mod:`repro.states.registry`); the value is an adapter class
+(or a zero-argument factory returning one) implementing the small
+interface at the top of :class:`BatchedStateVector`.  Unsupported
+backends, custom ``apply_op`` functions, and user candidate functions
+fall back to the serial loop unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..states.base import candidate_index_matrix
+from .plan import ExecutionPlan, FusedOpRecord, OpRecord
+
+#: Soft cap on the dense tile's amplitude memory (bytes).  The engine
+#: splits a repetition chunk into tiles no larger than this; Kraus
+#: probing holds ~2 tiles live, hence the factor in :meth:`tile_size`.
+DENSE_TILE_BUDGET_BYTES = 128 << 20
+
+#: Stacked stabilizer states are cheap; cap the tile only to bound the
+#: per-tile uniforms matrix and bit front.
+STABILIZER_TILE_CAP = 1 << 16
+
+
+def categorical_rows(probs: np.ndarray, u: np.ndarray) -> np.ndarray:
+    """One categorical draw per row of ``probs`` from uniforms ``u``.
+
+    The vectorized equivalent of ``np.searchsorted(np.cumsum(p), u)`` per
+    row: row ``b``'s choice is the first index whose cumulative
+    (normalized) probability reaches ``u[b]``.  Rows are clipped of float
+    dust and normalized; a vanished row raises like
+    :meth:`Simulator._normalize_probs`.
+    """
+    probs = np.clip(np.asarray(probs, dtype=float), 0.0, None)
+    totals = probs.sum(axis=1)
+    if not np.all(np.isfinite(totals)) or np.any(totals <= 0):
+        raise ValueError(
+            "All candidate probabilities vanished; state and bitstring "
+            "are inconsistent (is compute_probability correct?)"
+        )
+    cum = np.cumsum(probs, axis=1)
+    cum /= cum[:, -1:]
+    u = np.asarray(u, dtype=float)
+    choice = (u[:, None] > cum).sum(axis=1)
+    return np.minimum(choice, probs.shape[1] - 1)
+
+
+def _assign_support_rows(
+    bits: np.ndarray, support: Sequence[int], choice: np.ndarray
+) -> None:
+    """Decode big-endian candidate indices into the support columns."""
+    k = len(support)
+    for pos, axis in enumerate(support):
+        bits[:, axis] = (choice >> (k - 1 - pos)) & 1
+
+
+def record_draws(plan: ExecutionPlan, skip_diagonal: bool) -> List[int]:
+    """Per-record uniform consumption — static in the plan.
+
+    Branching records consume 2 uniforms (branch choice + bit
+    resampling), resampled records 1, measurements and skipped diagonal
+    records 0.  Static scheduling is what makes batched output
+    independent of tiling: trajectory ``r`` reads its own pre-drawn
+    uniform row at fixed offsets regardless of who shares its tile.
+    """
+    draws = []
+    for rec in plan.records:
+        if rec.is_measurement:
+            draws.append(0)
+        elif rec.needs_branching:
+            draws.append(2)
+        elif skip_diagonal and rec.is_diagonal():
+            draws.append(0)
+        else:
+            draws.append(1)
+    return draws
+
+
+class BatchedStateVector:
+    """Dense ``(B, 2, ..., 2)`` amplitude tile for the batched engine.
+
+    Adapter interface (shared by all ``batched_trajectories`` adapters):
+
+    * ``supports_plan(plan)`` — classmethod; static plan eligibility.
+    * ``from_state(state, batch)`` — classmethod; stack ``batch`` copies
+      of a scalar simulation state.
+    * ``tile_size(state, repetitions, override)`` — classmethod; the
+      memory-budgeted tile width.
+    * ``apply_record(plan, rec)`` — apply one non-branching,
+      non-measurement record across the batch.
+    * ``candidate_probabilities(bits, support)`` — ``(B, 2^k)`` Born
+      probabilities of each trajectory's candidates.
+    * ``project(support, outcomes)`` — collapse each trajectory onto its
+      own ``(B, k)`` outcome rows.
+    * ``apply_kraus(kraus, support, bits, u_branch)`` — branch the whole
+      stack (only reached when ``supports_plan`` accepts branching).
+    """
+
+    def __init__(self, tensor: np.ndarray, num_qubits: int):
+        self.tensor = tensor
+        self.n = num_qubits
+        self.batch = tensor.shape[0]
+
+    # -- adapter classmethods ---------------------------------------------
+    @classmethod
+    def supports_plan(cls, plan: ExecutionPlan) -> bool:
+        if not plan.fast_unitary:
+            return False
+        for rec in plan.records:
+            if rec.is_measurement or type(rec) is FusedOpRecord:
+                continue
+            if rec.needs_branching:
+                if rec.kraus is None:
+                    return False
+            elif rec.unitary is None:
+                return False
+        return True
+
+    @classmethod
+    def from_state(cls, state, batch: int) -> "BatchedStateVector":
+        tensor = np.broadcast_to(
+            state.tensor[None], (batch,) + state.tensor.shape
+        ).copy()
+        return cls(tensor, state.num_qubits)
+
+    @classmethod
+    def tile_size(
+        cls, state, repetitions: int, override: Optional[int]
+    ) -> int:
+        if override is not None:
+            return max(1, min(int(override), repetitions))
+        per_rep = 16 * (2**state.num_qubits)
+        # Kraus probing keeps a transient branch tile alive next to the
+        # stack itself, so budget two tiles.
+        tile = max(1, DENSE_TILE_BUDGET_BYTES // (2 * per_rep))
+        return min(tile, repetitions)
+
+    # -- stacked mutations -------------------------------------------------
+    def _applied(
+        self, tensor: np.ndarray, u: np.ndarray, support: Sequence[int]
+    ) -> np.ndarray:
+        """``u`` applied to the support axes of a ``(B, ...)`` tile."""
+        k = len(support)
+        u = np.asarray(u, dtype=np.complex128).reshape((2,) * (2 * k))
+        axes = [a + 1 for a in support]
+        moved = np.tensordot(u, tensor, axes=(range(k, 2 * k), axes))
+        return np.moveaxis(moved, range(k), axes)
+
+    def apply_record(self, plan: ExecutionPlan, rec) -> None:
+        if type(rec) is FusedOpRecord:
+            for sub in rec.records:
+                self.tensor = self._applied(
+                    self.tensor, sub.unitary, sub.support
+                )
+        else:
+            self.tensor = self._applied(self.tensor, rec.unitary, rec.support)
+
+    def candidate_probabilities(
+        self, bits: np.ndarray, support: Sequence[int]
+    ) -> np.ndarray:
+        idx = candidate_index_matrix(bits, support, self.n)
+        flat = self.tensor.reshape(self.batch, -1)
+        return np.abs(flat[np.arange(self.batch)[:, None], idx]) ** 2
+
+    def project(self, support: Sequence[int], outcomes: np.ndarray) -> None:
+        """Collapse each trajectory onto its own support outcome."""
+        flat = self.tensor.reshape(self.batch, -1)
+        keep = np.ones((self.batch, flat.shape[1]), dtype=bool)
+        basis = np.arange(flat.shape[1], dtype=np.int64)
+        for pos, axis in enumerate(support):
+            axis_bits = (basis >> (self.n - 1 - axis)) & 1
+            keep &= axis_bits[None, :] == outcomes[:, pos, None]
+        flat = np.where(keep, flat, 0.0)
+        norms = np.linalg.norm(flat, axis=1)
+        if np.any(norms == 0):
+            raise ValueError("Projected onto a zero-probability outcome")
+        flat /= norms[:, None]
+        self.tensor = flat.reshape(self.tensor.shape)
+
+    def apply_kraus(
+        self,
+        kraus: Sequence[np.ndarray],
+        support: Sequence[int],
+        bits: np.ndarray,
+        u_branch: np.ndarray,
+    ) -> np.ndarray:
+        """Two-pass masked Kraus branching across the whole stack.
+
+        Pass 1 applies every Kraus operator to the full stack transiently
+        and gathers each branch's candidate probabilities; branch ``i`` of
+        trajectory ``b`` is weighted by its candidate mass (exactly the
+        serial :meth:`Simulator._apply_channel_branch` weights).  All ``B``
+        branch choices come from one uniform column, then pass 2 applies
+        each *chosen* operator to its boolean-masked sub-stack.  Returns
+        the chosen-branch candidate probabilities for bit resampling.
+        """
+        nk = len(kraus)
+        idx = candidate_index_matrix(bits, support, self.n)
+        rows = np.arange(self.batch)
+        probses = np.empty((nk, self.batch, idx.shape[1]))
+        for i, k_op in enumerate(kraus):
+            trial = self._applied(self.tensor, k_op, support)
+            flat = trial.reshape(self.batch, -1)
+            probses[i] = np.abs(flat[rows[:, None], idx]) ** 2
+        weights = probses.sum(axis=2).T  # (B, nk)
+        try:
+            choice = categorical_rows(weights, u_branch)
+        except ValueError as exc:
+            raise ValueError(
+                "Channel branches all annihilated the tracked bitstring; "
+                "the state and bitstring are inconsistent."
+            ) from exc
+        out = np.empty_like(self.tensor)
+        for j in range(nk):
+            mask = choice == j
+            if not mask.any():
+                continue
+            out[mask] = self._applied(self.tensor[mask], kraus[j], support)
+        self.tensor = out
+        flat = self.tensor.reshape(self.batch, -1)
+        norms = np.linalg.norm(flat, axis=1)
+        if np.any(norms == 0):  # pragma: no cover - weights exclude this
+            raise ValueError("Channel annihilated the state")
+        flat /= norms[:, None]
+        self.tensor = flat.reshape(self.tensor.shape)
+        return probses[choice, rows]
+
+
+class _StackedStabilizerAdapter:
+    """Shared shape of the two stacked stabilizer adapters.
+
+    Clifford word passes and fused moments broadcast over the batch in
+    one call; measurement-adjacent operations (projection chains,
+    candidate recursions for the tableau) branch per trajectory and run
+    through zero-copy scalar views.
+    """
+
+    def __init__(self, stack, num_qubits: int):
+        self.stack = stack
+        self.n = num_qubits
+        self.batch = stack.batch
+
+    @classmethod
+    def supports_plan(cls, plan: ExecutionPlan) -> bool:
+        if not plan.fast_stab:
+            return False
+        for rec in plan.records:
+            if rec.is_measurement or type(rec) is FusedOpRecord:
+                continue
+            if rec.needs_branching or rec.stab_seq is None:
+                return False
+        return True
+
+    @classmethod
+    def tile_size(
+        cls, state, repetitions: int, override: Optional[int]
+    ) -> int:
+        if override is not None:
+            return max(1, min(int(override), repetitions))
+        return min(STABILIZER_TILE_CAP, repetitions)
+
+    def apply_record(self, plan: ExecutionPlan, rec) -> None:
+        if type(rec) is FusedOpRecord:
+            self.stack.apply_single_qubit_moment(rec.seqs, rec.axes)
+        else:
+            self.stack.apply_stabilizer_sequence(rec.stab_seq, rec.support)
+
+    def apply_kraus(self, kraus, support, bits, u_branch):
+        raise NotImplementedError(  # pragma: no cover - supports_plan gates
+            "Stabilizer stacks cannot branch Kraus channels"
+        )
+
+
+class BatchedTableaus(_StackedStabilizerAdapter):
+    """Stacked Aaronson-Gottesman tableaus for the batched engine."""
+
+    @classmethod
+    def from_state(cls, state, batch: int) -> "BatchedTableaus":
+        return cls(state.tableau.stack(batch), state.num_qubits)
+
+    def candidate_probabilities(
+        self, bits: np.ndarray, support: Sequence[int]
+    ) -> np.ndarray:
+        # Candidate chains replay measurement recursions per trajectory;
+        # the word-op gate passes stay batched.
+        out = np.empty((self.batch, 2 ** len(support)))
+        for b in range(self.batch):
+            out[b] = self.stack.view(b).candidate_probabilities(
+                bits[b], support
+            )
+        return out
+
+    def project(self, support: Sequence[int], outcomes: np.ndarray) -> None:
+        for b in range(self.batch):
+            view = self.stack.view(b)
+            for pos, axis in enumerate(support):
+                if view.project_measurement(
+                    axis, int(outcomes[b, pos])
+                ) == 0.0:
+                    raise ValueError(
+                        f"Projection of qubit axis {axis} onto "
+                        f"{int(outcomes[b, pos])} has zero probability"
+                    )
+
+
+class BatchedChForms(_StackedStabilizerAdapter):
+    """Stacked CH forms for the batched engine."""
+
+    @classmethod
+    def from_state(cls, state, batch: int) -> "BatchedChForms":
+        return cls(state.ch_form.stack(batch), state.num_qubits)
+
+    def candidate_probabilities(
+        self, bits: np.ndarray, support: Sequence[int]
+    ) -> np.ndarray:
+        return self.stack.candidate_probabilities(bits, support)
+
+    def project(self, support: Sequence[int], outcomes: np.ndarray) -> None:
+        # The scalar CH kernels rebind sw/omega, so each per-trajectory
+        # projection writes those two back into the stack.
+        for b in range(self.batch):
+            view = self.stack.view(b)
+            for pos, axis in enumerate(support):
+                view.project_measurement(axis, int(outcomes[b, pos]))
+            self.stack.store(b, view)
+
+
+def run_batched_trajectories(
+    simulator,
+    plan: ExecutionPlan,
+    repetitions: int,
+    ctx: Tuple[int, int, int],
+    adapter_cls,
+) -> Tuple[Dict[str, np.ndarray], np.ndarray]:
+    """Run ``repetitions`` trajectories of ``plan`` as stacked tiles.
+
+    ``ctx = (base_seed, point_index, rep_base)`` anchors the
+    deterministic contract: trajectory ``r`` (globally,
+    ``rep_base + start + r`` within its tile) consumes uniforms from
+    ``default_rng(SeedSequence([base_seed, point_index, rep_base + r]))``
+    at plan-static offsets.  Returns the same ``(records, all_bits)``
+    shapes as :meth:`Simulator._run_trajectories`.
+    """
+    base, point, rep_base = (int(v) for v in ctx)
+    n = plan.num_qubits
+    skip_diagonal = simulator.skip_diagonal_updates
+    draws = record_draws(plan, skip_diagonal)
+    total_draws = sum(draws)
+
+    # Measurement outcome planes, indexed (key, occurrence): the serial
+    # loop appends rep-major, so occurrence planes interleave at the end.
+    key_meta: Dict[str, List[int]] = {}
+    planes: Dict[Tuple[str, int], np.ndarray] = {}
+    for rec in plan.records:
+        if not rec.is_measurement:
+            continue
+        occ = len(key_meta.setdefault(rec.measurement_key, []))
+        key_meta[rec.measurement_key].append(len(rec.support))
+        planes[(rec.measurement_key, occ)] = np.empty(
+            (repetitions, len(rec.support)), dtype=np.int8
+        )
+
+    all_bits = np.empty((repetitions, n), dtype=np.int8)
+    tile = adapter_cls.tile_size(
+        simulator.initial_state, repetitions, simulator.trajectory_tile
+    )
+
+    for start in range(0, repetitions, tile):
+        batch = min(tile, repetitions - start)
+        uniforms = np.stack(
+            [
+                np.random.default_rng(
+                    np.random.SeedSequence(
+                        [base, point, rep_base + start + r]
+                    )
+                ).random(total_draws)
+                for r in range(batch)
+            ]
+        )
+        adapter = adapter_cls.from_state(simulator.initial_state, batch)
+        bits = np.zeros((batch, n), dtype=np.int8)
+        col = 0
+        occ_counts: Dict[str, int] = {}
+        for rec, n_draws in zip(plan.records, draws):
+            support = rec.support
+            if rec.is_measurement:
+                occ = occ_counts.get(rec.measurement_key, 0)
+                occ_counts[rec.measurement_key] = occ + 1
+                outcome = bits[:, list(support)].copy()
+                planes[(rec.measurement_key, occ)][
+                    start : start + batch
+                ] = outcome
+                adapter.project(support, outcome)
+                continue
+            if rec.needs_branching:
+                probs = adapter.apply_kraus(
+                    rec.kraus, support, bits, uniforms[:, col]
+                )
+                u_bits = uniforms[:, col + 1]
+            else:
+                adapter.apply_record(plan, rec)
+                if n_draws == 0:  # skipped diagonal record
+                    continue
+                probs = adapter.candidate_probabilities(bits, support)
+                u_bits = uniforms[:, col]
+            col += n_draws
+            choice = categorical_rows(probs, u_bits)
+            _assign_support_rows(bits, support, choice)
+        all_bits[start : start + batch] = bits
+
+    records: Dict[str, np.ndarray] = {}
+    for key, lengths in key_meta.items():
+        occs = [planes[(key, occ)] for occ in range(len(lengths))]
+        if len(occs) == 1:
+            records[key] = occs[0]
+        else:
+            # Rep-major interleave of this key's occurrences, matching
+            # the serial append order.
+            records[key] = np.stack(occs, axis=1).reshape(-1, lengths[0])
+    return records, all_bits

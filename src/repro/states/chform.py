@@ -565,3 +565,203 @@ class StabilizerChForm:
 
     def __repr__(self) -> str:
         return f"StabilizerChForm(n={self.n}, |v|={bp.count_bits(self.vw)})"
+
+    def stack(self, batch: int) -> "StackedChForms":
+        """``batch`` independent copies as one stacked-word computation."""
+        return StackedChForms(self, batch)
+
+
+class StackedChForms:
+    """A stack of ``B`` independent CH forms sharing each gate's word pass.
+
+    The batched-trajectory engine's CH layout: ``Fw``/``Gw``/``Mw`` are
+    ``(B, n, W)`` ``uint64`` arrays, ``gamma`` is ``(B, n)``, ``vw``/``sw``
+    are ``(B, W)`` and ``omega`` is a ``(B,)`` complex vector.  The
+    control-type gates (S, S-dagger, CZ, CNOT) and the Pauli row actions
+    (X, Y, Z) are linear word updates identical across the batch, so each
+    broadcasts over ``B`` in one NumPy call.  Hadamard and measurement
+    collapse branch per trajectory (``update_sum``'s case analysis depends
+    on the trajectory's own ``v``/``s``); those run through :meth:`view`,
+    a zero-copy scalar alias of one trajectory, with the rebound ``sw``/
+    ``omega`` scalars written back by :meth:`store`.
+    """
+
+    def __init__(self, form: StabilizerChForm, batch: int):
+        batch = int(batch)
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
+        self.n = form.n
+        self._w = form._w
+        self._mask = form._mask
+        self.batch = batch
+        self.Fw = np.broadcast_to(form.Fw, (batch,) + form.Fw.shape).copy()
+        self.Gw = np.broadcast_to(form.Gw, (batch,) + form.Gw.shape).copy()
+        self.Mw = np.broadcast_to(form.Mw, (batch,) + form.Mw.shape).copy()
+        self.gamma = np.broadcast_to(
+            form.gamma, (batch,) + form.gamma.shape
+        ).copy()
+        self.vw = np.broadcast_to(form.vw, (batch,) + form.vw.shape).copy()
+        self.sw = np.broadcast_to(form.sw, (batch,) + form.sw.shape).copy()
+        self.omega = np.full(batch, form.omega, dtype=np.complex128)
+
+    def view(self, b: int) -> StabilizerChForm:
+        """Trajectory ``b`` as a scalar CH form aliasing the stack.
+
+        Matrix mutations land in the stack directly; ``sw`` and ``omega``
+        are rebound by the scalar kernels and must be written back with
+        :meth:`store` after any scalar call.
+        """
+        out = StabilizerChForm.__new__(StabilizerChForm)
+        out.n = self.n
+        out._w = self._w
+        out._mask = self._mask
+        out.Fw = self.Fw[b]
+        out.Gw = self.Gw[b]
+        out.Mw = self.Mw[b]
+        out.gamma = self.gamma[b]
+        out.vw = self.vw[b]
+        out.sw = self.sw[b]
+        out.omega = complex(self.omega[b])
+        return out
+
+    def store(self, b: int, form: StabilizerChForm) -> None:
+        """Write back the scalar-rebound ``sw``/``omega`` of a view."""
+        self.sw[b] = form.sw
+        self.omega[b] = form.omega
+
+    # -- batched gate passes (one NumPy call across the whole batch) -------
+    def apply_s(self, q: int) -> None:
+        self.Mw[:, q] ^= self.Gw[:, q]
+        self.gamma[:, q] = (self.gamma[:, q] - 1) % 4
+
+    def apply_sdg(self, q: int) -> None:
+        self.Mw[:, q] ^= self.Gw[:, q]
+        self.gamma[:, q] = (self.gamma[:, q] + 1) % 4
+
+    def apply_cz(self, q: int, r: int) -> None:
+        if q == r:
+            raise ValueError("CZ needs distinct qubits")
+        self.Mw[:, q] ^= self.Gw[:, r]
+        self.Mw[:, r] ^= self.Gw[:, q]
+
+    def apply_cx(self, c: int, t: int) -> None:
+        if c == t:
+            raise ValueError("CNOT needs distinct qubits")
+        self.gamma[:, c] = (
+            self.gamma[:, c]
+            + self.gamma[:, t]
+            + 2 * (bp.count_bits(self.Mw[:, c] & self.Fw[:, t], axis=1) & 1)
+        ) % 4
+        self.Gw[:, t] ^= self.Gw[:, c]
+        self.Fw[:, c] ^= self.Fw[:, t]
+        self.Mw[:, c] ^= self.Mw[:, t]
+
+    def apply_x(self, q: int) -> None:
+        f_row, m_row = self.Fw[:, q], self.Mw[:, q]
+        t = self.sw ^ (f_row & ~self.vw) ^ (m_row & self.vw)
+        beta = bp.count_bits(m_row & ~self.vw & self.sw, axis=1)
+        beta = beta + bp.count_bits(f_row & self.vw & (self.sw ^ m_row), axis=1)
+        pw = (self.gamma[:, q] + 2 * beta) % 4
+        self.omega *= _I_POW[pw]
+        self.sw = t
+
+    def apply_z(self, q: int) -> None:
+        g_row = self.Gw[:, q]
+        u = self.sw ^ (g_row & self.vw)
+        alpha = bp.count_bits(g_row & ~self.vw & self.sw, axis=1)
+        self.omega *= _I_POW[(2 * alpha) % 4]
+        self.sw = u
+
+    def apply_y(self, q: int) -> None:
+        self.apply_z(q)
+        self.apply_x(q)
+        self.omega *= 1j
+
+    def apply_h(self, q: int) -> None:
+        """Hadamard: ``update_sum``'s case analysis is per-trajectory."""
+        for b in range(self.batch):
+            st = self.view(b)
+            st.apply_h(q)
+            self.store(b, st)
+
+    def apply_stabilizer_sequence(self, seq, axes: Sequence[int]) -> None:
+        """One cached ``(phase, primitives)`` decomposition, batch-wide.
+
+        Unlike the tableau, the CH form tracks global phase, so the
+        sequence's phase factor multiplies ``omega`` directly.
+        """
+        phase, prims = seq
+        if phase is not None and phase != 1:
+            self.omega *= phase
+        dispatch = {
+            "H": self.apply_h,
+            "S": self.apply_s,
+            "SDG": self.apply_sdg,
+            "X": self.apply_x,
+            "Y": self.apply_y,
+            "Z": self.apply_z,
+            "CX": self.apply_cx,
+            "CZ": self.apply_cz,
+        }
+        for name, local in prims:
+            mapped = [axes[i] for i in local]
+            try:
+                dispatch[name](*mapped)
+            except KeyError:  # pragma: no cover - defensive
+                raise ValueError(f"Unknown CH primitive {name!r}") from None
+
+    def apply_single_qubit_moment(
+        self, seqs: Sequence, axes: Sequence[int]
+    ) -> None:
+        """A fused moment of disjoint single-qubit gates, batch-wide.
+
+        ``seqs[i]`` is ``(phase, [primitive, ...])`` for the gate on
+        ``axes[i]`` — the :class:`~repro.sampler.plan.FusedOpRecord`
+        layout.
+        """
+        for (phase, prims), axis in zip(seqs, axes):
+            if phase is not None and phase != 1:
+                self.omega *= phase
+            self.apply_stabilizer_sequence(
+                (None, [(name, (0,)) for name in prims]), [axis]
+            )
+
+    # -- batched candidate probabilities -----------------------------------
+    def candidate_probabilities(
+        self, bits: np.ndarray, support: Sequence[int]
+    ) -> np.ndarray:
+        """A ``(B, 2^k)`` candidate matrix, one per-trajectory state each.
+
+        The stacked sibling of
+        :meth:`StabilizerChForm.candidate_probabilities_many`: candidate
+        ``idx`` of trajectory ``b`` agrees with ``bits[b]`` off
+        ``support`` and encodes ``support[pos]`` at bit ``k - 1 - pos``.
+        The support-membership test runs as one batched GF(2) matmul
+        against the stacked ``F`` matrices.
+        """
+        support = [int(a) for a in support]
+        k = len(support)
+        base = np.asarray(bits, dtype=np.uint8)
+        if base.ndim != 2 or base.shape != (self.batch, self.n):
+            raise ValueError(
+                f"Expected ({self.batch}, {self.n}) bitstrings, "
+                f"got {base.shape}"
+            )
+        cands = np.repeat(base[:, None, :], 2**k, axis=1)
+        patterns = (
+            (np.arange(2**k)[:, None] >> np.arange(k - 1, -1, -1)[None, :]) & 1
+        ).astype(np.uint8)
+        cands[:, :, support] = patterns[None, :, :]
+        f_mats = bp.unpack_rows(self.Fw, self.n).astype(np.float64)
+        x = np.einsum(
+            "bkp,bpj->bkj", cands.astype(np.float64), f_mats
+        ) % 2.0
+        s = bp.unpack_rows(self.sw, self.n).astype(np.float64)
+        bare = bp.unpack_rows(self.vw, self.n) == 0
+        mismatch = ((x != s[:, None, :]) & bare[:, None, :]).any(axis=2)
+        flat = np.abs(self.omega) ** 2 * np.exp2(
+            -bp.count_bits(self.vw, axis=1).astype(np.float64)
+        )
+        out = np.broadcast_to(flat[:, None], mismatch.shape).copy()
+        out[mismatch] = 0.0
+        return out

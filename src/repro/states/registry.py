@@ -82,6 +82,16 @@ class BackendCapabilities:
             picklable payload for process-pool workers; None means the
             state object itself is pickled.
         restore: Inverse of ``snapshot``; required iff ``snapshot`` is set.
+        batched_trajectories: Optional hook advertising a batched
+            trajectory adapter for this backend: the adapter class itself,
+            or a zero-argument callable returning it (the lazy-import
+            form the shipped backends use).  The adapter must expose
+            ``supports_plan(plan) -> bool`` and
+            ``from_state(state, batch) -> adapter`` classmethods plus the
+            per-record batch interface consumed by
+            :mod:`repro.sampler.trajectory_batch`.  None (the default)
+            means trajectory mode always runs the serial per-repetition
+            loop for this backend.
     """
 
     __slots__ = (
@@ -97,6 +107,7 @@ class BackendCapabilities:
         "exact_channels",
         "snapshot",
         "restore",
+        "batched_trajectories",
     )
 
     def __init__(
@@ -113,6 +124,7 @@ class BackendCapabilities:
         exact_channels: bool,
         snapshot: Optional[Callable],
         restore: Optional[Callable],
+        batched_trajectories: Optional[Callable] = None,
     ):
         self.state_type = state_type
         self.name = name
@@ -126,6 +138,7 @@ class BackendCapabilities:
         self.exact_channels = exact_channels
         self.snapshot = snapshot
         self.restore = restore
+        self.batched_trajectories = batched_trajectories
 
     def __repr__(self) -> str:
         flags = [
@@ -138,6 +151,7 @@ class BackendCapabilities:
                 ("exact_channels", self.exact_channels),
                 ("many_front", self.candidates_many is not None),
                 ("snapshot", self.snapshot is not None),
+                ("batched_traj", self.batched_trajectories is not None),
             ]
             if on
         ]
@@ -183,6 +197,7 @@ def _derive(state_type: type, **overrides) -> BackendCapabilities:
         exact_channels=bool(getattr(state_type, "_exact_channels_", False)),
         snapshot=None,
         restore=None,
+        batched_trajectories=None,
     )
     for key, value in overrides.items():
         if key not in derived:
@@ -206,6 +221,7 @@ def register_backend(
     exact_channels: Optional[bool] = None,
     snapshot: Optional[Callable] = None,
     restore: Optional[Callable] = None,
+    batched_trajectories: Optional[Callable] = None,
     name: Optional[str] = None,
 ) -> BackendCapabilities:
     """Register (or re-register) a state backend's capabilities.
@@ -240,6 +256,7 @@ def register_backend(
         exact_channels=exact_channels,
         snapshot=snapshot,
         restore=restore,
+        batched_trajectories=batched_trajectories,
     )
     previous = _REGISTRY.get(state_type)
     if previous is not None:
@@ -308,6 +325,9 @@ def capabilities_for(state_or_type) -> BackendCapabilities:
                     caps.exact_channels,
                     caps.snapshot,
                     caps.restore,
+                    # Overridden _act_on_ invalidates the batched engine's
+                    # record application too: the subclass runs serially.
+                    None,
                 )
                 _SPECIALIZED[tp] = (caps, spec)
                 return spec

@@ -619,6 +619,154 @@ class CliffordTableau:
     def __repr__(self) -> str:
         return f"CliffordTableau(num_qubits={self.n})"
 
+    def stack(self, batch: int) -> "StackedCliffordTableaus":
+        """``batch`` independent copies as one stacked-word computation."""
+        return StackedCliffordTableaus(self, batch)
+
+
+class StackedCliffordTableaus:
+    """A stack of ``B`` independent tableaus updated by one column pass.
+
+    The batched-trajectory engine's word layout: ``xw``/``zw`` are
+    ``(B, 2n+1, W)`` ``uint64`` arrays and ``r`` is ``(B, 2n+1)``, i.e.
+    ``B`` :class:`CliffordTableau` instances stacked on a leading axis.
+    Every Clifford gate is the same one- or two-column word update as the
+    scalar kernels, broadcast over the batch axis in a single NumPy call —
+    the per-gate cost is amortized over all ``B`` trajectories.
+
+    Measurement-adjacent operations (pivot search, collapse, candidate
+    chains) branch per trajectory; :meth:`view` exposes trajectory ``b``
+    as a zero-copy :class:`CliffordTableau` whose arrays alias the stack
+    (every scalar kernel mutates in place, so views stay coherent).
+    """
+
+    def __init__(self, tableau: CliffordTableau, batch: int):
+        batch = int(batch)
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
+        self.n = tableau.n
+        self._w = tableau._w
+        self.batch = batch
+        self.xw = np.broadcast_to(tableau.xw, (batch,) + tableau.xw.shape).copy()
+        self.zw = np.broadcast_to(tableau.zw, (batch,) + tableau.zw.shape).copy()
+        self.r = np.broadcast_to(tableau.r, (batch,) + tableau.r.shape).copy()
+
+    def view(self, b: int) -> CliffordTableau:
+        """Trajectory ``b`` as a scalar tableau aliasing the stack."""
+        out = CliffordTableau.__new__(CliffordTableau)
+        out.n = self.n
+        out._w = self._w
+        out.xw = self.xw[b]
+        out.zw = self.zw[b]
+        out.r = self.r[b]
+        return out
+
+    # -- batched Clifford column passes (broadcast over the batch axis) ----
+    def apply_h(self, a: int) -> None:
+        w, b = bp.word_and_bit(a)
+        xa = (self.xw[..., w] >> b) & _ONE
+        za = (self.zw[..., w] >> b) & _ONE
+        self.r ^= (xa & za).astype(np.uint8)
+        diff = (xa ^ za) << b
+        self.xw[..., w] ^= diff
+        self.zw[..., w] ^= diff
+
+    def apply_s(self, a: int) -> None:
+        w, b = bp.word_and_bit(a)
+        xa = (self.xw[..., w] >> b) & _ONE
+        za = (self.zw[..., w] >> b) & _ONE
+        self.r ^= (xa & za).astype(np.uint8)
+        self.zw[..., w] ^= xa << b
+
+    def apply_sdg(self, a: int) -> None:
+        w, b = bp.word_and_bit(a)
+        xa = (self.xw[..., w] >> b) & _ONE
+        za = (self.zw[..., w] >> b) & _ONE
+        self.r ^= (xa & (za ^ _ONE)).astype(np.uint8)
+        self.zw[..., w] ^= xa << b
+
+    def apply_x(self, a: int) -> None:
+        w, b = bp.word_and_bit(a)
+        self.r ^= ((self.zw[..., w] >> b) & _ONE).astype(np.uint8)
+
+    def apply_z(self, a: int) -> None:
+        w, b = bp.word_and_bit(a)
+        self.r ^= ((self.xw[..., w] >> b) & _ONE).astype(np.uint8)
+
+    def apply_y(self, a: int) -> None:
+        w, b = bp.word_and_bit(a)
+        xa = (self.xw[..., w] >> b) & _ONE
+        za = (self.zw[..., w] >> b) & _ONE
+        self.r ^= (xa ^ za).astype(np.uint8)
+
+    def apply_cx(self, a: int, b: int) -> None:
+        if a == b:
+            raise ValueError("CNOT control and target must differ")
+        wa, ba = bp.word_and_bit(a)
+        wb, bb = bp.word_and_bit(b)
+        xa = (self.xw[..., wa] >> ba) & _ONE
+        za = (self.zw[..., wa] >> ba) & _ONE
+        xb = (self.xw[..., wb] >> bb) & _ONE
+        zb = (self.zw[..., wb] >> bb) & _ONE
+        self.r ^= (xa & zb & (xb ^ za ^ _ONE)).astype(np.uint8)
+        self.xw[..., wb] ^= xa << bb
+        self.zw[..., wa] ^= zb << ba
+
+    def apply_cz(self, a: int, b: int) -> None:
+        if a == b:
+            raise ValueError("CZ control and target must differ")
+        wa, ba = bp.word_and_bit(a)
+        wb, bb = bp.word_and_bit(b)
+        xa = (self.xw[..., wa] >> ba) & _ONE
+        za = (self.zw[..., wa] >> ba) & _ONE
+        xb = (self.xw[..., wb] >> bb) & _ONE
+        zb = (self.zw[..., wb] >> bb) & _ONE
+        self.r ^= (xa & xb & (za ^ zb)).astype(np.uint8)
+        self.zw[..., wa] ^= xb << ba
+        self.zw[..., wb] ^= xa << bb
+
+    def apply_swap(self, a: int, b: int) -> None:
+        wa, ba = bp.word_and_bit(a)
+        wb, bb = bp.word_and_bit(b)
+        for mat in (self.xw, self.zw):
+            ca = (mat[..., wa] >> ba) & _ONE
+            cb = (mat[..., wb] >> bb) & _ONE
+            diff = ca ^ cb
+            mat[..., wa] ^= diff << ba
+            mat[..., wb] ^= diff << bb
+
+    def apply_stabilizer_sequence(self, seq, axes: Sequence[int]) -> None:
+        """One cached ``(phase, primitives)`` decomposition, batch-wide."""
+        _, prims = seq  # global phase is not representable; dropped
+        dispatch = {
+            "H": self.apply_h,
+            "S": self.apply_s,
+            "SDG": self.apply_sdg,
+            "X": self.apply_x,
+            "Y": self.apply_y,
+            "Z": self.apply_z,
+            "CX": self.apply_cx,
+            "CZ": self.apply_cz,
+        }
+        for name, local in prims:
+            mapped = [axes[i] for i in local]
+            try:
+                dispatch[name](*mapped)
+            except KeyError:  # pragma: no cover - defensive
+                raise ValueError(f"Unknown tableau primitive {name!r}") from None
+
+    def apply_single_qubit_moment(
+        self, seqs: Sequence, axes: Sequence[int]
+    ) -> None:
+        """A fused moment of disjoint single-qubit gates, batch-wide."""
+        depth = max(len(prims) for _, prims in seqs)
+        for layer in range(depth):
+            for (_, prims), axis in zip(seqs, axes):
+                if layer < len(prims):
+                    self.apply_stabilizer_sequence(
+                        (None, [(prims[layer], (0,))]), [axis]
+                    )
+
 
 class CliffordTableauSimulationState(SimulationState):
     """Aaronson-Gottesman tableau bound to a qubit register.

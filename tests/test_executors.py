@@ -187,12 +187,13 @@ class TestPooledExecutor:
 
     def test_task_payload_is_two_integers(self):
         """The O(1)-startup contract: the per-task payload carries no
-        circuit, no plan, and no state — just (chunk_size, chunk_seed)."""
+        circuit, no plan, and no state — just (chunk_size, chunk_seed)
+        plus the batched engine's three-integer seeding anchor."""
         from repro.sampler.executors import _run_pool_chunk
         import inspect
 
         params = list(inspect.signature(_run_pool_chunk).parameters)
-        assert params == ["size", "seed"]
+        assert params == ["size", "seed", "ctx"]
 
     def test_worker_payload_ships_plan_and_state_once(self):
         sim = make_sim(seed=31)

@@ -137,6 +137,38 @@ class TestCostModel:
         )
         assert estimate_cost(program, 1) >= 1
 
+    def test_trajectory_entries_cost_the_multiplier(self):
+        """A noisy (trajectory-mode) circuit costs TRAJECTORY_COST_MULTIPLIER
+        times its unitary twin of identical structure: every repetition
+        replays the whole gate loop instead of resampling one evolved
+        state, and the scheduler must see that asymmetry to balance
+        batches mixing the two."""
+        from repro.sampler.schedule import TRAJECTORY_COST_MULTIPLIER
+
+        sim = make_sim(
+            lambda: StateVectorSimulationState(QUBITS),
+            born.compute_probability_state_vector,
+            0,
+        )
+        unitary = sim.compile(clifford_circuit(4))
+        noisy_circuit = clifford_circuit(4)
+        noisy = sim.compile(
+            cirq.Circuit(
+                list(noisy_circuit.all_operations())[:-1]
+                + [cirq.depolarize(0.01)(QUBITS[0])]
+                + [cirq.measure(*QUBITS, key="m")]
+            )
+        )
+        assert not unitary.needs_trajectories
+        assert noisy.needs_trajectories
+        # Same structural count: the noise op adds one record, so compare
+        # per-op costs instead of totals.
+        unit_ops = unitary.shared_record_count + unitary.param_slot_count
+        noisy_ops = noisy.shared_record_count + noisy.param_slot_count
+        per_op_unitary = estimate_cost(unitary, 10) / unit_ops
+        per_op_noisy = estimate_cost(noisy, 10) / noisy_ops
+        assert per_op_noisy == TRAJECTORY_COST_MULTIPLIER * per_op_unitary
+
 
 class TestFifoScheduler:
     def test_one_task_per_point_in_order(self):
