@@ -4,7 +4,8 @@ The committed ``benchmarks/results/BENCH_*.json`` files are the perf
 record of every PR's headline win.  This script keeps them honest: it
 re-runs the warm-pool, multi-program-batch, adaptive-scheduling,
 program-cache, batched-oracle, batched-trajectory,
-result-plane-transport, and streaming-latency series and compares each fresh
+result-plane-transport, streaming-latency, and service-fair-share
+series and compares each fresh
 ``speedup`` (or byte-reduction ratio) against the committed baseline with a *generous* tolerance —
 the fresh ratio must stay at or above ``tolerance`` (default 0.5) times
 the recorded win, so shared-runner noise passes but a genuinely lost
@@ -93,6 +94,18 @@ SERIES = {
         "speedup_columns": ("speedup",),
         "exact_columns": ("qubits", "depth", "reps"),
         "min_ratio": 3.0,
+    },
+    # The service gate pins the job tier's whole contract: exactly one
+    # pool re-init for two interleaved execution keys across four
+    # tenants, streamed results bit-for-bit equal to direct run_sweep
+    # (``equal``), and the fair-share latency bar — ``fairness_headroom``
+    # is 3 * idle_p99 / loaded_p99, so the absolute floor of 1.0 IS the
+    # acceptance criterion "light-tenant p99 under load <= 3x idle p99".
+    "BENCH_service_fair_share.json": {
+        "module": "bench_service.py",
+        "speedup_columns": ("fairness_headroom",),
+        "exact_columns": ("tenants", "distinct_keys", "reinits", "equal"),
+        "min_ratio": 1.0,
     },
     # The straggler makespan is computed from measured durations over a
     # deterministic placement model, so it also carries an absolute

@@ -13,6 +13,12 @@ from .executors import (
     SerialExecutor,
     TaskTimeoutError,
 )
+from .jobs import (
+    JobCancelled,
+    JobHandle,
+    ResultExpired,
+    SamplingService,
+)
 from .schedule import (
     AdaptiveScheduler,
     FifoScheduler,
@@ -20,6 +26,7 @@ from .schedule import (
     Scheduler,
     WorkStealingScheduler,
     estimate_cost,
+    estimate_job_cost,
 )
 from .service import PoolManager, shared_pool_manager, shutdown_shared_pool
 from .near_clifford import (
@@ -72,6 +79,11 @@ __all__ = [
     "WorkStealingScheduler",
     "ScheduledTask",
     "estimate_cost",
+    "estimate_job_cost",
+    "SamplingService",
+    "JobHandle",
+    "JobCancelled",
+    "ResultExpired",
     "CalibrationTable",
     "shared_calibration_table",
     "width_bucket",

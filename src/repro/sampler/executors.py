@@ -239,6 +239,8 @@ class SerialExecutor(Executor):
         self.chunks = chunks
 
     def execute(self, simulator, plan, repetitions, rng=None, ctx=None):
+        if repetitions < 1:
+            raise ValueError(f"repetitions must be >= 1, got {repetitions}")
         if self.chunks == 1:
             return _dispatch(
                 simulator,
@@ -407,6 +409,8 @@ class ProcessPoolExecutor(Executor):
             )
 
     def execute(self, simulator, plan, repetitions, rng=None, ctx=None):
+        if repetitions < 1:
+            raise ValueError(f"repetitions must be >= 1, got {repetitions}")
         num_chunks = self.num_workers * self.chunks_per_worker
         sizes = _chunk_sizes(repetitions, num_chunks)
         base = _base_seed(simulator.seed if rng is None else rng)
@@ -520,6 +524,8 @@ class ProcessPoolExecutor(Executor):
             raise ValueError(
                 f"Got {len(programs)} programs but {len(resolvers)} resolvers"
             )
+        if repetitions < 1:
+            raise ValueError(f"repetitions must be >= 1, got {repetitions}")
         base = _base_seed(simulator.seed)
         # Dedupe by identity: a batch repeating a circuit (the Program
         # cache returns the same object) ships each distinct Program once.

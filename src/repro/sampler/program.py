@@ -160,6 +160,7 @@ class Program:
     )
 
     def __init__(self, circuit: Circuit, state, apply_op, *, fuse_moments: bool = True):
+        _require_register(state)
         qubit_index = state.qubit_index
         missing = [q for q in circuit.all_qubits() if q not in qubit_index]
         if missing:
@@ -398,6 +399,28 @@ class Program:
         )
 
 
+def _require_register(state) -> None:
+    """Reject bare backend states (no qubit register) with a typed error.
+
+    Raw engine states like ``StabilizerChForm(num_qubits=2)`` carry
+    amplitudes but no qubit register, so the Program path — which keys
+    the cache on ``state.qubits`` and maps circuit qubits through
+    ``state.qubit_index`` — cannot compile against them.  Instead of the
+    opaque ``AttributeError`` that used to escape here, raise a
+    ``TypeError`` naming the fix: wrap the engine in its registered
+    ``*SimulationState`` sibling, which carries the register (and the
+    ``_act_on_`` dispatch every run API needs).
+    """
+    if not hasattr(state, "qubits") or not hasattr(state, "qubit_index"):
+        raise TypeError(
+            f"{type(state).__name__} has no qubit register (missing "
+            "'qubits'/'qubit_index'), so it cannot be compiled into a "
+            "Program. Wrap the bare engine state in its SimulationState "
+            f"sibling (e.g. {type(state).__name__}SimulationState(qubits)) "
+            "before constructing a Simulator."
+        )
+
+
 # ----------------------------------------------------------------------
 # process-wide Program cache
 # ----------------------------------------------------------------------
@@ -416,7 +439,11 @@ def compiled_program(
     ``apply_op``, fuse flag): any in-place circuit mutation, backend swap,
     or fuse toggle misses and recompiles; identical re-runs and sweeps hit.
     Entries are evicted least-recently-used beyond ``_PROGRAM_CACHE_MAX``.
+
+    A bare backend state without a qubit register raises ``TypeError``
+    (see :func:`_require_register`) before the cache key is built.
     """
+    _require_register(state)
     key = (
         circuit_fingerprint(circuit),
         tuple(state.qubits),

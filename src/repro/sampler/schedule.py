@@ -92,6 +92,19 @@ def estimate_cost(program, repetitions: int) -> int:
     return cost
 
 
+def estimate_job_cost(program, num_points: int, repetitions: int) -> int:
+    """Static cost of a whole sweep *job*: per-point cost x point count.
+
+    The sampling service's accounting unit — one submitted job is a
+    sweep of ``num_points`` resolvers over one compiled Program, each
+    point running ``repetitions`` — read off the same structure counters
+    as :func:`estimate_cost`, so quota fair-share and the scheduler
+    price work in one currency.  An empty sweep still costs one point's
+    worth (admission is never free).
+    """
+    return estimate_cost(program, repetitions) * max(1, int(num_points))
+
+
 class ScheduledTask:
     """One pool task of a scheduled batch: a point, or one chunk of it.
 
@@ -522,4 +535,5 @@ __all__ = [
     "Scheduler",
     "WorkStealingScheduler",
     "estimate_cost",
+    "estimate_job_cost",
 ]

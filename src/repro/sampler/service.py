@@ -84,7 +84,20 @@ RunParts = Tuple[Dict[str, np.ndarray], np.ndarray]
 # ----------------------------------------------------------------------
 
 def _chunk_sizes(repetitions: int, num_chunks: int) -> List[int]:
-    """Split ``repetitions`` into at most ``num_chunks`` near-equal parts."""
+    """Split ``repetitions`` into at most ``num_chunks`` near-equal parts.
+
+    ``repetitions == 0`` yields no chunks (``[]``) rather than dividing
+    by the zero-clamped chunk count; negative repetitions and a
+    non-positive ``num_chunks`` are caller errors and raise ``ValueError``
+    naming the offending argument (the service tier feeds this geometry
+    straight off user input).
+    """
+    if repetitions < 0:
+        raise ValueError(f"repetitions must be >= 0, got {repetitions}")
+    if num_chunks < 1:
+        raise ValueError(f"num_chunks must be >= 1, got {num_chunks}")
+    if repetitions == 0:
+        return []
     num_chunks = min(num_chunks, repetitions)
     base, extra = divmod(repetitions, num_chunks)
     return [base + (1 if i < extra else 0) for i in range(num_chunks)]
@@ -121,12 +134,21 @@ def _chunk_seeds_from_base(base: int, num_chunks: int) -> List[int]:
 
 
 def _base_seed(seed: Union[int, np.random.Generator, None]) -> int:
-    """Collapse a user seed argument to one non-negative integer base."""
+    """Collapse a user seed argument to one non-negative integer base.
+
+    A negative integer seed would surface much later as an opaque NumPy
+    error from ``SeedSequence([base, i])`` inside a worker, so it is
+    rejected here (the backstop behind the ``Simulator`` constructor's
+    own boundary check) with a ``ValueError`` naming ``seed``.
+    """
     if isinstance(seed, np.random.Generator):
         return int(seed.integers(2**62))
     if seed is None:
         return int(np.random.SeedSequence().entropy) % 2**62
-    return int(seed)
+    base = int(seed)
+    if base < 0:
+        raise ValueError(f"seed must be non-negative, got seed={base}")
+    return base
 
 
 def _merge_parts(parts: List[RunParts]) -> RunParts:

@@ -149,6 +149,15 @@ class Simulator:
             if self.user_candidate_function is not None
             else many_candidate_function_for(compute_probability)
         )
+        # Validate at the API boundary: every execution path (serial,
+        # chunked, sweep, pooled) ultimately feeds the seed into
+        # SeedSequence, which requires non-negative integers — fail here
+        # with a clear message instead of a deep NumPy error mid-run.
+        if isinstance(seed, (int, np.integer)) and seed < 0:
+            raise ValueError(
+                f"seed must be a non-negative integer, a numpy Generator, "
+                f"or None; got seed={int(seed)}"
+            )
         self.seed = seed
         self._rng = (
             seed
@@ -331,7 +340,15 @@ class Simulator:
             raise ValueError(
                 f"scope must be 'auto', 'points', or 'repetitions', got {scope!r}"
             )
+        if repetitions < 1:
+            raise ValueError(f"repetitions must be >= 1, got {repetitions}")
         params = list(params)
+        if not params:
+            # An empty sweep has nothing to run — and nothing to compile.
+            # Matching run_batch([]), it returns no points instead of
+            # compiling (and later specializing) the still-parameterized
+            # circuit, which cannot be resolved without a resolver.
+            return iter(())
         program = self.compile(circuit)
         point_capable = self.executor is not None and getattr(
             self.executor, "supports_point_scope", False
@@ -416,6 +433,8 @@ class Simulator:
             raise ValueError(
                 f"scope must be 'auto', 'points', or 'repetitions', got {scope!r}"
             )
+        if repetitions < 1:
+            raise ValueError(f"repetitions must be >= 1, got {repetitions}")
         resolvers = list(params) if params is not None else [None] * len(circuits)
         point_capable = self.executor is not None and getattr(
             self.executor, "supports_point_scope", False
