@@ -11,7 +11,7 @@ measured register, and verifies the sampled marginals agree.
 import numpy as np
 
 from repro import circuits as cirq
-from repro.transpile import default_pipeline, reduce_to_light_cone
+from repro.transpile import LightConeReduction, default_pipeline, transpile
 
 from conftest import make_sv_simulator, print_series, wall_time
 
@@ -31,7 +31,7 @@ def test_light_cone_speedup(benchmark):
     """Dropping out-of-cone gates speeds sampling at equal output."""
     width, depth, measured = 10, 12, 2
     qubits, circuit = _wide_circuit_narrow_measurement(width, depth, measured, 5)
-    reduced = reduce_to_light_cone(circuit)
+    reduced = transpile(circuit, [LightConeReduction()])
 
     t_full = wall_time(
         lambda: make_sv_simulator(qubits, seed=0).run(circuit, repetitions=REPS)
@@ -73,7 +73,7 @@ def test_full_pipeline_op_reduction(benchmark):
     width, depth, measured = 8, 16, 3
     qubits, circuit = _wide_circuit_narrow_measurement(width, depth, measured, 9)
     pm = default_pipeline()
-    optimized = pm.run(circuit)
+    optimized = transpile(circuit, pm)
 
     rows = [(name, before, after) for name, before, after in pm.history]
     print_series(

@@ -4,8 +4,8 @@ The committed ``benchmarks/results/BENCH_*.json`` files are the perf
 record of every PR's headline win.  This script keeps them honest: it
 re-runs the warm-pool, multi-program-batch, adaptive-scheduling,
 program-cache, batched-oracle, batched-trajectory,
-result-plane-transport, streaming-latency, and service-fair-share
-series and compares each fresh
+result-plane-transport, streaming-latency, service-fair-share,
+work-stealing, and XEB-supremacy-batch series and compares each fresh
 ``speedup`` (or byte-reduction ratio) against the committed baseline with a *generous* tolerance —
 the fresh ratio must stay at or above ``tolerance`` (default 0.5) times
 the recorded win, so shared-runner noise passes but a genuinely lost
@@ -116,6 +116,17 @@ SERIES = {
         "speedup_columns": ("speedup",),
         "exact_columns": ("points", "reps", "workers", "granularity"),
         "min_ratio": 1.3,
+    },
+    # The XEB supremacy batch pins the whole verification contract:
+    # 64 distinct circuits on exactly 1 warm-pool init with streamed
+    # estimates bit-for-bit equal to the blocking path (exact columns),
+    # and the merge-rotations end-to-end sampling win with the
+    # acceptance floor of 1.2x as the absolute minimum.
+    "BENCH_xeb_supremacy_batch.json": {
+        "module": "bench_xeb.py",
+        "speedup_columns": ("speedup",),
+        "exact_columns": ("circuits", "reps", "pool_inits", "streamed_equal"),
+        "min_ratio": 1.2,
     },
 }
 

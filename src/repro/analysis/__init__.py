@@ -22,6 +22,19 @@ from .statistics import (
     standard_error_of_mean,
     wilson_interval,
 )
+from .xeb import (
+    PTConvergence,
+    XEBEstimate,
+    XEBResult,
+    batched_xeb_estimate,
+    empirical_pt_convergence,
+    ensemble_xeb,
+    linear_xeb_estimate,
+    per_circuit_fidelities,
+    porter_thomas_convergence,
+    speckle_purity,
+    xeb_sample_scores,
+)
 
 __all__ = [
     "empirical_distribution",
@@ -40,4 +53,15 @@ __all__ = [
     "expected_linear_xeb",
     "shannon_entropy",
     "pt_expected_entropy",
+    "XEBEstimate",
+    "XEBResult",
+    "PTConvergence",
+    "xeb_sample_scores",
+    "linear_xeb_estimate",
+    "ensemble_xeb",
+    "batched_xeb_estimate",
+    "speckle_purity",
+    "porter_thomas_convergence",
+    "empirical_pt_convergence",
+    "per_circuit_fidelities",
 ]

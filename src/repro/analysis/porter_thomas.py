@@ -22,22 +22,57 @@ def porter_thomas_pdf(p: np.ndarray, dim: int) -> np.ndarray:
     return dim * np.exp(-dim * p)
 
 
-def porter_thomas_test(probabilities: np.ndarray) -> Tuple[float, float]:
+def porter_thomas_test(
+    probabilities: np.ndarray,
+    *,
+    renormalize: bool = False,
+    atol: float = 1e-6,
+) -> Tuple[float, float]:
     """Kolmogorov-Smirnov test of probabilities against Porter-Thomas.
 
     Args:
-        probabilities: A full output distribution (length ``2^n``,
-            summing to ~1).
+        probabilities: A full output distribution (length ``2^n``).  By
+            default it must sum to 1 within ``atol``; empirical
+            estimates (histogram counts, truncated or sampled
+            distributions) whose mass drifts further are accepted by
+            passing ``renormalize=True``.
+        renormalize: When True, scale the distribution to unit mass
+            before testing instead of rejecting it.  The KS statistic is
+            scale-invariant only after this normalization, so an
+            un-normalized empirical estimate must opt in explicitly.
+        atol: Tolerance on ``sum(probabilities) - 1`` before the
+            distribution is considered un-normalized.
 
     Returns:
         ``(ks_statistic, p_value)``; a large p-value means consistent
         with Porter-Thomas.
+
+    Raises:
+        ValueError: If the input is not a 1-D distribution with at least
+            two entries, has negative/non-finite entries, or (without
+            ``renormalize=True``) does not sum to 1 within ``atol``.
     """
     probs = np.asarray(probabilities, dtype=float)
     if probs.ndim != 1 or probs.size < 2:
         raise ValueError("Need a 1-D distribution with >= 2 entries")
-    if abs(probs.sum() - 1.0) > 1e-6:
-        raise ValueError(f"Probabilities sum to {probs.sum()}, expected 1")
+    if not np.all(np.isfinite(probs)) or np.any(probs < 0):
+        raise ValueError(
+            "Probabilities must be finite and non-negative"
+        )
+    total = float(probs.sum())
+    if abs(total - 1.0) > atol:
+        if not renormalize:
+            raise ValueError(
+                f"Probabilities sum to {total}, expected 1 within "
+                f"atol={atol}; pass renormalize=True to accept an "
+                "empirical/unnormalized estimate (it is scaled to unit "
+                "mass before testing)"
+            )
+        if total <= 0:
+            raise ValueError(
+                f"Cannot renormalize a distribution with total mass {total}"
+            )
+        probs = probs / total
     dim = probs.size
     # Under PT, N*p is Exp(1).
     statistic, p_value = scipy.stats.kstest(dim * probs, "expon")

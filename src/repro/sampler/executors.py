@@ -66,6 +66,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .requests import normalize_repetitions
 from .result_planes import PointPlanes, shm_available
 from .schedule import BatchEntry, FifoScheduler, Scheduler, estimate_cost
 from .service import (
@@ -239,8 +240,7 @@ class SerialExecutor(Executor):
         self.chunks = chunks
 
     def execute(self, simulator, plan, repetitions, rng=None, ctx=None):
-        if repetitions < 1:
-            raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+        normalize_repetitions(repetitions)
         if self.chunks == 1:
             return _dispatch(
                 simulator,
@@ -409,8 +409,7 @@ class ProcessPoolExecutor(Executor):
             )
 
     def execute(self, simulator, plan, repetitions, rng=None, ctx=None):
-        if repetitions < 1:
-            raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+        normalize_repetitions(repetitions)
         num_chunks = self.num_workers * self.chunks_per_worker
         sizes = _chunk_sizes(repetitions, num_chunks)
         base = _base_seed(simulator.seed if rng is None else rng)
@@ -524,8 +523,7 @@ class ProcessPoolExecutor(Executor):
             raise ValueError(
                 f"Got {len(programs)} programs but {len(resolvers)} resolvers"
             )
-        if repetitions < 1:
-            raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+        normalize_repetitions(repetitions)
         base = _base_seed(simulator.seed)
         # Dedupe by identity: a batch repeating a circuit (the Program
         # cache returns the same object) ships each distinct Program once.

@@ -58,6 +58,13 @@ from ..circuits.parameters import ParamResolver
 from ..states.registry import capabilities_for
 from .plan import ExecutionPlan, OpRecord
 from .program import Program, compiled_program
+from .requests import (
+    normalize_repetitions,
+    normalize_run_request,
+    normalize_seed,
+    normalize_trajectory_mode,
+    normalize_trajectory_tile,
+)
 from .results import Result
 
 BitTuple = Tuple[int, ...]
@@ -149,16 +156,10 @@ class Simulator:
             if self.user_candidate_function is not None
             else many_candidate_function_for(compute_probability)
         )
-        # Validate at the API boundary: every execution path (serial,
-        # chunked, sweep, pooled) ultimately feeds the seed into
-        # SeedSequence, which requires non-negative integers — fail here
-        # with a clear message instead of a deep NumPy error mid-run.
-        if isinstance(seed, (int, np.integer)) and seed < 0:
-            raise ValueError(
-                f"seed must be a non-negative integer, a numpy Generator, "
-                f"or None; got seed={int(seed)}"
-            )
-        self.seed = seed
+        # All argument validation lives in sampler.requests — one shared
+        # normalizer for the whole run* surface, pinned by
+        # tests/test_error_contracts.py.
+        self.seed = normalize_seed(seed)
         self._rng = (
             seed
             if isinstance(seed, np.random.Generator)
@@ -167,19 +168,8 @@ class Simulator:
         self.skip_diagonal_updates = skip_diagonal_updates
         self.fuse_moments = fuse_moments
         self.executor = executor
-        if trajectory_mode not in ("serial", "batched", "auto"):
-            raise ValueError(
-                "trajectory_mode must be 'serial', 'batched', or 'auto', "
-                f"got {trajectory_mode!r}"
-            )
-        self.trajectory_mode = trajectory_mode
-        if trajectory_tile is not None and int(trajectory_tile) < 1:
-            raise ValueError(
-                f"trajectory_tile must be >= 1, got {trajectory_tile}"
-            )
-        self.trajectory_tile = (
-            None if trajectory_tile is None else int(trajectory_tile)
-        )
+        self.trajectory_mode = normalize_trajectory_mode(trajectory_mode)
+        self.trajectory_tile = normalize_trajectory_tile(trajectory_tile)
 
     # ------------------------------------------------------------------
     # public API
@@ -336,12 +326,7 @@ class Simulator:
         (the streaming substrate of :meth:`run_sweep_iter`); validation
         and compilation are eager.
         """
-        if scope not in ("auto", "points", "repetitions"):
-            raise ValueError(
-                f"scope must be 'auto', 'points', or 'repetitions', got {scope!r}"
-            )
-        if repetitions < 1:
-            raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+        request = normalize_run_request(self.executor, repetitions, scope)
         params = list(params)
         if not params:
             # An empty sweep has nothing to run — and nothing to compile.
@@ -350,14 +335,11 @@ class Simulator:
             # circuit, which cannot be resolved without a resolver.
             return iter(())
         program = self.compile(circuit)
-        point_capable = self.executor is not None and getattr(
-            self.executor, "supports_point_scope", False
-        )
-        if scope in ("auto", "points") and point_capable:
+        if request.fan_points:
             return self.executor.execute_sweep_iter(
                 self, program, params, repetitions
             )
-        if scope == "points":
+        if request.serial_point_streams:
             # Explicit point scope without a point-fanning executor: one
             # in-process stream per point — the serial contract pooled
             # point scope reproduces bit-for-bit.
@@ -429,17 +411,9 @@ class Simulator:
             raise ValueError(
                 f"Got {len(circuits)} circuits but {len(params)} resolvers"
             )
-        if scope not in ("auto", "points", "repetitions"):
-            raise ValueError(
-                f"scope must be 'auto', 'points', or 'repetitions', got {scope!r}"
-            )
-        if repetitions < 1:
-            raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+        request = normalize_run_request(self.executor, repetitions, scope)
         resolvers = list(params) if params is not None else [None] * len(circuits)
-        point_capable = self.executor is not None and getattr(
-            self.executor, "supports_point_scope", False
-        )
-        if scope in ("auto", "points") and point_capable and circuits:
+        if request.fan_points and circuits:
             programs = [self.compile(circuit) for circuit in circuits]
             parts = self.executor.execute_batch_iter(
                 self, programs, resolvers, repetitions
@@ -454,7 +428,7 @@ class Simulator:
                     np.random.SeedSequence([base, index])
                 )
                 ctx = (base, index, 0)
-                if scope == "points":
+                if request.serial_point_streams:
                     # Explicit point scope without a point-fanning
                     # executor: one in-process stream per circuit — the
                     # serial contract pooled batches reproduce
@@ -504,8 +478,7 @@ class Simulator:
         repetitions: int,
         param_resolver,
     ) -> Tuple[Dict[str, np.ndarray], np.ndarray]:
-        if repetitions < 1:
-            raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+        normalize_repetitions(repetitions)
         plan = self.compile(circuit).specialize(param_resolver)
         return self._execute_plan(plan, repetitions, None)
 

@@ -30,10 +30,14 @@ from .passes import (
     DropEmptyMoments,
     DropNegligibleGates,
     LightConeReduction,
+    MergeRotations,
     MergeSingleQubitGates,
     PassManager,
+    PassPipeline,
+    PassStats,
     TranspilerPass,
     default_pipeline,
+    transpile,
 )
 from .qsd import quantum_shannon_decompose, shannon_circuit
 from .routing import RoutedCircuit, Topology, is_routed, route_circuit
@@ -60,11 +64,15 @@ __all__ = [
     "reduce_to_light_cone",
     "TranspilerPass",
     "MergeSingleQubitGates",
+    "MergeRotations",
     "DropEmptyMoments",
     "DropNegligibleGates",
     "CancelAdjacentInverses",
     "LightConeReduction",
     "DecomposeMultiQubitGates",
+    "PassStats",
+    "PassPipeline",
     "PassManager",
     "default_pipeline",
+    "transpile",
 ]

@@ -11,7 +11,9 @@ that invariant is what the test suite checks for each of them.
 from __future__ import annotations
 
 import abc
-from typing import Iterable, List, Optional
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -58,6 +60,107 @@ class DropEmptyMoments(TranspilerPass):
 
     def __call__(self, circuit: Circuit) -> Circuit:
         return drop_empty_moments(circuit)
+
+
+class MergeRotations(TranspilerPass):
+    """Collapse adjacent same-axis rotation runs into one power gate.
+
+    Hardware-style circuits arrive with single-qubit rotations split into
+    consecutive fractional pulses about the same axis (pulse
+    decomposition, spin-echo padding, virtual-Z bookkeeping).  Unlike
+    :class:`MergeSingleQubitGates`, which fuses *any* 1-qubit run into a
+    numeric ``MatrixGate``, this pass only fuses runs that share an axis
+    and keeps the result in the named power-gate family — so downstream
+    stabilizer/diagram/Clifford machinery still recognizes the gate.
+
+    Two ops share an axis when they are the *same* ``EigenGate`` type
+    (``X/Y/Z/HPowGate``...), or both :class:`PhasedXPowGate` with equal
+    ``phase_exponent`` (``Z^p X^t Z^-p`` powers commute at fixed ``p``).
+    A run merges by exponent addition with the global phase accumulated
+    exactly:
+
+        ``G(t1, s1) G(t2, s2) = G(t1+t2, (s1 t1 + s2 t2)/(t1+t2))``
+
+    since every base gate here is an involution.  A run whose exponent
+    sum is ``0 (mod 2)`` is the identity up to global phase and is
+    dropped outright.  Parameterized ops, measurements, and multi-qubit
+    gates act as barriers; single gates not in a run pass through
+    untouched.
+    """
+
+    def __init__(self, atol: float = 1e-9):
+        self.atol = float(atol)
+
+    def _axis_key(self, op: GateOperation):
+        """Hashable merge key, or None if the op is not a mergeable rotation."""
+        if len(op.qubits) != 1 or op.is_measurement or op._is_parameterized_():
+            return None
+        gate = op.gate
+        if type(gate) is gates.PhasedXPowGate:
+            return (gates.PhasedXPowGate, float(gate.phase_exponent))
+        # Exact-type match: subclasses may redefine the unitary, and two
+        # different axes never merge.
+        if type(gate) in (
+            gates.XPowGate,
+            gates.YPowGate,
+            gates.ZPowGate,
+            gates.HPowGate,
+        ):
+            return type(gate)
+        return None
+
+    def _merge_run(self, key, run: List[GateOperation]) -> List[GateOperation]:
+        if len(run) < 2:
+            return run
+        exponents = [float(op.gate.exponent) for op in run]
+        exp_sum = sum(exponents)
+        phase_exp = sum(
+            t * op.gate.global_shift for t, op in zip(exponents, run)
+        )
+        # Involution bases are 2-periodic in the exponent: an exponent sum
+        # of 0 (mod 2) is the identity up to a global phase.
+        if abs(exp_sum - 2.0 * round(exp_sum / 2.0)) <= self.atol:
+            return []
+        shift = phase_exp / exp_sum
+        if isinstance(key, tuple):
+            cls, phase_exponent = key
+            merged = cls(
+                phase_exponent=phase_exponent,
+                exponent=exp_sum,
+                global_shift=shift,
+            )
+        else:
+            merged = key(exponent=exp_sum, global_shift=shift)
+        return [merged.on(run[0].qubits[0])]
+
+    def __call__(self, circuit: Circuit) -> Circuit:
+        out: List[GateOperation] = []
+        pending: Dict[object, Tuple[object, List[GateOperation]]] = {}
+
+        def flush(qubit) -> None:
+            entry = pending.pop(qubit, None)
+            if entry is not None:
+                out.extend(self._merge_run(entry[0], entry[1]))
+
+        for op in circuit.all_operations():
+            key = self._axis_key(op)
+            if key is None:
+                for q in op.qubits:
+                    flush(q)
+                out.append(op)
+                continue
+            qubit = op.qubits[0]
+            entry = pending.get(qubit)
+            if entry is not None and entry[0] == key:
+                entry[1].append(op)
+            else:
+                flush(qubit)
+                pending[qubit] = (key, [op])
+        for qubit in list(pending):
+            flush(qubit)
+        result = Circuit()
+        result.append(out)
+        return result
 
 
 class DropNegligibleGates(TranspilerPass):
@@ -201,31 +304,82 @@ class DecomposeMultiQubitGates(TranspilerPass):
         return out
 
 
-class PassManager:
-    """Run a sequence of passes; records per-pass op counts for inspection."""
+@dataclass(frozen=True)
+class PassStats:
+    """What one pass did to the circuit: op counts, depth, wall time."""
+
+    name: str
+    ops_before: int
+    ops_after: int
+    depth_before: int
+    depth_after: int
+    seconds: float
+
+
+class PassPipeline(TranspilerPass):
+    """Ordered pass composition with per-pass op-count/depth stats.
+
+    A pipeline is itself a :class:`TranspilerPass` (``pipeline(circuit)``
+    runs every stage), so pipelines nest and compose with single passes.
+    After each run, :attr:`stats` holds one :class:`PassStats` per stage
+    and :attr:`history` exposes the legacy
+    ``(name, ops_before, ops_after)`` triples.
+    """
 
     def __init__(self, passes: Iterable[TranspilerPass]):
         self.passes: List[TranspilerPass] = list(passes)
-        self.history: List[tuple] = []
+        self.stats: List[PassStats] = []
+
+    @property
+    def history(self) -> List[tuple]:
+        """``(name, ops_before, ops_after)`` per stage of the last run."""
+        return [(s.name, s.ops_before, s.ops_after) for s in self.stats]
 
     def run(self, circuit: Circuit) -> Circuit:
-        """Apply all passes in order, logging (pass name, ops before/after)."""
-        self.history = []
+        """Apply all passes in order, recording per-pass stats."""
+        self.stats = []
         for p in self.passes:
-            before = circuit.num_operations()
+            ops_before = circuit.num_operations()
+            depth_before = circuit.depth()
+            start = time.perf_counter()
             circuit = p(circuit)
-            self.history.append((p.name, before, circuit.num_operations()))
+            elapsed = time.perf_counter() - start
+            self.stats.append(
+                PassStats(
+                    name=p.name,
+                    ops_before=ops_before,
+                    ops_after=circuit.num_operations(),
+                    depth_before=depth_before,
+                    depth_after=circuit.depth(),
+                    seconds=elapsed,
+                )
+            )
         return circuit
 
+    def __call__(self, circuit: Circuit) -> Circuit:
+        return self.run(circuit)
+
     def __repr__(self) -> str:
-        return f"PassManager({self.passes!r})"
+        return f"{type(self).__name__}({self.passes!r})"
 
 
-def default_pipeline(*, light_cone: bool = True) -> PassManager:
+class PassManager(PassPipeline):
+    """Backwards-compatible name for :class:`PassPipeline`.
+
+    Kept so pre-pipeline callers (and their pinned ``history`` triples)
+    keep working; new code should construct :class:`PassPipeline` or call
+    :func:`transpile`.
+    """
+
+
+def default_pipeline(*, light_cone: bool = True) -> PassPipeline:
     """The recommended BGLS pre-sampling pipeline.
 
     Light-cone reduction first (it can only delete work), then inverse
     cancellation, then the paper's single-qubit merging, then cleanup.
+    (:class:`MergeRotations` is not included: the unconditional
+    single-qubit merging subsumes it here; use it directly on circuits
+    that must stay in the named power-gate family.)
     """
     passes: List[TranspilerPass] = []
     if light_cone:
@@ -238,4 +392,34 @@ def default_pipeline(*, light_cone: bool = True) -> PassManager:
             DropEmptyMoments(),
         ]
     )
-    return PassManager(passes)
+    return PassPipeline(passes)
+
+
+def transpile(
+    circuit: Circuit,
+    passes: Union[Iterable[TranspilerPass], PassPipeline, None] = None,
+    *,
+    light_cone: bool = True,
+) -> Circuit:
+    """Rewrite ``circuit`` through a pass pipeline; the one-call entry point.
+
+    Args:
+        circuit: The circuit to rewrite.
+        passes: ``None`` for :func:`default_pipeline`, a pre-built
+            :class:`PassPipeline`, or any iterable of passes (composed in
+            order into a fresh pipeline).
+        light_cone: Only consulted when ``passes`` is ``None``: include
+            the light-cone reduction stage in the default pipeline.
+
+    Returns:
+        The rewritten circuit.  For per-pass stats, build a
+        :class:`PassPipeline` yourself and read ``pipeline.stats`` after
+        running it.
+    """
+    if passes is None:
+        pipeline = default_pipeline(light_cone=light_cone)
+    elif isinstance(passes, PassPipeline):
+        pipeline = passes
+    else:
+        pipeline = PassPipeline(passes)
+    return pipeline.run(circuit)

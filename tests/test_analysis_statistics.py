@@ -188,5 +188,30 @@ class TestPorterThomas:
         )
 
     def test_rejects_unnormalized(self):
-        with pytest.raises(ValueError, match="sum"):
+        with pytest.raises(ValueError, match="renormalize"):
             porter_thomas_test(np.full(8, 0.2))
+
+    def test_renormalize_accepts_empirical_estimate(self):
+        # A scaled distribution must give the identical test result once
+        # renormalized — the KS statistic only sees N*p.
+        probs = self._random_circuit_probs(n=5, cycles=12, seed=7)
+        exact = porter_thomas_test(probs)
+        scaled = porter_thomas_test(1000.0 * probs, renormalize=True)
+        assert scaled == pytest.approx(exact)
+
+    def test_renormalize_rejects_zero_mass(self):
+        with pytest.raises(ValueError, match="total mass"):
+            porter_thomas_test(np.zeros(8), renormalize=True)
+
+    def test_rejects_negative_probabilities(self):
+        probs = np.full(8, 1 / 8)
+        probs[0] = -probs[0]
+        with pytest.raises(ValueError, match="non-negative"):
+            porter_thomas_test(probs, renormalize=True)
+
+    def test_atol_widens_exact_contract(self):
+        probs = np.full(8, 1 / 8) * 1.001
+        with pytest.raises(ValueError, match="renormalize"):
+            porter_thomas_test(probs)
+        statistic, p_value = porter_thomas_test(probs, atol=0.01)
+        assert 0.0 <= statistic <= 1.0

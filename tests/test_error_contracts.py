@@ -346,3 +346,67 @@ class TestChunkSizesProperties:
     def test_bad_chunk_count_rejected(self, repetitions, num_chunks):
         with pytest.raises(ValueError, match="num_chunks"):
             _chunk_sizes(repetitions, num_chunks)
+
+
+# ----------------------------------------------------------------------
+# scope / trajectory_mode — the shared request normalizer
+# ----------------------------------------------------------------------
+
+class TestRequestNormalizer:
+    """The six run* entry points share one validation front door
+    (``repro.sampler.requests``): identical errors regardless of which
+    entry point a bad argument hits."""
+
+    def _sim(self, executor=None):
+        return make_sim(
+            lambda: StateVectorSimulationState(QUBITS),
+            born.compute_probability_state_vector,
+            executor=executor,
+        )
+
+    @pytest.mark.parametrize("make_executor", EXECUTORS)
+    def test_bad_scope_same_error_everywhere(self, make_executor):
+        sim = self._sim(executor=make_executor())
+        circuit = clifford_circuit()
+        messages = set()
+        for call in (
+            lambda: sim.run_sweep(circuit, [None], scope="bogus"),
+            lambda: list(sim.run_sweep_iter(circuit, [None], scope="bogus")),
+            lambda: sim.run_batch([circuit], scope="bogus"),
+            lambda: list(sim.run_batch_iter([circuit], scope="bogus")),
+            lambda: sim.sample_bitstrings_sweep(circuit, [None], scope="bogus"),
+        ):
+            with pytest.raises(ValueError, match="scope") as excinfo:
+                call()
+            messages.add(str(excinfo.value))
+        assert len(messages) == 1
+
+    def test_scope_error_is_eager_for_iterators(self):
+        # Validation happens at the call, not at first next() — a bad
+        # scope never produces a generator that blows up later.
+        sim = self._sim()
+        with pytest.raises(ValueError, match="scope"):
+            sim.run_batch_iter([clifford_circuit()], scope="nope")
+
+    def test_bad_trajectory_mode_at_construction(self):
+        with pytest.raises(ValueError, match="trajectory_mode"):
+            bgls.Simulator(
+                StateVectorSimulationState(QUBITS),
+                bgls.act_on,
+                born.compute_probability_state_vector,
+                trajectory_mode="sometimes",
+            )
+
+    def test_bad_trajectory_tile_at_construction(self):
+        with pytest.raises(ValueError, match="trajectory_tile"):
+            bgls.Simulator(
+                StateVectorSimulationState(QUBITS),
+                bgls.act_on,
+                born.compute_probability_state_vector,
+                trajectory_tile=0,
+            )
+
+    def test_batch_length_mismatch_still_pinned(self):
+        sim = self._sim()
+        with pytest.raises(ValueError, match="resolvers"):
+            sim.run_batch([clifford_circuit()], params=[None, None])

@@ -47,3 +47,11 @@ def test_grover_example_finds_marked_item():
 def test_phase_estimation_example_estimates():
     out = run_example("phase_estimation.py")
     assert "0.625" in out  # exactly representable case recovered
+
+
+def test_xeb_supremacy_example_streams_and_verifies():
+    out = run_example("xeb_supremacy.py")
+    assert "MergeRotations" in out
+    assert "Warm-pool inits for the whole ensemble: 1" in out
+    assert "Ensemble fidelity" in out
+    assert "Porter-Thomas check" in out

@@ -85,3 +85,50 @@ class TestXEB:
         rng = np.random.default_rng(0)
         uniform = rng.integers(0, 2, size=(3000, len(qubits)))
         assert abs(xeb_fidelity(uniform, ideal)) < 0.15
+
+
+class TestPulseSplits:
+    def test_split_circuit_same_unitary(self):
+        qubits = cirq.GridQubit.rect(2, 3)
+        base = random_supremacy_circuit(
+            2, 3, cycles=4, random_state=7, measure_key=None
+        )
+        split = random_supremacy_circuit(
+            2, 3, cycles=4, random_state=7, measure_key=None, pulse_splits=4
+        )
+        np.testing.assert_allclose(
+            base.final_state_vector(qubit_order=qubits),
+            split.final_state_vector(qubit_order=qubits),
+            atol=1e-8,
+        )
+
+    def test_split_multiplies_single_qubit_ops(self):
+        base = random_supremacy_circuit(
+            2, 2, cycles=5, random_state=3, measure_key=None
+        )
+        split = random_supremacy_circuit(
+            2, 2, cycles=5, random_state=3, measure_key=None, pulse_splits=3
+        )
+
+        def count_1q(c):
+            return sum(1 for op in c.all_operations() if len(op.qubits) == 1)
+
+        assert count_1q(split) == 3 * count_1q(base)
+
+    def test_merge_rotations_recovers_compact_form(self):
+        from repro.transpile import MergeRotations, transpile
+
+        split = random_supremacy_circuit(
+            2, 2, cycles=5, random_state=3, measure_key=None, pulse_splits=3
+        )
+        base = random_supremacy_circuit(
+            2, 2, cycles=5, random_state=3, measure_key=None
+        )
+        merged = transpile(split, [MergeRotations()])
+        assert merged.num_operations() == base.num_operations()
+
+    def test_invalid_pulse_splits_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="pulse_splits"):
+            random_supremacy_circuit(2, 2, 4, pulse_splits=0)

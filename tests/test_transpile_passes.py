@@ -6,6 +6,8 @@ final-state probabilities, and statistically through the BGLS sampler).
 """
 
 import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro import born
 from repro import circuits as cirq
@@ -17,10 +19,15 @@ from repro.transpile import (
     DecomposeMultiQubitGates,
     DropEmptyMoments,
     DropNegligibleGates,
+    LightConeReduction,
+    MergeRotations,
     PassManager,
+    PassPipeline,
+    PassStats,
     default_pipeline,
     light_cone_qubits,
     reduce_to_light_cone,
+    transpile,
 )
 
 
@@ -303,3 +310,235 @@ class TestPassManager:
         res = sim.run(optimized, repetitions=300)
         rows = {tuple(r) for r in res.measurements["z"]}
         assert rows == {(0, 0), (1, 1)}
+
+
+def assert_same_unitary_action(circuit_a, circuit_b, qubits, atol=1e-8):
+    """Final states agree up to a global phase."""
+    a = circuit_a.without_measurements().final_state_vector(qubit_order=qubits)
+    b = circuit_b.without_measurements().final_state_vector(qubit_order=qubits)
+    np.testing.assert_allclose(abs(np.vdot(a, b)), 1.0, atol=atol)
+
+
+class TestMergeRotations:
+    def test_same_axis_run_collapses(self):
+        q = cirq.LineQubit.range(1)
+        circuit = cirq.Circuit(
+            cirq.XPowGate(exponent=0.25).on(q[0]),
+            cirq.XPowGate(exponent=0.25).on(q[0]),
+        )
+        out = MergeRotations()(circuit)
+        (op,) = list(out.all_operations())
+        assert isinstance(op.gate, cirq.XPowGate)
+        assert op.gate.exponent == 0.75 * 0 + 0.5
+
+    def test_global_phase_exact_for_rz_run(self):
+        # Rz carries global_shift=-0.5; the merged gate must reproduce
+        # the accumulated phase exactly, not just the distribution.
+        q = cirq.LineQubit.range(1)
+        circuit = cirq.Circuit(
+            cirq.Rz(0.3).on(q[0]), cirq.Rz(0.5).on(q[0]), cirq.Rz(0.1).on(q[0])
+        )
+        out = MergeRotations()(circuit)
+        assert out.num_operations() == 1
+        u_in = np.eye(2)
+        for op in circuit.all_operations():
+            u_in = op.gate._unitary_() @ u_in
+        (op,) = list(out.all_operations())
+        np.testing.assert_allclose(op.gate._unitary_(), u_in, atol=1e-12)
+
+    def test_identity_run_dropped(self):
+        q = cirq.LineQubit.range(1)
+        circuit = cirq.Circuit(
+            cirq.Rz(np.pi / 2).on(q[0]),
+            cirq.Rz(np.pi / 2).on(q[0]),
+            cirq.Rz(np.pi / 2).on(q[0]),
+            cirq.Rz(np.pi / 2).on(q[0]),
+        )
+        out = MergeRotations()(circuit)
+        assert out.num_operations() == 0
+
+    def test_different_axes_do_not_merge(self):
+        q = cirq.LineQubit.range(1)
+        circuit = cirq.Circuit(
+            cirq.XPowGate(exponent=0.5).on(q[0]),
+            cirq.YPowGate(exponent=0.5).on(q[0]),
+        )
+        out = MergeRotations()(circuit)
+        assert out.num_operations() == 2
+
+    def test_phased_x_same_phase_merges(self):
+        q = cirq.LineQubit.range(1)
+        circuit = cirq.Circuit(
+            cirq.PhasedXPowGate(phase_exponent=0.25, exponent=0.25).on(q[0]),
+            cirq.PhasedXPowGate(phase_exponent=0.25, exponent=0.25).on(q[0]),
+        )
+        out = MergeRotations()(circuit)
+        (op,) = list(out.all_operations())
+        assert isinstance(op.gate, cirq.PhasedXPowGate)
+        assert op.gate.phase_exponent == 0.25
+        assert op.gate.exponent == 0.5
+
+    def test_phased_x_different_phase_does_not_merge(self):
+        q = cirq.LineQubit.range(1)
+        circuit = cirq.Circuit(
+            cirq.PhasedXPowGate(phase_exponent=0.25, exponent=0.25).on(q[0]),
+            cirq.PhasedXPowGate(phase_exponent=0.5, exponent=0.25).on(q[0]),
+        )
+        out = MergeRotations()(circuit)
+        assert out.num_operations() == 2
+
+    def test_two_qubit_gate_is_barrier(self):
+        qs = cirq.LineQubit.range(2)
+        circuit = cirq.Circuit(
+            cirq.XPowGate(exponent=0.25).on(qs[0]),
+            cirq.CNOT.on(qs[0], qs[1]),
+            cirq.XPowGate(exponent=0.25).on(qs[0]),
+        )
+        out = MergeRotations()(circuit)
+        assert out.num_operations() == 3
+        assert_same_unitary_action(circuit, out, qs)
+
+    def test_measurement_is_barrier(self):
+        q = cirq.LineQubit.range(1)
+        circuit = cirq.Circuit(
+            cirq.XPowGate(exponent=1.0).on(q[0]),
+            cirq.measure(q[0], key="a"),
+            cirq.XPowGate(exponent=1.0).on(q[0]),
+        )
+        out = MergeRotations()(circuit)
+        assert out.num_operations() == 3
+
+    def test_parameterized_ops_pass_through(self):
+        q = cirq.LineQubit.range(1)
+        theta = cirq.Symbol("theta")
+        circuit = cirq.Circuit(
+            cirq.XPowGate(exponent=0.25).on(q[0]),
+            cirq.Rx(theta).on(q[0]),
+            cirq.XPowGate(exponent=0.25).on(q[0]),
+        )
+        out = MergeRotations()(circuit)
+        assert out.num_operations() == 3
+
+    def test_single_gates_untouched(self):
+        q = cirq.LineQubit.range(1)
+        circuit = cirq.Circuit(cirq.XPowGate(exponent=0.3).on(q[0]))
+        out = MergeRotations()(circuit)
+        (op,) = list(out.all_operations())
+        assert op.gate == cirq.XPowGate(exponent=0.3)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["x", "y", "z", "h", "px", "px2"]),
+                st.floats(-2.0, 2.0),
+                st.sampled_from([0.0, -0.5, 0.25]),
+            ),
+            min_size=1,
+            max_size=12,
+        ),
+        st.integers(0, 3),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_unitary_equivalence_property(self, spec, barrier_at):
+        """Merging preserves the circuit's action up to a global phase."""
+        qs = cirq.LineQubit.range(2)
+        gate_for = {
+            "x": lambda t, s: cirq.XPowGate(exponent=t, global_shift=s),
+            "y": lambda t, s: cirq.YPowGate(exponent=t, global_shift=s),
+            "z": lambda t, s: cirq.ZPowGate(exponent=t, global_shift=s),
+            "h": lambda t, s: cirq.HPowGate(exponent=t, global_shift=s),
+            "px": lambda t, s: cirq.PhasedXPowGate(
+                phase_exponent=0.25, exponent=t, global_shift=s
+            ),
+            "px2": lambda t, s: cirq.PhasedXPowGate(
+                phase_exponent=0.75, exponent=t, global_shift=s
+            ),
+        }
+        circuit = cirq.Circuit(cirq.H.on(qs[0]), cirq.H.on(qs[1]))
+        for i, (kind, t, s) in enumerate(spec):
+            if i == barrier_at:
+                circuit.append(cirq.CZ.on(qs[0], qs[1]))
+            circuit.append(gate_for[kind](t, s).on(qs[i % 2]))
+        merged = MergeRotations()(circuit)
+        assert merged.num_operations() <= circuit.num_operations()
+        assert_same_unitary_action(circuit, merged, qs, atol=1e-7)
+
+
+class TestPassPipeline:
+    def _wasteful_circuit(self):
+        qs = cirq.LineQubit.range(2)
+        circuit = cirq.Circuit(
+            cirq.XPowGate(exponent=0.25).on(qs[0]),
+            cirq.XPowGate(exponent=0.25).on(qs[0]),
+            cirq.H.on(qs[1]),
+            cirq.H.on(qs[1]),
+            cirq.measure(*qs, key="z"),
+        )
+        return qs, circuit
+
+    def test_stats_record_ops_depth_and_time(self):
+        # MergeRotations: the X^0.25 pair fuses to X^0.5 and the H pair
+        # (exponent sum 2 = identity) is dropped, leaving 2 ops.
+        qs, circuit = self._wasteful_circuit()
+        pipe = PassPipeline([MergeRotations(), CancelAdjacentInverses()])
+        out = pipe.run(circuit)
+        assert out.num_operations() == 2
+        assert len(pipe.stats) == 2
+        first = pipe.stats[0]
+        assert isinstance(first, PassStats)
+        assert first.name == "MergeRotations"
+        assert first.ops_before == 5
+        assert first.ops_after == 2
+        assert first.depth_before >= first.depth_after
+        assert first.seconds >= 0.0
+
+    def test_history_matches_legacy_triples(self):
+        qs, circuit = self._wasteful_circuit()
+        pipe = PassPipeline([CancelAdjacentInverses()])
+        pipe.run(circuit)
+        assert pipe.history == [("CancelAdjacentInverses", 5, 3)]
+
+    def test_pipeline_is_composable_as_a_pass(self):
+        qs, circuit = self._wasteful_circuit()
+        inner = PassPipeline([MergeRotations()])
+        outer = PassPipeline([inner, CancelAdjacentInverses()])
+        out = outer.run(circuit)
+        assert out.num_operations() == 2
+        assert outer.stats[0].name == "PassPipeline"
+
+    def test_passmanager_is_pipeline_alias(self):
+        assert issubclass(PassManager, PassPipeline)
+        qs, circuit = self._wasteful_circuit()
+        pm = PassManager([CancelAdjacentInverses()])
+        pm.run(circuit)
+        assert pm.history == [("CancelAdjacentInverses", 5, 3)]
+
+    def test_transpile_default_equals_default_pipeline(self):
+        qs, circuit = self._wasteful_circuit()
+        a = transpile(circuit)
+        b = default_pipeline().run(circuit)
+        assert repr(a) == repr(b)
+
+    def test_transpile_accepts_pass_list(self):
+        qs, circuit = self._wasteful_circuit()
+        out = transpile(circuit, [MergeRotations()])
+        assert out.num_operations() == 2
+        assert_same_distribution(circuit, out, qs)
+
+    def test_transpile_accepts_prebuilt_pipeline(self):
+        qs, circuit = self._wasteful_circuit()
+        pipe = PassPipeline([LightConeReduction(), MergeRotations()])
+        out = transpile(circuit, pipe)
+        assert [s.name for s in pipe.stats] == [
+            "LightConeReduction",
+            "MergeRotations",
+        ]
+        assert_same_distribution(circuit, out, qs)
+
+    def test_transpile_light_cone_toggle(self):
+        qs = cirq.LineQubit.range(2)
+        circuit = cirq.Circuit(
+            cirq.H.on(qs[1]), cirq.measure(qs[0], key="z")
+        )
+        assert transpile(circuit).num_operations() == 1
+        assert transpile(circuit, light_cone=False).num_operations() == 2

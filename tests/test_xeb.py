@@ -1,0 +1,316 @@
+"""Tests for the XEB verification subsystem.
+
+Covers the :mod:`repro.analysis.xeb` estimators against exact Born
+distributions with statistical error bars (ideal sampler -> fidelity ~ 1,
+depolarized sampler -> fidelity tracks the analytic decay, uniform
+sampler -> fidelity ~ 0), the speckle-purity and Porter-Thomas
+convergence diagnostics, and the supremacy workload runners
+(streamed == blocking bit-for-bit, pool fan-out with one init).
+"""
+
+import numpy as np
+import pytest
+
+import repro as bgls
+from repro import born
+from repro.analysis import (
+    PTConvergence,
+    batched_xeb_estimate,
+    empirical_pt_convergence,
+    ensemble_xeb,
+    linear_xeb,
+    linear_xeb_estimate,
+    per_circuit_fidelities,
+    porter_thomas_convergence,
+    speckle_purity,
+    xeb_sample_scores,
+)
+from repro.apps import (
+    ideal_output_probabilities,
+    random_supremacy_circuit,
+    run_xeb_workload,
+    stream_xeb_workload,
+    xeb_circuits,
+)
+
+
+def make_sv_simulator(qubits, seed=0, **kw):
+    return bgls.Simulator(
+        bgls.StateVectorSimulationState(qubits),
+        bgls.act_on,
+        born.compute_probability_state_vector,
+        seed=seed,
+        **kw,
+    )
+
+
+def pt_distribution(n, seed):
+    """An exact Porter-Thomas-converged Born distribution over 2^n."""
+    circuit = random_supremacy_circuit(
+        1, n, cycles=12, random_state=seed, measure_key=None
+    )
+    return ideal_output_probabilities(circuit)
+
+
+def draw_samples(probs, n, num, rng):
+    """Bitstring rows drawn exactly from ``probs`` (MSB-first indexing)."""
+    outcomes = rng.choice(probs.size, size=num, p=probs)
+    return ((outcomes[:, None] >> np.arange(n - 1, -1, -1)) & 1).astype(
+        np.uint8
+    )
+
+
+class TestPerCircuitEstimator:
+    N = 6
+
+    def test_ideal_sampler_fidelity_one(self):
+        rng = np.random.default_rng(0)
+        probs = pt_distribution(self.N, seed=1)
+        samples = draw_samples(probs, self.N, 20_000, rng)
+        est = linear_xeb_estimate(samples, probs)
+        assert est.fidelity == pytest.approx(1.0, abs=4 * est.std_err)
+        assert 0 < est.std_err < 0.05
+        assert est.num_samples == 20_000
+
+    def test_uniform_sampler_fidelity_zero(self):
+        rng = np.random.default_rng(2)
+        probs = pt_distribution(self.N, seed=3)
+        samples = rng.integers(0, 2, size=(20_000, self.N)).astype(np.uint8)
+        est = linear_xeb_estimate(samples, probs)
+        assert est.fidelity == pytest.approx(0.0, abs=4 * est.std_err)
+
+    @pytest.mark.parametrize("f", [0.25, 0.5, 0.75])
+    def test_depolarized_sampler_tracks_analytic_decay(self, f):
+        # Global depolarizing at fidelity f: sample from p with prob f,
+        # uniformly otherwise.  Linear XEB is linear in the sampled
+        # distribution, so the normalized score must track f.
+        rng = np.random.default_rng(int(f * 100))
+        probs = pt_distribution(self.N, seed=4)
+        depolarized = f * probs + (1 - f) / probs.size
+        samples = draw_samples(depolarized, self.N, 40_000, rng)
+        est = linear_xeb_estimate(samples, probs)
+        assert est.fidelity == pytest.approx(f, abs=4 * est.std_err)
+
+    def test_raw_score_matches_linear_xeb(self):
+        rng = np.random.default_rng(5)
+        probs = pt_distribution(self.N, seed=6)
+        samples = draw_samples(probs, self.N, 500, rng)
+        est = linear_xeb_estimate(samples, probs)
+        assert est.raw_xeb == pytest.approx(linear_xeb(samples, probs))
+        # Normalization: fidelity = raw / ideal.
+        assert est.fidelity == pytest.approx(est.raw_xeb / est.ideal_xeb)
+
+    def test_error_bar_shrinks_with_samples(self):
+        rng = np.random.default_rng(7)
+        probs = pt_distribution(self.N, seed=8)
+        small = linear_xeb_estimate(
+            draw_samples(probs, self.N, 500, rng), probs
+        )
+        large = linear_xeb_estimate(
+            draw_samples(probs, self.N, 50_000, rng), probs
+        )
+        assert large.std_err < small.std_err / 5
+
+    def test_sample_scores_shape_and_mean(self):
+        rng = np.random.default_rng(9)
+        probs = pt_distribution(self.N, seed=10)
+        samples = draw_samples(probs, self.N, 300, rng)
+        scores = xeb_sample_scores(samples, probs)
+        assert scores.shape == (300,)
+        assert scores.mean() == pytest.approx(linear_xeb(samples, probs))
+
+    def test_uniform_ideal_distribution_gives_nan_fidelity(self):
+        probs = np.full(2**self.N, 1 / 2**self.N)
+        samples = np.zeros((10, self.N), dtype=np.uint8)
+        est = linear_xeb_estimate(samples, probs)
+        assert np.isnan(est.fidelity)
+        assert est.ideal_xeb == pytest.approx(0.0)
+
+    def test_shape_validation(self):
+        probs = pt_distribution(self.N, seed=11)
+        with pytest.raises(ValueError, match="bitstring"):
+            xeb_sample_scores(np.zeros(5), probs)
+        with pytest.raises(ValueError, match="probabilities"):
+            xeb_sample_scores(np.zeros((5, self.N + 1), dtype=int), probs)
+
+
+class TestEnsembleEstimator:
+    N = 5
+
+    def _estimates(self, num_circuits, reps, seed):
+        rng = np.random.default_rng(seed)
+        ests = []
+        for k in range(num_circuits):
+            probs = pt_distribution(self.N, seed=100 + k)
+            samples = draw_samples(probs, self.N, reps, rng)
+            ests.append(linear_xeb_estimate(samples, probs))
+        return ests
+
+    def test_ensemble_combines_means_and_errors(self):
+        ests = self._estimates(8, 2_000, seed=0)
+        res = ensemble_xeb(ests)
+        assert res.num_circuits == 8
+        assert res.num_samples == 8 * 2_000
+        assert res.fidelity == pytest.approx(
+            np.mean([e.fidelity for e in ests])
+        )
+        assert res.fidelity == pytest.approx(1.0, abs=5 * res.scatter_err)
+        # Propagated error: sqrt(sum sigma_i^2)/K.
+        expected = np.sqrt(np.sum([e.std_err**2 for e in ests])) / 8
+        assert res.std_err == pytest.approx(expected)
+        assert per_circuit_fidelities(res) == [e.fidelity for e in ests]
+
+    def test_single_circuit_scatter_is_nan(self):
+        res = ensemble_xeb(self._estimates(1, 500, seed=1))
+        assert np.isnan(res.scatter_err)
+        assert res.num_circuits == 1
+
+    def test_empty_ensemble_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            ensemble_xeb([])
+
+    def test_batched_entry_point(self):
+        rng = np.random.default_rng(2)
+        probs = [pt_distribution(self.N, seed=200 + k) for k in range(3)]
+        samples = [draw_samples(p, self.N, 1_000, rng) for p in probs]
+        res = batched_xeb_estimate(samples, probs)
+        assert res.num_circuits == 3
+        with pytest.raises(ValueError, match="distributions"):
+            batched_xeb_estimate(samples, probs[:2])
+
+
+class TestPTDiagnostics:
+    def test_speckle_purity_limits(self):
+        probs = pt_distribution(6, seed=0)
+        assert 0.5 < speckle_purity(probs) < 1.5
+        assert speckle_purity(np.full(64, 1 / 64)) == pytest.approx(0.0)
+
+    def test_speckle_purity_interpolates(self):
+        probs = pt_distribution(6, seed=1)
+        uniform = np.full(probs.size, 1 / probs.size)
+        mixed = 0.5 * probs + 0.5 * uniform
+        # Variance scales as the square of the mixing weight.
+        assert speckle_purity(mixed) == pytest.approx(
+            0.25 * speckle_purity(probs)
+        )
+
+    def test_speckle_purity_validation(self):
+        with pytest.raises(ValueError, match="1-D"):
+            speckle_purity(np.ones((4, 4)))
+
+    def test_convergence_on_pt_distribution(self):
+        conv = porter_thomas_convergence(pt_distribution(6, seed=2))
+        assert isinstance(conv, PTConvergence)
+        assert conv.dim == 64
+        assert conv.p_value > 1e-3
+        assert 1.7 < conv.collision_ratio < 2.3
+        assert conv.is_converged()
+
+    def test_uniform_not_converged(self):
+        conv = porter_thomas_convergence(np.full(64, 1 / 64))
+        assert conv.p_value < 1e-6
+        assert conv.collision_ratio == pytest.approx(1.0)
+        assert not conv.is_converged()
+
+    def test_empirical_estimate_requires_renormalize(self):
+        counts = np.arange(8, dtype=float)
+        with pytest.raises(ValueError, match="renormalize"):
+            porter_thomas_convergence(counts)
+        conv = porter_thomas_convergence(counts, renormalize=True)
+        assert conv.dim == 8
+
+    def test_empirical_convergence_from_samples(self):
+        # At N = 16 the PT collision ratio itself fluctuates circuit to
+        # circuit, so compare the empirical estimate against the exact
+        # distribution's own ratio, not the asymptotic 2.
+        rng = np.random.default_rng(3)
+        n = 4
+        probs = pt_distribution(n, seed=4)
+        samples = draw_samples(probs, n, 200_000, rng)
+        conv = empirical_pt_convergence(samples, n)
+        exact = porter_thomas_convergence(probs)
+        assert conv.collision_ratio == pytest.approx(
+            exact.collision_ratio, abs=0.05
+        )
+
+
+class TestWorkloadRunners:
+    def _circuits(self, num=6, seed=11):
+        return xeb_circuits(2, 2, cycles=4, num_circuits=num, random_state=seed)
+
+    def test_xeb_circuits_distinct_and_reproducible(self):
+        a = self._circuits()
+        b = self._circuits()
+        assert [repr(c) for c in a] == [repr(c) for c in b]
+        assert len({repr(c) for c in a}) == len(a)
+
+    def test_blocking_workload_fidelity_near_one(self):
+        circuits = self._circuits()
+        sim = make_sv_simulator(circuits[0].all_qubits(), seed=5)
+        res = run_xeb_workload(sim, circuits, repetitions=300)
+        assert res.num_circuits == len(circuits)
+        assert res.num_samples == len(circuits) * 300
+        assert res.fidelity == pytest.approx(
+            1.0, abs=max(5 * res.scatter_err, 0.3)
+        )
+
+    def test_streamed_equals_blocking_bit_for_bit(self):
+        circuits = self._circuits()
+        probs = [ideal_output_probabilities(c) for c in circuits]
+        blocking = run_xeb_workload(
+            make_sv_simulator(circuits[0].all_qubits(), seed=5),
+            circuits,
+            repetitions=200,
+            probabilities=probs,
+        )
+        streamed = list(
+            stream_xeb_workload(
+                make_sv_simulator(circuits[0].all_qubits(), seed=5),
+                circuits,
+                repetitions=200,
+                probabilities=probs,
+            )
+        )
+        assert streamed == list(blocking.per_circuit)
+
+    def test_precomputed_probabilities_match_recompute(self):
+        circuits = self._circuits(num=3)
+        probs = [ideal_output_probabilities(c) for c in circuits]
+        a = run_xeb_workload(
+            make_sv_simulator(circuits[0].all_qubits(), seed=7),
+            circuits,
+            repetitions=100,
+        )
+        b = run_xeb_workload(
+            make_sv_simulator(circuits[0].all_qubits(), seed=7),
+            circuits,
+            repetitions=100,
+            probabilities=probs,
+        )
+        assert a == b
+
+    def test_probabilities_length_mismatch_rejected(self):
+        circuits = self._circuits(num=3)
+        sim = make_sv_simulator(circuits[0].all_qubits(), seed=0)
+        with pytest.raises(ValueError, match="distributions"):
+            list(
+                stream_xeb_workload(
+                    sim, circuits, 10, probabilities=[np.ones(16) / 16]
+                )
+            )
+
+    def test_unmeasured_circuit_rejected(self):
+        circuit = random_supremacy_circuit(
+            2, 2, 3, random_state=0, measure_key=None
+        )
+        sim = make_sv_simulator(circuit.all_qubits(), seed=0)
+        with pytest.raises(ValueError, match="meas"):
+            run_xeb_workload(
+                sim, [circuit], 10, probabilities=[np.ones(16) / 16]
+            )
+
+    def test_ideal_output_probabilities_normalized(self):
+        circuit = random_supremacy_circuit(2, 2, 4, random_state=9)
+        probs = ideal_output_probabilities(circuit)
+        assert probs.shape == (16,)
+        assert probs.sum() == pytest.approx(1.0)
